@@ -1,0 +1,45 @@
+// Ablation: the averaging horizon n of Eq. (2). The paper: "a proper
+// choice of the averaging horizon must be made to trade off speed of
+// response with noise removal". Sweeps n on a noisy (conf2.2) and a
+// clean (conf1.1) profile.
+
+#include "bench/bench_util.h"
+
+namespace wsq::bench {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "Ablation: averaging horizon n",
+      "normalized response time of the hybrid controller vs n, 10 runs",
+      "n=1 reacts fast but chases noise; large n lags; the paper's n=3 "
+      "sits near the sweet spot on noisy profiles");
+
+  TextTable table({"config", "n=1", "n=2", "n=3", "n=5", "n=9"});
+  for (const ConfiguredProfile& conf : {Conf1_1(), Conf2_1(), Conf2_2()}) {
+    const GroundTruth gt = GroundTruthFor(conf);
+    std::vector<double> row;
+    for (int n : {1, 2, 3, 5, 9}) {
+      auto factory = [conf, n]() {
+        HybridConfig config = PaperHybridConfig();
+        config.base = BaseFor(conf, GainMode::kConstant);
+        config.base.averaging_horizon = n;
+        return std::unique_ptr<Controller>(new HybridController(config));
+      };
+      Result<RepeatedRunSummary> summary =
+          RunRepeated(factory, *conf.profile, 10, OptionsFor(conf));
+      if (!summary.ok()) std::exit(1);
+      row.push_back(summary.value().NormalizedMean(gt.optimum_mean_ms));
+    }
+    table.AddNumericRow(conf.profile->name(), row, 3);
+  }
+  std::printf("%s", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace wsq::bench
+
+int main() {
+  wsq::bench::Run();
+  return 0;
+}

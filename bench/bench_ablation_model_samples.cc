@@ -1,0 +1,67 @@
+// Ablation: the identification sample budget. The paper fixes 6 sizes x
+// 1 measurement and notes single measurements are "very prone to
+// errors". Sweeps both the number of sizes and measurements per size;
+// more samples buy accuracy but push the decision later into the query.
+
+#include "bench/bench_util.h"
+
+namespace wsq::bench {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "Ablation: identification sample budget",
+      "model-based (best of quadratic/parabolic) normalized response "
+      "time vs sampling plan, 10 runs",
+      "6x1 (the paper's choice) is already decent; repeated measurements "
+      "help on noisy profiles until sampling time dominates");
+
+  struct Plan {
+    int sizes;
+    int per_size;
+  };
+  const Plan plans[] = {{4, 1}, {6, 1}, {6, 3}, {10, 1}, {10, 3}, {16, 2}};
+
+  std::vector<std::string> header = {"config"};
+  for (const Plan& plan : plans) {
+    header.push_back(std::to_string(plan.sizes) + "x" +
+                     std::to_string(plan.per_size));
+  }
+  TextTable table(header);
+
+  for (const ConfiguredProfile& conf : {Conf1_3(), Conf2_1(), Conf2_2()}) {
+    const GroundTruth gt = GroundTruthFor(conf);
+    std::vector<double> row;
+    for (const Plan& plan : plans) {
+      double best = 1e300;
+      for (IdentificationModel model : {IdentificationModel::kQuadratic,
+                                        IdentificationModel::kParabolic}) {
+        auto factory = [conf, plan, model]() {
+          ModelBasedConfig config = PaperModelBasedConfig();
+          config.model = model;
+          config.limits = conf.limits;
+          config.num_samples = plan.sizes;
+          config.samples_per_size = plan.per_size;
+          return std::unique_ptr<Controller>(
+              new ModelBasedController(config));
+        };
+        Result<RepeatedRunSummary> summary =
+            RunRepeated(factory, *conf.profile, 10, OptionsFor(conf));
+        if (!summary.ok()) std::exit(1);
+        best = std::min(best,
+                        summary.value().NormalizedMean(gt.optimum_mean_ms));
+      }
+      row.push_back(best);
+    }
+    table.AddNumericRow(conf.profile->name(), row, 3);
+  }
+  std::printf("%s", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace wsq::bench
+
+int main() {
+  wsq::bench::Run();
+  return 0;
+}

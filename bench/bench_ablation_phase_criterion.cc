@@ -1,0 +1,61 @@
+// Ablation: the phase-transition criterion parameters (n', s) of
+// Eq. (5), plus the Eq. (6) alternative. The paper fixes n'=5, s=1 and
+// reports Eq. (6) is 7.6-10% worse on conf1.2/conf1.3.
+
+#include "bench/bench_util.h"
+
+namespace wsq::bench {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "Ablation: phase-transition criterion",
+      "hybrid normalized response time for (n', s) combinations and for "
+      "the Eq. (6) window-means criterion, 10 runs",
+      "small n' switches early (risking premature freezing); large n' "
+      "wastes transient-free steps; Eq. (6) is slower to fire and "
+      "somewhat worse, as in the paper");
+
+  TextTable table({"config", "n'=3,s=1", "n'=5,s=1", "n'=7,s=1",
+                   "n'=9,s=3", "Eq.(6) n'=5"});
+  for (const ConfiguredProfile& conf : {Conf1_2(), Conf2_1(), Conf2_2()}) {
+    const GroundTruth gt = GroundTruthFor(conf);
+    std::vector<double> row;
+    struct Variant {
+      PhaseCriterion criterion;
+      int horizon;
+      int threshold;
+    };
+    const Variant variants[] = {
+        {PhaseCriterion::kSignSwitches, 3, 1},
+        {PhaseCriterion::kSignSwitches, 5, 1},
+        {PhaseCriterion::kSignSwitches, 7, 1},
+        {PhaseCriterion::kSignSwitches, 9, 3},
+        {PhaseCriterion::kWindowMeans, 5, 1},
+    };
+    for (const Variant& variant : variants) {
+      auto factory = [conf, variant]() {
+        HybridConfig config = PaperHybridConfig();
+        config.base = BaseFor(conf, GainMode::kConstant);
+        config.criterion = variant.criterion;
+        config.criterion_horizon = variant.horizon;
+        config.criterion_threshold = variant.threshold;
+        return std::unique_ptr<Controller>(new HybridController(config));
+      };
+      Result<RepeatedRunSummary> summary =
+          RunRepeated(factory, *conf.profile, 10, OptionsFor(conf));
+      if (!summary.ok()) std::exit(1);
+      row.push_back(summary.value().NormalizedMean(gt.optimum_mean_ms));
+    }
+    table.AddNumericRow(conf.profile->name(), row, 3);
+  }
+  std::printf("%s", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace wsq::bench
+
+int main() {
+  wsq::bench::Run();
+  return 0;
+}

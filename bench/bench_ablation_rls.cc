@@ -1,0 +1,54 @@
+// Ablation: the RLS forgetting factor of the self-tuning extension on a
+// long-lived query whose profile switches mid-run (the Fig. 8 scenario).
+// lambda = 1 never forgets (stale model after the switch); small lambda
+// chases noise.
+
+#include "bench/bench_util.h"
+
+namespace wsq::bench {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "Ablation: RLS forgetting factor",
+      "self-tuning (quadratic + hybrid continuation + RLS) total time on "
+      "a 300-step run switching conf1.1 -> conf2.2-shaped load and back, "
+      "6 runs; lower is better",
+      "lambda ~0.95-0.99 adapts; lambda=1 retains the stale pre-switch "
+      "model; very small lambda is noise-bound");
+
+  const ConfiguredProfile c11 = Conf1_1();
+  const ConfiguredProfile c22 = Conf2_2();
+  std::vector<const ResponseProfile*> schedule = {
+      c11.profile.get(), c22.profile.get(), c11.profile.get()};
+
+  TextTable table({"lambda", "mean total (s)", "sd (s)"});
+  for (double lambda : {1.0, 0.99, 0.95, 0.9, 0.7}) {
+    auto factory = [&, lambda]() {
+      SelfTuningConfig config;
+      config.identification = PaperModelBasedConfig();
+      config.controller = PaperHybridConfig();
+      config.continuation = Continuation::kHybrid;
+      config.enable_rls = true;
+      config.rls_forgetting = lambda;
+      config.rls_recenter_period = 20;
+      return std::unique_ptr<Controller>(new SelfTuningController(config));
+    };
+    Result<RepeatedRunSummary> summary = RunRepeatedSchedule(
+        factory, schedule, /*steps_per_profile=*/100, /*total_steps=*/300,
+        /*runs=*/6, OptionsFor(c11, 13));
+    if (!summary.ok()) std::exit(1);
+    table.AddRow({FormatDouble(lambda, 2),
+                  FormatDouble(summary.value().total_time_ms.mean() / 1000.0, 1),
+                  FormatDouble(summary.value().total_time_ms.stddev() / 1000.0, 1)});
+  }
+  std::printf("%s", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace wsq::bench
+
+int main() {
+  wsq::bench::Run();
+  return 0;
+}

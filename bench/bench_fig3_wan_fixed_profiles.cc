@@ -1,0 +1,67 @@
+// Reproduces paper Fig. 3: average response times (and stddev) of the
+// WAN configurations conf1.1 / conf1.2 / conf1.3 when the block size is
+// fixed — the sweeps that define the post-mortem ground truth for
+// Table I. Simulation path over the calibrated profiles, 10 runs per
+// point like the paper.
+
+#include "bench/bench_util.h"
+
+namespace wsq::bench {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "Figure 3",
+      "mean +- stddev response time (s) over 10 fixed-block-size runs, "
+      "WAN configurations, limits [100, 20000]",
+      "conf1.1: smooth, optimum at the upper limit; conf1.2: same optimum "
+      "but larger stddev; conf1.3: memory load adds local minima and "
+      "shifts the optimum slightly left");
+
+  const ConfiguredProfile confs[] = {Conf1_1(), Conf1_2(), Conf1_3()};
+
+  std::vector<std::string> header = {"block size"};
+  for (const auto& conf : confs) {
+    header.push_back(conf.profile->name() + " mean(s)");
+    header.push_back(conf.profile->name() + " sd(s)");
+  }
+  TextTable table(header);
+  CsvWriter csv(header);
+
+  std::vector<GroundTruth> truths;
+  for (const auto& conf : confs) {
+    truths.push_back(GroundTruthFor(conf, /*runs=*/10, /*grid_step=*/1000));
+  }
+
+  for (size_t point = 0; point < truths[0].sweep.size(); ++point) {
+    std::vector<std::string> row = {
+        std::to_string(truths[0].sweep[point].block_size)};
+    std::vector<double> csv_row = {
+        static_cast<double>(truths[0].sweep[point].block_size)};
+    for (const GroundTruth& gt : truths) {
+      row.push_back(FormatDouble(gt.sweep[point].mean_ms / 1000.0, 1));
+      row.push_back(FormatDouble(gt.sweep[point].stddev_ms / 1000.0, 1));
+      csv_row.push_back(gt.sweep[point].mean_ms);
+      csv_row.push_back(gt.sweep[point].stddev_ms);
+    }
+    table.AddRow(row);
+    csv.AddNumericRow(csv_row, 1);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  for (size_t i = 0; i < std::size(confs); ++i) {
+    std::printf("%s post-mortem optimum: %lld tuples (%.1f s)\n",
+                confs[i].profile->name().c_str(),
+                static_cast<long long>(truths[i].optimum_block_size),
+                truths[i].optimum_mean_ms / 1000.0);
+  }
+  MaybeDumpCsv(csv, "fig3_wan_fixed_profiles");
+}
+
+}  // namespace
+}  // namespace wsq::bench
+
+int main() {
+  wsq::bench::Run();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces paper Fig. 4(a)-(c): the average intra-query block-size
+// decisions of the constant-gain, adaptive-gain and hybrid controllers
+// on conf1.1, conf1.2 and conf1.3 (10 runs, paper parameters: b1=2000
+// — 1200 for conf1.2 —, b2=25, df=25, n=3, n'=5, s=1, x0=1000).
+
+#include "bench/bench_util.h"
+
+namespace wsq::bench {
+namespace {
+
+void Panel(const char* panel, const ConfiguredProfile& conf) {
+  struct Candidate {
+    const char* label;
+    ControllerFactoryFn factory;
+  };
+  const Candidate candidates[] = {
+      {"constant gain", SwitchingFactory(conf, GainMode::kConstant)},
+      {"adaptive gain", SwitchingFactory(conf, GainMode::kAdaptive)},
+      {"hybrid", HybridFactory(conf)},
+  };
+
+  std::printf("--- Fig. 4(%s): %s (b1=%.0f) ---\n", panel,
+              conf.profile->name().c_str(), conf.paper_b1);
+  CsvWriter csv({"step", "constant", "adaptive", "hybrid"});
+  std::vector<std::vector<double>> series;
+  for (const Candidate& candidate : candidates) {
+    Result<RepeatedRunSummary> summary = RunRepeated(
+        candidate.factory, *conf.profile, 10, OptionsFor(conf));
+    if (!summary.ok()) std::exit(1);
+    std::printf("%-14s (steps every 2): %s\n", candidate.label,
+                DecisionSeries(summary.value().mean_decision_per_step, 2)
+                    .c_str());
+    series.push_back(summary.value().mean_decision_per_step);
+  }
+  size_t len = series[0].size();
+  for (const auto& s : series) len = std::min(len, s.size());
+  for (size_t i = 0; i < len; ++i) {
+    csv.AddNumericRow({static_cast<double>(i), series[0][i], series[1][i],
+                       series[2][i]},
+                      0);
+  }
+  std::printf("\n");
+  MaybeDumpCsv(csv, std::string("fig4") + panel + "_decisions_" +
+                        conf.profile->name());
+}
+
+void Run() {
+  PrintHeader(
+      "Figure 4",
+      "average block-size decisions per adaptivity step, 10 runs, WAN "
+      "configurations",
+      "hybrid combines both: fewer oscillations than constant gain, "
+      "accuracy comparable to the best of the two; adaptive gain may "
+      "converge fast but stagnates (a) or oscillates/overshoots (b,c)");
+
+  Panel("a", Conf1_1());
+  Panel("b", Conf1_2());
+  Panel("c", Conf1_3());
+}
+
+}  // namespace
+}  // namespace wsq::bench
+
+int main() {
+  wsq::bench::Run();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces paper Fig. 5: the impact of b1 (800 / 1200 / 2000) on the
+// speed of convergence of a constant-gain extremum controller on
+// conf1.1, starting from a small block (1000 tuples) far below the
+// optimum.
+
+#include "bench/bench_util.h"
+
+namespace wsq::bench {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "Figure 5",
+      "average constant-gain decisions per adaptivity step on conf1.1 "
+      "for b1 in {800, 1200, 2000}, x0 = 1000",
+      "larger b1 converges visibly faster when the start is far from the "
+      "optimum; smaller b1 is better once near it");
+
+  const ConfiguredProfile conf = Conf1_1();
+  const double b1_values[] = {800.0, 1200.0, 2000.0};
+
+  CsvWriter csv({"step", "b1=800", "b1=1200", "b1=2000"});
+  std::vector<std::vector<double>> series;
+  std::printf("--- decisions (every 2 steps) ---\n");
+  for (double b1 : b1_values) {
+    Result<RepeatedRunSummary> summary =
+        RunRepeated(SwitchingFactory(conf, GainMode::kConstant, b1),
+                    *conf.profile, 10, OptionsFor(conf));
+    if (!summary.ok()) std::exit(1);
+    std::printf("b1=%-5.0f: %s\n", b1,
+                DecisionSeries(summary.value().mean_decision_per_step, 2)
+                    .c_str());
+    series.push_back(summary.value().mean_decision_per_step);
+  }
+
+  // Steps needed to first reach 60% of the optimum region (12K tuples).
+  std::printf("\nsteps to first reach 12000 tuples (mean trace):\n");
+  for (size_t i = 0; i < std::size(b1_values); ++i) {
+    size_t steps = series[i].size();
+    for (size_t s = 0; s < series[i].size(); ++s) {
+      if (series[i][s] >= 12000.0) {
+        steps = s;
+        break;
+      }
+    }
+    std::printf("  b1=%-5.0f -> %zu steps\n", b1_values[i], steps);
+  }
+
+  size_t len = series[0].size();
+  for (const auto& s : series) len = std::min(len, s.size());
+  for (size_t i = 0; i < len; ++i) {
+    csv.AddNumericRow(
+        {static_cast<double>(i), series[0][i], series[1][i], series[2][i]},
+        0);
+  }
+  MaybeDumpCsv(csv, "fig5_b1_convergence");
+}
+
+}  // namespace
+}  // namespace wsq::bench
+
+int main() {
+  wsq::bench::Run();
+  return 0;
+}

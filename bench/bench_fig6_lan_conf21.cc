@@ -1,0 +1,92 @@
+// Reproduces paper Fig. 6 (LAN, conf2.1 — 3 concurrent queries, upper
+// limit 7000, b1=1200):
+//   (a) average response times at fixed block sizes (12 runs),
+//   (b) decisions of the traditional controllers: constant gain with
+//       b1=800 and b1=1200, and adaptive gain (overshoot + instability),
+//   (c) decisions of the hybrid controller under the Eq. (5) vs Eq. (6)
+//       phase-transition criteria.
+
+#include "bench/bench_util.h"
+
+namespace wsq::bench {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "Figure 6",
+      "LAN conf2.1: fixed-size sweep (a), classic controller decisions "
+      "(b), hybrid criterion comparison (c)",
+      "(a) sharp bowl, optimum ~2.2K; (b) adaptive overshoots to the "
+      "upper limit, constant needs small b1; (c) hybrid stays near the "
+      "optimum, Eq.(5) no worse than Eq.(6)");
+
+  const ConfiguredProfile conf = Conf2_1();
+
+  // (a) fixed-size sweep, 12 runs like the paper.
+  const GroundTruth gt = GroundTruthFor(conf, /*runs=*/12, /*grid_step=*/500);
+  TextTable sweep({"block size", "mean (s)", "sd (s)"});
+  CsvWriter sweep_csv({"block_size", "mean_ms", "stddev_ms"});
+  for (const SweepPoint& point : gt.sweep) {
+    sweep.AddRow({std::to_string(point.block_size),
+                  FormatDouble(point.mean_ms / 1000.0, 1),
+                  FormatDouble(point.stddev_ms / 1000.0, 1)});
+    sweep_csv.AddNumericRow({static_cast<double>(point.block_size),
+                             point.mean_ms, point.stddev_ms},
+                            1);
+  }
+  std::printf("--- Fig. 6(a): fixed sizes ---\n%s", sweep.ToString().c_str());
+  std::printf("post-mortem optimum: %lld tuples\n\n",
+              static_cast<long long>(gt.optimum_block_size));
+  MaybeDumpCsv(sweep_csv, "fig6a_lan_conf21_sweep");
+
+  // (b) classic controllers.
+  struct Candidate {
+    const char* label;
+    ControllerFactoryFn factory;
+  };
+  const Candidate classic[] = {
+      {"constant, b1=800", SwitchingFactory(conf, GainMode::kConstant, 800.0)},
+      {"constant, b1=1200",
+       SwitchingFactory(conf, GainMode::kConstant, 1200.0)},
+      {"adaptive gain", SwitchingFactory(conf, GainMode::kAdaptive)},
+  };
+  std::printf("--- Fig. 6(b): classic controllers (decisions every 3 steps) ---\n");
+  for (const Candidate& candidate : classic) {
+    Result<RepeatedRunSummary> summary = RunRepeated(
+        candidate.factory, *conf.profile, 12, OptionsFor(conf));
+    if (!summary.ok()) std::exit(1);
+    std::printf("%-18s: %s\n", candidate.label,
+                DecisionSeries(summary.value().mean_decision_per_step, 3)
+                    .c_str());
+  }
+
+  // (c) hybrid criteria.
+  const Candidate hybrids[] = {
+      {"hybrid, Eq. (5)",
+       HybridFactory(conf, HybridFlavor::kNoSwitchBack,
+                     PhaseCriterion::kSignSwitches)},
+      {"hybrid, Eq. (6)",
+       HybridFactory(conf, HybridFlavor::kNoSwitchBack,
+                     PhaseCriterion::kWindowMeans)},
+  };
+  std::printf("\n--- Fig. 6(c): hybrid criteria (decisions every 3 steps) ---\n");
+  for (const Candidate& candidate : hybrids) {
+    Result<RepeatedRunSummary> summary = RunRepeated(
+        candidate.factory, *conf.profile, 12, OptionsFor(conf));
+    if (!summary.ok()) std::exit(1);
+    std::printf("%-18s: %s  (total %.1fs, normalized %.2f)\n",
+                candidate.label,
+                DecisionSeries(summary.value().mean_decision_per_step, 3)
+                    .c_str(),
+                summary.value().total_time_ms.mean() / 1000.0,
+                summary.value().NormalizedMean(gt.optimum_mean_ms));
+  }
+}
+
+}  // namespace
+}  // namespace wsq::bench
+
+int main() {
+  wsq::bench::Run();
+  return 0;
+}

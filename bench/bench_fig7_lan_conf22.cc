@@ -1,0 +1,77 @@
+// Reproduces paper Fig. 7 (LAN, conf2.2 — the Orders relation, 3x more
+// result tuples, loaded server, upper limit reset to 20000):
+//   (a) average response times at fixed block sizes,
+//   (b) decisions of constant gain, adaptive gain and hybrid — the
+//       setting where the hybrid's robustness is clearest.
+
+#include "bench/bench_util.h"
+
+namespace wsq::bench {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "Figure 7",
+      "LAN conf2.2 (Orders, 450K tuples, loaded server): fixed-size sweep "
+      "(a) and controller decisions (b)",
+      "optimum ~7.5K with many local minima; adaptive gain cannot track "
+      "the region; constant gain oscillates and converges slowly; hybrid "
+      "does neither");
+
+  const ConfiguredProfile conf = Conf2_2();
+
+  const GroundTruth gt = GroundTruthFor(conf, /*runs=*/10, /*grid_step=*/1000);
+  TextTable sweep({"block size", "mean (s)", "sd (s)"});
+  CsvWriter sweep_csv({"block_size", "mean_ms", "stddev_ms"});
+  for (const SweepPoint& point : gt.sweep) {
+    sweep.AddRow({std::to_string(point.block_size),
+                  FormatDouble(point.mean_ms / 1000.0, 1),
+                  FormatDouble(point.stddev_ms / 1000.0, 1)});
+    sweep_csv.AddNumericRow({static_cast<double>(point.block_size),
+                             point.mean_ms, point.stddev_ms},
+                            1);
+  }
+  std::printf("--- Fig. 7(a): fixed sizes ---\n%s", sweep.ToString().c_str());
+  std::printf("post-mortem optimum: %lld tuples\n\n",
+              static_cast<long long>(gt.optimum_block_size));
+  MaybeDumpCsv(sweep_csv, "fig7a_lan_conf22_sweep");
+
+  struct Candidate {
+    const char* label;
+    ControllerFactoryFn factory;
+  };
+  const Candidate candidates[] = {
+      {"constant gain", SwitchingFactory(conf, GainMode::kConstant)},
+      {"adaptive gain", SwitchingFactory(conf, GainMode::kAdaptive)},
+      {"hybrid", HybridFactory(conf)},
+  };
+  std::printf("--- Fig. 7(b): decisions (every 5 steps) ---\n");
+  CsvWriter csv({"step", "constant", "adaptive", "hybrid"});
+  std::vector<std::vector<double>> series;
+  for (const Candidate& candidate : candidates) {
+    Result<RepeatedRunSummary> summary = RunRepeated(
+        candidate.factory, *conf.profile, 10, OptionsFor(conf));
+    if (!summary.ok()) std::exit(1);
+    std::printf("%-14s: %s  (normalized %.2f)\n", candidate.label,
+                DecisionSeries(summary.value().mean_decision_per_step, 5)
+                    .c_str(),
+                summary.value().NormalizedMean(gt.optimum_mean_ms));
+    series.push_back(summary.value().mean_decision_per_step);
+  }
+  size_t len = series[0].size();
+  for (const auto& s : series) len = std::min(len, s.size());
+  for (size_t i = 0; i < len; ++i) {
+    csv.AddNumericRow({static_cast<double>(i), series[0][i], series[1][i],
+                       series[2][i]},
+                      0);
+  }
+  MaybeDumpCsv(csv, "fig7b_lan_conf22_decisions");
+}
+
+}  // namespace
+}  // namespace wsq::bench
+
+int main() {
+  wsq::bench::Run();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces paper Fig. 9: the behavior of the *enhanced* model-based
+// techniques on conf2.2 — the quadratic LS estimate (which misses the
+// global optimum there) used as the starting block size of a constant-,
+// adaptive-, or hybrid-gain controller.
+
+#include "bench/bench_util.h"
+
+namespace wsq::bench {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "Figure 9",
+      "decisions of model-based (quadratic) + {fixed, constant, adaptive, "
+      "hybrid} continuations on conf2.2 (optimum ~7.5K), 8 runs",
+      "plain model-based parks off-optimum; +adaptive gets stuck; "
+      "+constant reaches the global optimum but oscillates; +hybrid "
+      "reaches it and suppresses the oscillation");
+
+  const ConfiguredProfile conf = Conf2_2();
+  const GroundTruth gt = GroundTruthFor(conf, /*runs=*/8);
+
+  struct Candidate {
+    const char* label;
+    Continuation continuation;
+  };
+  const Candidate candidates[] = {
+      {"model based", Continuation::kFixed},
+      {"model based + constant gain", Continuation::kConstantGain},
+      {"model based + adaptive gain", Continuation::kAdaptiveGain},
+      {"model based + hybrid gain", Continuation::kHybrid},
+  };
+
+  CsvWriter csv({"step", "fixed", "constant", "adaptive", "hybrid"});
+  std::vector<std::vector<double>> series;
+  for (const Candidate& candidate : candidates) {
+    Result<RepeatedRunSummary> summary = RunRepeated(
+        SelfTuningFactory(conf, IdentificationModel::kQuadratic,
+                          candidate.continuation),
+        *conf.profile, 8, OptionsFor(conf));
+    if (!summary.ok()) std::exit(1);
+    std::printf("%-28s: %s\n  final size %.0f, normalized %.2f\n",
+                candidate.label,
+                DecisionSeries(summary.value().mean_decision_per_step, 5)
+                    .c_str(),
+                summary.value().final_block_size.mean(),
+                summary.value().NormalizedMean(gt.optimum_mean_ms));
+    series.push_back(summary.value().mean_decision_per_step);
+  }
+
+  size_t len = series[0].size();
+  for (const auto& s : series) len = std::min(len, s.size());
+  for (size_t i = 0; i < len; ++i) {
+    csv.AddNumericRow({static_cast<double>(i), series[0][i], series[1][i],
+                       series[2][i], series[3][i]},
+                      0);
+  }
+  MaybeDumpCsv(csv, "fig9_enhanced_model_based");
+}
+
+}  // namespace
+}  // namespace wsq::bench
+
+int main() {
+  wsq::bench::Run();
+  return 0;
+}

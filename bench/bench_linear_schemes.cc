@@ -1,0 +1,79 @@
+// Reproduces the paper's Section III-B discussion of linear control
+// schemes: the constant-gain switching controller is close to AIAD
+// (additive increase / additive decrease), and the MIMD alternative
+// (multiplicative increase / multiplicative decrease, Eq. 7, with scale
+// averaging) "behaves similarly to adaptive gain schemes in Fig. 4(a),
+// which is unacceptable". The paper omits the detailed figures for
+// space; this bench regenerates them.
+
+#include "bench/bench_util.h"
+
+namespace wsq::bench {
+namespace {
+
+ControllerFactoryFn MimdFactory(const ConfiguredProfile& conf,
+                                double factor) {
+  return [conf, factor]() {
+    MimdConfig config;
+    config.factor = factor;
+    config.limits = conf.limits;
+    config.initial_block_size = 1000;
+    return std::unique_ptr<Controller>(new MimdController(config));
+  };
+}
+
+void Run() {
+  PrintHeader(
+      "Linear schemes (Section III-B)",
+      "AIAD-style constant gain vs MIMD (Eq. 7) on the WAN and LAN "
+      "configurations, 10 runs",
+      "MIMD behaves like the adaptive-gain schemes of Fig. 4(a): it "
+      "stagnates on its geometric grid or thrashes; unlike the hybrid, "
+      "no single g value is robust across configurations");
+
+  TextTable table({"config", "AIAD (const)", "MIMD g=1.25", "MIMD g=1.5",
+                   "adaptive", "hybrid"});
+  for (const ConfiguredProfile& conf :
+       {Conf1_1(), Conf1_3(), Conf2_1(), Conf2_2()}) {
+    const GroundTruth gt = GroundTruthFor(conf);
+    const ControllerFactoryFn factories[] = {
+        SwitchingFactory(conf, GainMode::kConstant),
+        MimdFactory(conf, 1.25),
+        MimdFactory(conf, 1.5),
+        SwitchingFactory(conf, GainMode::kAdaptive),
+        HybridFactory(conf),
+    };
+    std::vector<double> row;
+    for (const ControllerFactoryFn& factory : factories) {
+      Result<RepeatedRunSummary> summary =
+          RunRepeated(factory, *conf.profile, 10, OptionsFor(conf));
+      if (!summary.ok()) std::exit(1);
+      row.push_back(summary.value().NormalizedMean(gt.optimum_mean_ms));
+    }
+    table.AddNumericRow(conf.profile->name(), row, 3);
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  // Decision traces on conf2.2 to show the failure mode.
+  const ConfiguredProfile conf = Conf2_2();
+  std::printf("\nconf2.2 decisions (every 5 steps):\n");
+  for (const auto& [label, factory] :
+       std::vector<std::pair<const char*, ControllerFactoryFn>>{
+           {"mimd g=1.25", MimdFactory(conf, 1.25)},
+           {"hybrid", HybridFactory(conf)}}) {
+    Result<RepeatedRunSummary> summary =
+        RunRepeated(factory, *conf.profile, 10, OptionsFor(conf));
+    if (!summary.ok()) std::exit(1);
+    std::printf("  %-12s: %s\n", label,
+                DecisionSeries(summary.value().mean_decision_per_step, 5)
+                    .c_str());
+  }
+}
+
+}  // namespace
+}  // namespace wsq::bench
+
+int main() {
+  wsq::bench::Run();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Microbenchmarks for controller decision latency. The paper's design
+// requires "a lightweight controller ... encapsulated in the client";
+// these numbers show one decision costs tens of nanoseconds — noise
+// against a multi-millisecond WS round trip.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace wsq::bench {
+namespace {
+
+void BM_FixedController(benchmark::State& state) {
+  FixedController controller(1000);
+  double y = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.NextBlockSize(y));
+    y += 0.001;
+  }
+}
+BENCHMARK(BM_FixedController);
+
+void BM_ConstantGain(benchmark::State& state) {
+  SwitchingConfig config = PaperSwitchingConfig();
+  SwitchingExtremumController controller(config);
+  double y = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.NextBlockSize(y));
+    y = y * 0.999 + 0.01;
+  }
+}
+BENCHMARK(BM_ConstantGain);
+
+void BM_AdaptiveGain(benchmark::State& state) {
+  SwitchingConfig config = PaperSwitchingConfig();
+  config.gain_mode = GainMode::kAdaptive;
+  SwitchingExtremumController controller(config);
+  double y = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.NextBlockSize(y));
+    y = y * 0.999 + 0.01;
+  }
+}
+BENCHMARK(BM_AdaptiveGain);
+
+void BM_Hybrid(benchmark::State& state) {
+  HybridController controller(PaperHybridConfig());
+  double y = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.NextBlockSize(y));
+    y = y * 0.999 + 0.01;
+  }
+}
+BENCHMARK(BM_Hybrid);
+
+void BM_Mimd(benchmark::State& state) {
+  MimdConfig config;
+  config.limits = {100, 20000};
+  MimdController controller(config);
+  double y = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.NextBlockSize(y));
+    y = y * 0.999 + 0.01;
+  }
+}
+BENCHMARK(BM_Mimd);
+
+void BM_ModelBasedSamplingPhase(benchmark::State& state) {
+  ModelBasedConfig config = PaperModelBasedConfig();
+  ModelBasedController controller(config);
+  double y = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.NextBlockSize(y));
+    y = y * 0.999 + 0.01;
+    if (controller.identification_complete()) {
+      state.PauseTiming();
+      controller.Reset();
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_ModelBasedSamplingPhase);
+
+void BM_SelfTuningWithRls(benchmark::State& state) {
+  SelfTuningConfig config;
+  config.identification = PaperModelBasedConfig();
+  config.controller = PaperHybridConfig();
+  config.enable_rls = true;
+  SelfTuningController controller(config);
+  double y = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.NextBlockSize(y));
+    y = y * 0.999 + 0.01;
+  }
+}
+BENCHMARK(BM_SelfTuningWithRls);
+
+}  // namespace
+}  // namespace wsq::bench

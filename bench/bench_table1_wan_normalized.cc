@@ -1,0 +1,62 @@
+// Reproduces paper Table I: normalized response times (1.0 = the
+// post-mortem optimum fixed block size) of the static 1000-tuple
+// baseline and the four adaptive techniques on conf1.1-conf1.3.
+
+#include "bench/bench_util.h"
+
+namespace wsq::bench {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "Table I",
+      "normalized response times, WAN configurations (10 runs each; 1.0 "
+      "= response time of the post-mortem optimum block size)",
+      "static 1000: 1.39-2.05; constant/adaptive near 1.0; hybrid "
+      "consistently lowest; hybrid-s (switch-back flavor) worse than "
+      "hybrid");
+
+  TextTable table({"config", "1000 tuples", "constant", "adaptive",
+                   "hybrid", "hybrid - s"});
+  CsvWriter csv({"config", "fixed1000", "constant", "adaptive", "hybrid",
+                 "hybrid_s"});
+
+  for (const ConfiguredProfile& conf : {Conf1_1(), Conf1_2(), Conf1_3()}) {
+    const GroundTruth gt = GroundTruthFor(conf, /*runs=*/10);
+
+    struct Candidate {
+      ControllerFactoryFn factory;
+    };
+    const ControllerFactoryFn factories[] = {
+        FixedFactory(1000),
+        SwitchingFactory(conf, GainMode::kConstant),
+        SwitchingFactory(conf, GainMode::kAdaptive),
+        HybridFactory(conf),
+        HybridFactory(conf, HybridFlavor::kSwitchBack),
+    };
+
+    std::vector<std::string> row = {conf.profile->name()};
+    std::vector<std::string> csv_row = {conf.profile->name()};
+    for (const ControllerFactoryFn& factory : factories) {
+      Result<RepeatedRunSummary> summary =
+          RunRepeated(factory, *conf.profile, 10, OptionsFor(conf));
+      if (!summary.ok()) std::exit(1);
+      const double normalized =
+          summary.value().NormalizedMean(gt.optimum_mean_ms);
+      row.push_back(FormatDouble(normalized, 2));
+      csv_row.push_back(FormatDouble(normalized, 4));
+    }
+    table.AddRow(row);
+    csv.AddRow(csv_row);
+  }
+  std::printf("%s", table.ToString().c_str());
+  MaybeDumpCsv(csv, "table1_wan_normalized");
+}
+
+}  // namespace
+}  // namespace wsq::bench
+
+int main() {
+  wsq::bench::Run();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Reproduces paper Table III: the average performance degradation (in %
+// over the post-mortem optimum) across all five experimental
+// configurations, for three static block sizes (1K / 10K / 20K), the
+// three switching controllers, and the best model-based technique per
+// configuration.
+
+#include "bench/bench_util.h"
+
+namespace wsq::bench {
+namespace {
+
+double DegradationPct(const ControllerFactoryFn& factory,
+                      const ConfiguredProfile& conf, double optimum_ms) {
+  Result<RepeatedRunSummary> summary =
+      RunRepeated(factory, *conf.profile, 10, OptionsFor(conf));
+  if (!summary.ok()) std::exit(1);
+  return (summary.value().NormalizedMean(optimum_ms) - 1.0) * 100.0;
+}
+
+void Run() {
+  PrintHeader(
+      "Table III",
+      "average performance degradation vs the post-mortem optimum, over "
+      "the five configurations conf1.1-conf2.2 (10 runs each)",
+      "paper: static 1K 53.3%, static 10K 81.5%, static 20K 226.8%, "
+      "constant 21.3%, adaptive 37.5%, hybrid 13.5%, best model 0.7% — "
+      "ordering: best model < hybrid < constant < adaptive << static");
+
+  const ConfiguredProfile confs[] = {Conf1_1(), Conf1_2(), Conf1_3(),
+                                     Conf2_1(), Conf2_2()};
+  const char* columns[] = {"static 1K", "static 10K", "static 20K",
+                           "const. gain", "adapt. gain", "hybrid",
+                           "best model"};
+  std::vector<double> totals(std::size(columns), 0.0);
+
+  TextTable per_config(
+      {"config", "static 1K", "static 10K", "static 20K", "const. gain",
+       "adapt. gain", "hybrid", "best model"});
+
+  for (const ConfiguredProfile& conf : confs) {
+    const GroundTruth gt = GroundTruthFor(conf, /*runs=*/10);
+    const double optimum = gt.optimum_mean_ms;
+
+    std::vector<double> row;
+    // Static sizes are NOT clamped to per-config limits: a fixed
+    // deployment choice knows nothing about the environment — that is
+    // exactly why the paper's static 20K column is catastrophic.
+    for (int64_t size : {int64_t{1000}, int64_t{10000}, int64_t{20000}}) {
+      row.push_back(DegradationPct(FixedFactory(size), conf, optimum));
+    }
+    row.push_back(DegradationPct(
+        SwitchingFactory(conf, GainMode::kConstant), conf, optimum));
+    row.push_back(DegradationPct(
+        SwitchingFactory(conf, GainMode::kAdaptive), conf, optimum));
+    row.push_back(DegradationPct(HybridFactory(conf), conf, optimum));
+
+    const double quad = DegradationPct(
+        ModelFactory(conf, IdentificationModel::kQuadratic), conf, optimum);
+    const double para = DegradationPct(
+        ModelFactory(conf, IdentificationModel::kParabolic), conf, optimum);
+    row.push_back(std::min(quad, para));
+
+    per_config.AddNumericRow(conf.profile->name(), row, 1);
+    for (size_t i = 0; i < row.size(); ++i) totals[i] += row[i];
+  }
+
+  std::printf("--- per configuration (degradation %%) ---\n%s\n",
+              per_config.ToString().c_str());
+
+  TextTable averages({"", "static 1K", "static 10K", "static 20K",
+                      "const. gain", "adapt. gain", "hybrid",
+                      "best model"});
+  std::vector<double> means;
+  CsvWriter csv({"column", "avg_degradation_pct"});
+  for (size_t i = 0; i < totals.size(); ++i) {
+    means.push_back(totals[i] / static_cast<double>(std::size(confs)));
+    csv.AddRow({columns[i], FormatDouble(means.back(), 2)});
+  }
+  averages.AddNumericRow("average", means, 1);
+  std::printf("--- average over the five configurations ---\n%s",
+              averages.ToString().c_str());
+  MaybeDumpCsv(csv, "table3_degradation");
+}
+
+}  // namespace
+}  // namespace wsq::bench
+
+int main() {
+  wsq::bench::Run();
+  return 0;
+}

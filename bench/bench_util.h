@@ -1,0 +1,139 @@
+#ifndef WSQ_BENCH_BENCH_UTIL_H_
+#define WSQ_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "wsq/api.h"
+
+namespace wsq::bench {
+
+/// Controllers configured for a library configuration, paper-style
+/// (b1 from the config, limits from the config, everything else the
+/// paper's standard parameters).
+inline SwitchingConfig BaseFor(const ConfiguredProfile& conf,
+                               GainMode mode, uint64_t seed = 42) {
+  SwitchingConfig config = PaperSwitchingConfig();
+  config.gain_mode = mode;
+  config.b1 = conf.paper_b1;
+  config.limits = conf.limits;
+  config.seed = seed;
+  return config;
+}
+
+inline ControllerFactoryFn FixedFactory(int64_t size) {
+  return [size]() {
+    return std::unique_ptr<Controller>(new FixedController(size));
+  };
+}
+
+inline ControllerFactoryFn SwitchingFactory(const ConfiguredProfile& conf,
+                                            GainMode mode,
+                                            double b1_override = 0.0) {
+  return [conf, mode, b1_override]() {
+    SwitchingConfig config = BaseFor(conf, mode);
+    if (b1_override > 0.0) config.b1 = b1_override;
+    return std::unique_ptr<Controller>(
+        new SwitchingExtremumController(config));
+  };
+}
+
+inline ControllerFactoryFn HybridFactory(
+    const ConfiguredProfile& conf,
+    HybridFlavor flavor = HybridFlavor::kNoSwitchBack,
+    PhaseCriterion criterion = PhaseCriterion::kSignSwitches,
+    int64_t reset_period = 0) {
+  return [conf, flavor, criterion, reset_period]() {
+    HybridConfig config = PaperHybridConfig();
+    config.base = BaseFor(conf, GainMode::kConstant);
+    config.flavor = flavor;
+    config.criterion = criterion;
+    config.reset_period = reset_period;
+    return std::unique_ptr<Controller>(new HybridController(config));
+  };
+}
+
+inline ControllerFactoryFn ModelFactory(const ConfiguredProfile& conf,
+                                        IdentificationModel model) {
+  return [conf, model]() {
+    ModelBasedConfig config = PaperModelBasedConfig();
+    config.model = model;
+    config.limits = conf.limits;
+    return std::unique_ptr<Controller>(new ModelBasedController(config));
+  };
+}
+
+inline ControllerFactoryFn SelfTuningFactory(const ConfiguredProfile& conf,
+                                             IdentificationModel model,
+                                             Continuation continuation) {
+  return [conf, model, continuation]() {
+    SelfTuningConfig config;
+    config.identification = PaperModelBasedConfig();
+    config.identification.model = model;
+    config.identification.limits = conf.limits;
+    config.continuation = continuation;
+    config.controller = PaperHybridConfig();
+    config.controller.base = BaseFor(conf, GainMode::kConstant);
+    return std::unique_ptr<Controller>(new SelfTuningController(config));
+  };
+}
+
+inline SimOptions OptionsFor(const ConfiguredProfile& conf,
+                             uint64_t seed = 11) {
+  SimOptions options;
+  options.noise_amplitude = conf.noise_amplitude;
+  options.seed = seed;
+  return options;
+}
+
+inline GroundTruth GroundTruthFor(const ConfiguredProfile& conf, int runs = 5,
+                                  int64_t grid_step = 500) {
+  Result<GroundTruth> gt = ComputeGroundTruth(
+      *conf.profile, conf.limits, grid_step, runs, OptionsFor(conf, 3));
+  if (!gt.ok()) {
+    std::fprintf(stderr, "ground truth failed: %s\n",
+                 gt.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(gt).value();
+}
+
+/// Prints a standard bench header.
+inline void PrintHeader(const std::string& id, const std::string& what,
+                        const std::string& paper_expectation) {
+  std::printf("==== %s ====\n%s\n", id.c_str(), what.c_str());
+  std::printf("paper expectation: %s\n\n", paper_expectation.c_str());
+}
+
+/// When WSQ_BENCH_CSV_DIR is set, writes `csv` to <dir>/<name>.csv so the
+/// series behind a figure can be plotted externally.
+inline void MaybeDumpCsv(const CsvWriter& csv, const std::string& name) {
+  const char* dir = std::getenv("WSQ_BENCH_CSV_DIR");
+  if (dir == nullptr) return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  Status status = csv.WriteToFile(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "csv dump failed: %s\n",
+                 status.ToString().c_str());
+  } else {
+    std::printf("(series dumped to %s)\n", path.c_str());
+  }
+}
+
+/// Renders mean decisions per adaptivity step as a compact series,
+/// sampling every `stride` steps.
+inline std::string DecisionSeries(const std::vector<double>& decisions,
+                                  size_t stride) {
+  std::string out;
+  for (size_t i = 0; i < decisions.size(); i += stride) {
+    if (!out.empty()) out += ' ';
+    out += FormatDouble(decisions[i], 0);
+  }
+  return out;
+}
+
+}  // namespace wsq::bench
+
+#endif  // WSQ_BENCH_BENCH_UTIL_H_

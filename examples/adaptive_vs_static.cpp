@@ -1,0 +1,76 @@
+// Scenario: a dashboard repeatedly pulls the Orders feed from a
+// WS-wrapped DBMS whose load changes during the day. A statically-tuned
+// block size that was perfect in the morning melts down in the evening;
+// the adaptive controllers ride through.
+//
+// This is the paper's motivation (Section II) as a runnable program:
+// each "time of day" is a different server-load regime, and we race the
+// static choices against constant/adaptive/hybrid extremum control on
+// the same environment.
+
+#include <cstdio>
+
+#include "wsq/api.h"
+
+int main() {
+  using namespace wsq;
+
+  const struct {
+    const char* label;
+    int queries;
+    double memory;
+  } regimes[] = {
+      {"morning (quiet)", 1, 0.0},
+      {"noon (2 concurrent queries)", 2, 0.0},
+      {"evening (3 queries + memory-hungry batch)", 3, 0.5},
+  };
+
+  TpchGenOptions gen;
+  gen.scale = 0.05;  // 22500 orders
+  Result<std::shared_ptr<Table>> orders = GenerateOrders(gen);
+  if (!orders.ok()) {
+    std::fprintf(stderr, "%s\n", orders.status().ToString().c_str());
+    return 1;
+  }
+
+  const char* controllers[] = {"fixed:500", "fixed:8000", "constant",
+                               "adaptive", "hybrid"};
+
+  TextTable table({"regime", "fixed:500", "fixed:8000", "constant",
+                   "adaptive", "hybrid"});
+
+  for (const auto& regime : regimes) {
+    std::vector<double> row;
+    for (const char* name : controllers) {
+      EmpiricalSetup setup;
+      setup.table = orders.value();
+      setup.query.table_name = "orders";
+      setup.link = Lan1Gbps();
+      setup.load.concurrent_queries = regime.queries;
+      setup.load.memory_pressure = regime.memory;
+      setup.seed = 31;
+
+      auto session = QuerySession::Create(setup);
+      if (!session.ok()) return 1;
+      auto controller = ControllerFactory::FromName(name);
+      if (!controller.ok()) return 1;
+      auto outcome = session.value()->Execute(controller.value().get());
+      if (!outcome.ok()) return 1;
+      row.push_back(outcome.value().total_time_ms / 1000.0);
+    }
+    table.AddNumericRow(regime.label, row, 2);
+  }
+
+  std::printf(
+      "Orders feed (%lld rows) under changing load — total seconds per "
+      "pull:\n\n%s\n",
+      static_cast<long long>(orders.value()->num_rows()),
+      table.ToString().c_str());
+  std::printf(
+      "Each fixed size is right for at most one regime — fixed:8000 melts\n"
+      "down in the evening. The adaptive controllers avoid the meltdown;\n"
+      "adaptive gain happens to start near the evening optimum here and\n"
+      "wins by stagnating, exactly the \"no clear winner in all cases\"\n"
+      "observation that motivates the hybrid scheme.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+#ifndef WSQ_API_H_
+#define WSQ_API_H_
+
+/// Umbrella header for the wsq library — everything a downstream user
+/// needs to run adaptive block-size-controlled queries over (simulated)
+/// web services:
+///
+///  * controllers (wsq/control): fixed, constant/adaptive switching
+///    extremum, hybrid, MIMD, model-based, self-tuning;
+///  * the full simulated WS stack (relation + soap + netsim + server +
+///    client) for end-to-end "empirical" runs;
+///  * the profile-driven simulation engine (wsq/sim) for controlled
+///    experiments.
+///
+/// See examples/quickstart.cc for the 30-line tour.
+
+#include "wsq/client/block_fetcher.h"
+#include "wsq/client/block_shipper.h"
+#include "wsq/client/query_session.h"
+#include "wsq/client/ws_client.h"
+#include "wsq/common/clock.h"
+#include "wsq/common/csv_writer.h"
+#include "wsq/common/logging.h"
+#include "wsq/common/random.h"
+#include "wsq/common/status.h"
+#include "wsq/common/text_table.h"
+#include "wsq/control/controller.h"
+#include "wsq/control/controller_factory.h"
+#include "wsq/control/fixed_controller.h"
+#include "wsq/control/hybrid_controller.h"
+#include "wsq/control/mimd_controller.h"
+#include "wsq/control/model_based_controller.h"
+#include "wsq/control/self_tuning_controller.h"
+#include "wsq/control/switching_controller.h"
+#include "wsq/eventsim/event_sim.h"
+#include "wsq/eventsim/ps_server.h"
+#include "wsq/linalg/least_squares.h"
+#include "wsq/linalg/matrix.h"
+#include "wsq/linalg/rls.h"
+#include "wsq/netsim/link_model.h"
+#include "wsq/netsim/presets.h"
+#include "wsq/relation/predicate.h"
+#include "wsq/relation/query.h"
+#include "wsq/relation/schema.h"
+#include "wsq/relation/table.h"
+#include "wsq/relation/tpch_gen.h"
+#include "wsq/relation/tuple.h"
+#include "wsq/relation/tuple_serializer.h"
+#include "wsq/server/container.h"
+#include "wsq/server/data_service.h"
+#include "wsq/server/dbms.h"
+#include "wsq/server/load_model.h"
+#include "wsq/server/processing_service.h"
+#include "wsq/server/service.h"
+#include "wsq/sim/experiment.h"
+#include "wsq/sim/ground_truth.h"
+#include "wsq/sim/profile.h"
+#include "wsq/sim/profile_io.h"
+#include "wsq/sim/profile_library.h"
+#include "wsq/sim/sim_engine.h"
+#include "wsq/soap/envelope.h"
+#include "wsq/soap/message.h"
+#include "wsq/soap/xml.h"
+#include "wsq/stats/moving_window.h"
+#include "wsq/stats/running_stats.h"
+#include "wsq/stats/summary.h"
+
+#endif  // WSQ_API_H_

@@ -1,0 +1,106 @@
+#include "wsq/client/block_fetcher.h"
+
+#include <algorithm>
+
+#include "wsq/relation/tuple_serializer.h"
+#include "wsq/soap/envelope.h"
+#include "wsq/soap/message.h"
+
+namespace wsq {
+
+Result<CallResult> BlockFetcher::CallWithRetry(const std::string& document,
+                                               FetchOutcome* outcome) {
+  Result<CallResult> call = client_->Call(document);
+  int attempts = 0;
+  while (!call.ok() && call.status().code() == StatusCode::kUnavailable &&
+         attempts < max_retries_per_call_) {
+    // A timed-out exchange costs its timeout; the accounting lands on
+    // the total (retries are dead time, not a property of the block
+    // size the controller is probing).
+    outcome->total_time_ms += client_->link().config().timeout_ms;
+    ++outcome->retries;
+    ++attempts;
+    call = client_->Call(document);
+  }
+  return call;
+}
+
+Result<FetchOutcome> BlockFetcher::Run(const ScanProjectQuery& query,
+                                       const TupleSerializer* serializer,
+                                       std::vector<Tuple>* keep_tuples) {
+  FetchOutcome outcome;
+
+  // Open the session.
+  OpenSessionRequest open;
+  open.table = query.table_name;
+  open.columns = query.projected_columns;
+  open.filter = query.filter;
+  Result<CallResult> open_call =
+      CallWithRetry(EncodeOpenSession(open), &outcome);
+  if (!open_call.ok()) return open_call.status();
+  Result<XmlNode> open_payload = ParseEnvelope(open_call.value().response);
+  if (!open_payload.ok()) return open_payload.status();
+  Result<OpenSessionResponse> opened =
+      DecodeOpenSessionResponse(open_payload.value());
+  if (!opened.ok()) return opened.status();
+  const int64_t session_id = opened.value().session_id;
+
+  int64_t block_size = controller_->initial_block_size();
+
+  while (true) {
+    RequestBlockRequest request;
+    request.session_id = session_id;
+    request.block_size = block_size;
+
+    // t1 .. t2 around the call (Algorithm 1); the simulated clock makes
+    // elapsed_ms exactly the charged time.
+    Result<CallResult> call =
+        CallWithRetry(EncodeRequestBlock(request), &outcome);
+    if (!call.ok()) return call.status();
+    Result<XmlNode> payload = ParseEnvelope(call.value().response);
+    if (!payload.ok()) return payload.status();
+    Result<BlockResponse> block = DecodeBlockResponse(payload.value());
+    if (!block.ok()) return block.status();
+
+    BlockTrace trace;
+    trace.block_index = outcome.total_blocks;
+    trace.requested_size = block_size;
+    trace.received_tuples = block.value().num_tuples;
+    trace.response_time_ms = call.value().elapsed_ms;
+
+    outcome.total_tuples += block.value().num_tuples;
+    outcome.total_blocks += 1;
+    outcome.total_time_ms += call.value().elapsed_ms;
+
+    if (serializer != nullptr && keep_tuples != nullptr &&
+        !block.value().payload.empty()) {
+      Result<std::vector<Tuple>> tuples =
+          serializer->DeserializeBlock(block.value().payload);
+      if (!tuples.ok()) return tuples.status();
+      for (Tuple& tuple : tuples.value()) {
+        keep_tuples->push_back(std::move(tuple));
+      }
+    }
+
+    // Controllers consume the per-tuple cost so measurements at
+    // different block sizes are comparable (see Controller::NextBlockSize).
+    const double tuples = static_cast<double>(
+        std::max<int64_t>(block.value().num_tuples, 1));
+    block_size = controller_->NextBlockSize(call.value().elapsed_ms / tuples);
+    trace.adaptivity_steps = controller_->adaptivity_steps();
+    outcome.trace.push_back(trace);
+
+    if (block.value().end_of_results) break;
+  }
+
+  // Close the session.
+  CloseSessionRequest close;
+  close.session_id = session_id;
+  Result<CallResult> close_call =
+      CallWithRetry(EncodeCloseSession(close), &outcome);
+  if (!close_call.ok()) return close_call.status();
+
+  return outcome;
+}
+
+}  // namespace wsq

@@ -1,0 +1,81 @@
+#ifndef WSQ_CLIENT_BLOCK_FETCHER_H_
+#define WSQ_CLIENT_BLOCK_FETCHER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wsq/client/ws_client.h"
+#include "wsq/common/status.h"
+#include "wsq/control/controller.h"
+#include "wsq/relation/query.h"
+#include "wsq/relation/tuple.h"
+
+namespace wsq {
+
+/// Per-block record of the fetch loop, the raw material every figure is
+/// drawn from.
+struct BlockTrace {
+  int64_t block_index = 0;
+  int64_t requested_size = 0;
+  int64_t received_tuples = 0;
+  double response_time_ms = 0.0;
+  /// Controller adaptivity steps completed *after* this block was folded
+  /// in (lets analysis group blocks by adaptivity step).
+  int64_t adaptivity_steps = 0;
+};
+
+/// Result of draining one query through the fetch loop.
+struct FetchOutcome {
+  int64_t total_tuples = 0;
+  int64_t total_blocks = 0;
+  /// End-to-end response time: sum of all per-block times (the client is
+  /// otherwise idle — pure pull mode). Includes retry timeouts.
+  double total_time_ms = 0.0;
+  /// Calls retried after a simulated link timeout.
+  int64_t retries = 0;
+  std::vector<BlockTrace> trace;
+};
+
+/// The paper's Algorithm 1 verbatim: open a session, repeatedly pull
+/// blocks whose size the controller picks from the previous block's
+/// response time, close the session.
+///
+///   blockSize = initialBlockSize
+///   while !end-of-results:
+///     t1 = timestamp(); ws.RequestNewBlock(blockSize); t2 = timestamp()
+///     blockSize = Controller.computeNewSize(t2 - t1)
+class BlockFetcher {
+ public:
+  /// `client` and `controller` must outlive the fetcher.
+  /// `max_retries_per_call` bounds how often a timed-out exchange
+  /// (StatusCode::kUnavailable) is re-issued before the whole fetch
+  /// fails; SOAP faults are never retried (they are deterministic).
+  BlockFetcher(WsClient* client, Controller* controller,
+               int max_retries_per_call = 2)
+      : client_(client),
+        controller_(controller),
+        max_retries_per_call_(max_retries_per_call) {}
+
+  /// Runs the full fetch loop for `query`. When both `serializer` (built
+  /// over the projected output schema) and `keep_tuples` are non-null,
+  /// every result tuple is deserialized and appended to `keep_tuples`
+  /// (examples want the data; benches only want the trace).
+  Result<FetchOutcome> Run(const ScanProjectQuery& query,
+                           const class TupleSerializer* serializer = nullptr,
+                           std::vector<Tuple>* keep_tuples = nullptr);
+
+ private:
+  /// Issues `document`, retrying on kUnavailable up to the budget;
+  /// accumulates retry count into `outcome`.
+  Result<CallResult> CallWithRetry(const std::string& document,
+                                   FetchOutcome* outcome);
+
+  WsClient* client_;
+  Controller* controller_;
+  int max_retries_per_call_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_CLIENT_BLOCK_FETCHER_H_

@@ -1,0 +1,104 @@
+#include "wsq/client/block_shipper.h"
+
+#include <algorithm>
+
+#include "wsq/soap/envelope.h"
+#include "wsq/soap/message.h"
+
+namespace wsq {
+
+Result<CallResult> BlockShipper::CallWithRetry(const std::string& document,
+                                               FetchOutcome* outcome) {
+  Result<CallResult> call = client_->Call(document);
+  int attempts = 0;
+  while (!call.ok() && call.status().code() == StatusCode::kUnavailable &&
+         attempts < max_retries_per_call_) {
+    outcome->total_time_ms += client_->link().config().timeout_ms;
+    ++outcome->retries;
+    ++attempts;
+    call = client_->Call(document);
+  }
+  return call;
+}
+
+Result<FetchOutcome> BlockShipper::Run(const Table& input,
+                                       const std::string& function_name,
+                                       const Schema& input_schema,
+                                       const Schema& output_schema,
+                                       std::vector<Tuple>* keep_results) {
+  if (!input.schema().Equals(input_schema)) {
+    return Status::InvalidArgument(
+        "input table schema does not match the function's input schema");
+  }
+  TupleSerializer input_serializer(input_schema);
+  TupleSerializer output_serializer(output_schema);
+
+  FetchOutcome outcome;
+  int64_t block_size = controller_->initial_block_size();
+  size_t position = 0;
+  int64_t sequence = 0;
+
+  while (position < input.num_rows()) {
+    const size_t take = std::min<size_t>(
+        static_cast<size_t>(std::max<int64_t>(block_size, 1)),
+        input.num_rows() - position);
+    std::vector<Tuple> block(input.rows().begin() + position,
+                             input.rows().begin() + position + take);
+
+    Result<std::string> payload = input_serializer.SerializeBlock(block);
+    if (!payload.ok()) return payload.status();
+
+    ProcessBlockRequest request;
+    request.function = function_name;
+    request.sequence = sequence++;
+    request.num_tuples = static_cast<int64_t>(take);
+    request.payload = std::move(payload).value();
+
+    Result<CallResult> call =
+        CallWithRetry(EncodeProcessBlock(request), &outcome);
+    if (!call.ok()) return call.status();
+
+    Result<XmlNode> response_payload = ParseEnvelope(call.value().response);
+    if (!response_payload.ok()) return response_payload.status();
+    Result<ProcessBlockResponse> response =
+        DecodeProcessBlockResponse(response_payload.value());
+    if (!response.ok()) return response.status();
+    if (response.value().sequence != sequence - 1) {
+      return Status::Internal("processing response out of sequence");
+    }
+    if (response.value().num_tuples != static_cast<int64_t>(take)) {
+      return Status::Internal(
+          "processing function returned a different tuple count");
+    }
+
+    if (keep_results != nullptr) {
+      Result<std::vector<Tuple>> results =
+          output_serializer.DeserializeBlock(response.value().payload);
+      if (!results.ok()) return results.status();
+      for (Tuple& tuple : results.value()) {
+        keep_results->push_back(std::move(tuple));
+      }
+    }
+
+    BlockTrace trace;
+    trace.block_index = outcome.total_blocks;
+    trace.requested_size = block_size;
+    trace.received_tuples = response.value().num_tuples;
+    trace.response_time_ms = call.value().elapsed_ms;
+
+    outcome.total_tuples += response.value().num_tuples;
+    outcome.total_blocks += 1;
+    outcome.total_time_ms += call.value().elapsed_ms;
+    position += take;
+
+    // Same metric contract as the pull loop: per-tuple cost.
+    const double tuples =
+        static_cast<double>(std::max<int64_t>(response.value().num_tuples, 1));
+    block_size = controller_->NextBlockSize(call.value().elapsed_ms / tuples);
+    trace.adaptivity_steps = controller_->adaptivity_steps();
+    outcome.trace.push_back(trace);
+  }
+  return outcome;
+}
+
+}  // namespace wsq

@@ -1,0 +1,58 @@
+#ifndef WSQ_CLIENT_BLOCK_SHIPPER_H_
+#define WSQ_CLIENT_BLOCK_SHIPPER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wsq/client/block_fetcher.h"
+#include "wsq/client/ws_client.h"
+#include "wsq/common/status.h"
+#include "wsq/control/controller.h"
+#include "wsq/relation/table.h"
+#include "wsq/relation/tuple_serializer.h"
+
+namespace wsq {
+
+/// The push-direction dual of BlockFetcher: ships a local relation to a
+/// remote processing function in blocks whose size the controller
+/// chooses from each call's measured cost (paper Algorithm 1 applied to
+/// "submitting calls to a WS to perform data processing").
+///
+/// Shares the FetchOutcome/BlockTrace shapes with the pull direction so
+/// the same analysis and experiment code applies to both.
+class BlockShipper {
+ public:
+  /// `client` and `controller` must outlive the shipper. Retries follow
+  /// the same policy as BlockFetcher; ProcessBlock calls are safe to
+  /// retry because drops are request-losses and the service is
+  /// stateless per call.
+  BlockShipper(WsClient* client, Controller* controller,
+               int max_retries_per_call = 2)
+      : client_(client),
+        controller_(controller),
+        max_retries_per_call_(max_retries_per_call) {}
+
+  /// Ships every row of `input` through remote function `function_name`
+  /// (whose input schema must match the table's). `input_schema` /
+  /// `output_schema` describe the function contract as published by the
+  /// service. When `keep_results` is non-null, the processed tuples are
+  /// collected in order.
+  Result<FetchOutcome> Run(const Table& input,
+                           const std::string& function_name,
+                           const Schema& input_schema,
+                           const Schema& output_schema,
+                           std::vector<Tuple>* keep_results = nullptr);
+
+ private:
+  Result<CallResult> CallWithRetry(const std::string& document,
+                                   FetchOutcome* outcome);
+
+  WsClient* client_;
+  Controller* controller_;
+  int max_retries_per_call_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_CLIENT_BLOCK_SHIPPER_H_

@@ -1,0 +1,73 @@
+#ifndef WSQ_CLIENT_QUERY_SESSION_H_
+#define WSQ_CLIENT_QUERY_SESSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "wsq/client/block_fetcher.h"
+#include "wsq/client/ws_client.h"
+#include "wsq/common/clock.h"
+#include "wsq/common/status.h"
+#include "wsq/control/controller.h"
+#include "wsq/netsim/link_model.h"
+#include "wsq/relation/table.h"
+#include "wsq/server/container.h"
+#include "wsq/server/data_service.h"
+#include "wsq/server/dbms.h"
+#include "wsq/server/load_model.h"
+
+namespace wsq {
+
+/// Everything needed to stand up the full simulated stack for one
+/// "empirical" experiment: data + query + network path + server load.
+struct EmpiricalSetup {
+  std::shared_ptr<Table> table;
+  ScanProjectQuery query;
+  LinkConfig link;
+  LoadModelConfig load;
+  uint64_t seed = 1;
+};
+
+/// Owns the whole client/server stack — DBMS, data service, container,
+/// simulated link and clock — and executes queries end to end through
+/// the real SOAP path. This is the C++ analogue of the paper's physical
+/// testbed (OGSA-DAI on Tomcat + MySQL, client on PlanetLab): the
+/// controller under test only ever sees per-block response times.
+class QuerySession {
+ public:
+  /// Fails when the setup is inconsistent (null table, invalid link or
+  /// load parameters).
+  static Result<std::unique_ptr<QuerySession>> Create(EmpiricalSetup setup);
+
+  QuerySession(const QuerySession&) = delete;
+  QuerySession& operator=(const QuerySession&) = delete;
+
+  /// Drains the configured query once under `controller`. When
+  /// `keep_tuples` is non-null the result rows are returned too.
+  Result<FetchOutcome> Execute(Controller* controller,
+                               std::vector<Tuple>* keep_tuples = nullptr);
+
+  /// Live access for mid-run load changes (e.g. a concurrent query
+  /// arriving between two Execute calls).
+  ServiceContainer& container() { return *container_; }
+  const SimClock& clock() const { return clock_; }
+  const Schema& output_schema() const { return *output_schema_; }
+
+ private:
+  explicit QuerySession(EmpiricalSetup setup);
+
+  Status Init();
+
+  EmpiricalSetup setup_;
+  SimClock clock_;
+  Dbms dbms_;
+  std::unique_ptr<DataService> service_;
+  std::unique_ptr<ServiceContainer> container_;
+  std::unique_ptr<WsClient> client_;
+  std::unique_ptr<Schema> output_schema_;
+  std::unique_ptr<TupleSerializer> serializer_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_CLIENT_QUERY_SESSION_H_

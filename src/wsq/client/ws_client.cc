@@ -1,0 +1,44 @@
+#include "wsq/client/ws_client.h"
+
+#include "wsq/soap/envelope.h"
+
+namespace wsq {
+
+WsClient::WsClient(ServiceContainer* container, const LinkConfig& link,
+                   SimClock* clock, uint64_t seed)
+    : container_(container), link_(link), clock_(clock), rng_(seed) {}
+
+Result<CallResult> WsClient::Call(const std::string& request_document) {
+  ++calls_made_;
+
+  // Failure injection: the request is lost on the wire before reaching
+  // the container (request-loss, not response-loss, so a retry never
+  // skips server-side cursor state). The client pays the timeout.
+  if (link_.ExchangeDropped(rng_)) {
+    ++calls_dropped_;
+    clock_->AdvanceMillis(link_.config().timeout_ms);
+    return Status::Unavailable("request timed out on the simulated link");
+  }
+
+  DispatchResult dispatched = container_->Dispatch(request_document);
+
+  const double wire_ms = link_.ExchangeTimeMs(
+      request_document.size(), dispatched.response.size(), rng_);
+  const double elapsed_ms = wire_ms + dispatched.service_time_ms;
+  clock_->AdvanceMillis(elapsed_ms);
+
+  if (dispatched.is_fault) {
+    // Surface the fault text; time was already charged.
+    Result<XmlNode> payload = ParseEnvelope(dispatched.response);
+    return payload.ok()
+               ? Status::RemoteFault("service returned an unparsed fault")
+               : payload.status();
+  }
+
+  CallResult result;
+  result.response = std::move(dispatched.response);
+  result.elapsed_ms = elapsed_ms;
+  return result;
+}
+
+}  // namespace wsq

@@ -1,0 +1,59 @@
+#ifndef WSQ_CLIENT_WS_CLIENT_H_
+#define WSQ_CLIENT_WS_CLIENT_H_
+
+#include <string>
+
+#include "wsq/common/clock.h"
+#include "wsq/common/random.h"
+#include "wsq/common/status.h"
+#include "wsq/netsim/link_model.h"
+#include "wsq/server/container.h"
+
+namespace wsq {
+
+/// One completed SOAP call as observed from the client side.
+struct CallResult {
+  std::string response;
+  /// Wall time the call took as measured by the client's clock —
+  /// request serialization is free, everything else (wire + server) is
+  /// simulated.
+  double elapsed_ms = 0.0;
+};
+
+/// The client-side web service stub: ships a request document over the
+/// simulated link to the container, charges the simulated clock for
+/// wire time + server residence time, and hands back the response.
+///
+/// This is the component the paper's Algorithm 1 calls
+/// `WebService.requestNewBlock` on; it deliberately knows nothing about
+/// block sizes or controllers.
+class WsClient {
+ public:
+  /// All pointers must outlive the client. `clock` is advanced on every
+  /// call; `seed` feeds the client's jitter stream.
+  WsClient(ServiceContainer* container, const LinkConfig& link,
+           SimClock* clock, uint64_t seed);
+
+  /// Performs one request/response exchange. Returns kRemoteFault when
+  /// the service answered with a SOAP fault, and kUnavailable when the
+  /// link dropped the request (failure injection) — in both cases the
+  /// elapsed time is still charged to the clock; faults and timeouts
+  /// cost real time too.
+  Result<CallResult> Call(const std::string& request_document);
+
+  LinkModel& link() { return link_; }
+  int64_t calls_made() const { return calls_made_; }
+  int64_t calls_dropped() const { return calls_dropped_; }
+
+ private:
+  ServiceContainer* container_;
+  LinkModel link_;
+  SimClock* clock_;
+  Random rng_;
+  int64_t calls_made_ = 0;
+  int64_t calls_dropped_ = 0;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_CLIENT_WS_CLIENT_H_

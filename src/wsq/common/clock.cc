@@ -1,0 +1,24 @@
+#include "wsq/common/clock.h"
+
+#include <chrono>
+#include <cmath>
+
+namespace wsq {
+
+void SimClock::AdvanceMicros(int64_t delta) {
+  if (delta > 0) now_micros_ += delta;
+}
+
+void SimClock::AdvanceMillis(double delta_millis) {
+  if (delta_millis > 0) {
+    now_micros_ += static_cast<int64_t>(std::llround(delta_millis * 1000.0));
+  }
+}
+
+int64_t WallClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace wsq

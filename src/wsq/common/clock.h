@@ -1,0 +1,49 @@
+#ifndef WSQ_COMMON_CLOCK_H_
+#define WSQ_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace wsq {
+
+/// Abstract time source. The client-side control loop (paper Algorithm 1)
+/// timestamps each block request; in the simulated environment those
+/// timestamps come from a SimClock advanced by the network/server models,
+/// while unit tests and examples may use WallClock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds since an arbitrary epoch.
+  virtual int64_t NowMicros() const = 0;
+};
+
+/// Deterministic, manually advanced clock for simulation. All simulated
+/// costs (network transfer, server processing, client parsing) are
+/// converted to microseconds and pushed through Advance().
+class SimClock final : public Clock {
+ public:
+  SimClock() = default;
+  explicit SimClock(int64_t start_micros) : now_micros_(start_micros) {}
+
+  int64_t NowMicros() const override { return now_micros_; }
+
+  /// Moves time forward; negative deltas are ignored (time never goes
+  /// backwards, even if a cost model misbehaves).
+  void AdvanceMicros(int64_t delta);
+
+  /// Convenience for models that compute costs in fractional milliseconds.
+  void AdvanceMillis(double delta_millis);
+
+ private:
+  int64_t now_micros_ = 0;
+};
+
+/// Real time, for examples that want actual elapsed durations.
+class WallClock final : public Clock {
+ public:
+  int64_t NowMicros() const override;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_COMMON_CLOCK_H_

@@ -1,0 +1,72 @@
+#include "wsq/common/csv_writer.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "wsq/common/text_table.h"
+
+namespace wsq {
+namespace {
+
+bool NeedsQuoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteCell(const std::string& cell) {
+  if (!NeedsQuoting(cell)) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void EmitRow(std::ostringstream& out, const std::vector<std::string>& row) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out << ',';
+    out << QuoteCell(row[i]);
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::AddRow(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+void CsvWriter::AddNumericRow(const std::vector<double>& values,
+                              int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size());
+  for (double v : values) row.push_back(FormatDouble(v, precision));
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::ToString() const {
+  std::ostringstream out;
+  EmitRow(out, header_);
+  for (const auto& row : rows_) EmitRow(out, row);
+  return out.str();
+}
+
+Status CsvWriter::WriteToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open file for writing: " + path);
+  }
+  const std::string data = ToString();
+  size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (written != data.size()) {
+    return Status::Unavailable("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace wsq

@@ -1,0 +1,37 @@
+#ifndef WSQ_COMMON_CSV_WRITER_H_
+#define WSQ_COMMON_CSV_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "wsq/common/status.h"
+
+namespace wsq {
+
+/// Accumulates rows and writes RFC-4180-ish CSV, used by bench binaries to
+/// optionally dump the series behind each figure for external plotting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void AddRow(const std::vector<std::string>& cells);
+  void AddNumericRow(const std::vector<double>& values, int precision = 6);
+
+  /// Serializes header + rows; cells containing commas, quotes or newlines
+  /// are quoted with doubled inner quotes.
+  std::string ToString() const;
+
+  /// Writes ToString() to `path`, overwriting. Returns kUnavailable when
+  /// the file cannot be opened.
+  Status WriteToFile(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_COMMON_CSV_WRITER_H_

@@ -1,0 +1,54 @@
+#ifndef WSQ_COMMON_LOGGING_H_
+#define WSQ_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace wsq {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Process-wide log threshold; messages below it are dropped. Defaults to
+/// kWarning so that library internals stay quiet in benchmarks.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style message collector; emits to stderr on destruction when the
+/// level passes the threshold.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define WSQ_LOG(level)                                                     \
+  ::wsq::internal_logging::LogMessage(::wsq::LogLevel::level, __FILE__, \
+                                      __LINE__)
+
+}  // namespace wsq
+
+#endif  // WSQ_COMMON_LOGGING_H_

@@ -1,0 +1,152 @@
+#ifndef WSQ_COMMON_STATUS_H_
+#define WSQ_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace wsq {
+
+/// Error categories used across the library. Modeled after the
+/// absl::Status / rocksdb::Status idiom: hot paths never throw; fallible
+/// operations return a Status (or Result<T>) that callers must consult.
+enum class StatusCode {
+  kOk = 0,
+  /// A caller-supplied argument is outside the documented domain.
+  kInvalidArgument,
+  /// A named entity (table, session, element) does not exist.
+  kNotFound,
+  /// An index or cursor moved past its valid range.
+  kOutOfRange,
+  /// The operation requires state the object is not in (e.g. fetching
+  /// from a closed session).
+  kFailedPrecondition,
+  /// An invariant inside the library broke; indicates a bug.
+  kInternal,
+  /// A transient environment failure (e.g. simulated network drop).
+  kUnavailable,
+  /// A SOAP fault was returned by the remote service.
+  kRemoteFault,
+};
+
+/// Returns the canonical lowercase name of `code` (e.g. "invalid_argument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// Value-semantic error carrier. An ok Status stores no message and is
+/// cheap to copy. Non-ok Statuses carry a human-readable message that is
+/// meant for logs, not for programmatic dispatch (dispatch on code()).
+class Status {
+ public:
+  /// Constructs an ok status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(StatusCode::kOutOfRange, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(StatusCode::kFailedPrecondition, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(StatusCode::kInternal, msg);
+  }
+  static Status Unavailable(std::string_view msg) {
+    return Status(StatusCode::kUnavailable, msg);
+  }
+  static Status RemoteFault(std::string_view msg) {
+    return Status(StatusCode::kRemoteFault, msg);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "code: message" for logs; "ok" for the ok status.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string_view msg)
+      : code_(code), message_(msg) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or a non-ok Status explaining its absence.
+/// Accessing value() on an error Result aborts the process (programming
+/// error), so callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return t;` in functions returning
+  /// Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-ok status: allows `return Status::NotFound(..)`.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal_status {
+/// Aborts with a message including `status`; out-of-line so Result stays
+/// header-lean.
+[[noreturn]] void DieOnBadAccess(const Status& status);
+}  // namespace internal_status
+
+template <typename T>
+void Result<T>::CheckOk() const {
+  if (!ok()) internal_status::DieOnBadAccess(status_);
+}
+
+/// Evaluates `expr` (a Status expression) and returns it from the current
+/// function if it is not ok.
+#define WSQ_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::wsq::Status wsq_status_tmp_ = (expr);         \
+    if (!wsq_status_tmp_.ok()) return wsq_status_tmp_; \
+  } while (false)
+
+}  // namespace wsq
+
+#endif  // WSQ_COMMON_STATUS_H_

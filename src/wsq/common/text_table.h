@@ -1,0 +1,44 @@
+#ifndef WSQ_COMMON_TEXT_TABLE_H_
+#define WSQ_COMMON_TEXT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace wsq {
+
+/// Builds a fixed-width, human-readable table, the format every bench
+/// binary uses to print the rows/series a paper table or figure reports.
+///
+/// Example:
+///   TextTable t({"conf", "static 1000", "hybrid"});
+///   t.AddRow({"conf1.1", "1.39", "0.98"});
+///   std::cout << t.ToString();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; short rows are padded with empty cells, long rows
+  /// extend the column set.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience for numeric rows; renders each value with `precision`
+  /// significant fraction digits.
+  void AddNumericRow(const std::string& label, const std::vector<double>& values,
+                     int precision = 3);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the table with a separator line under the header.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `precision` fraction digits (fixed notation).
+std::string FormatDouble(double value, int precision);
+
+}  // namespace wsq
+
+#endif  // WSQ_COMMON_TEXT_TABLE_H_

@@ -1,0 +1,16 @@
+#include "wsq/control/controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wsq {
+
+int64_t BlockSizeLimits::Clamp(double x) const {
+  if (!std::isfinite(x)) return min_size;
+  const double clamped =
+      std::clamp(x, static_cast<double>(min_size),
+                 static_cast<double>(max_size));
+  return static_cast<int64_t>(std::llround(clamped));
+}
+
+}  // namespace wsq

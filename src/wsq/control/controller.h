@@ -1,0 +1,74 @@
+#ifndef WSQ_CONTROL_CONTROLLER_H_
+#define WSQ_CONTROL_CONTROLLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "wsq/common/status.h"
+
+namespace wsq {
+
+/// Inclusive bounds on the commanded block size (tuples per request).
+/// The paper imposes these to avoid detrimental overshooting: WAN
+/// experiments use [100, 20000], LAN conf2.1 uses an upper limit of 7000.
+struct BlockSizeLimits {
+  int64_t min_size = 100;
+  int64_t max_size = 20000;
+
+  /// Clamps `x` into [min_size, max_size].
+  int64_t Clamp(double x) const;
+
+  /// True when min <= max and min >= 1.
+  bool Valid() const { return min_size >= 1 && min_size <= max_size; }
+};
+
+/// Client-side block-size controller: the `Controller.computeNewSize`
+/// of the paper's Algorithm 1. The client fetch loop is
+///
+///   blockSize = initialBlockSize
+///   while (!endOfResults) {
+///     t1 = now(); ws.RequestNewBlock(blockSize); t2 = now();
+///     blockSize = controller.NextBlockSize(t2 - t1);
+///   }
+///
+/// Implementations are single-query state machines: feed them the
+/// response time of the block that was just fetched (at the size returned
+/// by the previous call, or initial_block_size() for the first block) and
+/// they return the size to use for the next request.
+///
+/// Not thread-safe; one instance per query session.
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  /// Size of the very first block to request.
+  virtual int64_t initial_block_size() const = 0;
+
+  /// Consumes the performance metric of the last fetched block and
+  /// returns the size for the next request, already clamped to the
+  /// configured limits.
+  ///
+  /// The metric must be "lower is better" and comparable across block
+  /// sizes; wsq uses the per-tuple cost in milliseconds (block response
+  /// time divided by tuples received), which the paper calls "response
+  /// time or, equivalently, the per tuple cost". BlockFetcher and
+  /// SimEngine both feed this metric.
+  virtual int64_t NextBlockSize(double response_time_ms) = 0;
+
+  /// Number of *adaptivity steps* performed so far. Every fed measurement
+  /// is one application of the control law (Eq. 2 averages over a sliding
+  /// window, it does not batch). Fixed-size controllers always report 0.
+  virtual int64_t adaptivity_steps() const = 0;
+
+  /// Restores the initial state so the instance can drive a fresh query.
+  virtual void Reset() = 0;
+
+  /// Short, stable identifier ("constant_gain", "hybrid", ...), used in
+  /// bench output and logs.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_CONTROL_CONTROLLER_H_

@@ -1,0 +1,139 @@
+#include "wsq/control/controller_factory.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "wsq/control/fixed_controller.h"
+
+namespace wsq {
+
+SwitchingConfig PaperSwitchingConfig() {
+  SwitchingConfig config;
+  config.gain_mode = GainMode::kConstant;
+  config.b1 = 2000.0;
+  config.b2 = 25.0;
+  config.dither_factor = 25.0;
+  config.averaging_horizon = 3;
+  config.limits.min_size = 100;
+  config.limits.max_size = 20000;
+  config.initial_block_size = 1000;
+  config.seed = 42;
+  return config;
+}
+
+HybridConfig PaperHybridConfig() {
+  HybridConfig config;
+  config.base = PaperSwitchingConfig();
+  config.criterion = PhaseCriterion::kSignSwitches;
+  config.criterion_horizon = 5;
+  config.criterion_threshold = 1;
+  config.flavor = HybridFlavor::kNoSwitchBack;
+  config.reset_period = 0;
+  return config;
+}
+
+ModelBasedConfig PaperModelBasedConfig() {
+  ModelBasedConfig config;
+  config.model = IdentificationModel::kQuadratic;
+  config.num_samples = 6;
+  config.samples_per_size = 1;
+  config.limits.min_size = 100;
+  config.limits.max_size = 20000;
+  return config;
+}
+
+Result<std::unique_ptr<Controller>> ControllerFactory::MakeFixed(
+    int64_t block_size) {
+  if (block_size < 1) {
+    return Status::InvalidArgument("fixed block size must be >= 1");
+  }
+  return std::unique_ptr<Controller>(new FixedController(block_size));
+}
+
+Result<std::unique_ptr<Controller>> ControllerFactory::MakeSwitching(
+    const SwitchingConfig& config) {
+  WSQ_RETURN_IF_ERROR(config.Validate());
+  return std::unique_ptr<Controller>(
+      new SwitchingExtremumController(config));
+}
+
+Result<std::unique_ptr<Controller>> ControllerFactory::MakeHybrid(
+    const HybridConfig& config) {
+  WSQ_RETURN_IF_ERROR(config.Validate());
+  return std::unique_ptr<Controller>(new HybridController(config));
+}
+
+Result<std::unique_ptr<Controller>> ControllerFactory::MakeMimd(
+    const MimdConfig& config) {
+  WSQ_RETURN_IF_ERROR(config.Validate());
+  return std::unique_ptr<Controller>(new MimdController(config));
+}
+
+Result<std::unique_ptr<Controller>> ControllerFactory::MakeModelBased(
+    const ModelBasedConfig& config) {
+  WSQ_RETURN_IF_ERROR(config.Validate());
+  return std::unique_ptr<Controller>(new ModelBasedController(config));
+}
+
+Result<std::unique_ptr<Controller>> ControllerFactory::MakeSelfTuning(
+    const SelfTuningConfig& config) {
+  WSQ_RETURN_IF_ERROR(config.Validate());
+  return std::unique_ptr<Controller>(new SelfTuningController(config));
+}
+
+Result<std::unique_ptr<Controller>> ControllerFactory::FromName(
+    const std::string& name) {
+  if (name.rfind("fixed:", 0) == 0) {
+    const char* digits = name.c_str() + 6;
+    char* end = nullptr;
+    errno = 0;
+    const long long size = std::strtoll(digits, &end, 10);
+    // 10M tuples/block is far beyond any sane configuration; also
+    // rejects silent strtoll overflow (errno == ERANGE).
+    constexpr long long kMaxFixedSize = 10000000;
+    if (end == digits || *end != '\0' || errno == ERANGE || size < 1 ||
+        size > kMaxFixedSize) {
+      return Status::InvalidArgument("bad fixed controller size in: " + name);
+    }
+    return MakeFixed(size);
+  }
+  if (name == "constant") {
+    return MakeSwitching(PaperSwitchingConfig());
+  }
+  if (name == "adaptive") {
+    SwitchingConfig config = PaperSwitchingConfig();
+    config.gain_mode = GainMode::kAdaptive;
+    return MakeSwitching(config);
+  }
+  if (name == "hybrid") {
+    return MakeHybrid(PaperHybridConfig());
+  }
+  if (name == "hybrid_s") {
+    HybridConfig config = PaperHybridConfig();
+    config.flavor = HybridFlavor::kSwitchBack;
+    return MakeHybrid(config);
+  }
+  if (name == "mimd") {
+    MimdConfig config;
+    config.limits = PaperSwitchingConfig().limits;
+    config.initial_block_size = 1000;
+    return MakeMimd(config);
+  }
+  if (name == "model_quadratic" || name == "model_parabolic") {
+    ModelBasedConfig config = PaperModelBasedConfig();
+    config.model = name == "model_quadratic"
+                       ? IdentificationModel::kQuadratic
+                       : IdentificationModel::kParabolic;
+    return MakeModelBased(config);
+  }
+  if (name == "self_tuning") {
+    SelfTuningConfig config;
+    config.identification = PaperModelBasedConfig();
+    config.controller = PaperHybridConfig();
+    config.continuation = Continuation::kHybrid;
+    return MakeSelfTuning(config);
+  }
+  return Status::InvalidArgument("unknown controller name: " + name);
+}
+
+}  // namespace wsq

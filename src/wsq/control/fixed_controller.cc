@@ -1,0 +1,18 @@
+#include "wsq/control/fixed_controller.h"
+
+#include <algorithm>
+
+namespace wsq {
+
+FixedController::FixedController(int64_t block_size)
+    : block_size_(std::max<int64_t>(block_size, 1)) {}
+
+int64_t FixedController::NextBlockSize(double /*response_time_ms*/) {
+  return block_size_;
+}
+
+std::string FixedController::name() const {
+  return "fixed_" + std::to_string(block_size_);
+}
+
+}  // namespace wsq

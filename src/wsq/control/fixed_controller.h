@@ -1,0 +1,29 @@
+#ifndef WSQ_CONTROL_FIXED_CONTROLLER_H_
+#define WSQ_CONTROL_FIXED_CONTROLLER_H_
+
+#include <string>
+
+#include "wsq/control/controller.h"
+
+namespace wsq {
+
+/// The static baseline of the paper's evaluation: a constant block size
+/// for the whole query (the "fixed 1000 tuples" column of Table I and the
+/// static 1K/10K/20K columns of Table III).
+class FixedController final : public Controller {
+ public:
+  explicit FixedController(int64_t block_size);
+
+  int64_t initial_block_size() const override { return block_size_; }
+  int64_t NextBlockSize(double response_time_ms) override;
+  int64_t adaptivity_steps() const override { return 0; }
+  void Reset() override {}
+  std::string name() const override;
+
+ private:
+  int64_t block_size_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_CONTROL_FIXED_CONTROLLER_H_

@@ -1,0 +1,168 @@
+#include "wsq/control/hybrid_controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace wsq {
+
+std::string_view PhaseCriterionName(PhaseCriterion criterion) {
+  switch (criterion) {
+    case PhaseCriterion::kSignSwitches:
+      return "sign_switches";
+    case PhaseCriterion::kWindowMeans:
+      return "window_means";
+  }
+  return "unknown";
+}
+
+Status HybridConfig::Validate() const {
+  WSQ_RETURN_IF_ERROR(base.Validate());
+  if (criterion_horizon < 2) {
+    return Status::InvalidArgument("criterion_horizon must be >= 2");
+  }
+  if (criterion_threshold < 0) {
+    return Status::InvalidArgument("criterion_threshold must be >= 0");
+  }
+  // Paper: s odd iff n' odd — otherwise |sum of n' signs| can never equal
+  // s and the criterion either fires late or never.
+  if ((criterion_horizon % 2) != (criterion_threshold % 2)) {
+    return Status::InvalidArgument(
+        "criterion_threshold must have the parity of criterion_horizon");
+  }
+  if (reset_period < 0) {
+    return Status::InvalidArgument("reset_period must be >= 0");
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+SwitchingConfig TransientBase(const HybridConfig& config) {
+  SwitchingConfig base = config.base;
+  base.gain_mode = GainMode::kConstant;  // transient phase uses g = b1
+  return base;
+}
+
+}  // namespace
+
+HybridController::HybridController(const HybridConfig& config)
+    : config_(config), core_(TransientBase(config)) {}
+
+int64_t HybridController::NextBlockSize(double response_time_ms) {
+  // Every measurement is one adaptivity step of the sliding-window core
+  // (Eq. 2), so the supervisor evaluates after every call.
+  const int64_t next = core_.NextBlockSize(response_time_ms);
+
+  // Periodic reset for long-lived queries (Fig. 8): re-enter the
+  // transient phase on a fixed schedule so the controller can re-adjust
+  // to environment changes. The operating point is kept.
+  if (config_.reset_period > 0 &&
+      core_.adaptivity_steps() - last_reset_step_ >= config_.reset_period) {
+    last_reset_step_ = core_.adaptivity_steps();
+    core_.ClearHistories();
+    history_mark_ = 0;
+    if (phase_ == GainPhase::kSteadyState) {
+      EnterPhase(GainPhase::kTransient);
+    }
+    return next;
+  }
+
+  if (phase_ == GainPhase::kTransient) {
+    if (SteadyStateDetected()) EnterPhase(GainPhase::kSteadyState);
+  } else if (config_.flavor == HybridFlavor::kSwitchBack) {
+    if (TransientReentryDetected()) EnterPhase(GainPhase::kTransient);
+  }
+  return next;
+}
+
+bool HybridController::SteadyStateDetected() const {
+  const size_t horizon = static_cast<size_t>(config_.criterion_horizon);
+
+  if (config_.criterion == PhaseCriterion::kSignSwitches) {
+    // Eq. (5): |sum of the last n' sign terms| <= s.
+    const auto& signs = core_.sign_history();
+    if (signs.size() < history_mark_ + horizon) return false;
+    int sum = 0;
+    for (size_t i = signs.size() - horizon; i < signs.size(); ++i) {
+      sum += signs[i];
+    }
+    return std::abs(sum) <= config_.criterion_threshold;
+  }
+
+  // Eq. (6): compare the means of x̄ over two consecutive disjoint
+  // windows of n' adaptivity steps.
+  const auto& xs = core_.averaged_input_history();
+  if (xs.size() < history_mark_ + 2 * horizon) return false;
+  double recent = 0.0;
+  double older = 0.0;
+  for (size_t i = xs.size() - horizon; i < xs.size(); ++i) recent += xs[i];
+  for (size_t i = xs.size() - 2 * horizon; i < xs.size() - horizon; ++i) {
+    older += xs[i];
+  }
+  recent /= static_cast<double>(horizon);
+  older /= static_cast<double>(horizon);
+  const double threshold =
+      config_.base.b1 / static_cast<double>(config_.criterion_horizon - 1);
+  return std::fabs(recent - older) <= threshold;
+}
+
+bool HybridController::TransientReentryDetected() const {
+  // Re-entry = the last n' sign terms all agree: the operating point is
+  // being pushed consistently in one direction, i.e. the optimum moved.
+  const size_t horizon = static_cast<size_t>(config_.criterion_horizon);
+  const auto& signs = core_.sign_history();
+  if (signs.size() < history_mark_ + horizon) return false;
+  int sum = 0;
+  for (size_t i = signs.size() - horizon; i < signs.size(); ++i) {
+    sum += signs[i];
+  }
+  return static_cast<size_t>(std::abs(sum)) == horizon;
+}
+
+void HybridController::EnterPhase(GainPhase phase) {
+  phase_ = phase;
+  ++phase_transitions_;
+  core_.set_gain_mode(phase == GainPhase::kTransient ? GainMode::kConstant
+                                                     : GainMode::kAdaptive);
+  // Entering steady state: re-center on the mean of the recent averaged
+  // inputs (the saw-tooth oscillates around the stability point, so its
+  // center — not the last extreme — estimates the optimum), hold there,
+  // and rebuild the deltas from fresh measurements so the first
+  // adaptive-gain step is not sized from transient-scale (Δx̄, Δȳ).
+  // Entering a transient re-takes the b1 kick to start probing.
+  if (phase == GainPhase::kSteadyState) {
+    const auto& xs = core_.averaged_input_history();
+    const size_t horizon =
+        std::min(xs.size(), static_cast<size_t>(config_.criterion_horizon));
+    if (horizon > 0) {
+      double mean = 0.0;
+      for (size_t i = xs.size() - horizon; i < xs.size(); ++i) mean += xs[i];
+      core_.set_command(mean / static_cast<double>(horizon));
+    }
+  }
+  core_.ResetDeltas(/*hold_position=*/phase == GainPhase::kSteadyState);
+  // Criterion windows must not straddle the phase change.
+  history_mark_ = core_.sign_history().size();
+}
+
+void HybridController::Reset() {
+  core_.Reset();
+  core_.set_gain_mode(GainMode::kConstant);
+  phase_ = GainPhase::kTransient;
+  phase_transitions_ = 0;
+  history_mark_ = 0;
+  last_reset_step_ = 0;
+}
+
+std::string HybridController::name() const {
+  std::string out = "hybrid";
+  if (config_.flavor == HybridFlavor::kSwitchBack) out += "_s";
+  if (config_.criterion == PhaseCriterion::kWindowMeans) out += "_eq6";
+  if (config_.reset_period > 0) {
+    out += "_reset" + std::to_string(config_.reset_period);
+  }
+  return out;
+}
+
+}  // namespace wsq

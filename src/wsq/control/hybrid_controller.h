@@ -1,0 +1,111 @@
+#ifndef WSQ_CONTROL_HYBRID_CONTROLLER_H_
+#define WSQ_CONTROL_HYBRID_CONTROLLER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "wsq/common/status.h"
+#include "wsq/control/switching_controller.h"
+
+namespace wsq {
+
+/// How the hybrid supervisor decides the transient phase has ended.
+enum class PhaseCriterion {
+  /// Eq. (5): at step k, steady state is declared when the sign terms of
+  /// the last n' adaptivity steps nearly cancel,
+  ///   | sum_{i=k-n'}^{k-1} sign(Δȳ_i Δx̄_i) | <= s,
+  /// because a constant-gain controller at steady state oscillates around
+  /// the optimum in a saw-tooth (alternating signs), while in transit the
+  /// signs all agree.
+  kSignSwitches,
+  /// Eq. (6): steady state when the mean of x̄ over the last window of n'
+  /// steps differs from the mean over the preceding disjoint window by at
+  /// most b1/(n'-1). The paper finds this criterion slower to trigger and
+  /// 7.6-10% worse; it is kept for the Fig. 6(c) comparison.
+  kWindowMeans,
+};
+
+std::string_view PhaseCriterionName(PhaseCriterion criterion);
+
+/// The two flavors evaluated in Table I.
+enum class HybridFlavor {
+  /// Once adaptive gain is engaged, never go back (the paper's better
+  /// flavor, column "hybrid").
+  kNoSwitchBack,
+  /// Allow a detected re-entry into a transient phase to switch the gain
+  /// back to constant (column "hybrid - s"; less stable in practice).
+  kSwitchBack,
+};
+
+/// Current phase of the hybrid gain schedule (Eq. 4).
+enum class GainPhase { kTransient, kSteadyState };
+
+struct HybridConfig {
+  /// Gains, dither, averaging horizon, limits and initial size of the
+  /// underlying switching law. `base.gain_mode` is ignored: the hybrid
+  /// supervisor owns the mode.
+  SwitchingConfig base;
+  PhaseCriterion criterion = PhaseCriterion::kSignSwitches;
+  /// Criterion horizon n' (paper uses 5).
+  int criterion_horizon = 5;
+  /// Criterion threshold s (paper uses 1; should share parity with n').
+  int criterion_threshold = 1;
+  HybridFlavor flavor = HybridFlavor::kNoSwitchBack;
+  /// When > 0: every `reset_period` adaptivity steps the controller is
+  /// reset to constant-gain transient mode, the long-lived-query variant
+  /// of Fig. 8. 0 disables periodic reset.
+  int64_t reset_period = 0;
+
+  Status Validate() const;
+};
+
+/// The paper's novel hybrid non-linear controller (Eq. 4): constant gain
+/// while converging (good transients, robust tracking), adaptive gain at
+/// steady state (small accurate steps, no saw-tooth oscillation). A
+/// supervisor watches the underlying switching controller's histories and
+/// flips the gain mode when the configured phase criterion fires.
+class HybridController final : public Controller {
+ public:
+  explicit HybridController(const HybridConfig& config);
+
+  int64_t initial_block_size() const override {
+    return core_.initial_block_size();
+  }
+  int64_t NextBlockSize(double response_time_ms) override;
+  int64_t adaptivity_steps() const override {
+    return core_.adaptivity_steps();
+  }
+  void Reset() override;
+  std::string name() const override;
+
+  const HybridConfig& config() const { return config_; }
+  GainPhase phase() const { return phase_; }
+
+  /// Number of transient->steady transitions so far (and back, for the
+  /// switch-back flavor / periodic resets).
+  int64_t phase_transitions() const { return phase_transitions_; }
+
+ private:
+  /// Evaluates the configured criterion on the core's histories,
+  /// restricted to entries recorded after the last phase change.
+  bool SteadyStateDetected() const;
+
+  /// For the switch-back flavor: true when the recent signs all agree,
+  /// i.e. the operating point is clearly in transit again.
+  bool TransientReentryDetected() const;
+
+  void EnterPhase(GainPhase phase);
+
+  HybridConfig config_;
+  SwitchingExtremumController core_;
+  GainPhase phase_ = GainPhase::kTransient;
+  int64_t phase_transitions_ = 0;
+  /// Index into the core's histories at the moment of the last phase
+  /// change; criterion windows never straddle a phase change.
+  size_t history_mark_ = 0;
+  int64_t last_reset_step_ = 0;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_CONTROL_HYBRID_CONTROLLER_H_

@@ -1,0 +1,233 @@
+#include "wsq/control/model_based_controller.h"
+
+#include <cmath>
+
+#include "wsq/common/logging.h"
+
+namespace wsq {
+
+std::string_view IdentificationModelName(IdentificationModel model) {
+  switch (model) {
+    case IdentificationModel::kQuadratic:
+      return "quadratic";
+    case IdentificationModel::kParabolic:
+      return "parabolic";
+  }
+  return "unknown";
+}
+
+Status ModelBasedConfig::Validate() const {
+  if (num_samples < 3) {
+    return Status::InvalidArgument(
+        "num_samples must be >= 3 (3 model parameters)");
+  }
+  if (samples_per_size < 1) {
+    return Status::InvalidArgument("samples_per_size must be >= 1");
+  }
+  if (!limits.Valid()) {
+    return Status::InvalidArgument("block size limits invalid");
+  }
+  if (reidentify_deviation < 0.0) {
+    return Status::InvalidArgument("reidentify_deviation must be >= 0");
+  }
+  if (reidentify_patience < 1) {
+    return Status::InvalidArgument("reidentify_patience must be >= 1");
+  }
+  return Status::Ok();
+}
+
+int64_t AnalyticOptimum(IdentificationModel model,
+                        const std::vector<double>& params,
+                        const BlockSizeLimits& limits, bool* failed) {
+  *failed = false;
+  if (params.size() != 3) {
+    *failed = true;
+    return limits.min_size;
+  }
+  double optimum = 0.0;
+  switch (model) {
+    case IdentificationModel::kQuadratic: {
+      const double a1 = params[0];
+      const double b1 = params[1];
+      if (a1 <= 0.0) {
+        // No interior minimum: the bowl opens downward or is flat. A
+        // monotonically decreasing fit means "bigger is better" up to the
+        // limit; a rising fit means the lower limit. Either way the paper
+        // treats a non-concave-capturing fit as usable only when the
+        // derivative picks a limit, so choose by the slope at midrange.
+        const double mid =
+            0.5 * static_cast<double>(limits.min_size + limits.max_size);
+        const double slope = 2.0 * a1 * mid + b1;
+        if (a1 == 0.0 && b1 != 0.0) {
+          return b1 < 0.0 ? limits.max_size : limits.min_size;
+        }
+        *failed = true;
+        return slope < 0.0 ? limits.max_size : limits.min_size;
+      }
+      optimum = -b1 / (2.0 * a1);
+      break;
+    }
+    case IdentificationModel::kParabolic: {
+      const double a2 = params[0];
+      const double b2 = params[1];
+      if (a2 <= 0.0 || b2 <= 0.0) {
+        // y' = -a2/x^2 + b2 never vanishes on x > 0: the model failed to
+        // capture the trade-off. The paper observes such runs "select the
+        // lower limit value" (when b2 <= 0 the fit says bigger is always
+        // better, so the upper limit).
+        *failed = true;
+        return b2 <= 0.0 ? limits.max_size : limits.min_size;
+      }
+      optimum = std::sqrt(a2 / b2);
+      break;
+    }
+  }
+  if (!std::isfinite(optimum)) {
+    *failed = true;
+    return limits.min_size;
+  }
+  return limits.Clamp(optimum);
+}
+
+ModelBasedController::ModelBasedController(const ModelBasedConfig& config)
+    : config_(config) {
+  // Evenly distributed sample sizes over the whole search space,
+  // inclusive of both limits (paper Section IV-A).
+  const int m = config_.num_samples;
+  const double lo = static_cast<double>(config_.limits.min_size);
+  const double hi = static_cast<double>(config_.limits.max_size);
+  sample_sizes_.reserve(m);
+  for (int i = 0; i < m; ++i) {
+    const double frac =
+        m == 1 ? 0.0 : static_cast<double>(i) / static_cast<double>(m - 1);
+    sample_sizes_.push_back(config_.limits.Clamp(lo + frac * (hi - lo)));
+  }
+  command_ = sample_sizes_.front();
+}
+
+int64_t ModelBasedController::initial_block_size() const {
+  return sample_sizes_.front();
+}
+
+int64_t ModelBasedController::NextBlockSize(double response_time_ms) {
+  if (identified_.has_value()) {
+    // Identification done: fixed at the estimate until the query ends,
+    // unless the deviation monitor decides the model went stale.
+    if (config_.reidentify_deviation > 0.0) {
+      MaybeReidentify(response_time_ms);
+    }
+    return command_;
+  }
+
+  current_sum_ += response_time_ms;
+  ++measurements_at_current_;
+  if (measurements_at_current_ < config_.samples_per_size) {
+    return command_;  // keep measuring this sample size
+  }
+
+  // This sample size is finished.
+  sampled_x_.push_back(static_cast<double>(sample_sizes_[sample_index_]));
+  sampled_y_.push_back(current_sum_ /
+                       static_cast<double>(measurements_at_current_));
+  current_sum_ = 0.0;
+  measurements_at_current_ = 0;
+  ++steps_;
+  ++sample_index_;
+
+  if (sample_index_ < sample_sizes_.size()) {
+    command_ = sample_sizes_[sample_index_];
+    return command_;
+  }
+
+  RunIdentification();
+  return command_;
+}
+
+void ModelBasedController::RunIdentification() {
+  IdentifiedModel out;
+  out.model = config_.model;
+
+  Result<FitResult> fit =
+      config_.model == IdentificationModel::kQuadratic
+          ? FitQuadratic(sampled_x_, sampled_y_)
+          : FitParabolic(sampled_x_, sampled_y_);
+  if (!fit.ok()) {
+    // Numerically singular fit (e.g. degenerate samples): treat exactly
+    // like a model failure and fall to the lower limit.
+    WSQ_LOG(kWarning) << "model identification LS failed: "
+                      << fit.status().ToString();
+    out.failed = true;
+    out.optimum = config_.limits.min_size;
+  } else {
+    out.fit = fit.value();
+    out.optimum = AnalyticOptimum(config_.model, out.fit.params,
+                                  config_.limits, &out.failed);
+  }
+  command_ = out.optimum;
+  identified_ = std::move(out);
+  ++steps_;  // the fit itself counts as one decision step
+}
+
+bool ModelBasedController::MaybeReidentify(double response_time_ms) {
+  // Predicted per-tuple cost of the fitted model at the held size.
+  const IdentifiedModel& model = *identified_;
+  if (model.failed || model.fit.params.size() != 3) {
+    return false;  // nothing trustworthy to compare against
+  }
+  const double x = static_cast<double>(command_);
+  const auto& p = model.fit.params;
+  const double predicted =
+      model.model == IdentificationModel::kQuadratic
+          ? p[0] * x * x + p[1] * x + p[2]
+          : p[0] / x + p[1] * x + p[2];
+  if (predicted <= 0.0) return false;
+
+  const double deviation =
+      std::fabs(response_time_ms - predicted) / predicted;
+  if (deviation <= config_.reidentify_deviation) {
+    consecutive_misfits_ = 0;
+    return false;
+  }
+  if (++consecutive_misfits_ < config_.reidentify_patience) return false;
+
+  // The environment no longer matches the model: rerun the LS from
+  // scratch (paper Section IV's suggested heuristic).
+  WSQ_LOG(kInfo) << "model deviation " << deviation
+                 << " persisted; re-identifying";
+  consecutive_misfits_ = 0;
+  ++reidentifications_;
+  sample_index_ = 0;
+  measurements_at_current_ = 0;
+  current_sum_ = 0.0;
+  sampled_x_.clear();
+  sampled_y_.clear();
+  identified_.reset();
+  command_ = sample_sizes_.front();
+  return true;
+}
+
+Result<IdentifiedModel> ModelBasedController::identified_model() const {
+  if (!identified_.has_value()) {
+    return Status::FailedPrecondition("identification not complete yet");
+  }
+  return *identified_;
+}
+
+void ModelBasedController::Reset() {
+  sample_index_ = 0;
+  measurements_at_current_ = 0;
+  current_sum_ = 0.0;
+  sampled_x_.clear();
+  sampled_y_.clear();
+  identified_.reset();
+  command_ = sample_sizes_.front();
+  steps_ = 0;
+  consecutive_misfits_ = 0;
+  reidentifications_ = 0;
+}
+
+std::string ModelBasedController::name() const {
+  return "model_" + std::string(IdentificationModelName(config_.model));
+}
+
+}  // namespace wsq

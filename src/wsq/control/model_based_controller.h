@@ -1,0 +1,128 @@
+#ifndef WSQ_CONTROL_MODEL_BASED_CONTROLLER_H_
+#define WSQ_CONTROL_MODEL_BASED_CONTROLLER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wsq/common/status.h"
+#include "wsq/control/controller.h"
+#include "wsq/linalg/least_squares.h"
+
+namespace wsq {
+
+/// Which smooth profile family the identification fits (paper Section IV).
+enum class IdentificationModel {
+  /// Eq. (8): y = a1 x^2 + b1 x + c1 — captures the concave (bowl) effect.
+  kQuadratic,
+  /// Eq. (9): y = a2/x + b2 x + c2 — derived from first principles:
+  /// network cost a2N/x + c2N (per-block latency amortized over x) plus
+  /// computation cost b2C x + c2C (buffer/memory pressure grows with x).
+  kParabolic,
+};
+
+std::string_view IdentificationModelName(IdentificationModel model);
+
+struct ModelBasedConfig {
+  IdentificationModel model = IdentificationModel::kQuadratic;
+  /// Number of distinct sample sizes, evenly distributed over
+  /// [limits.min_size, limits.max_size]. The paper uses 6 to keep the
+  /// identification fast even for short queries.
+  int num_samples = 6;
+  /// Measurements averaged per sampled size. The paper uses 1 and notes
+  /// it is "very prone to errors"; larger values trade sampling time for
+  /// fit robustness (ablated in bench_ablation_model_samples).
+  int samples_per_size = 1;
+  BlockSizeLimits limits;
+
+  /// Re-identification heuristic (paper Section IV: "the LS may rerun if
+  /// the values ... deviate significantly from the derived model").
+  /// When > 0: during the fixed phase, a measurement whose relative
+  /// deviation from the model's prediction exceeds this fraction counts
+  /// as a misfit; `reidentify_patience` consecutive misfits restart the
+  /// sampling phase. 0 disables (the paper's base behavior).
+  double reidentify_deviation = 0.0;
+  int reidentify_patience = 3;
+
+  Status Validate() const;
+};
+
+/// Fitted-model snapshot exposed after identification completes.
+struct IdentifiedModel {
+  IdentificationModel model = IdentificationModel::kQuadratic;
+  FitResult fit;
+  /// Analytic minimizer of the fitted curve, clamped into the limits.
+  int64_t optimum = 0;
+  /// True when the fitted curve has no interior minimum (e.g. a1 <= 0 for
+  /// the quadratic, or a2/b2 <= 0 for the parabolic). Matches the paper's
+  /// observed failure mode where the parabolic model "fails to produce a
+  /// useful model, selecting the lower limit value".
+  bool failed = false;
+};
+
+/// Model-based (self-tuning identification) block-size selection, paper
+/// Section IV: sample the search space at `num_samples` evenly spaced
+/// sizes, least-squares fit the configured smooth model (Eq. 10), set the
+/// first derivative to zero for the optimum, then stay fixed at that
+/// estimate until the query completes.
+class ModelBasedController final : public Controller {
+ public:
+  explicit ModelBasedController(const ModelBasedConfig& config);
+
+  int64_t initial_block_size() const override;
+  int64_t NextBlockSize(double response_time_ms) override;
+  int64_t adaptivity_steps() const override { return steps_; }
+  void Reset() override;
+  std::string name() const override;
+
+  const ModelBasedConfig& config() const { return config_; }
+
+  bool identification_complete() const { return identified_.has_value(); }
+
+  /// The identified model; FailedPrecondition before identification
+  /// completes.
+  Result<IdentifiedModel> identified_model() const;
+
+  /// The sizes the sampling phase probes, in probe order.
+  const std::vector<int64_t>& sample_sizes() const { return sample_sizes_; }
+
+  /// Number of times the re-identification heuristic restarted sampling.
+  int64_t reidentifications() const { return reidentifications_; }
+
+ private:
+  void RunIdentification();
+
+  /// Fixed-phase deviation monitor; returns true when sampling was
+  /// restarted.
+  bool MaybeReidentify(double response_time_ms);
+
+  ModelBasedConfig config_;
+  std::vector<int64_t> sample_sizes_;
+
+  size_t sample_index_ = 0;   // which sample size is being measured
+  int measurements_at_current_ = 0;
+  double current_sum_ = 0.0;
+  std::vector<double> sampled_x_;
+  std::vector<double> sampled_y_;
+
+  std::optional<IdentifiedModel> identified_;
+  int64_t command_ = 0;
+  int64_t steps_ = 0;
+  int consecutive_misfits_ = 0;
+  int64_t reidentifications_ = 0;
+};
+
+/// Computes the analytic minimizer for fitted parameters. Exposed for
+/// tests and the self-tuning controller's RLS re-centering.
+///   quadratic params {a1, b1, c1}: x* = -b1 / (2 a1), requires a1 > 0.
+///   parabolic params {a2, b2, c2}: x* = sqrt(a2 / b2), requires a2, b2 > 0.
+/// On failure (`failed` set), returns limits.min_size as the paper's
+/// observed fallback.
+int64_t AnalyticOptimum(IdentificationModel model,
+                        const std::vector<double>& params,
+                        const BlockSizeLimits& limits, bool* failed);
+
+}  // namespace wsq
+
+#endif  // WSQ_CONTROL_MODEL_BASED_CONTROLLER_H_

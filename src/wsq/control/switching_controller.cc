@@ -1,0 +1,165 @@
+#include "wsq/control/switching_controller.h"
+
+#include <cmath>
+
+namespace wsq {
+namespace {
+
+/// Paper semantics: "returns 1 if its argument is positive and -1
+/// otherwise" — zero maps to -1.
+int PaperSign(double v) { return v > 0.0 ? 1 : -1; }
+
+/// Guards the ȳ_{k-1} denominator of Eq. (3) against degenerate
+/// measurements.
+constexpr double kMinDenominator = 1e-12;
+
+}  // namespace
+
+std::string_view GainModeName(GainMode mode) {
+  switch (mode) {
+    case GainMode::kConstant:
+      return "constant_gain";
+    case GainMode::kAdaptive:
+      return "adaptive_gain";
+  }
+  return "unknown";
+}
+
+Status SwitchingConfig::Validate() const {
+  if (b1 <= 0.0) return Status::InvalidArgument("b1 must be positive");
+  if (b2 <= 0.0) return Status::InvalidArgument("b2 must be positive");
+  if (dither_factor < 0.0) {
+    return Status::InvalidArgument("dither_factor must be >= 0");
+  }
+  if (averaging_horizon < 1) {
+    return Status::InvalidArgument("averaging_horizon must be >= 1");
+  }
+  if (!limits.Valid()) {
+    return Status::InvalidArgument("block size limits invalid");
+  }
+  if (initial_block_size < 1) {
+    return Status::InvalidArgument("initial_block_size must be >= 1");
+  }
+  return Status::Ok();
+}
+
+SwitchingExtremumController::SwitchingExtremumController(
+    const SwitchingConfig& config)
+    : config_(config),
+      gain_mode_(config.gain_mode),
+      rng_(config.seed),
+      window_x_(static_cast<size_t>(config.averaging_horizon)),
+      window_y_(static_cast<size_t>(config.averaging_horizon)) {
+  command_ = static_cast<double>(initial_block_size());
+}
+
+int64_t SwitchingExtremumController::NextBlockSize(double response_time_ms) {
+  // Eq. (2): every raw measurement advances the sliding means
+  // {x̄_k, ȳ_k} over the last n (input, output) pairs, and each
+  // measurement triggers one adaptivity step.
+  window_x_.Add(static_cast<double>(config_.limits.Clamp(command_)));
+  window_y_.Add(response_time_ms);
+  const double avg_x = window_x_.Mean();
+  const double avg_y = window_y_.Mean();
+  ++steps_;
+  avg_x_history_.push_back(avg_x);
+
+  if (!has_prev_) {
+    // First adaptivity step: no (Δx̄, Δȳ) yet — grow by b1 (paper III-A),
+    // unless a supervisor asked to hold position after a delta reset.
+    has_prev_ = true;
+    prev_avg_x_ = avg_x;
+    prev_avg_y_ = avg_y;
+    if (hold_next_first_step_) {
+      hold_next_first_step_ = false;
+      last_gain_ = 0.0;
+      // Apply dither only, so fresh deltas can form around the held point.
+      const double d =
+          config_.dither_factor > 0.0
+              ? config_.dither_factor * rng_.Gaussian(0.0, 1.0)
+              : 0.0;
+      command_ = static_cast<double>(config_.limits.Clamp(command_ + d));
+    } else {
+      last_gain_ = config_.b1;
+      command_ =
+          static_cast<double>(config_.limits.Clamp(command_ + config_.b1));
+    }
+    return config_.limits.Clamp(command_);
+  }
+
+  const double dx = avg_x - prev_avg_x_;
+  const double dy = avg_y - prev_avg_y_;
+  int direction = PaperSign(dy * dx);
+
+  // Anti-windup at the limits: pinned at a bound, Δx̄ goes to zero and
+  // the sign convention (sign(0) = -1, i.e. "grow") would push into the
+  // bound forever. Bounce instead, so the controller keeps probing the
+  // feasible side; the *applied* direction is what enters the history
+  // the hybrid criterion reads.
+  const int64_t current = config_.limits.Clamp(command_);
+  if (current == config_.limits.max_size && direction < 0) {
+    direction = 1;  // cannot grow further: probe downward
+  } else if (current == config_.limits.min_size && direction > 0) {
+    direction = -1;  // cannot shrink further: probe upward
+  }
+  sign_history_.push_back(direction);
+
+  // Eq. (1) gain g: constant b1, or Eq. (3) — proportional to the product
+  // of the relative performance change and the block-size change.
+  double gain = config_.b1;
+  if (gain_mode_ == GainMode::kAdaptive) {
+    const double denom = std::max(std::fabs(prev_avg_y_), kMinDenominator);
+    gain = config_.b2 * (std::fabs(dy) / denom) * std::fabs(dx);
+  }
+  last_gain_ = gain;
+
+  // Dither d(k) = df * w(k), w ~ N(0,1): keeps probing the neighborhood
+  // so a moving optimum stays detectable.
+  const double dither =
+      config_.dither_factor > 0.0
+          ? config_.dither_factor * rng_.Gaussian(0.0, 1.0)
+          : 0.0;
+
+  prev_avg_x_ = avg_x;
+  prev_avg_y_ = avg_y;
+  command_ = static_cast<double>(
+      config_.limits.Clamp(command_ - gain * direction + dither));
+  return config_.limits.Clamp(command_);
+}
+
+void SwitchingExtremumController::Reset() {
+  gain_mode_ = config_.gain_mode;
+  rng_ = Random(config_.seed);
+  command_ = static_cast<double>(initial_block_size());
+  window_x_.Clear();
+  window_y_.Clear();
+  has_prev_ = false;
+  hold_next_first_step_ = false;
+  prev_avg_x_ = prev_avg_y_ = 0.0;
+  steps_ = 0;
+  last_gain_ = 0.0;
+  sign_history_.clear();
+  avg_x_history_.clear();
+}
+
+std::string SwitchingExtremumController::name() const {
+  return std::string(GainModeName(config_.gain_mode));
+}
+
+void SwitchingExtremumController::ClearHistories() {
+  sign_history_.clear();
+  avg_x_history_.clear();
+}
+
+void SwitchingExtremumController::set_command(double block_size) {
+  command_ = static_cast<double>(config_.limits.Clamp(block_size));
+}
+
+void SwitchingExtremumController::ResetDeltas(bool hold_position) {
+  window_x_.Clear();
+  window_y_.Clear();
+  has_prev_ = false;
+  hold_next_first_step_ = hold_position;
+}
+
+}  // namespace wsq

@@ -1,0 +1,148 @@
+#ifndef WSQ_CONTROL_SWITCHING_CONTROLLER_H_
+#define WSQ_CONTROL_SWITCHING_CONTROLLER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "wsq/common/random.h"
+#include "wsq/common/status.h"
+#include "wsq/control/controller.h"
+#include "wsq/stats/moving_window.h"
+
+namespace wsq {
+
+/// Gain policy for the switching extremum control law (paper Section III-A).
+enum class GainMode {
+  /// g = b1, a constant step; the additive-increase/additive-decrease
+  /// style policy. Robust but oscillates around the optimum.
+  kConstant,
+  /// g = b2 * |dy / y| * |dx| (Eq. 3): the step is proportional to the
+  /// product of the relative performance change and the block-size
+  /// change. Accurate near the optimum, prone to overshoot far from it.
+  kAdaptive,
+};
+
+std::string_view GainModeName(GainMode mode);
+
+/// Parameters of the switching extremum controller. Defaults are the
+/// paper's WAN configuration: b1=2000, b2=25, df=25, n=3, x0=1000,
+/// limits [100, 20000].
+struct SwitchingConfig {
+  GainMode gain_mode = GainMode::kConstant;
+  /// Constant gain (tuples per adaptivity step); also the size of the
+  /// mandatory first step.
+  double b1 = 2000.0;
+  /// Adaptive gain coefficient of Eq. (3).
+  double b2 = 25.0;
+  /// Dither factor df: each step adds df * w, w ~ N(0,1), so the
+  /// controller keeps probing the neighborhood of its operating point.
+  double dither_factor = 25.0;
+  /// Averaging horizon n of Eq. (2): the sliding means {x̄_k, ȳ_k} run
+  /// over the last n raw (input, output) pairs. Every raw measurement is
+  /// one adaptivity step; n only controls smoothing.
+  int averaging_horizon = 3;
+  BlockSizeLimits limits;
+  int64_t initial_block_size = 1000;
+  /// Seed for the dither stream; fixed seeds make runs reproducible.
+  uint64_t seed = 42;
+
+  /// Rejects non-positive gains/horizons and invalid limits.
+  Status Validate() const;
+};
+
+/// Switching extremum controller (paper Eq. 1–3):
+///
+///   x_k = x_{k-1} - g * sign(Δȳ_{k-1} * Δx̄_{k-1}) + d(k)
+///
+/// over measurements averaged in windows of n blocks. The sign term
+/// detects which side of the optimum the operating point sits on: grow
+/// the block when growing helped (or shrinking hurt), shrink otherwise.
+///
+/// The first adaptivity step unconditionally increases the block by b1,
+/// since no (Δx, Δy) information exists yet.
+///
+/// The gain mode is mutable at runtime — this is the hook the
+/// HybridController supervisor uses to implement Eq. (4).
+class SwitchingExtremumController : public Controller {
+ public:
+  explicit SwitchingExtremumController(const SwitchingConfig& config);
+
+  int64_t initial_block_size() const override {
+    return config_.limits.Clamp(
+        static_cast<double>(config_.initial_block_size));
+  }
+  int64_t NextBlockSize(double response_time_ms) override;
+  int64_t adaptivity_steps() const override { return steps_; }
+  void Reset() override;
+  std::string name() const override;
+
+  const SwitchingConfig& config() const { return config_; }
+
+  GainMode gain_mode() const { return gain_mode_; }
+  void set_gain_mode(GainMode mode) { gain_mode_ = mode; }
+
+  /// sign(Δȳ·Δx̄) of each completed adaptivity step from the second step
+  /// on (+1 or -1); consumed by the hybrid supervisor's Eq. (5) criterion.
+  const std::vector<int>& sign_history() const { return sign_history_; }
+
+  /// Averaged control input x̄_k of each completed adaptivity step;
+  /// consumed by the Eq. (6) criterion.
+  const std::vector<double>& averaged_input_history() const {
+    return avg_x_history_;
+  }
+
+  /// Magnitude of the gain used at the most recent adaptivity step
+  /// (0 before the second step).
+  double last_gain() const { return last_gain_; }
+
+  /// Clears the sign/input histories without touching the operating
+  /// point; used by the periodic-reset hybrid variant so criterion state
+  /// restarts fresh after a reset.
+  void ClearHistories();
+
+  /// Forgets the averaging windows and (Δx̄, Δȳ) history so the next
+  /// adaptivity step recomputes deltas from fresh measurements. With
+  /// `hold_position` the mandatory first-step b1 increase is suppressed
+  /// and the operating point held — the hybrid supervisor uses this on
+  /// the transient→steady-state transition so the first adaptive-gain
+  /// step is sized from steady-state deltas instead of stale
+  /// transient-scale ones.
+  void ResetDeltas(bool hold_position);
+
+  /// Moves the operating point to `block_size` (clamped). The hybrid
+  /// supervisor re-centers on the saw-tooth's mean when it declares
+  /// steady state — the oscillation's center, not its last extreme, is
+  /// the controller's best estimate of the optimum.
+  void set_command(double block_size);
+
+ private:
+  SwitchingConfig config_;
+  GainMode gain_mode_;
+  Random rng_;
+
+  // Commanded block size (double so sub-tuple gain arithmetic is not
+  // truncated before clamping).
+  double command_ = 0.0;
+
+  // Sliding windows over the last n raw (x, y) pairs (Eq. 2).
+  MovingWindow window_x_;
+  MovingWindow window_y_;
+
+  // Sliding means at the previous adaptivity step.
+  bool has_prev_ = false;
+  // When true, the next "first step" holds position instead of +b1.
+  bool hold_next_first_step_ = false;
+  double prev_avg_x_ = 0.0;
+  double prev_avg_y_ = 0.0;
+
+  int64_t steps_ = 0;
+  double last_gain_ = 0.0;
+  std::vector<int> sign_history_;
+  std::vector<double> avg_x_history_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_CONTROL_SWITCHING_CONTROLLER_H_

@@ -1,0 +1,279 @@
+#include "wsq/eventsim/event_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <queue>
+
+#include "wsq/common/random.h"
+#include "wsq/eventsim/ps_server.h"
+
+namespace wsq {
+namespace {
+
+/// Approximate request envelope size on the wire.
+constexpr double kRequestBytes = 600.0;
+
+enum class EventKind {
+  kRequestArrivesAtServer,
+  kResponseArrivesAtClient,
+};
+
+struct Event {
+  double time_ms;
+  int64_t seq;  // FIFO tiebreak for equal times
+  EventKind kind;
+  size_t client;
+
+  bool operator>(const Event& other) const {
+    if (time_ms != other.time_ms) return time_ms > other.time_ms;
+    return seq > other.seq;
+  }
+};
+
+struct ClientState {
+  ClientSpec spec;
+  int64_t remaining = 0;
+  int64_t current_block = 0;     // tuples in the in-flight block
+  double request_sent_at = 0.0;  // t1 of Algorithm 1
+  bool started = false;
+  bool finished = false;
+  ClientOutcome outcome;
+};
+
+class Simulation {
+ public:
+  Simulation(const EventSimConfig& config,
+             const std::vector<ClientSpec>& specs)
+      : config_(config), rng_(config.seed) {
+    clients_.reserve(specs.size());
+    for (const ClientSpec& spec : specs) {
+      ClientState state;
+      state.spec = spec;
+      state.remaining = spec.dataset_tuples;
+      clients_.push_back(std::move(state));
+    }
+  }
+
+  Result<std::vector<ClientOutcome>> Run() {
+    // Seed the timeline: each client's first request leaves at its start
+    // time and arrives one network leg later.
+    for (size_t i = 0; i < clients_.size(); ++i) {
+      ClientState& client = clients_[i];
+      client.current_block = std::min<int64_t>(
+          client.spec.controller->initial_block_size(), client.remaining);
+      client.request_sent_at = client.spec.start_time_ms;
+      Push(client.spec.start_time_ms + RequestLegMs(), i,
+           EventKind::kRequestArrivesAtServer);
+    }
+
+    while (!events_.empty() || server_.active_jobs() > 0) {
+      const double next_external =
+          events_.empty() ? std::numeric_limits<double>::infinity()
+                          : events_.top().time_ms;
+      const std::optional<double> next_completion =
+          server_.NextCompletionTime();
+
+      if (next_completion.has_value() && *next_completion <= next_external) {
+        Result<std::optional<int64_t>> completed =
+            server_.AdvanceTo(*next_completion);
+        if (!completed.ok()) return completed.status();
+        if (completed.value().has_value()) {
+          WSQ_RETURN_IF_ERROR(OnJobComplete(*completed.value(),
+                                            *next_completion));
+        }
+        continue;
+      }
+      if (events_.empty()) {
+        return Status::Internal("event sim stalled with jobs in service");
+      }
+
+      const Event event = events_.top();
+      events_.pop();
+      // Safe: no completion earlier than this event exists.
+      Result<std::optional<int64_t>> completed =
+          server_.AdvanceTo(event.time_ms);
+      if (!completed.ok()) return completed.status();
+      if (completed.value().has_value()) {
+        WSQ_RETURN_IF_ERROR(
+            OnJobComplete(*completed.value(), event.time_ms));
+      }
+
+      switch (event.kind) {
+        case EventKind::kRequestArrivesAtServer:
+          WSQ_RETURN_IF_ERROR(OnRequestArrives(event));
+          break;
+        case EventKind::kResponseArrivesAtClient:
+          WSQ_RETURN_IF_ERROR(OnResponseArrives(event));
+          break;
+      }
+    }
+
+    std::vector<ClientOutcome> outcomes;
+    outcomes.reserve(clients_.size());
+    for (ClientState& client : clients_) {
+      if (!client.finished) {
+        return Status::Internal("event sim ended with an unfinished client");
+      }
+      outcomes.push_back(std::move(client.outcome));
+    }
+    return outcomes;
+  }
+
+ private:
+  void Push(double time_ms, size_t client, EventKind kind) {
+    events_.push(Event{time_ms, next_seq_++, kind, client});
+  }
+
+  double Jitter() {
+    return config_.jitter_sigma > 0.0
+               ? rng_.LognormalMultiplier(config_.jitter_sigma)
+               : 1.0;
+  }
+
+  double LegMs(double bytes) {
+    const double transfer_ms =
+        bytes * 8.0 / (config_.bandwidth_mbps * 1e6) * 1e3;
+    return (config_.one_way_latency_ms + transfer_ms) * Jitter();
+  }
+
+  double RequestLegMs() { return LegMs(kRequestBytes); }
+
+  double ResponseLegMs(int64_t tuples) {
+    return LegMs(static_cast<double>(tuples) * config_.bytes_per_tuple);
+  }
+
+  /// Clients that have issued their first request and not finished —
+  /// what the server's buffer is divided among.
+  int ActiveSessions() const {
+    int active = 0;
+    for (const ClientState& client : clients_) {
+      if (client.started && !client.finished) ++active;
+    }
+    return std::max(active, 1);
+  }
+
+  /// Solo CPU demand of serving one block of `tuples`.
+  double BlockDemandMs(int64_t tuples) const {
+    double demand = config_.per_request_cpu_ms +
+                    config_.per_tuple_cpu_ms * static_cast<double>(tuples);
+    const double buffer =
+        config_.buffer_capacity_tuples /
+        (1.0 + config_.query_buffer_shrink *
+                   static_cast<double>(ActiveSessions() - 1));
+    const double overshoot = static_cast<double>(tuples) - buffer;
+    if (overshoot > 0.0) {
+      demand += config_.paging_penalty_ms * overshoot * overshoot /
+                std::sqrt(buffer);
+    }
+    return demand;
+  }
+
+  Status OnRequestArrives(const Event& event) {
+    ClientState& client = clients_[event.client];
+    client.started = true;
+    Result<int64_t> job = server_.Submit(
+        event.time_ms, BlockDemandMs(client.current_block));
+    if (!job.ok()) return job.status();
+    job_to_client_.emplace(job.value(), event.client);
+    return Status::Ok();
+  }
+
+  Status OnJobComplete(int64_t job_id, double now_ms) {
+    auto it = job_to_client_.find(job_id);
+    if (it == job_to_client_.end()) {
+      return Status::Internal("completion for unknown job");
+    }
+    const size_t client_index = it->second;
+    job_to_client_.erase(it);
+    const ClientState& client = clients_[client_index];
+    Push(now_ms + ResponseLegMs(client.current_block), client_index,
+         EventKind::kResponseArrivesAtClient);
+    return Status::Ok();
+  }
+
+  Status OnResponseArrives(const Event& event) {
+    ClientState& client = clients_[event.client];
+    const double elapsed_ms = event.time_ms - client.request_sent_at;
+    const int64_t received = client.current_block;
+
+    client.outcome.total_blocks += 1;
+    client.outcome.total_tuples += received;
+    client.outcome.block_sizes.push_back(received);
+    client.remaining -= received;
+
+    // Algorithm 1: the controller consumes the per-tuple cost of the
+    // block that just arrived and names the next size.
+    const int64_t next_size = client.spec.controller->NextBlockSize(
+        elapsed_ms / static_cast<double>(std::max<int64_t>(received, 1)));
+
+    if (client.remaining <= 0) {
+      client.finished = true;
+      client.outcome.completion_time_ms = event.time_ms;
+      client.outcome.response_time_ms =
+          event.time_ms - client.spec.start_time_ms;
+      return Status::Ok();
+    }
+
+    client.current_block = std::min<int64_t>(next_size, client.remaining);
+    client.request_sent_at = event.time_ms;
+    Push(event.time_ms + RequestLegMs(), event.client,
+         EventKind::kRequestArrivesAtServer);
+    return Status::Ok();
+  }
+
+  EventSimConfig config_;
+  Random rng_;
+  std::vector<ClientState> clients_;
+  PsServer server_;
+  std::map<int64_t, size_t> job_to_client_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+      events_;
+  int64_t next_seq_ = 0;
+};
+
+}  // namespace
+
+Status EventSimConfig::Validate() const {
+  if (one_way_latency_ms < 0.0) {
+    return Status::InvalidArgument("latency must be >= 0");
+  }
+  if (bandwidth_mbps <= 0.0 || bytes_per_tuple <= 0.0) {
+    return Status::InvalidArgument("bandwidth/tuple size must be > 0");
+  }
+  if (jitter_sigma < 0.0) {
+    return Status::InvalidArgument("jitter sigma must be >= 0");
+  }
+  if (per_request_cpu_ms < 0.0 || per_tuple_cpu_ms < 0.0 ||
+      paging_penalty_ms < 0.0) {
+    return Status::InvalidArgument("cpu costs must be >= 0");
+  }
+  if (buffer_capacity_tuples <= 0.0 || query_buffer_shrink < 0.0) {
+    return Status::InvalidArgument("buffer parameters invalid");
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<ClientOutcome>> RunEventSimulation(
+    const EventSimConfig& config, const std::vector<ClientSpec>& clients) {
+  WSQ_RETURN_IF_ERROR(config.Validate());
+  if (clients.empty()) {
+    return Status::InvalidArgument("no clients");
+  }
+  for (const ClientSpec& spec : clients) {
+    if (spec.controller == nullptr) {
+      return Status::InvalidArgument("null controller in client spec");
+    }
+    if (spec.dataset_tuples < 1) {
+      return Status::InvalidArgument("client dataset must be >= 1 tuple");
+    }
+    if (spec.start_time_ms < 0.0) {
+      return Status::InvalidArgument("start time must be >= 0");
+    }
+  }
+  Simulation simulation(config, clients);
+  return simulation.Run();
+}
+
+}  // namespace wsq

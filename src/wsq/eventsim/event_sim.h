@@ -1,0 +1,75 @@
+#ifndef WSQ_EVENTSIM_EVENT_SIM_H_
+#define WSQ_EVENTSIM_EVENT_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "wsq/common/status.h"
+#include "wsq/control/controller.h"
+
+namespace wsq {
+
+/// Environment of the event-driven concurrency simulation. Unlike the
+/// LoadModel shortcut (which folds concurrency into static multipliers),
+/// this harness runs real concurrent client sessions against one
+/// processor-sharing server on a shared timeline: clients genuinely slow
+/// each other down, speed back up when others finish, and share the
+/// server buffer dynamically. It exists to validate the shortcut and to
+/// study arrival/departure transients (paper Fig. 2's "the server
+/// received more load between the second and the third query").
+struct EventSimConfig {
+  /// One-way network latency per leg (ms).
+  double one_way_latency_ms = 20.0;
+  /// Dedicated per-client path bandwidth.
+  double bandwidth_mbps = 9.0;
+  double bytes_per_tuple = 120.0;
+  /// Lognormal jitter sigma per network leg; 0 disables.
+  double jitter_sigma = 0.0;
+
+  /// Server CPU costs (solo service demand; concurrency emerges from
+  /// processor sharing, NOT from multipliers).
+  double per_request_cpu_ms = 3.0;
+  double per_tuple_cpu_ms = 0.010;
+  /// Paging penalty past the buffer; the effective buffer is the
+  /// capacity divided among the sessions active at block-service time.
+  double buffer_capacity_tuples = 9700.0;
+  double paging_penalty_ms = 0.006;
+  double query_buffer_shrink = 0.35;
+
+  uint64_t seed = 1;
+
+  Status Validate() const;
+};
+
+/// One concurrent client session.
+struct ClientSpec {
+  /// Tuples this client's query returns.
+  int64_t dataset_tuples = 0;
+  /// Controller driving this client's block sizes (not reset by the
+  /// harness; one fresh controller per client). Must outlive the run.
+  Controller* controller = nullptr;
+  /// When the client issues its first request (ms on the shared
+  /// timeline); staggered starts model queries arriving mid-run.
+  double start_time_ms = 0.0;
+};
+
+/// Per-client result.
+struct ClientOutcome {
+  /// Absolute completion time on the shared timeline (ms).
+  double completion_time_ms = 0.0;
+  /// completion - start: the client-perceived query response time.
+  double response_time_ms = 0.0;
+  int64_t total_blocks = 0;
+  int64_t total_tuples = 0;
+  /// Block sizes requested, in order.
+  std::vector<int64_t> block_sizes;
+};
+
+/// Runs all clients to completion on one shared timeline and returns
+/// their outcomes in input order. kInvalidArgument on bad specs.
+Result<std::vector<ClientOutcome>> RunEventSimulation(
+    const EventSimConfig& config, const std::vector<ClientSpec>& clients);
+
+}  // namespace wsq
+
+#endif  // WSQ_EVENTSIM_EVENT_SIM_H_

@@ -1,0 +1,74 @@
+#include "wsq/eventsim/ps_server.h"
+
+#include <cmath>
+
+namespace wsq {
+namespace {
+
+/// Completions within this tolerance of `now` count as "exactly now"
+/// (floating-point scheduling slack).
+constexpr double kTimeEps = 1e-9;
+
+}  // namespace
+
+Result<int64_t> PsServer::Submit(double now_ms, double demand_ms) {
+  if (demand_ms <= 0.0 || !std::isfinite(demand_ms)) {
+    return Status::InvalidArgument("PsServer: demand must be positive");
+  }
+  if (now_ms + kTimeEps < now_ms_) {
+    return Status::InvalidArgument("PsServer: time regression on Submit");
+  }
+  Result<std::optional<int64_t>> advanced = AdvanceTo(std::max(now_ms, now_ms_));
+  if (!advanced.ok()) return advanced.status();
+  if (advanced.value().has_value()) {
+    return Status::FailedPrecondition(
+        "PsServer: unharvested completion before Submit");
+  }
+  const int64_t id = next_id_++;
+  remaining_.emplace(id, demand_ms);
+  return id;
+}
+
+std::optional<double> PsServer::NextCompletionTime() const {
+  if (remaining_.empty()) return std::nullopt;
+  double min_remaining = remaining_.begin()->second;
+  for (const auto& [id, remaining] : remaining_) {
+    min_remaining = std::min(min_remaining, remaining);
+  }
+  return now_ms_ + min_remaining * static_cast<double>(remaining_.size());
+}
+
+Result<std::optional<int64_t>> PsServer::AdvanceTo(double now_ms) {
+  if (now_ms + kTimeEps < now_ms_) {
+    return Status::InvalidArgument("PsServer: time regression on AdvanceTo");
+  }
+  if (remaining_.empty()) {
+    now_ms_ = std::max(now_ms_, now_ms);
+    return std::optional<int64_t>();
+  }
+
+  const std::optional<double> completion = NextCompletionTime();
+  if (completion.has_value() && *completion < now_ms - kTimeEps) {
+    return Status::FailedPrecondition(
+        "PsServer: AdvanceTo would skip past a completion at " +
+        std::to_string(*completion));
+  }
+
+  const double dt = std::max(now_ms - now_ms_, 0.0);
+  const double depletion = dt / static_cast<double>(remaining_.size());
+  int64_t completed = -1;
+  for (auto& [id, remaining] : remaining_) {
+    remaining -= depletion;
+    if (remaining <= kTimeEps && completed < 0) {
+      completed = id;  // at most one job can hit zero per advance
+    }
+  }
+  now_ms_ = std::max(now_ms_, now_ms);
+  if (completed >= 0) {
+    remaining_.erase(completed);
+    return std::optional<int64_t>(completed);
+  }
+  return std::optional<int64_t>();
+}
+
+}  // namespace wsq

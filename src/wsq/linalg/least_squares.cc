@@ -1,0 +1,174 @@
+#include "wsq/linalg/least_squares.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wsq {
+namespace {
+
+/// Relative pivot threshold below which the system is declared singular.
+constexpr double kSingularTol = 1e-12;
+
+Result<FitResult> FitResultFromParams(const Matrix& basis,
+                                      const std::vector<double>& y,
+                                      const Matrix& params) {
+  FitResult fit;
+  fit.params = params.Column(0);
+
+  // Residual metrics on the sample set.
+  Result<Matrix> predicted = basis.Multiply(params);
+  if (!predicted.ok()) return predicted.status();
+  double ss_res = 0.0;
+  double mean_y = 0.0;
+  for (double v : y) mean_y += v;
+  mean_y /= static_cast<double>(y.size());
+  double ss_tot = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    const double r = y[i] - predicted.value().At(i, 0);
+    ss_res += r * r;
+    ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  fit.rmse = std::sqrt(ss_res / static_cast<double>(y.size()));
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace
+
+Result<Matrix> SolveLinearSystem(const Matrix& a, const Matrix& b) {
+  const size_t n = a.rows();
+  if (a.cols() != n) {
+    return Status::InvalidArgument("SolveLinearSystem: A must be square");
+  }
+  if (b.rows() != n || b.cols() != 1) {
+    return Status::InvalidArgument("SolveLinearSystem: b must be n x 1");
+  }
+
+  // Working copies for in-place elimination.
+  Matrix m = a;
+  Matrix rhs = b;
+
+  // Scale reference for the singularity test.
+  const double scale = std::max(m.MaxAbs(), 1.0);
+
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting: bring the largest remaining entry to the diagonal.
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(m.At(r, col)) > std::fabs(m.At(pivot, col))) pivot = r;
+    }
+    if (std::fabs(m.At(pivot, col)) < kSingularTol * scale) {
+      return Status::FailedPrecondition(
+          "SolveLinearSystem: matrix is singular or near-singular");
+    }
+    if (pivot != col) {
+      for (size_t c = col; c < n; ++c) std::swap(m.At(pivot, c), m.At(col, c));
+      std::swap(rhs.At(pivot, 0), rhs.At(col, 0));
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = m.At(r, col) / m.At(col, col);
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) m.At(r, c) -= factor * m.At(col, c);
+      rhs.At(r, 0) -= factor * rhs.At(col, 0);
+    }
+  }
+
+  // Back substitution.
+  Matrix x(n, 1);
+  for (size_t i = n; i-- > 0;) {
+    double sum = rhs.At(i, 0);
+    for (size_t c = i + 1; c < n; ++c) sum -= m.At(i, c) * x.At(c, 0);
+    x.At(i, 0) = sum / m.At(i, i);
+  }
+  return x;
+}
+
+Result<Matrix> LeastSquares(const Matrix& x, const Matrix& y) {
+  if (y.cols() != 1 || y.rows() != x.rows()) {
+    return Status::InvalidArgument("LeastSquares: y must be n x 1 matching X");
+  }
+  if (x.rows() < x.cols()) {
+    return Status::InvalidArgument(
+        "LeastSquares: need at least as many samples as parameters");
+  }
+
+  // Equilibrate: scale each basis column to unit max magnitude so the
+  // normal equations stay well-conditioned even for raw polynomial bases
+  // (x^2 reaches ~4e8 for 20000-tuple blocks while the constant column
+  // is 1). Parameters are unscaled on the way out.
+  std::vector<double> column_scale(x.cols(), 1.0);
+  Matrix scaled = x;
+  for (size_t c = 0; c < x.cols(); ++c) {
+    double max_abs = 0.0;
+    for (size_t r = 0; r < x.rows(); ++r) {
+      max_abs = std::max(max_abs, std::fabs(x.At(r, c)));
+    }
+    if (max_abs > 0.0) {
+      column_scale[c] = max_abs;
+      for (size_t r = 0; r < x.rows(); ++r) {
+        scaled.At(r, c) /= max_abs;
+      }
+    }
+  }
+
+  const Matrix xt = scaled.Transposed();
+  Result<Matrix> xtx = xt.Multiply(scaled);
+  if (!xtx.ok()) return xtx.status();
+  Result<Matrix> xty = xt.Multiply(y);
+  if (!xty.ok()) return xty.status();
+  Result<Matrix> params = SolveLinearSystem(xtx.value(), xty.value());
+  if (!params.ok()) return params.status();
+  for (size_t c = 0; c < x.cols(); ++c) {
+    params.value().At(c, 0) /= column_scale[c];
+  }
+  return params;
+}
+
+Result<FitResult> FitWithBasis(const Matrix& basis,
+                               const std::vector<double>& y) {
+  if (y.size() != basis.rows() || y.empty()) {
+    return Status::InvalidArgument("FitWithBasis: sample count mismatch");
+  }
+  Result<Matrix> params = LeastSquares(basis, Matrix::ColumnVector(y));
+  if (!params.ok()) return params.status();
+  return FitResultFromParams(basis, y, params.value());
+}
+
+Result<FitResult> FitQuadratic(const std::vector<double>& x,
+                               const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("FitQuadratic: x/y size mismatch");
+  }
+  if (x.size() < 3) {
+    return Status::InvalidArgument("FitQuadratic: need >= 3 samples");
+  }
+  Matrix basis(x.size(), 3);
+  for (size_t i = 0; i < x.size(); ++i) {
+    basis.At(i, 0) = x[i] * x[i];
+    basis.At(i, 1) = x[i];
+    basis.At(i, 2) = 1.0;
+  }
+  return FitWithBasis(basis, y);
+}
+
+Result<FitResult> FitParabolic(const std::vector<double>& x,
+                               const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("FitParabolic: x/y size mismatch");
+  }
+  if (x.size() < 3) {
+    return Status::InvalidArgument("FitParabolic: need >= 3 samples");
+  }
+  Matrix basis(x.size(), 3);
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] == 0.0) {
+      return Status::InvalidArgument("FitParabolic: x values must be nonzero");
+    }
+    basis.At(i, 0) = 1.0 / x[i];
+    basis.At(i, 1) = x[i];
+    basis.At(i, 2) = 1.0;
+  }
+  return FitWithBasis(basis, y);
+}
+
+}  // namespace wsq

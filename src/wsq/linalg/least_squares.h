@@ -1,0 +1,51 @@
+#ifndef WSQ_LINALG_LEAST_SQUARES_H_
+#define WSQ_LINALG_LEAST_SQUARES_H_
+
+#include <vector>
+
+#include "wsq/common/status.h"
+#include "wsq/linalg/matrix.h"
+
+namespace wsq {
+
+/// Solves the square linear system A x = b by Gaussian elimination with
+/// partial pivoting. Returns kInvalidArgument on dimension mismatch and
+/// kFailedPrecondition when A is (numerically) singular.
+Result<Matrix> SolveLinearSystem(const Matrix& a, const Matrix& b);
+
+/// Ordinary least squares: minimizes ||X d - y||_2 via the normal
+/// equations d = (X^T X)^{-1} X^T y — exactly Eq. (10) of the paper.
+/// `x` is the n x p design matrix, `y` the n x 1 observation vector;
+/// requires n >= p. Returns the p x 1 parameter vector.
+Result<Matrix> LeastSquares(const Matrix& x, const Matrix& y);
+
+/// Convenience results of a polynomial-style fit plus quality metrics.
+struct FitResult {
+  /// Fitted parameters, in the order of the supplied basis columns.
+  std::vector<double> params;
+  /// Root-mean-square residual of the fit on the sample set.
+  double rmse = 0.0;
+  /// Coefficient of determination on the sample set (1 = perfect);
+  /// can be negative for degenerate fits.
+  double r_squared = 0.0;
+};
+
+/// Fits y = params[0]*basis_0(x) + ... over paired samples, where the
+/// caller provides each basis column evaluated at the sample x values
+/// (columns of `basis`, one row per sample).
+Result<FitResult> FitWithBasis(const Matrix& basis,
+                               const std::vector<double>& y);
+
+/// Fits the paper's quadratic model  y = a1 x^2 + b1 x + c1 (Eq. 8).
+/// params = {a1, b1, c1}.
+Result<FitResult> FitQuadratic(const std::vector<double>& x,
+                               const std::vector<double>& y);
+
+/// Fits the paper's parabolic model  y = a2/x + b2 x + c2 (Eq. 9).
+/// params = {a2, b2, c2}. All sample x values must be nonzero.
+Result<FitResult> FitParabolic(const std::vector<double>& x,
+                               const std::vector<double>& y);
+
+}  // namespace wsq
+
+#endif  // WSQ_LINALG_LEAST_SQUARES_H_

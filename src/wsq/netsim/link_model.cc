@@ -1,0 +1,55 @@
+#include "wsq/netsim/link_model.h"
+
+#include <algorithm>
+
+namespace wsq {
+
+Status LinkConfig::Validate() const {
+  if (round_trip_latency_ms < 0.0) {
+    return Status::InvalidArgument("latency must be >= 0");
+  }
+  if (bandwidth_mbps <= 0.0) {
+    return Status::InvalidArgument("bandwidth must be > 0");
+  }
+  if (jitter_sigma < 0.0) {
+    return Status::InvalidArgument("jitter sigma must be >= 0");
+  }
+  if (bandwidth_share <= 0.0 || bandwidth_share > 1.0) {
+    return Status::InvalidArgument("bandwidth share must be in (0, 1]");
+  }
+  if (drop_probability < 0.0 || drop_probability >= 1.0) {
+    return Status::InvalidArgument("drop probability must be in [0, 1)");
+  }
+  if (timeout_ms <= 0.0) {
+    return Status::InvalidArgument("timeout must be positive");
+  }
+  return Status::Ok();
+}
+
+void LinkModel::set_bandwidth_share(double share) {
+  config_.bandwidth_share = std::clamp(share, 0.01, 1.0);
+}
+
+double LinkModel::NominalExchangeTimeMs(size_t request_bytes,
+                                        size_t response_bytes) const {
+  const double total_bits =
+      8.0 * static_cast<double>(request_bytes + response_bytes);
+  const double effective_mbps =
+      config_.bandwidth_mbps * config_.bandwidth_share;
+  const double transfer_ms = total_bits / (effective_mbps * 1e6) * 1e3;
+  return config_.round_trip_latency_ms + transfer_ms;
+}
+
+double LinkModel::ExchangeTimeMs(size_t request_bytes, size_t response_bytes,
+                                 Random& rng) const {
+  const double nominal = NominalExchangeTimeMs(request_bytes, response_bytes);
+  if (config_.jitter_sigma <= 0.0) return nominal;
+  return nominal * rng.LognormalMultiplier(config_.jitter_sigma);
+}
+
+bool LinkModel::ExchangeDropped(Random& rng) const {
+  if (config_.drop_probability <= 0.0) return false;
+  return rng.Bernoulli(config_.drop_probability);
+}
+
+}  // namespace wsq

@@ -1,0 +1,64 @@
+#ifndef WSQ_NETSIM_LINK_MODEL_H_
+#define WSQ_NETSIM_LINK_MODEL_H_
+
+#include <cstddef>
+#include <string>
+
+#include "wsq/common/random.h"
+#include "wsq/common/status.h"
+
+namespace wsq {
+
+/// Parameters of a simulated client<->server network path. The defaults
+/// are a mid-range WAN; see presets.h for the paper's concrete setups.
+struct LinkConfig {
+  /// Round-trip propagation + HTTP/TCP handshake latency charged once
+  /// per request/response exchange (milliseconds). This is the fixed
+  /// per-block overhead that makes tiny blocks expensive.
+  double round_trip_latency_ms = 40.0;
+  /// Application-level payload throughput in megabits per second.
+  double bandwidth_mbps = 8.0;
+  /// Lognormal jitter sigma applied multiplicatively to each exchange;
+  /// 0 disables jitter.
+  double jitter_sigma = 0.12;
+  /// Share of the nominal bandwidth available to this flow (cross
+  /// traffic / concurrent queries on the same path reduce it).
+  double bandwidth_share = 1.0;
+  /// Probability that an exchange is lost (the client observes a
+  /// timeout); 0 disables failure injection.
+  double drop_probability = 0.0;
+  /// Wall time a lost exchange costs the client before it gives up.
+  double timeout_ms = 30000.0;
+
+  Status Validate() const;
+};
+
+/// Computes simulated wire times for SOAP exchanges.
+class LinkModel {
+ public:
+  explicit LinkModel(const LinkConfig& config) : config_(config) {}
+
+  const LinkConfig& config() const { return config_; }
+  void set_bandwidth_share(double share);
+
+  /// Time on the wire for one request/response exchange carrying the
+  /// given byte counts, including latency and jitter. `rng` supplies the
+  /// jitter draw.
+  double ExchangeTimeMs(size_t request_bytes, size_t response_bytes,
+                        Random& rng) const;
+
+  /// Draws whether this exchange is dropped (failure injection).
+  bool ExchangeDropped(Random& rng) const;
+
+  /// Deterministic (jitter-free) exchange time; used by tests and the
+  /// analytic ground-truth sweep.
+  double NominalExchangeTimeMs(size_t request_bytes,
+                               size_t response_bytes) const;
+
+ private:
+  LinkConfig config_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_NETSIM_LINK_MODEL_H_

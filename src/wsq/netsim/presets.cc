@@ -1,0 +1,29 @@
+#include "wsq/netsim/presets.h"
+
+namespace wsq {
+
+LinkConfig WanUkToSwitzerland() {
+  LinkConfig config;
+  config.round_trip_latency_ms = 38.0;
+  config.bandwidth_mbps = 9.0;
+  config.jitter_sigma = 0.15;
+  return config;
+}
+
+LinkConfig WanUkToGreece() {
+  LinkConfig config;
+  config.round_trip_latency_ms = 62.0;
+  config.bandwidth_mbps = 6.5;
+  config.jitter_sigma = 0.18;
+  return config;
+}
+
+LinkConfig Lan1Gbps() {
+  LinkConfig config;
+  config.round_trip_latency_ms = 0.7;
+  config.bandwidth_mbps = 1000.0;
+  config.jitter_sigma = 0.05;
+  return config;
+}
+
+}  // namespace wsq

@@ -1,0 +1,24 @@
+#ifndef WSQ_NETSIM_PRESETS_H_
+#define WSQ_NETSIM_PRESETS_H_
+
+#include "wsq/netsim/link_model.h"
+
+namespace wsq {
+
+/// The paper's WAN path for the motivation scenario: server in the UK,
+/// client on a PlanetLab node in Switzerland. High latency, moderate
+/// bandwidth, noticeable cross-traffic jitter.
+LinkConfig WanUkToSwitzerland();
+
+/// The paper's WAN path for Section III-B.1: server in the UK, client in
+/// Greece. Slightly longer path than the Swiss one.
+LinkConfig WanUkToGreece();
+
+/// The paper's LAN setup for Section III-B.2: machines connected via
+/// 1 Gbps Ethernet. Latency-cheap, so the interesting cost shifts to the
+/// server side.
+LinkConfig Lan1Gbps();
+
+}  // namespace wsq
+
+#endif  // WSQ_NETSIM_PRESETS_H_

@@ -1,0 +1,42 @@
+#ifndef WSQ_RELATION_PREDICATE_H_
+#define WSQ_RELATION_PREDICATE_H_
+
+#include <string>
+#include <string_view>
+
+#include "wsq/common/status.h"
+#include "wsq/relation/query.h"
+#include "wsq/relation/schema.h"
+
+namespace wsq {
+
+/// Compiles a filter expression against `schema` into an executable
+/// Predicate. This is the WHERE-clause surface of the wire protocol:
+/// clients put the expression text into OpenSession and the data service
+/// compiles it against the table's schema.
+///
+/// Grammar (case-insensitive keywords):
+///
+///   expr       := term ( OR term )*
+///   term       := factor ( AND factor )*
+///   factor     := NOT factor | '(' expr ')' | comparison
+///   comparison := column op literal
+///   op         := = | != | < | <= | > | >=
+///   literal    := integer | decimal | 'single-quoted string'
+///
+/// Semantics: numeric columns (int64/double) compare numerically against
+/// numeric literals; string columns compare lexicographically against
+/// string literals (with = and != also supported). Comparing a column
+/// against a literal of the wrong kind is a compile-time error, as is an
+/// unknown column name. Inside string literals, '' escapes a quote.
+///
+/// Example:
+///   CompilePredicate(schema,
+///       "c_acctbal >= 1000 AND (c_mktsegment = 'BUILDING' OR "
+///       "c_nationkey < 10)")
+Result<Predicate> CompilePredicate(const Schema& schema,
+                                   std::string_view expression);
+
+}  // namespace wsq
+
+#endif  // WSQ_RELATION_PREDICATE_H_

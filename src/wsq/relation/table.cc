@@ -1,0 +1,17 @@
+#include "wsq/relation/table.h"
+
+namespace wsq {
+
+Status Table::Append(Tuple tuple) {
+  WSQ_RETURN_IF_ERROR(tuple.ConformsTo(schema_));
+  rows_.push_back(std::move(tuple));
+  return Status::Ok();
+}
+
+size_t Table::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const Tuple& t : rows_) bytes += t.ApproxBytes();
+  return bytes;
+}
+
+}  // namespace wsq

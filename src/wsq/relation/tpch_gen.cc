@@ -1,0 +1,147 @@
+#include "wsq/relation/tpch_gen.h"
+
+#include <array>
+#include <cstdio>
+
+#include "wsq/common/random.h"
+
+namespace wsq {
+namespace {
+
+constexpr int64_t kCustomerBaseRows = 150000;
+constexpr int64_t kOrdersBaseRows = 450000;
+
+constexpr std::array<std::string_view, 5> kMarketSegments = {
+    "AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"};
+
+constexpr std::array<std::string_view, 5> kOrderPriorities = {
+    "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"};
+
+constexpr std::array<std::string_view, 24> kCommentWords = {
+    "carefully", "final",    "deposits", "requests", "furiously", "quickly",
+    "packages",  "accounts", "ideas",    "pending",  "express",   "regular",
+    "special",   "bold",     "even",     "theodolites", "platelets", "foxes",
+    "instructions", "slyly", "blithely", "daringly", "dependencies", "asymptotes"};
+
+std::string RandomComment(Random& rng, int min_words, int max_words) {
+  const int64_t words = rng.UniformInt(min_words, max_words);
+  std::string out;
+  for (int64_t i = 0; i < words; ++i) {
+    if (i > 0) out += ' ';
+    out += kCommentWords[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(kCommentWords.size()) - 1))];
+  }
+  return out;
+}
+
+std::string PhoneNumber(Random& rng, int64_t nation_key) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%02d-%03d-%03d-%04d",
+                static_cast<int>(10 + nation_key),
+                static_cast<int>(rng.UniformInt(100, 999)),
+                static_cast<int>(rng.UniformInt(100, 999)),
+                static_cast<int>(rng.UniformInt(1000, 9999)));
+  return std::string(buf);
+}
+
+std::string OrderDate(Random& rng) {
+  char buf[12];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d",
+                static_cast<int>(rng.UniformInt(1992, 1998)),
+                static_cast<int>(rng.UniformInt(1, 12)),
+                static_cast<int>(rng.UniformInt(1, 28)));
+  return std::string(buf);
+}
+
+int64_t RowCount(int64_t base, double scale) {
+  const double rows = static_cast<double>(base) * scale;
+  return rows < 1.0 ? 1 : static_cast<int64_t>(rows);
+}
+
+}  // namespace
+
+Schema CustomerSchema() {
+  return Schema({{"c_custkey", ColumnType::kInt64},
+                 {"c_name", ColumnType::kString},
+                 {"c_address", ColumnType::kString},
+                 {"c_nationkey", ColumnType::kInt64},
+                 {"c_phone", ColumnType::kString},
+                 {"c_acctbal", ColumnType::kDouble},
+                 {"c_mktsegment", ColumnType::kString},
+                 {"c_comment", ColumnType::kString}});
+}
+
+Schema OrdersSchema() {
+  return Schema({{"o_orderkey", ColumnType::kInt64},
+                 {"o_custkey", ColumnType::kInt64},
+                 {"o_orderstatus", ColumnType::kString},
+                 {"o_totalprice", ColumnType::kDouble},
+                 {"o_orderdate", ColumnType::kString},
+                 {"o_orderpriority", ColumnType::kString},
+                 {"o_clerk", ColumnType::kString},
+                 {"o_shippriority", ColumnType::kInt64},
+                 {"o_comment", ColumnType::kString}});
+}
+
+Result<std::shared_ptr<Table>> GenerateCustomer(
+    const TpchGenOptions& options) {
+  if (options.scale <= 0.0) {
+    return Status::InvalidArgument("scale must be positive");
+  }
+  Random rng(options.seed);
+  const int64_t rows = RowCount(kCustomerBaseRows, options.scale);
+  auto table = std::make_shared<Table>("customer", CustomerSchema());
+
+  for (int64_t key = 1; key <= rows; ++key) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "Customer#%09lld",
+                  static_cast<long long>(key));
+    const int64_t nation = rng.UniformInt(0, 24);
+    std::vector<Value> values;
+    values.reserve(8);
+    values.emplace_back(key);
+    values.emplace_back(std::string(name));
+    values.emplace_back(RandomComment(rng, 2, 4));
+    values.emplace_back(nation);
+    values.emplace_back(PhoneNumber(rng, nation));
+    values.emplace_back(rng.Uniform(-999.99, 9999.99));
+    values.emplace_back(std::string(kMarketSegments[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(kMarketSegments.size()) - 1))]));
+    values.emplace_back(RandomComment(rng, 6, 16));
+    table->AppendUnchecked(Tuple(std::move(values)));
+  }
+  return table;
+}
+
+Result<std::shared_ptr<Table>> GenerateOrders(const TpchGenOptions& options) {
+  if (options.scale <= 0.0) {
+    return Status::InvalidArgument("scale must be positive");
+  }
+  Random rng(options.seed + 1);
+  const int64_t rows = RowCount(kOrdersBaseRows, options.scale);
+  const int64_t num_customers = RowCount(kCustomerBaseRows, options.scale);
+  auto table = std::make_shared<Table>("orders", OrdersSchema());
+
+  for (int64_t key = 1; key <= rows; ++key) {
+    char clerk[24];
+    std::snprintf(clerk, sizeof(clerk), "Clerk#%09d",
+                  static_cast<int>(rng.UniformInt(1, 1000)));
+    const char* status_options = "OFP";
+    std::vector<Value> values;
+    values.reserve(9);
+    values.emplace_back(key);
+    values.emplace_back(rng.UniformInt(1, num_customers));
+    values.emplace_back(std::string(1, status_options[rng.UniformInt(0, 2)]));
+    values.emplace_back(rng.Uniform(850.0, 550000.0));
+    values.emplace_back(OrderDate(rng));
+    values.emplace_back(std::string(kOrderPriorities[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(kOrderPriorities.size()) - 1))]));
+    values.emplace_back(std::string(clerk));
+    values.emplace_back(static_cast<int64_t>(0));
+    values.emplace_back(RandomComment(rng, 4, 12));
+    table->AppendUnchecked(Tuple(std::move(values)));
+  }
+  return table;
+}
+
+}  // namespace wsq

@@ -1,0 +1,41 @@
+#ifndef WSQ_RELATION_TPCH_GEN_H_
+#define WSQ_RELATION_TPCH_GEN_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "wsq/common/status.h"
+#include "wsq/relation/table.h"
+
+namespace wsq {
+
+/// Deterministic generator of TPC-H-like relations. The paper retrieves
+/// the Customer relation at scale factor 1 (150K tuples) over the WAN and
+/// a 3x-larger Orders result over the LAN; this generator reproduces the
+/// schemas, key distributions and realistic field widths so serialized
+/// block sizes (bytes/tuple) match the real workload's order of
+/// magnitude.
+struct TpchGenOptions {
+  /// TPC-H-like scale factor; Customer gets 150000 * scale rows.
+  double scale = 1.0;
+  uint64_t seed = 7;
+};
+
+/// Customer: c_custkey, c_name, c_address, c_nationkey, c_phone,
+/// c_acctbal, c_mktsegment, c_comment.
+Result<std::shared_ptr<Table>> GenerateCustomer(const TpchGenOptions& options);
+
+/// Orders (sized per the paper's LAN experiment: 3x the Customer
+/// cardinality, i.e. 450000 * scale rows): o_orderkey, o_custkey,
+/// o_orderstatus, o_totalprice, o_orderdate, o_orderpriority, o_clerk,
+/// o_shippriority, o_comment.
+Result<std::shared_ptr<Table>> GenerateOrders(const TpchGenOptions& options);
+
+/// The exact schemas, exposed so tests and services can validate without
+/// generating data.
+Schema CustomerSchema();
+Schema OrdersSchema();
+
+}  // namespace wsq
+
+#endif  // WSQ_RELATION_TPCH_GEN_H_

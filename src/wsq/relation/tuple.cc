@@ -1,0 +1,58 @@
+#include "wsq/relation/tuple.h"
+
+#include <sstream>
+
+namespace wsq {
+
+Status Tuple::ConformsTo(const Schema& schema) const {
+  if (values_.size() != schema.num_columns()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(values_.size()) +
+        " does not match schema arity " +
+        std::to_string(schema.num_columns()));
+  }
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (TypeOf(values_[i]) != schema.column(i).type) {
+      return Status::InvalidArgument(
+          "type mismatch in column " + schema.column(i).name);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Tuple> Tuple::Project(const std::vector<size_t>& indices) const {
+  std::vector<Value> projected;
+  projected.reserve(indices.size());
+  for (size_t idx : indices) {
+    if (idx >= values_.size()) {
+      return Status::OutOfRange("projection index out of range");
+    }
+    projected.push_back(values_[idx]);
+  }
+  return Tuple(std::move(projected));
+}
+
+size_t Tuple::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const Value& v : values_) {
+    if (const auto* s = std::get_if<std::string>(&v)) {
+      bytes += s->size();
+    } else {
+      bytes += 8;
+    }
+  }
+  return bytes;
+}
+
+std::string Tuple::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << ValueToString(values_[i]);
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace wsq

@@ -1,0 +1,49 @@
+#ifndef WSQ_RELATION_TUPLE_SERIALIZER_H_
+#define WSQ_RELATION_TUPLE_SERIALIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "wsq/common/status.h"
+#include "wsq/relation/schema.h"
+#include "wsq/relation/tuple.h"
+
+namespace wsq {
+
+/// Text wire format for result blocks inside the SOAP payload: one row
+/// per line, fields separated by '|', with backslash escaping of the
+/// delimiter, backslash and newline (a deliberately OGSA-DAI-ish
+/// delimited format — verbose like the real WebRowSet payloads, cheap to
+/// parse).
+class TupleSerializer {
+ public:
+  explicit TupleSerializer(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// Serializes one tuple (no trailing newline). Type-checks against the
+  /// schema.
+  Result<std::string> Serialize(const Tuple& tuple) const;
+
+  /// Serializes a whole block, newline-terminated rows.
+  Result<std::string> SerializeBlock(const std::vector<Tuple>& block) const;
+
+  /// Parses one row produced by Serialize().
+  Result<Tuple> Deserialize(const std::string& line) const;
+
+  /// Parses a whole block produced by SerializeBlock().
+  Result<std::vector<Tuple>> DeserializeBlock(const std::string& data) const;
+
+ private:
+  Schema schema_;
+};
+
+/// Escapes '|', '\' and newline with backslashes.
+std::string EscapeField(const std::string& raw);
+
+/// Inverse of EscapeField; kInvalidArgument on a dangling escape.
+Result<std::string> UnescapeField(const std::string& escaped);
+
+}  // namespace wsq
+
+#endif  // WSQ_RELATION_TUPLE_SERIALIZER_H_

@@ -1,0 +1,26 @@
+#include "wsq/server/container.h"
+
+namespace wsq {
+
+ServiceContainer::ServiceContainer(Service* service,
+                                   const LoadModelConfig& load, uint64_t seed)
+    : service_(service), load_model_(load), rng_(seed) {}
+
+DispatchResult ServiceContainer::Dispatch(
+    const std::string& request_document) {
+  ServiceResult handled = service_->Handle(request_document);
+
+  DispatchResult result;
+  result.response = std::move(handled.response);
+  result.is_fault = handled.is_fault;
+  // Block-producing requests pay the full tuple-dependent cost; session
+  // management and faults pay only the envelope-handling cost.
+  result.service_time_ms =
+      load_model_.ServiceTimeMs(handled.tuples_produced, rng_);
+
+  total_busy_ms_ += result.service_time_ms;
+  ++requests_served_;
+  return result;
+}
+
+}  // namespace wsq

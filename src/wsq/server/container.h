@@ -1,0 +1,53 @@
+#ifndef WSQ_SERVER_CONTAINER_H_
+#define WSQ_SERVER_CONTAINER_H_
+
+#include <string>
+
+#include "wsq/common/random.h"
+#include "wsq/server/load_model.h"
+#include "wsq/server/service.h"
+
+namespace wsq {
+
+/// One dispatched request: the response document plus the simulated
+/// server residence time the network layer should charge.
+struct DispatchResult {
+  std::string response;
+  double service_time_ms = 0.0;
+  bool is_fault = false;
+};
+
+/// The Tomcat stand-in: hosts a Service (data retrieval, processing,
+/// ...) and converts its work accounting into simulated processing time
+/// via the LoadModel. Block production/processing pays per-request +
+/// per-tuple CPU plus the paging penalty when the block exceeds the
+/// effective buffer; session management ops pay the per-request cost
+/// only.
+class ServiceContainer {
+ public:
+  /// `service` must outlive the container. The load model is owned and
+  /// reconfigurable mid-run (experiments add/remove load).
+  ServiceContainer(Service* service, const LoadModelConfig& load,
+                   uint64_t seed);
+
+  /// Dispatches one raw SOAP document.
+  DispatchResult Dispatch(const std::string& request_document);
+
+  LoadModel& load_model() { return load_model_; }
+  const LoadModel& load_model() const { return load_model_; }
+
+  /// Total simulated busy time, for utilization-style assertions.
+  double total_busy_ms() const { return total_busy_ms_; }
+  int64_t requests_served() const { return requests_served_; }
+
+ private:
+  Service* service_;
+  LoadModel load_model_;
+  Random rng_;
+  double total_busy_ms_ = 0.0;
+  int64_t requests_served_ = 0;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_SERVER_CONTAINER_H_

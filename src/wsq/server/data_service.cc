@@ -1,0 +1,133 @@
+#include "wsq/server/data_service.h"
+
+#include "wsq/soap/envelope.h"
+
+namespace wsq {
+
+ServiceResult DataService::Fault(std::string_view code,
+                                 std::string_view message) {
+  ServiceResult result;
+  result.response = BuildFaultEnvelope(
+      SoapFault{std::string(code), std::string(message)});
+  result.is_fault = true;
+  return result;
+}
+
+ServiceResult DataService::Handle(const std::string& request_document) {
+  Result<XmlNode> payload = ParseEnvelope(request_document);
+  if (!payload.ok()) {
+    return Fault("Client", payload.status().ToString());
+  }
+  Result<RequestKind> kind = ClassifyRequest(payload.value());
+  if (!kind.ok()) {
+    return Fault("Client", kind.status().ToString());
+  }
+  switch (kind.value()) {
+    case RequestKind::kOpenSession:
+      return HandleOpenSession(payload.value());
+    case RequestKind::kRequestBlock:
+      return HandleRequestBlock(payload.value());
+    case RequestKind::kCloseSession:
+      return HandleCloseSession(payload.value());
+  }
+  return Fault("Server", "unreachable dispatch");
+}
+
+ServiceResult DataService::HandleOpenSession(const XmlNode& payload) {
+  Result<OpenSessionRequest> request = DecodeOpenSession(payload);
+  if (!request.ok()) {
+    return Fault("Client", request.status().ToString());
+  }
+
+  ScanProjectQuery query;
+  query.table_name = request.value().table;
+  query.projected_columns = request.value().columns;
+  query.filter = request.value().filter;
+
+  Result<std::unique_ptr<QueryCursor>> cursor = dbms_->OpenCursor(query);
+  if (!cursor.ok()) {
+    return Fault("Client", cursor.status().ToString());
+  }
+
+  Result<std::shared_ptr<Table>> table =
+      dbms_->GetTable(request.value().table);
+  if (!table.ok()) {
+    return Fault("Client", table.status().ToString());
+  }
+
+  Session session;
+  session.serializer = std::make_unique<TupleSerializer>(
+      cursor.value()->output_schema());
+  session.cursor = std::move(cursor).value();
+
+  const int64_t id = next_session_id_++;
+  sessions_.emplace(id, std::move(session));
+
+  OpenSessionResponse response;
+  response.session_id = id;
+  response.total_rows = static_cast<int64_t>(table.value()->num_rows());
+
+  ServiceResult result;
+  result.response = EncodeOpenSessionResponse(response);
+  return result;
+}
+
+ServiceResult DataService::HandleRequestBlock(const XmlNode& payload) {
+  Result<RequestBlockRequest> request = DecodeRequestBlock(payload);
+  if (!request.ok()) {
+    return Fault("Client", request.status().ToString());
+  }
+  auto it = sessions_.find(request.value().session_id);
+  if (it == sessions_.end()) {
+    return Fault("Client", "unknown session id " +
+                               std::to_string(request.value().session_id));
+  }
+  if (request.value().block_size < 1) {
+    return Fault("Client", "block size must be >= 1");
+  }
+
+  Session& session = it->second;
+  Result<std::vector<Tuple>> block =
+      session.cursor->FetchBlock(request.value().block_size);
+  if (!block.ok()) {
+    return Fault("Server", block.status().ToString());
+  }
+  Result<std::string> serialized =
+      session.serializer->SerializeBlock(block.value());
+  if (!serialized.ok()) {
+    return Fault("Server", serialized.status().ToString());
+  }
+
+  BlockResponse response;
+  response.session_id = request.value().session_id;
+  response.num_tuples = static_cast<int64_t>(block.value().size());
+  response.end_of_results = session.cursor->exhausted();
+  response.payload = std::move(serialized).value();
+
+  ServiceResult result;
+  result.tuples_produced = response.num_tuples;
+  result.response = EncodeBlockResponse(response);
+  return result;
+}
+
+ServiceResult DataService::HandleCloseSession(const XmlNode& payload) {
+  Result<CloseSessionRequest> request = DecodeCloseSession(payload);
+  if (!request.ok()) {
+    return Fault("Client", request.status().ToString());
+  }
+  auto it = sessions_.find(request.value().session_id);
+  if (it == sessions_.end()) {
+    return Fault("Client", "unknown session id " +
+                               std::to_string(request.value().session_id));
+  }
+  sessions_.erase(it);
+
+  CloseSessionResponse response;
+  response.session_id = request.value().session_id;
+
+  ServiceResult result;
+  result.response = EncodeCloseSessionResponse(response);
+  return result;
+}
+
+}  // namespace wsq

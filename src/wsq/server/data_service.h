@@ -1,0 +1,53 @@
+#ifndef WSQ_SERVER_DATA_SERVICE_H_
+#define WSQ_SERVER_DATA_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "wsq/common/status.h"
+#include "wsq/relation/tuple_serializer.h"
+#include "wsq/server/dbms.h"
+#include "wsq/server/service.h"
+#include "wsq/soap/message.h"
+
+namespace wsq {
+
+/// The OGSA-DAI-style data service endpoint: wraps a Dbms, owns
+/// per-session query cursors, and speaks the message vocabulary of
+/// soap/message.h. Faults (unknown table, bad session, malformed XML)
+/// are returned as SOAP faults, never as C++ errors — exactly what a
+/// remote client would observe.
+class DataService final : public Service {
+ public:
+  /// `dbms` must outlive the service.
+  explicit DataService(const Dbms* dbms) : dbms_(dbms) {}
+
+  DataService(const DataService&) = delete;
+  DataService& operator=(const DataService&) = delete;
+
+  ServiceResult Handle(const std::string& request_document) override;
+
+  size_t open_sessions() const { return sessions_.size(); }
+
+ private:
+  struct Session {
+    std::unique_ptr<QueryCursor> cursor;
+    std::unique_ptr<TupleSerializer> serializer;
+  };
+
+  ServiceResult HandleOpenSession(const XmlNode& payload);
+  ServiceResult HandleRequestBlock(const XmlNode& payload);
+  ServiceResult HandleCloseSession(const XmlNode& payload);
+
+  static ServiceResult Fault(std::string_view code, std::string_view message);
+
+  const Dbms* dbms_;
+  int64_t next_session_id_ = 1;
+  std::map<int64_t, Session> sessions_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_SERVER_DATA_SERVICE_H_

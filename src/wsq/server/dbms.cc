@@ -1,0 +1,32 @@
+#include "wsq/server/dbms.h"
+
+namespace wsq {
+
+Status Dbms::RegisterTable(std::shared_ptr<Table> table) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("RegisterTable: null table");
+  }
+  auto [it, inserted] = tables_.emplace(table->name(), table);
+  if (!inserted) {
+    return Status::InvalidArgument("table already registered: " +
+                                   table->name());
+  }
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<Table>> Dbms::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named " + name);
+  }
+  return it->second;
+}
+
+Result<std::unique_ptr<QueryCursor>> Dbms::OpenCursor(
+    const ScanProjectQuery& query) const {
+  Result<std::shared_ptr<Table>> table = GetTable(query.table_name);
+  if (!table.ok()) return table.status();
+  return QueryCursor::Open(table.value().get(), query);
+}
+
+}  // namespace wsq

@@ -1,0 +1,77 @@
+#include "wsq/server/load_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wsq {
+
+Status LoadModelConfig::Validate() const {
+  if (concurrent_jobs < 0) {
+    return Status::InvalidArgument("concurrent_jobs must be >= 0");
+  }
+  if (concurrent_queries < 1) {
+    return Status::InvalidArgument("concurrent_queries must be >= 1");
+  }
+  if (memory_pressure < 0.0 || memory_pressure >= 1.0) {
+    return Status::InvalidArgument("memory_pressure must be in [0, 1)");
+  }
+  if (buffer_capacity_tuples <= 0.0) {
+    return Status::InvalidArgument("buffer_capacity_tuples must be > 0");
+  }
+  if (job_buffer_shrink < 0.0 || query_buffer_shrink < 0.0) {
+    return Status::InvalidArgument("buffer shrink factors must be >= 0");
+  }
+  if (per_tuple_cpu_ms < 0.0 || per_request_cpu_ms < 0.0 ||
+      paging_penalty_ms < 0.0) {
+    return Status::InvalidArgument("cost coefficients must be >= 0");
+  }
+  if (noise_sigma < 0.0) {
+    return Status::InvalidArgument("noise_sigma must be >= 0");
+  }
+  return Status::Ok();
+}
+
+double LoadModel::CpuMultiplier() const {
+  return 1.0 +
+         config_.job_slowdown * static_cast<double>(config_.concurrent_jobs) +
+         config_.query_slowdown *
+             static_cast<double>(config_.concurrent_queries - 1);
+}
+
+double LoadModel::EffectiveBufferTuples() const {
+  const double job_factor =
+      1.0 + config_.job_buffer_shrink *
+                static_cast<double>(config_.concurrent_jobs);
+  const double query_factor =
+      1.0 + config_.query_buffer_shrink *
+                static_cast<double>(config_.concurrent_queries - 1);
+  const double shared =
+      config_.buffer_capacity_tuples / (job_factor * query_factor);
+  return std::max(shared * (1.0 - config_.memory_pressure), 1.0);
+}
+
+double LoadModel::NominalServiceTimeMs(int64_t block_tuples) const {
+  const double tuples = static_cast<double>(std::max<int64_t>(block_tuples, 0));
+  const double multiplier = CpuMultiplier();
+  double time_ms = multiplier * (config_.per_request_cpu_ms +
+                                 config_.per_tuple_cpu_ms * tuples);
+
+  // Blocks larger than the effective buffer page: the overshoot costs
+  // quadratically, which creates the concave right side of the
+  // response-time profile and the order-of-magnitude blowups of Fig. 2(b).
+  const double buffer = EffectiveBufferTuples();
+  const double overshoot = tuples - buffer;
+  if (overshoot > 0.0) {
+    time_ms += multiplier * config_.paging_penalty_ms * overshoot * overshoot /
+               std::sqrt(buffer);
+  }
+  return time_ms;
+}
+
+double LoadModel::ServiceTimeMs(int64_t block_tuples, Random& rng) const {
+  const double nominal = NominalServiceTimeMs(block_tuples);
+  if (config_.noise_sigma <= 0.0) return nominal;
+  return nominal * rng.LognormalMultiplier(config_.noise_sigma);
+}
+
+}  // namespace wsq

@@ -1,0 +1,82 @@
+#ifndef WSQ_SERVER_LOAD_MODEL_H_
+#define WSQ_SERVER_LOAD_MODEL_H_
+
+#include <string>
+
+#include "wsq/common/random.h"
+#include "wsq/common/status.h"
+
+namespace wsq {
+
+/// Server-side load environment — the knob the paper's experiments turn:
+/// concurrent non-database jobs on the web server (Fig. 1), concurrent
+/// queries sharing the WS + DBMS + network (Fig. 2a), and
+/// memory-intensive jobs shrinking the usable buffer (Fig. 2b, conf1.3).
+struct LoadModelConfig {
+  /// Non-database jobs competing for the web server's CPU. Each adds a
+  /// fractional slowdown to per-request and per-tuple processing.
+  int concurrent_jobs = 0;
+  /// Queries being answered concurrently, *including* this one; >= 1.
+  /// They share CPU, the DBMS and server memory.
+  int concurrent_queries = 1;
+  /// Extra memory pressure in [0, 1) from memory-intensive jobs;
+  /// shrinks the effective buffer.
+  double memory_pressure = 0.0;
+
+  /// Tuples the server can buffer for one session before paging sets in;
+  /// the source of the superlinear right side of the profile.
+  double buffer_capacity_tuples = 9700.0;
+  /// Fractional buffer shrink per concurrent job / per extra concurrent
+  /// query — what shifts the optimum block size left under load
+  /// (paper Figs. 1-2).
+  double job_buffer_shrink = 0.03;
+  double query_buffer_shrink = 0.35;
+  /// Cost (ms) to scan + serialize one tuple, unloaded.
+  double per_tuple_cpu_ms = 0.010;
+  /// Cost (ms) to parse the SOAP request, dispatch, and build the
+  /// response envelope, unloaded.
+  double per_request_cpu_ms = 3.0;
+  /// Coefficient of the quadratic paging penalty beyond the buffer.
+  double paging_penalty_ms = 0.006;
+  /// CPU slowdown contributed by each concurrent job/query.
+  double job_slowdown = 0.12;
+  double query_slowdown = 0.45;
+  /// Multiplicative noise sigma on service times (server-side jitter).
+  double noise_sigma = 0.10;
+
+  Status Validate() const;
+};
+
+/// Converts a block request into simulated server processing time.
+class LoadModel {
+ public:
+  explicit LoadModel(const LoadModelConfig& config) : config_(config) {}
+
+  const LoadModelConfig& config() const { return config_; }
+
+  /// Live reconfiguration: experiments change the load mid-run (e.g. a
+  /// third query arriving).
+  void set_config(const LoadModelConfig& config) { config_ = config; }
+
+  /// CPU slowdown multiplier from concurrent jobs and queries.
+  double CpuMultiplier() const;
+
+  /// Effective per-session buffer after memory pressure and sharing
+  /// across concurrent queries.
+  double EffectiveBufferTuples() const;
+
+  /// Deterministic service time (ms) for producing one block of
+  /// `block_tuples` tuples: request handling + scan/serialize + paging
+  /// penalty when the block exceeds the effective buffer.
+  double NominalServiceTimeMs(int64_t block_tuples) const;
+
+  /// NominalServiceTimeMs with multiplicative server noise.
+  double ServiceTimeMs(int64_t block_tuples, Random& rng) const;
+
+ private:
+  LoadModelConfig config_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_SERVER_LOAD_MODEL_H_

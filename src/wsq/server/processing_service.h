@@ -1,0 +1,69 @@
+#ifndef WSQ_SERVER_PROCESSING_SERVICE_H_
+#define WSQ_SERVER_PROCESSING_SERVICE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "wsq/common/status.h"
+#include "wsq/relation/tuple_serializer.h"
+#include "wsq/server/service.h"
+#include "wsq/soap/message.h"
+
+namespace wsq {
+
+/// Per-tuple transform applied by a processing function. Returning an
+/// error makes the whole block request fault (remote functions are
+/// all-or-nothing per call, like a WS operation).
+using TupleTransform = std::function<Result<Tuple>(const Tuple&)>;
+
+/// A registered server-side function: input/output schemas plus the
+/// transform.
+struct ProcessingFunction {
+  Schema input_schema;
+  Schema output_schema;
+  TupleTransform transform;
+};
+
+/// The WS-management-system-style endpoint of the paper's setting:
+/// "functions called from within database queries" exposed as a web
+/// service, invoked with *blocks* of tuples whose size the client-side
+/// controller tunes — the push-direction dual of DataService.
+///
+/// Typical uses: lookups, enrichment, scoring — anything mapping one
+/// input tuple to one output tuple.
+class ProcessingService final : public Service {
+ public:
+  ProcessingService() = default;
+
+  ProcessingService(const ProcessingService&) = delete;
+  ProcessingService& operator=(const ProcessingService&) = delete;
+
+  /// Registers `function` under `name`; kInvalidArgument when the name
+  /// is taken or the transform is null.
+  Status RegisterFunction(const std::string& name,
+                          ProcessingFunction function);
+
+  /// The schemas of a registered function (clients need them to build
+  /// serializers); kNotFound when absent.
+  Result<const ProcessingFunction*> GetFunction(
+      const std::string& name) const;
+
+  ServiceResult Handle(const std::string& request_document) override;
+
+  int64_t tuples_processed() const { return tuples_processed_; }
+
+ private:
+  ServiceResult HandleProcessBlock(const XmlNode& payload);
+
+  static ServiceResult Fault(std::string_view code,
+                             std::string_view message);
+
+  std::map<std::string, ProcessingFunction> functions_;
+  int64_t tuples_processed_ = 0;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_SERVER_PROCESSING_SERVICE_H_

@@ -1,0 +1,35 @@
+#ifndef WSQ_SERVER_SERVICE_H_
+#define WSQ_SERVER_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace wsq {
+
+/// Outcome of one service invocation: the SOAP response document plus
+/// the work accounting the container converts into simulated time.
+struct ServiceResult {
+  std::string response;
+  /// Tuples produced/processed by this invocation (0 for session
+  /// management ops); drives the tuple-dependent part of the simulated
+  /// service time.
+  int64_t tuples_produced = 0;
+  /// True when the response is a SOAP fault.
+  bool is_fault = false;
+};
+
+/// A web service endpoint hosted by a ServiceContainer. Implementations
+/// parse the SOAP request, do the work, and answer with either a
+/// response envelope or a fault — never a C++ error; remote callers can
+/// only ever see documents.
+class Service {
+ public:
+  virtual ~Service() = default;
+
+  /// Handles one raw SOAP request document.
+  virtual ServiceResult Handle(const std::string& request_document) = 0;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_SERVER_SERVICE_H_

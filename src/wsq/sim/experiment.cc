@@ -1,0 +1,115 @@
+#include "wsq/sim/experiment.h"
+
+#include <algorithm>
+
+namespace wsq {
+namespace {
+
+/// Folds per-run step traces into the summary's per-step mean decisions.
+void FoldDecisions(const std::vector<std::vector<int64_t>>& per_run_decisions,
+                   RepeatedRunSummary* summary) {
+  if (per_run_decisions.empty()) return;
+  size_t min_len = per_run_decisions.front().size();
+  for (const auto& run : per_run_decisions) {
+    min_len = std::min(min_len, run.size());
+  }
+  summary->mean_decision_per_step.assign(min_len, 0.0);
+  for (const auto& run : per_run_decisions) {
+    for (size_t i = 0; i < min_len; ++i) {
+      summary->mean_decision_per_step[i] +=
+          static_cast<double>(run[i]) /
+          static_cast<double>(per_run_decisions.size());
+    }
+  }
+}
+
+}  // namespace
+
+double RepeatedRunSummary::NormalizedMean(double optimum_ms) const {
+  if (optimum_ms <= 0.0) return 0.0;
+  return total_time_ms.mean() / optimum_ms;
+}
+
+Result<RepeatedRunSummary> RunRepeated(
+    const ControllerFactoryFn& make_controller,
+    const ResponseProfile& profile, int runs, const SimOptions& options) {
+  if (runs < 1) {
+    return Status::InvalidArgument("RunRepeated: runs must be >= 1");
+  }
+  RepeatedRunSummary summary;
+  std::vector<std::vector<int64_t>> decisions;
+  decisions.reserve(static_cast<size_t>(runs));
+
+  for (int run = 0; run < runs; ++run) {
+    std::unique_ptr<Controller> controller = make_controller();
+    if (controller == nullptr) {
+      return Status::InvalidArgument("RunRepeated: factory returned null");
+    }
+    if (run == 0) summary.controller_name = controller->name();
+
+    SimOptions run_options = options;
+    run_options.seed = options.seed + static_cast<uint64_t>(run) * 104729;
+    SimEngine engine(run_options);
+    Result<SimRunResult> result = engine.RunQuery(controller.get(), profile);
+    if (!result.ok()) return result.status();
+
+    summary.total_time_ms.Add(result.value().total_time_ms);
+    std::vector<int64_t> run_decisions;
+    run_decisions.reserve(result.value().steps.size());
+    for (const SimStep& step : result.value().steps) {
+      run_decisions.push_back(step.block_size);
+    }
+    if (!run_decisions.empty()) {
+      summary.final_block_size.Add(
+          static_cast<double>(run_decisions.back()));
+    }
+    decisions.push_back(std::move(run_decisions));
+  }
+  FoldDecisions(decisions, &summary);
+  return summary;
+}
+
+Result<RepeatedRunSummary> RunRepeatedSchedule(
+    const ControllerFactoryFn& make_controller,
+    const std::vector<const ResponseProfile*>& schedule,
+    int64_t steps_per_profile, int64_t total_steps, int runs,
+    const SimOptions& options) {
+  if (runs < 1) {
+    return Status::InvalidArgument("RunRepeatedSchedule: runs must be >= 1");
+  }
+  RepeatedRunSummary summary;
+  std::vector<std::vector<int64_t>> decisions;
+  decisions.reserve(static_cast<size_t>(runs));
+
+  for (int run = 0; run < runs; ++run) {
+    std::unique_ptr<Controller> controller = make_controller();
+    if (controller == nullptr) {
+      return Status::InvalidArgument(
+          "RunRepeatedSchedule: factory returned null");
+    }
+    if (run == 0) summary.controller_name = controller->name();
+
+    SimOptions run_options = options;
+    run_options.seed = options.seed + static_cast<uint64_t>(run) * 104729;
+    SimEngine engine(run_options);
+    Result<SimRunResult> result = engine.RunSchedule(
+        controller.get(), schedule, steps_per_profile, total_steps);
+    if (!result.ok()) return result.status();
+
+    summary.total_time_ms.Add(result.value().total_time_ms);
+    std::vector<int64_t> run_decisions;
+    run_decisions.reserve(result.value().steps.size());
+    for (const SimStep& step : result.value().steps) {
+      run_decisions.push_back(step.block_size);
+    }
+    if (!run_decisions.empty()) {
+      summary.final_block_size.Add(
+          static_cast<double>(run_decisions.back()));
+    }
+    decisions.push_back(std::move(run_decisions));
+  }
+  FoldDecisions(decisions, &summary);
+  return summary;
+}
+
+}  // namespace wsq

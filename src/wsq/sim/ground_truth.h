@@ -1,0 +1,43 @@
+#ifndef WSQ_SIM_GROUND_TRUTH_H_
+#define WSQ_SIM_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "wsq/common/status.h"
+#include "wsq/control/controller.h"
+#include "wsq/sim/profile.h"
+#include "wsq/sim/sim_engine.h"
+#include "wsq/stats/running_stats.h"
+
+namespace wsq {
+
+/// One point of a fixed-block-size sweep: mean and stddev of the query
+/// response time over the repeated runs — the data behind paper Figs. 3,
+/// 6(a) and 7(a).
+struct SweepPoint {
+  int64_t block_size = 0;
+  double mean_ms = 0.0;
+  double stddev_ms = 0.0;
+};
+
+struct GroundTruth {
+  std::vector<SweepPoint> sweep;
+  /// The post-mortem optimum: the fixed size with the lowest mean time.
+  int64_t optimum_block_size = 0;
+  double optimum_mean_ms = 0.0;
+};
+
+/// Runs `runs` noisy fixed-size queries at each block size on the grid
+/// {min, min+step, ..., max} (max always included) and returns the sweep
+/// plus the empirical optimum — the paper's methodology for defining
+/// "1.0" in its normalized tables ("the optimum block size ... can be
+/// defined only through a post-mortem analysis").
+Result<GroundTruth> ComputeGroundTruth(const ResponseProfile& profile,
+                                       const BlockSizeLimits& limits,
+                                       int64_t grid_step, int runs,
+                                       const SimOptions& options);
+
+}  // namespace wsq
+
+#endif  // WSQ_SIM_GROUND_TRUTH_H_

@@ -1,0 +1,85 @@
+#include "wsq/sim/profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wsq {
+
+double ParametricProfile::AggregateMs(double block_size) const {
+  const double x = std::max(block_size, 1.0);
+  const double n = static_cast<double>(params_.dataset_tuples);
+  const double blocks = n / x;
+
+  double total = params_.overhead_ms * blocks;
+  total += params_.per_tuple_ms * n;
+  total += params_.slope_ms * x;
+
+  const double overshoot = x - params_.buffer_tuples;
+  if (overshoot > 0.0 && params_.paging_ms > 0.0) {
+    total += blocks * params_.paging_ms * overshoot * overshoot /
+             std::sqrt(params_.buffer_tuples);
+  }
+
+  for (const ProfileBump& bump : params_.bumps) {
+    const double z = (x - bump.center) / bump.width;
+    total += bump.height_ms * std::exp(-0.5 * z * z);
+  }
+  return total;
+}
+
+Result<TabulatedProfile> TabulatedProfile::Create(
+    std::string name, int64_t dataset_tuples,
+    std::vector<std::pair<double, double>> points) {
+  if (points.empty()) {
+    return Status::InvalidArgument("TabulatedProfile: no points");
+  }
+  for (size_t i = 1; i < points.size(); ++i) {
+    if (points[i].first <= points[i - 1].first) {
+      return Status::InvalidArgument(
+          "TabulatedProfile: block sizes must be strictly increasing");
+    }
+  }
+  if (dataset_tuples < 1) {
+    return Status::InvalidArgument("TabulatedProfile: dataset must be >= 1");
+  }
+  return TabulatedProfile(std::move(name), dataset_tuples, std::move(points));
+}
+
+double TabulatedProfile::AggregateMs(double block_size) const {
+  if (block_size <= points_.front().first) return points_.front().second;
+  if (block_size >= points_.back().first) return points_.back().second;
+  // Binary search for the enclosing segment.
+  size_t lo = 0;
+  size_t hi = points_.size() - 1;
+  while (hi - lo > 1) {
+    const size_t mid = (lo + hi) / 2;
+    if (points_[mid].first <= block_size) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const auto& [x0, y0] = points_[lo];
+  const auto& [x1, y1] = points_[hi];
+  const double frac = (block_size - x0) / (x1 - x0);
+  return y0 + frac * (y1 - y0);
+}
+
+int64_t NoiseFreeOptimum(const ResponseProfile& profile, int64_t min_size,
+                         int64_t max_size, int64_t step) {
+  int64_t best_x = min_size;
+  double best_y = profile.AggregateMs(static_cast<double>(min_size));
+  for (int64_t x = min_size; x <= max_size; x += std::max<int64_t>(step, 1)) {
+    const double y = profile.AggregateMs(static_cast<double>(x));
+    if (y < best_y) {
+      best_y = y;
+      best_x = x;
+    }
+  }
+  // Make sure the exact upper limit is considered.
+  const double y_max = profile.AggregateMs(static_cast<double>(max_size));
+  if (y_max < best_y) best_x = max_size;
+  return best_x;
+}
+
+}  // namespace wsq

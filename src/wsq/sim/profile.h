@@ -1,0 +1,126 @@
+#ifndef WSQ_SIM_PROFILE_H_
+#define WSQ_SIM_PROFILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wsq/common/status.h"
+
+namespace wsq {
+
+/// A response-time profile: the noise-free relation between the block
+/// size and the aggregate response time for retrieving one complete
+/// dataset (the curves of paper Figs. 1-3, 6(a), 7(a)). The simulation
+/// engine layers noise, drift and switching on top.
+class ResponseProfile {
+ public:
+  virtual ~ResponseProfile() = default;
+
+  /// Total response time (ms) for pulling the entire dataset at a fixed
+  /// block size of `block_size` tuples.
+  virtual double AggregateMs(double block_size) const = 0;
+
+  /// Number of tuples in the dataset the profile describes.
+  virtual int64_t dataset_tuples() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Per-tuple cost (ms/tuple) at `block_size` — the metric controllers
+  /// consume.
+  double PerTupleMs(double block_size) const {
+    return AggregateMs(block_size) /
+           static_cast<double>(dataset_tuples());
+  }
+
+  /// Cost of one block of `block_size` tuples.
+  double PerBlockMs(double block_size) const {
+    return PerTupleMs(block_size) * block_size;
+  }
+};
+
+/// A Gaussian bump added to a parametric profile, modelling the local
+/// optimum points the paper observes on both sides of the global one.
+struct ProfileBump {
+  /// Center (tuples), width (tuples), and peak height (ms, may be
+  /// negative to carve a local dip).
+  double center = 0.0;
+  double width = 1.0;
+  double height_ms = 0.0;
+};
+
+/// Parametric profile
+///
+///   T(x) = overhead_ms * N / x            (per-block latency, amortized)
+///        + per_tuple_ms * N               (size-independent work)
+///        + slope_ms * x                   (linear memory/buffer cost)
+///        + (N / x) * paging_ms * max(0, x - buffer)^2 / sqrt(buffer)
+///        + sum of Gaussian bumps
+///
+/// The first two terms give the classic 1/x decay, the last two the
+/// concave right side whose severity grows with load; bumps inject local
+/// minima.
+class ParametricProfile final : public ResponseProfile {
+ public:
+  struct Params {
+    std::string name = "parametric";
+    int64_t dataset_tuples = 150000;
+    /// Fixed cost charged per block (latency + request handling), ms.
+    double overhead_ms = 50.0;
+    /// Cost per tuple independent of blocking, ms.
+    double per_tuple_ms = 0.2;
+    /// Linear growth with the block size, ms per tuple of block size.
+    double slope_ms = 0.0;
+    /// Paging penalty coefficient and buffer knee (tuples).
+    double paging_ms = 0.0;
+    double buffer_tuples = 1e12;
+    std::vector<ProfileBump> bumps;
+  };
+
+  explicit ParametricProfile(Params params) : params_(std::move(params)) {}
+
+  double AggregateMs(double block_size) const override;
+  int64_t dataset_tuples() const override { return params_.dataset_tuples; }
+  std::string name() const override { return params_.name; }
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+/// Piecewise-linear profile over tabulated (block_size, aggregate_ms)
+/// points; extrapolates flat beyond the table. Useful for encoding
+/// measured curves directly.
+class TabulatedProfile final : public ResponseProfile {
+ public:
+  /// Points must be non-empty with strictly increasing block sizes.
+  static Result<TabulatedProfile> Create(
+      std::string name, int64_t dataset_tuples,
+      std::vector<std::pair<double, double>> points);
+
+  double AggregateMs(double block_size) const override;
+  int64_t dataset_tuples() const override { return dataset_tuples_; }
+  std::string name() const override { return name_; }
+
+ private:
+  TabulatedProfile(std::string name, int64_t dataset_tuples,
+                   std::vector<std::pair<double, double>> points)
+      : name_(std::move(name)),
+        dataset_tuples_(dataset_tuples),
+        points_(std::move(points)) {}
+
+  std::string name_;
+  int64_t dataset_tuples_;
+  std::vector<std::pair<double, double>> points_;
+};
+
+/// Finds the minimizing block size of a (noise-free) profile over
+/// [min_size, max_size] by grid search with `step` granularity.
+int64_t NoiseFreeOptimum(const ResponseProfile& profile, int64_t min_size,
+                         int64_t max_size, int64_t step = 50);
+
+}  // namespace wsq
+
+#endif  // WSQ_SIM_PROFILE_H_

@@ -1,0 +1,86 @@
+#include "wsq/sim/profile_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "wsq/common/csv_writer.h"
+
+namespace wsq {
+
+Result<TabulatedProfile> ProfileFromSweep(std::string name,
+                                          int64_t dataset_tuples,
+                                          const GroundTruth& ground_truth) {
+  std::vector<std::pair<double, double>> points;
+  points.reserve(ground_truth.sweep.size());
+  for (const SweepPoint& point : ground_truth.sweep) {
+    points.emplace_back(static_cast<double>(point.block_size),
+                        point.mean_ms);
+  }
+  return TabulatedProfile::Create(std::move(name), dataset_tuples,
+                                  std::move(points));
+}
+
+Status SaveProfileCsv(const ResponseProfile& profile, int64_t min_size,
+                      int64_t max_size, int64_t step,
+                      const std::string& path) {
+  if (min_size < 1 || min_size > max_size || step < 1) {
+    return Status::InvalidArgument("SaveProfileCsv: bad grid");
+  }
+  CsvWriter csv({"block_size", "aggregate_ms"});
+  int64_t last = -1;
+  for (int64_t x = min_size; x <= max_size; x += step) {
+    csv.AddNumericRow({static_cast<double>(x),
+                       profile.AggregateMs(static_cast<double>(x))},
+                      6);
+    last = x;
+  }
+  if (last != max_size) {
+    // Always include the exact upper limit so the table covers the
+    // whole search space.
+    csv.AddNumericRow({static_cast<double>(max_size),
+                       profile.AggregateMs(static_cast<double>(max_size))},
+                      6);
+  }
+  return csv.WriteToFile(path);
+}
+
+Result<TabulatedProfile> LoadProfileCsv(std::string name,
+                                        int64_t dataset_tuples,
+                                        const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open profile CSV: " + path);
+  }
+
+  std::vector<std::pair<double, double>> points;
+  char line[512];
+  bool first = true;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    char* end = nullptr;
+    const double x = std::strtod(line, &end);
+    if (end == line || *end != ',') {
+      std::fclose(f);
+      return Status::InvalidArgument("malformed profile CSV row: " +
+                                     std::string(line));
+    }
+    const char* second = end + 1;
+    char* end2 = nullptr;
+    const double y = std::strtod(second, &end2);
+    if (end2 == second) {
+      std::fclose(f);
+      return Status::InvalidArgument("malformed profile CSV row: " +
+                                     std::string(line));
+    }
+    points.emplace_back(x, y);
+  }
+  std::fclose(f);
+  return TabulatedProfile::Create(std::move(name), dataset_tuples,
+                                  std::move(points));
+}
+
+}  // namespace wsq

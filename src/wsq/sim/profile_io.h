@@ -1,0 +1,40 @@
+#ifndef WSQ_SIM_PROFILE_IO_H_
+#define WSQ_SIM_PROFILE_IO_H_
+
+#include <string>
+
+#include "wsq/common/status.h"
+#include "wsq/sim/ground_truth.h"
+#include "wsq/sim/profile.h"
+
+namespace wsq {
+
+/// The paper's methodology bridge: its MATLAB engine ran "on the basis
+/// of the profiles obtained by real evaluation experiments". These
+/// helpers capture a measured fixed-size sweep as a TabulatedProfile and
+/// persist profiles as two-column CSV (block_size, aggregate_ms), so an
+/// empirical sweep from the full SOAP stack can drive the simulation
+/// engine directly.
+
+/// Builds a tabulated profile from a ground-truth sweep (mean response
+/// times per block size). kInvalidArgument when the sweep is empty or
+/// dataset_tuples < 1.
+Result<TabulatedProfile> ProfileFromSweep(std::string name,
+                                          int64_t dataset_tuples,
+                                          const GroundTruth& ground_truth);
+
+/// Samples `profile` on the grid {min, min+step, ..., max} and writes
+/// "block_size,aggregate_ms" CSV (with header) to `path`.
+Status SaveProfileCsv(const ResponseProfile& profile, int64_t min_size,
+                      int64_t max_size, int64_t step,
+                      const std::string& path);
+
+/// Parses a CSV produced by SaveProfileCsv (or any two-column numeric
+/// CSV with a one-line header) into a tabulated profile.
+Result<TabulatedProfile> LoadProfileCsv(std::string name,
+                                        int64_t dataset_tuples,
+                                        const std::string& path);
+
+}  // namespace wsq
+
+#endif  // WSQ_SIM_PROFILE_IO_H_

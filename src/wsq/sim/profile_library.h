@@ -1,0 +1,57 @@
+#ifndef WSQ_SIM_PROFILE_LIBRARY_H_
+#define WSQ_SIM_PROFILE_LIBRARY_H_
+
+#include <memory>
+
+#include "wsq/control/controller.h"
+#include "wsq/sim/profile.h"
+
+namespace wsq {
+
+/// The five experimental configurations of the paper's evaluation,
+/// recreated as parametric profiles calibrated so the *shape* facts the
+/// paper reports hold: where the optimum sits, how much a fixed
+/// 1000-tuple block costs relative to it, which side blows up, and how
+/// many local minima pollute the curve. Absolute times are in the same
+/// order of magnitude as the paper's but are not meant to match — the
+/// controllers only ever see relative changes.
+///
+/// WAN family (Customer, 150K tuples, limits [100, 20000]):
+///  - conf1.1: unloaded server and client; optimum at the upper limit;
+///    smooth curve, small noise.
+///  - conf1.2: 3 concurrent queries sharing network + memory + CPU;
+///    optimum unchanged but the curve is noisier with local minima.
+///  - conf1.3: memory-intensive jobs at the server; optimum shifts left
+///    (~13.5K) and obvious local minima appear.
+///
+/// LAN family:
+///  - conf2.1: 3 concurrent queries, Customer, limits [100, 7000];
+///    sharp bowl with the optimum near 2.2K.
+///  - conf2.2: Orders (450K tuples, 3x result), loaded server, limits
+///    [100, 20000]; optimum near 7.5K, many local minima, heavy
+///    penalty toward the upper limit.
+struct ConfiguredProfile {
+  std::shared_ptr<const ResponseProfile> profile;
+  BlockSizeLimits limits;
+  /// Noise amplitude of the uniform multiplicative measurement noise the
+  /// sim engine should inject for this configuration.
+  double noise_amplitude = 0.10;
+  /// The b1 the paper uses for this configuration.
+  double paper_b1 = 2000.0;
+};
+
+ConfiguredProfile Conf1_1();
+ConfiguredProfile Conf1_2();
+ConfiguredProfile Conf1_3();
+ConfiguredProfile Conf2_1();
+ConfiguredProfile Conf2_2();
+
+/// Looks up a configuration by its paper name ("conf1.1" ... "conf2.2").
+Result<ConfiguredProfile> ConfigurationByName(const std::string& name);
+
+/// All five names in paper order.
+std::vector<std::string> AllConfigurationNames();
+
+}  // namespace wsq
+
+#endif  // WSQ_SIM_PROFILE_LIBRARY_H_

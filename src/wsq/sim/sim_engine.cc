@@ -1,0 +1,109 @@
+#include "wsq/sim/sim_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wsq {
+
+SimEngine::SimEngine(const SimOptions& options)
+    : options_(options), rng_(options.seed) {}
+
+void SimEngine::AdvanceDrift() {
+  if (options_.drift_sigma <= 0.0) return;
+  drift_scale_ *= 1.0 + rng_.Gaussian(0.0, options_.drift_sigma);
+  drift_scale_ = std::clamp(drift_scale_, 0.5, 2.0);
+}
+
+double SimEngine::MeasurePerTupleMs(const ResponseProfile& profile,
+                                    int64_t block_size) {
+  AdvanceDrift();
+  // Horizontal drift: evaluating at x / scale moves the optimum to
+  // optimum * scale.
+  const double x =
+      std::max(static_cast<double>(block_size) / drift_scale_, 1.0);
+  double y = profile.PerTupleMs(x);
+
+  if (options_.noise_amplitude > 0.0) {
+    y *= rng_.Uniform(1.0 - options_.noise_amplitude,
+                      1.0 + options_.noise_amplitude);
+  }
+  if (options_.transient_penalty > 0.0 && block_size != last_block_size_) {
+    y *= 1.0 + options_.transient_penalty;
+  }
+  last_block_size_ = block_size;
+  return std::max(y, 1e-9);
+}
+
+Result<SimRunResult> SimEngine::RunQuery(Controller* controller,
+                                         const ResponseProfile& profile) {
+  if (controller == nullptr) {
+    return Status::InvalidArgument("RunQuery: null controller");
+  }
+  SimRunResult result;
+  int64_t remaining = profile.dataset_tuples();
+  int64_t block_size = controller->initial_block_size();
+
+  while (remaining > 0) {
+    const int64_t delivered = std::min<int64_t>(block_size, remaining);
+    const double per_tuple = MeasurePerTupleMs(profile, block_size);
+
+    SimStep step;
+    step.step = result.total_blocks;
+    step.block_size = block_size;
+    step.per_tuple_ms = per_tuple;
+    result.steps.push_back(step);
+
+    result.total_time_ms += per_tuple * static_cast<double>(delivered);
+    result.total_blocks += 1;
+    result.total_tuples += delivered;
+    remaining -= delivered;
+
+    block_size = controller->NextBlockSize(per_tuple);
+  }
+  return result;
+}
+
+Result<SimRunResult> SimEngine::RunSchedule(
+    Controller* controller, const std::vector<const ResponseProfile*>& schedule,
+    int64_t steps_per_profile, int64_t total_steps) {
+  if (controller == nullptr) {
+    return Status::InvalidArgument("RunSchedule: null controller");
+  }
+  if (schedule.empty()) {
+    return Status::InvalidArgument("RunSchedule: empty schedule");
+  }
+  for (const ResponseProfile* profile : schedule) {
+    if (profile == nullptr) {
+      return Status::InvalidArgument("RunSchedule: null profile in schedule");
+    }
+  }
+  if (steps_per_profile < 1 || total_steps < 1) {
+    return Status::InvalidArgument("RunSchedule: step counts must be >= 1");
+  }
+
+  SimRunResult result;
+  int64_t block_size = controller->initial_block_size();
+
+  for (int64_t step = 0; step < total_steps; ++step) {
+    const size_t slot = std::min<size_t>(
+        static_cast<size_t>(step / steps_per_profile), schedule.size() - 1);
+    const ResponseProfile& profile = *schedule[slot];
+
+    const double per_tuple = MeasurePerTupleMs(profile, block_size);
+
+    SimStep trace;
+    trace.step = step;
+    trace.block_size = block_size;
+    trace.per_tuple_ms = per_tuple;
+    result.steps.push_back(trace);
+
+    result.total_time_ms += per_tuple * static_cast<double>(block_size);
+    result.total_blocks += 1;
+    result.total_tuples += block_size;
+
+    block_size = controller->NextBlockSize(per_tuple);
+  }
+  return result;
+}
+
+}  // namespace wsq

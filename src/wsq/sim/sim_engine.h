@@ -1,0 +1,90 @@
+#ifndef WSQ_SIM_SIM_ENGINE_H_
+#define WSQ_SIM_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "wsq/common/random.h"
+#include "wsq/common/status.h"
+#include "wsq/control/controller.h"
+#include "wsq/sim/profile.h"
+
+namespace wsq {
+
+/// Noise and volatility injected on top of a static profile — the
+/// "unknown and unpredictable factors" the paper's MATLAB engine
+/// emulates: jitter, transients after block size changes, and movements
+/// of the optimal point.
+struct SimOptions {
+  /// Uniform multiplicative noise: each measurement is scaled by a draw
+  /// from [1 - amplitude, 1 + amplitude].
+  double noise_amplitude = 0.10;
+  /// Random-walk drift of the optimum: each block, the profile's
+  /// horizontal scale is multiplied by (1 + N(0, drift_sigma)). 0
+  /// disables drift.
+  double drift_sigma = 0.0;
+  /// Extra transient penalty applied to the first measurement after a
+  /// block-size change, as a fraction of the measurement (warm caches /
+  /// renegotiated buffers). 0 disables.
+  double transient_penalty = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Per-adaptivity-step record of a simulated run.
+struct SimStep {
+  int64_t step = 0;
+  /// Block size the controller had commanded for this measurement.
+  int64_t block_size = 0;
+  /// Noisy per-tuple cost the controller observed (ms/tuple).
+  double per_tuple_ms = 0.0;
+};
+
+struct SimRunResult {
+  /// Sum of per-block costs — the query response time (ms).
+  double total_time_ms = 0.0;
+  int64_t total_blocks = 0;
+  int64_t total_tuples = 0;
+  std::vector<SimStep> steps;
+};
+
+/// Profile-driven simulation engine (the paper's Section III-C / IV-B
+/// methodology): runs a controller against a response profile, feeding
+/// it noisy per-tuple costs and accounting the aggregate time.
+class SimEngine {
+ public:
+  explicit SimEngine(const SimOptions& options);
+
+  /// Drains one query of `profile.dataset_tuples()` tuples under
+  /// `controller`. The controller is NOT reset first (callers own reset
+  /// policy so warm-started continuations are possible).
+  Result<SimRunResult> RunQuery(Controller* controller,
+                                const ResponseProfile& profile);
+
+  /// Long-lived run of exactly `total_steps` adaptivity steps across a
+  /// schedule of profiles: `schedule[i]` is active for steps
+  /// [i * steps_per_profile, (i+1) * steps_per_profile); the last entry
+  /// stays active through the end (Fig. 8 methodology). The dataset is
+  /// treated as unbounded.
+  Result<SimRunResult> RunSchedule(
+      Controller* controller,
+      const std::vector<const ResponseProfile*>& schedule,
+      int64_t steps_per_profile, int64_t total_steps);
+
+  /// Measures one block: noisy per-tuple cost of `profile` at
+  /// `block_size` under current drift. Exposed for ground-truth sweeps.
+  double MeasurePerTupleMs(const ResponseProfile& profile,
+                           int64_t block_size);
+
+ private:
+  void AdvanceDrift();
+
+  SimOptions options_;
+  Random rng_;
+  double drift_scale_ = 1.0;
+  int64_t last_block_size_ = -1;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_SIM_SIM_ENGINE_H_

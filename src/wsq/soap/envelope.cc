@@ -1,0 +1,59 @@
+#include "wsq/soap/envelope.h"
+
+namespace wsq {
+namespace {
+
+constexpr std::string_view kXmlDeclaration =
+    "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+
+XmlNode MakeEnvelopeShell() {
+  XmlNode envelope(std::string(kSoapPrefix) + ":Envelope");
+  envelope.AddAttribute("xmlns:" + std::string(kSoapPrefix),
+                        std::string(kSoapNamespace));
+  return envelope;
+}
+
+}  // namespace
+
+std::string BuildEnvelope(const XmlNode& body_payload) {
+  XmlNode envelope = MakeEnvelopeShell();
+  XmlNode body(std::string(kSoapPrefix) + ":Body");
+  body.AddChild(body_payload);
+  envelope.AddChild(std::move(body));
+  return std::string(kXmlDeclaration) + envelope.ToString();
+}
+
+std::string BuildFaultEnvelope(const SoapFault& fault) {
+  XmlNode fault_node(std::string(kSoapPrefix) + ":Fault");
+  XmlNode code("faultcode");
+  code.set_text(std::string(kSoapPrefix) + ":" + fault.code);
+  XmlNode message("faultstring");
+  message.set_text(fault.message);
+  fault_node.AddChild(std::move(code));
+  fault_node.AddChild(std::move(message));
+  return BuildEnvelope(fault_node);
+}
+
+Result<XmlNode> ParseEnvelope(std::string_view document) {
+  Result<XmlNode> root = ParseXml(document);
+  if (!root.ok()) return root.status();
+  if (LocalName(root.value().name()) != "Envelope") {
+    return Status::InvalidArgument("document root is not a SOAP Envelope");
+  }
+  Result<const XmlNode*> body = root.value().ChildByLocalName("Body");
+  if (!body.ok()) {
+    return Status::InvalidArgument("SOAP Envelope has no Body");
+  }
+  if (body.value()->children().empty()) {
+    return Status::InvalidArgument("SOAP Body is empty");
+  }
+  const XmlNode& payload = body.value()->children().front();
+  if (LocalName(payload.name()) == "Fault") {
+    Result<std::string> message = payload.ChildText("faultstring");
+    return Status::RemoteFault(message.ok() ? message.value()
+                                            : "unspecified SOAP fault");
+  }
+  return payload;
+}
+
+}  // namespace wsq

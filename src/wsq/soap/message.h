@@ -1,0 +1,122 @@
+#ifndef WSQ_SOAP_MESSAGE_H_
+#define WSQ_SOAP_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wsq/common/status.h"
+#include "wsq/soap/envelope.h"
+#include "wsq/soap/xml.h"
+
+namespace wsq {
+
+/// The wsq data-service message vocabulary — the OGSA-DAI-style protocol
+/// spoken between the client (BlockFetcher) and the server
+/// (DataService):
+///
+///   OpenSession(table, columns)  -> OpenSessionResponse(session_id)
+///   RequestBlock(session, size)  -> BlockResponse(tuples, eof)
+///   CloseSession(session)        -> CloseSessionResponse
+///
+/// Every message is one element inside a SOAP Body; errors come back as
+/// SOAP Faults.
+
+struct OpenSessionRequest {
+  std::string table;
+  /// Projection; empty means all columns.
+  std::vector<std::string> columns;
+  /// Optional filter expression (relation/predicate.h grammar); empty
+  /// keeps every row.
+  std::string filter;
+};
+
+struct OpenSessionResponse {
+  int64_t session_id = 0;
+  /// Rows in the underlying table — the result size for plain
+  /// scan-project queries, an upper bound when a filter is set.
+  int64_t total_rows = 0;
+};
+
+struct RequestBlockRequest {
+  int64_t session_id = 0;
+  int64_t block_size = 0;
+};
+
+struct BlockResponse {
+  int64_t session_id = 0;
+  bool end_of_results = false;
+  int64_t num_tuples = 0;
+  /// Serialized tuple rows (TupleSerializer format).
+  std::string payload;
+};
+
+struct CloseSessionRequest {
+  int64_t session_id = 0;
+};
+
+struct CloseSessionResponse {
+  int64_t session_id = 0;
+};
+
+/// The *push* direction (paper Section I: "submitting calls to a WS to
+/// perform data processing ... needs to be block-based"): the client
+/// ships a block of input tuples to a named server-side function and
+/// receives the processed tuples back.
+struct ProcessBlockRequest {
+  /// Registered function to invoke.
+  std::string function;
+  /// Client-chosen sequence number, echoed back (lets clients correlate
+  /// responses and makes retries observable server-side).
+  int64_t sequence = 0;
+  int64_t num_tuples = 0;
+  /// Serialized input tuples (TupleSerializer format, the function's
+  /// input schema).
+  std::string payload;
+};
+
+struct ProcessBlockResponse {
+  int64_t sequence = 0;
+  int64_t num_tuples = 0;
+  /// Serialized output tuples (the function's output schema).
+  std::string payload;
+};
+
+/// Kind tag for server-side dispatch.
+enum class RequestKind {
+  kOpenSession,
+  kRequestBlock,
+  kCloseSession,
+  kProcessBlock,
+};
+
+/// Encoders: full envelope documents ready for "transmission".
+std::string EncodeOpenSession(const OpenSessionRequest& request);
+std::string EncodeOpenSessionResponse(const OpenSessionResponse& response);
+std::string EncodeRequestBlock(const RequestBlockRequest& request);
+std::string EncodeBlockResponse(const BlockResponse& response);
+std::string EncodeCloseSession(const CloseSessionRequest& request);
+std::string EncodeCloseSessionResponse(const CloseSessionResponse& response);
+std::string EncodeProcessBlock(const ProcessBlockRequest& request);
+std::string EncodeProcessBlockResponse(const ProcessBlockResponse& response);
+
+/// Classifies a parsed request payload element by its local name;
+/// kInvalidArgument for unknown operations.
+Result<RequestKind> ClassifyRequest(const XmlNode& payload);
+
+/// Decoders from the Body payload element (as returned by
+/// ParseEnvelope). Each validates the element name and required fields.
+Result<OpenSessionRequest> DecodeOpenSession(const XmlNode& payload);
+Result<OpenSessionResponse> DecodeOpenSessionResponse(const XmlNode& payload);
+Result<RequestBlockRequest> DecodeRequestBlock(const XmlNode& payload);
+Result<BlockResponse> DecodeBlockResponse(const XmlNode& payload);
+Result<CloseSessionRequest> DecodeCloseSession(const XmlNode& payload);
+Result<CloseSessionResponse> DecodeCloseSessionResponse(
+    const XmlNode& payload);
+Result<ProcessBlockRequest> DecodeProcessBlock(const XmlNode& payload);
+Result<ProcessBlockResponse> DecodeProcessBlockResponse(
+    const XmlNode& payload);
+
+}  // namespace wsq
+
+#endif  // WSQ_SOAP_MESSAGE_H_

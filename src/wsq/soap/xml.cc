@@ -1,0 +1,277 @@
+#include "wsq/soap/xml.h"
+
+#include <cctype>
+
+namespace wsq {
+namespace {
+
+/// Incremental parser over a string_view with position tracking.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<XmlNode> ParseDocument() {
+    SkipWhitespaceAndProlog();
+    Result<XmlNode> root = ParseElement();
+    if (!root.ok()) return root.status();
+    SkipWhitespace();
+    if (pos_ != input_.size()) {
+      return Error("trailing content after document root");
+    }
+    return root;
+  }
+
+ private:
+  Status Error(std::string_view message) const {
+    return Status::InvalidArgument("XML parse error at offset " +
+                                   std::to_string(pos_) + ": " +
+                                   std::string(message));
+  }
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool Consume(char c) {
+    if (!AtEnd() && input_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+
+  void SkipWhitespaceAndProlog() {
+    SkipWhitespace();
+    // <?xml ... ?> declarations and processing instructions.
+    while (pos_ + 1 < input_.size() && input_[pos_] == '<' &&
+           input_[pos_ + 1] == '?') {
+      const size_t end = input_.find("?>", pos_);
+      pos_ = end == std::string_view::npos ? input_.size() : end + 2;
+      SkipWhitespace();
+    }
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == ':' ||
+           c == '_' || c == '-' || c == '.';
+  }
+
+  Result<std::string> ParseName() {
+    const size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    if (pos_ == start) return Error("expected a name");
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> DecodeEntities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out += raw[i];
+        continue;
+      }
+      const size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) return Error("unterminated entity");
+      const std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "lt") {
+        out += '<';
+      } else if (entity == "gt") {
+        out += '>';
+      } else if (entity == "amp") {
+        out += '&';
+      } else if (entity == "quot") {
+        out += '"';
+      } else if (entity == "apos") {
+        out += '\'';
+      } else {
+        return Error("unknown entity: " + std::string(entity));
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  Result<XmlNode> ParseElement() {
+    if (!Consume('<')) return Error("expected '<'");
+    Result<std::string> name = ParseName();
+    if (!name.ok()) return name.status();
+    XmlNode node(name.value());
+
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag");
+      if (Peek() == '/' || Peek() == '>') break;
+      Result<std::string> attr_name = ParseName();
+      if (!attr_name.ok()) return attr_name.status();
+      SkipWhitespace();
+      if (!Consume('=')) return Error("expected '=' in attribute");
+      SkipWhitespace();
+      const char quote = AtEnd() ? '\0' : Peek();
+      if (quote != '"' && quote != '\'') {
+        return Error("expected quoted attribute value");
+      }
+      ++pos_;
+      const size_t value_start = pos_;
+      while (!AtEnd() && Peek() != quote) ++pos_;
+      if (AtEnd()) return Error("unterminated attribute value");
+      Result<std::string> value =
+          DecodeEntities(input_.substr(value_start, pos_ - value_start));
+      if (!value.ok()) return value.status();
+      ++pos_;  // closing quote
+      node.AddAttribute(std::move(attr_name).value(),
+                        std::move(value).value());
+    }
+
+    if (Consume('/')) {
+      if (!Consume('>')) return Error("expected '>' after '/'");
+      return node;  // self-closing element
+    }
+    if (!Consume('>')) return Error("expected '>'");
+
+    // Content: text and child elements until the matching end tag.
+    while (true) {
+      if (AtEnd()) return Error("unterminated element: " + node.name());
+      if (Peek() == '<') {
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '/') {
+          pos_ += 2;
+          Result<std::string> end_name = ParseName();
+          if (!end_name.ok()) return end_name.status();
+          if (end_name.value() != node.name()) {
+            return Error("mismatched end tag: expected " + node.name() +
+                         ", got " + end_name.value());
+          }
+          SkipWhitespace();
+          if (!Consume('>')) return Error("expected '>' in end tag");
+          return node;
+        }
+        Result<XmlNode> child = ParseElement();
+        if (!child.ok()) return child.status();
+        node.AddChild(std::move(child).value());
+      } else {
+        const size_t start = pos_;
+        while (!AtEnd() && Peek() != '<') ++pos_;
+        Result<std::string> text =
+            DecodeEntities(input_.substr(start, pos_ - start));
+        if (!text.ok()) return text.status();
+        node.append_text(text.value());
+      }
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string XmlEscape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string_view LocalName(std::string_view qualified) {
+  const size_t colon = qualified.rfind(':');
+  return colon == std::string_view::npos ? qualified
+                                         : qualified.substr(colon + 1);
+}
+
+void XmlNode::AddAttribute(std::string name, std::string value) {
+  attributes_.emplace_back(std::move(name), std::move(value));
+}
+
+Result<std::string> XmlNode::Attribute(std::string_view name) const {
+  for (const auto& [attr_name, value] : attributes_) {
+    if (attr_name == name) return value;
+  }
+  return Status::NotFound("no attribute named " + std::string(name));
+}
+
+XmlNode& XmlNode::AddChild(XmlNode child) {
+  children_.push_back(std::move(child));
+  return children_.back();
+}
+
+Result<const XmlNode*> XmlNode::Child(std::string_view name) const {
+  for (const XmlNode& child : children_) {
+    if (child.name() == name) return &child;
+  }
+  return Status::NotFound("no child element named " + std::string(name));
+}
+
+Result<const XmlNode*> XmlNode::ChildByLocalName(
+    std::string_view name) const {
+  for (const XmlNode& child : children_) {
+    if (LocalName(child.name()) == name) return &child;
+  }
+  return Status::NotFound("no child element with local name " +
+                          std::string(name));
+}
+
+Result<std::string> XmlNode::ChildText(std::string_view name) const {
+  Result<const XmlNode*> child = Child(name);
+  if (!child.ok()) return child.status();
+  return child.value()->text();
+}
+
+void XmlNode::AppendTo(std::string& out) const {
+  out += '<';
+  out += name_;
+  for (const auto& [attr_name, value] : attributes_) {
+    out += ' ';
+    out += attr_name;
+    out += "=\"";
+    out += XmlEscape(value);
+    out += '"';
+  }
+  if (text_.empty() && children_.empty()) {
+    out += "/>";
+    return;
+  }
+  out += '>';
+  out += XmlEscape(text_);
+  for (const XmlNode& child : children_) child.AppendTo(out);
+  out += "</";
+  out += name_;
+  out += '>';
+}
+
+std::string XmlNode::ToString() const {
+  std::string out;
+  AppendTo(out);
+  return out;
+}
+
+Result<XmlNode> ParseXml(std::string_view input) {
+  Parser parser(input);
+  return parser.ParseDocument();
+}
+
+}  // namespace wsq

@@ -1,0 +1,29 @@
+#include "wsq/stats/moving_window.h"
+
+#include <algorithm>
+
+namespace wsq {
+
+MovingWindow::MovingWindow(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {}
+
+void MovingWindow::Add(double value) {
+  values_.push_back(value);
+  sum_ += value;
+  if (values_.size() > capacity_) {
+    sum_ -= values_.front();
+    values_.pop_front();
+  }
+}
+
+double MovingWindow::Mean() const {
+  if (values_.empty()) return 0.0;
+  return sum_ / static_cast<double>(values_.size());
+}
+
+void MovingWindow::Clear() {
+  values_.clear();
+  sum_ = 0.0;
+}
+
+}  // namespace wsq

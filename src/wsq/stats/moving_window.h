@@ -1,0 +1,45 @@
+#ifndef WSQ_STATS_MOVING_WINDOW_H_
+#define WSQ_STATS_MOVING_WINDOW_H_
+
+#include <cstddef>
+#include <deque>
+
+namespace wsq {
+
+/// Fixed-capacity sliding window with O(1) running mean, used for the
+/// averaging horizon n of the switching controllers ({x̄_k, ȳ_k} in
+/// paper Eq. (2)) and for the sign-switch counting horizon n' of Eq. (5).
+class MovingWindow {
+ public:
+  /// Capacity must be >= 1; smaller requests are promoted to 1.
+  explicit MovingWindow(size_t capacity);
+
+  /// Pushes a value, evicting the oldest when full.
+  void Add(double value);
+
+  bool full() const { return values_.size() == capacity_; }
+  bool empty() const { return values_.empty(); }
+  size_t size() const { return values_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Mean of the current contents; 0 when empty.
+  double Mean() const;
+
+  /// Sum of the current contents.
+  double Sum() const { return sum_; }
+
+  /// Oldest / newest values; callers must check !empty() first.
+  double Oldest() const { return values_.front(); }
+  double Newest() const { return values_.back(); }
+
+  void Clear();
+
+ private:
+  size_t capacity_;
+  std::deque<double> values_;
+  double sum_ = 0.0;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_STATS_MOVING_WINDOW_H_

@@ -1,0 +1,45 @@
+#ifndef WSQ_STATS_RUNNING_STATS_H_
+#define WSQ_STATS_RUNNING_STATS_H_
+
+#include <cstddef>
+#include <limits>
+
+namespace wsq {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm),
+/// used to aggregate per-run response times and block-size decisions.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  void Add(double value);
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void Merge(const RunningStats& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const {
+    return count_ > 0 ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double max() const {
+    return count_ > 0 ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double sum() const { return count_ > 0 ? mean_ * count_ : 0.0; }
+
+  void Reset();
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_STATS_RUNNING_STATS_H_

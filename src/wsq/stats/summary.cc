@@ -1,0 +1,51 @@
+#include "wsq/stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "wsq/common/text_table.h"
+#include "wsq/stats/running_stats.h"
+
+namespace wsq {
+
+double SortedPercentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary Summarize(std::vector<double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  RunningStats stats;
+  for (double v : samples) stats.Add(v);
+  s.count = samples.size();
+  s.mean = stats.mean();
+  s.stddev = stats.stddev();
+  s.min = samples.front();
+  s.max = samples.back();
+  s.p25 = SortedPercentile(samples, 0.25);
+  s.median = SortedPercentile(samples, 0.50);
+  s.p75 = SortedPercentile(samples, 0.75);
+  s.p95 = SortedPercentile(samples, 0.95);
+  return s;
+}
+
+std::string Summary::ToString(int precision) const {
+  std::ostringstream out;
+  out << "n=" << count << " mean=" << FormatDouble(mean, precision)
+      << " sd=" << FormatDouble(stddev, precision)
+      << " min=" << FormatDouble(min, precision)
+      << " p50=" << FormatDouble(median, precision)
+      << " p95=" << FormatDouble(p95, precision)
+      << " max=" << FormatDouble(max, precision);
+  return out.str();
+}
+
+}  // namespace wsq

@@ -1,0 +1,35 @@
+#ifndef WSQ_STATS_SUMMARY_H_
+#define WSQ_STATS_SUMMARY_H_
+
+#include <string>
+#include <vector>
+
+namespace wsq {
+
+/// Distribution summary computed from a full sample vector; used by the
+/// experiment harness when per-run distributions (not just mean/stddev)
+/// matter, e.g. detecting the paper's "order of magnitude" tail cases.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+
+  std::string ToString(int precision = 2) const;
+};
+
+/// Builds a Summary; empty input yields an all-zero summary.
+Summary Summarize(std::vector<double> samples);
+
+/// Linear-interpolated percentile over a *sorted* sample vector;
+/// q in [0, 1]. Callers with unsorted data should use Summarize().
+double SortedPercentile(const std::vector<double>& sorted, double q);
+
+}  // namespace wsq
+
+#endif  // WSQ_STATS_SUMMARY_H_

@@ -1,0 +1,57 @@
+#include "wsq/common/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+TEST(SimClockTest, StartsAtZeroByDefault) {
+  SimClock clock;
+  EXPECT_EQ(clock.NowMicros(), 0);
+}
+
+TEST(SimClockTest, StartsAtGivenEpoch) {
+  SimClock clock(1234);
+  EXPECT_EQ(clock.NowMicros(), 1234);
+}
+
+TEST(SimClockTest, AdvancesByMicros) {
+  SimClock clock;
+  clock.AdvanceMicros(500);
+  clock.AdvanceMicros(250);
+  EXPECT_EQ(clock.NowMicros(), 750);
+}
+
+TEST(SimClockTest, NegativeAdvanceIgnored) {
+  SimClock clock(100);
+  clock.AdvanceMicros(-50);
+  EXPECT_EQ(clock.NowMicros(), 100);
+  clock.AdvanceMillis(-1.0);
+  EXPECT_EQ(clock.NowMicros(), 100);
+}
+
+TEST(SimClockTest, AdvanceMillisRoundsToMicros) {
+  SimClock clock;
+  clock.AdvanceMillis(1.5);
+  EXPECT_EQ(clock.NowMicros(), 1500);
+  clock.AdvanceMillis(0.0004);  // rounds to 0.4us -> 0
+  EXPECT_EQ(clock.NowMicros(), 1500);
+  clock.AdvanceMillis(0.0006);  // rounds to 1us
+  EXPECT_EQ(clock.NowMicros(), 1501);
+}
+
+TEST(WallClockTest, MonotonicallyNonDecreasing) {
+  WallClock clock;
+  const int64_t a = clock.NowMicros();
+  const int64_t b = clock.NowMicros();
+  EXPECT_LE(a, b);
+}
+
+TEST(ClockTest, PolymorphicUse) {
+  SimClock sim(42);
+  Clock* clock = &sim;
+  EXPECT_EQ(clock->NowMicros(), 42);
+}
+
+}  // namespace
+}  // namespace wsq

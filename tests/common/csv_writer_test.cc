@@ -1,0 +1,51 @@
+#include "wsq/common/csv_writer.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+TEST(CsvWriterTest, BasicRows) {
+  CsvWriter csv({"x", "y"});
+  csv.AddRow({"1", "2"});
+  csv.AddNumericRow({3.5, 4.25}, 2);
+  EXPECT_EQ(csv.ToString(), "x,y\n1,2\n3.50,4.25\n");
+  EXPECT_EQ(csv.num_rows(), 2u);
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  CsvWriter csv({"field"});
+  csv.AddRow({"a,b"});
+  csv.AddRow({"say \"hi\""});
+  csv.AddRow({"line\nbreak"});
+  const std::string out = csv.ToString();
+  EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_NE(out.find("\"line\nbreak\""), std::string::npos);
+}
+
+TEST(CsvWriterTest, WriteToFileRoundTrips) {
+  CsvWriter csv({"a"});
+  csv.AddRow({"value"});
+  const std::string path = ::testing::TempDir() + "/wsq_csv_test.csv";
+  ASSERT_TRUE(csv.WriteToFile(path).ok());
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256] = {0};
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n), "a\nvalue\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, WriteToBadPathFails) {
+  CsvWriter csv({"a"});
+  Status s = csv.WriteToFile("/nonexistent_dir_wsq/x.csv");
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,45 @@
+#include "wsq/common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kWarning); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, SuppressedMessagesDoNotCrash) {
+  SetLogLevel(LogLevel::kOff);
+  WSQ_LOG(kError) << "this must be swallowed " << 42;
+  WSQ_LOG(kDebug) << "so must this";
+}
+
+TEST_F(LoggingTest, EmittedMessagesGoToStderr) {
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  WSQ_LOG(kWarning) << "visible " << 7;
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("visible 7"), std::string::npos);
+  EXPECT_NE(err.find("logging_test.cc"), std::string::npos);
+  EXPECT_NE(err.find("[W "), std::string::npos);
+}
+
+TEST_F(LoggingTest, BelowThresholdSuppressed) {
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  WSQ_LOG(kInfo) << "hidden";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("hidden"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsq

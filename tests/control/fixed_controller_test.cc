@@ -1,0 +1,57 @@
+#include "wsq/control/fixed_controller.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+TEST(FixedControllerTest, AlwaysReturnsConfiguredSize) {
+  FixedController controller(1234);
+  EXPECT_EQ(controller.initial_block_size(), 1234);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(controller.NextBlockSize(static_cast<double>(i)), 1234);
+  }
+  EXPECT_EQ(controller.adaptivity_steps(), 0);
+}
+
+TEST(FixedControllerTest, NonPositiveSizePromotedToOne) {
+  FixedController controller(0);
+  EXPECT_EQ(controller.initial_block_size(), 1);
+  FixedController negative(-10);
+  EXPECT_EQ(negative.initial_block_size(), 1);
+}
+
+TEST(FixedControllerTest, NameIncludesSize) {
+  EXPECT_EQ(FixedController(1000).name(), "fixed_1000");
+}
+
+TEST(FixedControllerTest, ResetIsNoop) {
+  FixedController controller(50);
+  controller.NextBlockSize(1.0);
+  controller.Reset();
+  EXPECT_EQ(controller.NextBlockSize(1.0), 50);
+}
+
+TEST(BlockSizeLimitsTest, ClampBehavior) {
+  BlockSizeLimits limits{100, 20000};
+  EXPECT_EQ(limits.Clamp(50.0), 100);
+  EXPECT_EQ(limits.Clamp(100.0), 100);
+  EXPECT_EQ(limits.Clamp(5000.4), 5000);
+  EXPECT_EQ(limits.Clamp(5000.6), 5001);
+  EXPECT_EQ(limits.Clamp(1e9), 20000);
+  EXPECT_EQ(limits.Clamp(std::nan("")), 100);
+  EXPECT_EQ(limits.Clamp(std::numeric_limits<double>::infinity()), 100);
+}
+
+TEST(BlockSizeLimitsTest, Validity) {
+  EXPECT_TRUE((BlockSizeLimits{100, 20000}).Valid());
+  EXPECT_TRUE((BlockSizeLimits{1, 1}).Valid());
+  EXPECT_FALSE((BlockSizeLimits{0, 100}).Valid());
+  EXPECT_FALSE((BlockSizeLimits{200, 100}).Valid());
+}
+
+}  // namespace
+}  // namespace wsq

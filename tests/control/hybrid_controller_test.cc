@@ -1,0 +1,283 @@
+#include "wsq/control/hybrid_controller.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+HybridConfig BaseConfig() {
+  HybridConfig config;
+  config.base.gain_mode = GainMode::kConstant;
+  config.base.b1 = 800.0;
+  config.base.b2 = 25.0;
+  config.base.dither_factor = 0.0;
+  config.base.averaging_horizon = 1;
+  config.base.limits = {100, 20000};
+  config.base.initial_block_size = 1000;
+  config.base.seed = 1;
+  config.criterion = PhaseCriterion::kSignSwitches;
+  config.criterion_horizon = 5;
+  config.criterion_threshold = 1;
+  config.flavor = HybridFlavor::kNoSwitchBack;
+  return config;
+}
+
+double Bowl(double x, double optimum) {
+  const double z = (x - optimum) / optimum;
+  return 1.0 + z * z;
+}
+
+TEST(HybridConfigTest, Validation) {
+  EXPECT_TRUE(BaseConfig().Validate().ok());
+
+  HybridConfig bad = BaseConfig();
+  bad.base.b1 = 0.0;
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = BaseConfig();
+  bad.criterion_horizon = 1;
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = BaseConfig();
+  bad.criterion_threshold = -1;
+  EXPECT_FALSE(bad.Validate().ok());
+
+  // Parity rule: s must share parity with n'.
+  bad = BaseConfig();
+  bad.criterion_horizon = 5;
+  bad.criterion_threshold = 2;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad.criterion_horizon = 4;
+  EXPECT_TRUE(bad.Validate().ok());
+
+  bad = BaseConfig();
+  bad.reset_period = -1;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(HybridControllerTest, StartsInTransientConstantMode) {
+  HybridController controller(BaseConfig());
+  EXPECT_EQ(controller.phase(), GainPhase::kTransient);
+  EXPECT_EQ(controller.initial_block_size(), 1000);
+  const int64_t next = controller.NextBlockSize(5.0);
+  EXPECT_EQ(next, 1800);  // first step: +b1
+}
+
+TEST(HybridControllerTest, SwitchesToSteadyStateOnBowl) {
+  HybridController controller(BaseConfig());
+  int64_t x = controller.initial_block_size();
+  int64_t switch_step = -1;
+  for (int i = 0; i < 60; ++i) {
+    x = controller.NextBlockSize(Bowl(static_cast<double>(x), 5000.0));
+    if (switch_step < 0 && controller.phase() == GainPhase::kSteadyState) {
+      switch_step = i;
+    }
+  }
+  ASSERT_GE(switch_step, 0) << "hybrid never detected steady state";
+  EXPECT_EQ(controller.phase_transitions(), 1);
+  // After the switch the operating point must be near the optimum and
+  // stable (adaptive refinement, no saw-tooth).
+  EXPECT_NEAR(static_cast<double>(x), 5000.0, 1500.0);
+}
+
+TEST(HybridControllerTest, SteadyStateIsMoreStableThanConstantGain) {
+  HybridConfig config = BaseConfig();
+  HybridController hybrid(config);
+  SwitchingConfig constant_config = config.base;
+  SwitchingExtremumController constant(constant_config);
+
+  auto run_tail_amplitude = [](Controller& controller) {
+    int64_t x = controller.initial_block_size();
+    int64_t lo = 1 << 30;
+    int64_t hi = 0;
+    for (int i = 0; i < 80; ++i) {
+      x = controller.NextBlockSize(Bowl(static_cast<double>(x), 6000.0));
+      if (i >= 50) {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+      }
+    }
+    return hi - lo;
+  };
+
+  const int64_t hybrid_amplitude = run_tail_amplitude(hybrid);
+  const int64_t constant_amplitude = run_tail_amplitude(constant);
+  EXPECT_LT(hybrid_amplitude, constant_amplitude);
+  EXPECT_GE(constant_amplitude, config.base.b1);
+}
+
+TEST(HybridControllerTest, NoSwitchBackStaysAdaptive) {
+  HybridController controller(BaseConfig());
+  int64_t x = controller.initial_block_size();
+  // Converge, then move the optimum: the no-switch-back flavor must stay
+  // in the steady-state phase.
+  for (int i = 0; i < 40; ++i) {
+    x = controller.NextBlockSize(Bowl(static_cast<double>(x), 5000.0));
+  }
+  ASSERT_EQ(controller.phase(), GainPhase::kSteadyState);
+  for (int i = 0; i < 40; ++i) {
+    x = controller.NextBlockSize(Bowl(static_cast<double>(x), 12000.0));
+  }
+  EXPECT_EQ(controller.phase(), GainPhase::kSteadyState);
+  EXPECT_EQ(controller.phase_transitions(), 1);
+}
+
+TEST(HybridControllerTest, SwitchBackFlavorReturnsToConstant) {
+  HybridConfig config = BaseConfig();
+  config.flavor = HybridFlavor::kSwitchBack;
+  config.base.dither_factor = 40.0;  // probing so the shift is noticed
+  HybridController controller(config);
+  int64_t x = controller.initial_block_size();
+  for (int i = 0;
+       i < 150 && controller.phase() == GainPhase::kTransient; ++i) {
+    x = controller.NextBlockSize(Bowl(static_cast<double>(x), 5000.0));
+  }
+  ASSERT_EQ(controller.phase(), GainPhase::kSteadyState);
+  // Shift the optimum far away; the consistent signs should trigger
+  // re-entry into the transient phase.
+  for (int i = 0; i < 60 && controller.phase() == GainPhase::kSteadyState;
+       ++i) {
+    x = controller.NextBlockSize(Bowl(static_cast<double>(x), 15000.0));
+  }
+  EXPECT_EQ(controller.phase(), GainPhase::kTransient);
+  EXPECT_GE(controller.phase_transitions(), 2);
+}
+
+TEST(HybridControllerTest, PeriodicResetReturnsToTransient) {
+  HybridConfig config = BaseConfig();
+  config.reset_period = 20;
+  HybridController controller(config);
+  int64_t x = controller.initial_block_size();
+  bool saw_steady = false;
+  bool saw_transient_after_steady = false;
+  for (int i = 0; i < 100; ++i) {
+    x = controller.NextBlockSize(Bowl(static_cast<double>(x), 5000.0));
+    if (controller.phase() == GainPhase::kSteadyState) saw_steady = true;
+    if (saw_steady && controller.phase() == GainPhase::kTransient) {
+      saw_transient_after_steady = true;
+    }
+  }
+  EXPECT_TRUE(saw_steady);
+  EXPECT_TRUE(saw_transient_after_steady);
+  EXPECT_GE(controller.phase_transitions(), 2);
+}
+
+TEST(HybridControllerTest, PeriodicResetTracksMovingOptimum) {
+  // Fig. 8 scenario in miniature: optimum jumps, the resetting hybrid
+  // must re-track it; the plain no-switch-back one must not.
+  auto run = [](int64_t reset_period, double final_optimum) {
+    HybridConfig config = BaseConfig();
+    config.reset_period = reset_period;
+    HybridController controller(config);
+    int64_t x = controller.initial_block_size();
+    for (int i = 0; i < 80; ++i) {
+      x = controller.NextBlockSize(Bowl(static_cast<double>(x), 4000.0));
+    }
+    for (int i = 0; i < 120; ++i) {
+      x = controller.NextBlockSize(
+          Bowl(static_cast<double>(x), final_optimum));
+    }
+    return x;
+  };
+  const int64_t with_reset = run(25, 12000.0);
+  const int64_t without_reset = run(0, 12000.0);
+  EXPECT_NEAR(static_cast<double>(with_reset), 12000.0, 3000.0);
+  EXPECT_LT(std::fabs(static_cast<double>(with_reset) - 12000.0),
+            std::fabs(static_cast<double>(without_reset) - 12000.0));
+}
+
+TEST(HybridControllerTest, Eq6CriterionAlsoDetectsSteadyState) {
+  HybridConfig config = BaseConfig();
+  config.criterion = PhaseCriterion::kWindowMeans;
+  HybridController controller(config);
+  int64_t x = controller.initial_block_size();
+  for (int i = 0; i < 80; ++i) {
+    x = controller.NextBlockSize(Bowl(static_cast<double>(x), 5000.0));
+  }
+  EXPECT_EQ(controller.phase(), GainPhase::kSteadyState);
+}
+
+TEST(HybridControllerTest, Eq5FiresNoLaterThanEq6OnCleanBowl) {
+  auto steps_to_steady = [](PhaseCriterion criterion) {
+    HybridConfig config = BaseConfig();
+    config.criterion = criterion;
+    HybridController controller(config);
+    int64_t x = controller.initial_block_size();
+    for (int i = 0; i < 200; ++i) {
+      x = controller.NextBlockSize(Bowl(static_cast<double>(x), 5000.0));
+      if (controller.phase() == GainPhase::kSteadyState) return i;
+    }
+    return 200;
+  };
+  EXPECT_LE(steps_to_steady(PhaseCriterion::kSignSwitches),
+            steps_to_steady(PhaseCriterion::kWindowMeans));
+}
+
+TEST(HybridControllerTest, ResetRestoresEverything) {
+  HybridController controller(BaseConfig());
+  int64_t x = controller.initial_block_size();
+  std::vector<int64_t> first;
+  for (int i = 0; i < 30; ++i) {
+    x = controller.NextBlockSize(Bowl(static_cast<double>(x), 5000.0));
+    first.push_back(x);
+  }
+  controller.Reset();
+  EXPECT_EQ(controller.phase(), GainPhase::kTransient);
+  EXPECT_EQ(controller.phase_transitions(), 0);
+  EXPECT_EQ(controller.adaptivity_steps(), 0);
+  x = controller.initial_block_size();
+  for (int i = 0; i < 30; ++i) {
+    x = controller.NextBlockSize(Bowl(static_cast<double>(x), 5000.0));
+    EXPECT_EQ(x, first[i]);
+  }
+}
+
+TEST(HybridControllerTest, Names) {
+  EXPECT_EQ(HybridController(BaseConfig()).name(), "hybrid");
+  HybridConfig s = BaseConfig();
+  s.flavor = HybridFlavor::kSwitchBack;
+  EXPECT_EQ(HybridController(s).name(), "hybrid_s");
+  HybridConfig eq6 = BaseConfig();
+  eq6.criterion = PhaseCriterion::kWindowMeans;
+  EXPECT_EQ(HybridController(eq6).name(), "hybrid_eq6");
+  HybridConfig reset = BaseConfig();
+  reset.reset_period = 50;
+  EXPECT_EQ(HybridController(reset).name(), "hybrid_reset50");
+  EXPECT_EQ(PhaseCriterionName(PhaseCriterion::kSignSwitches),
+            "sign_switches");
+  EXPECT_EQ(PhaseCriterionName(PhaseCriterion::kWindowMeans),
+            "window_means");
+}
+
+/// Property sweep over criterion parameters: steady state must always be
+/// detected on a clean bowl, for any valid (n', s).
+struct CriterionCase {
+  int horizon;
+  int threshold;
+};
+
+class HybridCriterionTest : public ::testing::TestWithParam<CriterionCase> {};
+
+TEST_P(HybridCriterionTest, DetectsSteadyStateOnCleanBowl) {
+  HybridConfig config = BaseConfig();
+  config.criterion_horizon = GetParam().horizon;
+  config.criterion_threshold = GetParam().threshold;
+  ASSERT_TRUE(config.Validate().ok());
+  HybridController controller(config);
+  int64_t x = controller.initial_block_size();
+  for (int i = 0; i < 150; ++i) {
+    x = controller.NextBlockSize(Bowl(static_cast<double>(x), 5000.0));
+  }
+  EXPECT_EQ(controller.phase(), GainPhase::kSteadyState);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CriterionSweep, HybridCriterionTest,
+    ::testing::Values(CriterionCase{3, 1}, CriterionCase{5, 1},
+                      CriterionCase{7, 1}, CriterionCase{4, 2},
+                      CriterionCase{6, 2}, CriterionCase{9, 3}));
+
+}  // namespace
+}  // namespace wsq

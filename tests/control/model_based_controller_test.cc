@@ -1,0 +1,333 @@
+#include "wsq/control/model_based_controller.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+ModelBasedConfig BaseConfig(IdentificationModel model) {
+  ModelBasedConfig config;
+  config.model = model;
+  config.num_samples = 6;
+  config.samples_per_size = 1;
+  config.limits = {100, 20000};
+  return config;
+}
+
+/// Quadratic per-tuple cost with vertex at `optimum`.
+double QuadCost(double x, double optimum) {
+  return 1.0 + 2e-9 * (x - optimum) * (x - optimum);
+}
+
+/// Parabolic cost a/x + b x + c with minimum at sqrt(a/b).
+double ParabolicCost(double x) { return 5000.0 / x + 0.0002 * x + 1.0; }
+
+TEST(ModelBasedConfigTest, Validation) {
+  EXPECT_TRUE(BaseConfig(IdentificationModel::kQuadratic).Validate().ok());
+  ModelBasedConfig bad = BaseConfig(IdentificationModel::kQuadratic);
+  bad.num_samples = 2;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = BaseConfig(IdentificationModel::kQuadratic);
+  bad.samples_per_size = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = BaseConfig(IdentificationModel::kQuadratic);
+  bad.limits = {100, 50};
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(ModelBasedControllerTest, SampleSizesEvenlyDistributed) {
+  ModelBasedController controller(
+      BaseConfig(IdentificationModel::kQuadratic));
+  const auto& sizes = controller.sample_sizes();
+  ASSERT_EQ(sizes.size(), 6u);
+  EXPECT_EQ(sizes.front(), 100);
+  EXPECT_EQ(sizes.back(), 20000);
+  // Evenly spaced: constant gaps (within rounding).
+  const int64_t gap = sizes[1] - sizes[0];
+  for (size_t i = 2; i < sizes.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(sizes[i] - sizes[i - 1]),
+                static_cast<double>(gap), 2.0);
+  }
+}
+
+TEST(ModelBasedControllerTest, ProbesAllSamplesThenFixes) {
+  ModelBasedController controller(
+      BaseConfig(IdentificationModel::kQuadratic));
+  int64_t x = controller.initial_block_size();
+  std::vector<int64_t> probed = {x};
+  for (int i = 0; i < 5; ++i) {
+    x = controller.NextBlockSize(QuadCost(static_cast<double>(x), 9000.0));
+    probed.push_back(x);
+    EXPECT_FALSE(controller.identification_complete());
+  }
+  // Sixth measurement completes identification.
+  x = controller.NextBlockSize(QuadCost(static_cast<double>(x), 9000.0));
+  EXPECT_TRUE(controller.identification_complete());
+  // The first six commands are exactly the sample schedule.
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(probed[i], controller.sample_sizes()[i]);
+  }
+  // From now on, fixed at the estimate.
+  const int64_t estimate = x;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(controller.NextBlockSize(1.0), estimate);
+  }
+}
+
+TEST(ModelBasedControllerTest, QuadraticFindsVertex) {
+  ModelBasedController controller(
+      BaseConfig(IdentificationModel::kQuadratic));
+  int64_t x = controller.initial_block_size();
+  for (int i = 0; i < 6; ++i) {
+    x = controller.NextBlockSize(QuadCost(static_cast<double>(x), 9000.0));
+  }
+  auto model = controller.identified_model();
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model.value().failed);
+  EXPECT_NEAR(static_cast<double>(model.value().optimum), 9000.0, 300.0);
+  EXPECT_GT(model.value().fit.r_squared, 0.99);
+}
+
+TEST(ModelBasedControllerTest, ParabolicFindsMinimum) {
+  ModelBasedController controller(
+      BaseConfig(IdentificationModel::kParabolic));
+  int64_t x = controller.initial_block_size();
+  for (int i = 0; i < 6; ++i) {
+    x = controller.NextBlockSize(ParabolicCost(static_cast<double>(x)));
+  }
+  auto model = controller.identified_model();
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model.value().failed);
+  // sqrt(5000 / 0.0002) = 5000.
+  EXPECT_NEAR(static_cast<double>(model.value().optimum), 5000.0, 300.0);
+}
+
+TEST(ModelBasedControllerTest, QuadraticFailsOnDecreasingProfile) {
+  // A monotonically decreasing cost (optimum at the upper limit) makes
+  // the quadratic fit convex-down or flat: must flag and clamp.
+  ModelBasedController controller(
+      BaseConfig(IdentificationModel::kQuadratic));
+  int64_t x = controller.initial_block_size();
+  for (int i = 0; i < 6; ++i) {
+    x = controller.NextBlockSize(5.0 * std::exp(-static_cast<double>(x) / 3000.0) + 1.0);
+  }
+  auto model = controller.identified_model();
+  ASSERT_TRUE(model.ok());
+  // Either a vertex beyond the limits (clamped to max) or a failure that
+  // picks a limit; it must not sit in the interior low region.
+  EXPECT_TRUE(model.value().optimum == 20000 ||
+              model.value().optimum == 100 || !model.value().failed);
+}
+
+TEST(ModelBasedControllerTest, ParabolicFailureSelectsLimit) {
+  // Decreasing-with-x cost: the parabolic fit sees b2 <= 0, the paper's
+  // observed failure ("selecting the lower limit value" family).
+  ModelBasedController controller(
+      BaseConfig(IdentificationModel::kParabolic));
+  int64_t x = controller.initial_block_size();
+  for (int i = 0; i < 6; ++i) {
+    x = controller.NextBlockSize(10.0 - static_cast<double>(x) * 1e-4);
+  }
+  auto model = controller.identified_model();
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(model.value().failed);
+  EXPECT_TRUE(model.value().optimum == 100 ||
+              model.value().optimum == 20000);
+}
+
+TEST(ModelBasedControllerTest, SamplesPerSizeAveraging) {
+  ModelBasedConfig config = BaseConfig(IdentificationModel::kQuadratic);
+  config.samples_per_size = 3;
+  ModelBasedController controller(config);
+  int64_t x = controller.initial_block_size();
+  int measurements = 0;
+  while (!controller.identification_complete()) {
+    x = controller.NextBlockSize(QuadCost(static_cast<double>(x), 9000.0));
+    ++measurements;
+    ASSERT_LT(measurements, 100);
+  }
+  EXPECT_EQ(measurements, 18);  // 6 sizes x 3 measurements
+  auto model = controller.identified_model();
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(static_cast<double>(model.value().optimum), 9000.0, 300.0);
+}
+
+TEST(ModelBasedControllerTest, IdentifiedModelUnavailableDuringSampling) {
+  ModelBasedController controller(
+      BaseConfig(IdentificationModel::kQuadratic));
+  EXPECT_EQ(controller.identified_model().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ModelBasedControllerTest, ResetRestartsSampling) {
+  ModelBasedController controller(
+      BaseConfig(IdentificationModel::kQuadratic));
+  int64_t x = controller.initial_block_size();
+  for (int i = 0; i < 6; ++i) {
+    x = controller.NextBlockSize(QuadCost(static_cast<double>(x), 9000.0));
+  }
+  ASSERT_TRUE(controller.identification_complete());
+  controller.Reset();
+  EXPECT_FALSE(controller.identification_complete());
+  EXPECT_EQ(controller.adaptivity_steps(), 0);
+  EXPECT_EQ(controller.NextBlockSize(1.0), controller.sample_sizes()[1]);
+}
+
+TEST(ModelBasedControllerTest, Names) {
+  EXPECT_EQ(
+      ModelBasedController(BaseConfig(IdentificationModel::kQuadratic))
+          .name(),
+      "model_quadratic");
+  EXPECT_EQ(
+      ModelBasedController(BaseConfig(IdentificationModel::kParabolic))
+          .name(),
+      "model_parabolic");
+}
+
+TEST(ModelBasedControllerTest, ReidentifiesWhenEnvironmentShifts) {
+  // Paper Section IV heuristic: rerun the LS when measurements deviate
+  // significantly from the derived model.
+  ModelBasedConfig config = BaseConfig(IdentificationModel::kQuadratic);
+  config.reidentify_deviation = 0.5;
+  config.reidentify_patience = 3;
+  ModelBasedController controller(config);
+
+  int64_t x = controller.initial_block_size();
+  for (int i = 0; i < 6; ++i) {
+    x = controller.NextBlockSize(QuadCost(static_cast<double>(x), 6000.0));
+  }
+  ASSERT_TRUE(controller.identification_complete());
+  const int64_t first_estimate = x;
+  EXPECT_NEAR(static_cast<double>(first_estimate), 6000.0, 300.0);
+
+  // Environment changes: costs triple (way past the 50% deviation band)
+  // for `patience` measurements -> sampling restarts.
+  for (int i = 0; i < 3; ++i) {
+    x = controller.NextBlockSize(
+        3.0 * QuadCost(static_cast<double>(x), 14000.0));
+  }
+  EXPECT_EQ(controller.reidentifications(), 1);
+  EXPECT_FALSE(controller.identification_complete());
+
+  // The rerun converges on the new optimum.
+  for (int i = 0; i < 6; ++i) {
+    x = controller.NextBlockSize(
+        3.0 * QuadCost(static_cast<double>(x), 14000.0));
+  }
+  ASSERT_TRUE(controller.identification_complete());
+  EXPECT_NEAR(static_cast<double>(x), 14000.0, 500.0);
+}
+
+TEST(ModelBasedControllerTest, ToleratesDeviationWithinBand) {
+  ModelBasedConfig config = BaseConfig(IdentificationModel::kQuadratic);
+  config.reidentify_deviation = 0.5;
+  config.reidentify_patience = 2;
+  ModelBasedController controller(config);
+
+  int64_t x = controller.initial_block_size();
+  for (int i = 0; i < 6; ++i) {
+    x = controller.NextBlockSize(QuadCost(static_cast<double>(x), 6000.0));
+  }
+  ASSERT_TRUE(controller.identification_complete());
+  // 20% noise stays inside the 50% band: never re-identifies.
+  for (int i = 0; i < 20; ++i) {
+    const double noisy = QuadCost(static_cast<double>(x), 6000.0) *
+                         (i % 2 == 0 ? 1.2 : 0.8);
+    x = controller.NextBlockSize(noisy);
+  }
+  EXPECT_EQ(controller.reidentifications(), 0);
+  EXPECT_TRUE(controller.identification_complete());
+}
+
+TEST(ModelBasedControllerTest, IsolatedSpikeDoesNotReidentify) {
+  ModelBasedConfig config = BaseConfig(IdentificationModel::kQuadratic);
+  config.reidentify_deviation = 0.3;
+  config.reidentify_patience = 3;
+  ModelBasedController controller(config);
+
+  int64_t x = controller.initial_block_size();
+  for (int i = 0; i < 6; ++i) {
+    x = controller.NextBlockSize(QuadCost(static_cast<double>(x), 6000.0));
+  }
+  ASSERT_TRUE(controller.identification_complete());
+  // Two isolated spikes separated by clean measurements: patience=3 is
+  // never exhausted.
+  for (int i = 0; i < 10; ++i) {
+    const double y = QuadCost(static_cast<double>(x), 6000.0) *
+                     (i == 2 || i == 6 ? 5.0 : 1.0);
+    x = controller.NextBlockSize(y);
+  }
+  EXPECT_EQ(controller.reidentifications(), 0);
+}
+
+TEST(ModelBasedConfigTest, ReidentifyValidation) {
+  ModelBasedConfig config = BaseConfig(IdentificationModel::kQuadratic);
+  config.reidentify_deviation = -0.1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = BaseConfig(IdentificationModel::kQuadratic);
+  config.reidentify_patience = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(AnalyticOptimumTest, QuadraticVertex) {
+  bool failed = true;
+  BlockSizeLimits limits{100, 20000};
+  // y = 1e-6 x^2 - 0.02 x + c -> vertex at 10000.
+  EXPECT_EQ(AnalyticOptimum(IdentificationModel::kQuadratic,
+                            {1e-6, -0.02, 5.0}, limits, &failed),
+            10000);
+  EXPECT_FALSE(failed);
+}
+
+TEST(AnalyticOptimumTest, QuadraticVertexClampsToLimits) {
+  bool failed = true;
+  BlockSizeLimits limits{100, 20000};
+  EXPECT_EQ(AnalyticOptimum(IdentificationModel::kQuadratic,
+                            {1e-6, -0.2, 5.0}, limits, &failed),
+            20000);  // vertex at 100000, clamped
+  EXPECT_FALSE(failed);
+}
+
+TEST(AnalyticOptimumTest, QuadraticConcaveDownFails) {
+  bool failed = false;
+  BlockSizeLimits limits{100, 20000};
+  const int64_t x = AnalyticOptimum(IdentificationModel::kQuadratic,
+                                    {-1e-6, 0.01, 5.0}, limits, &failed);
+  EXPECT_TRUE(failed);
+  EXPECT_TRUE(x == 100 || x == 20000);
+}
+
+TEST(AnalyticOptimumTest, ParabolicCases) {
+  bool failed = false;
+  BlockSizeLimits limits{100, 20000};
+  EXPECT_EQ(AnalyticOptimum(IdentificationModel::kParabolic,
+                            {10000.0, 0.0001, 1.0}, limits, &failed),
+            10000);  // sqrt(1e4 / 1e-4)
+  EXPECT_FALSE(failed);
+
+  // Negative a2: derivative never zero, lower limit.
+  EXPECT_EQ(AnalyticOptimum(IdentificationModel::kParabolic,
+                            {-5.0, 0.0001, 1.0}, limits, &failed),
+            100);
+  EXPECT_TRUE(failed);
+
+  // Negative b2: "bigger is always better" -> upper limit.
+  EXPECT_EQ(AnalyticOptimum(IdentificationModel::kParabolic,
+                            {10000.0, -0.0001, 1.0}, limits, &failed),
+            20000);
+  EXPECT_TRUE(failed);
+}
+
+TEST(AnalyticOptimumTest, WrongArityFails) {
+  bool failed = false;
+  BlockSizeLimits limits{100, 20000};
+  EXPECT_EQ(AnalyticOptimum(IdentificationModel::kQuadratic, {1.0, 2.0},
+                            limits, &failed),
+            100);
+  EXPECT_TRUE(failed);
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,288 @@
+#include "wsq/control/switching_controller.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+SwitchingConfig BaseConfig() {
+  SwitchingConfig config;
+  config.gain_mode = GainMode::kConstant;
+  config.b1 = 1000.0;
+  config.b2 = 25.0;
+  config.dither_factor = 0.0;  // deterministic unless a test wants dither
+  config.averaging_horizon = 1;
+  config.limits = {100, 20000};
+  config.initial_block_size = 1000;
+  config.seed = 1;
+  return config;
+}
+
+/// Convex per-tuple cost bowl with minimum at `optimum`.
+double Bowl(double x, double optimum) {
+  const double z = (x - optimum) / optimum;
+  return 1.0 + z * z;
+}
+
+TEST(SwitchingConfigTest, Validation) {
+  EXPECT_TRUE(BaseConfig().Validate().ok());
+  SwitchingConfig bad = BaseConfig();
+  bad.b1 = 0.0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = BaseConfig();
+  bad.b2 = -1.0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = BaseConfig();
+  bad.dither_factor = -1.0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = BaseConfig();
+  bad.averaging_horizon = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = BaseConfig();
+  bad.limits = {500, 100};
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = BaseConfig();
+  bad.initial_block_size = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(SwitchingControllerTest, FirstStepIncreasesByB1) {
+  SwitchingExtremumController controller(BaseConfig());
+  EXPECT_EQ(controller.initial_block_size(), 1000);
+  const int64_t next = controller.NextBlockSize(5.0);
+  EXPECT_EQ(next, 2000);  // +b1, no dither
+  EXPECT_EQ(controller.adaptivity_steps(), 1);
+  EXPECT_EQ(controller.last_gain(), 1000.0);
+}
+
+TEST(SwitchingControllerTest, GrowsWhileImproving) {
+  // Response per tuple falls as x grows: the controller must keep
+  // increasing the block size.
+  SwitchingExtremumController controller(BaseConfig());
+  int64_t x = controller.initial_block_size();
+  x = controller.NextBlockSize(10.0);
+  int64_t prev = x;
+  for (int i = 0; i < 5; ++i) {
+    x = controller.NextBlockSize(10.0 * 1000.0 / static_cast<double>(prev));
+    EXPECT_GT(x, prev);
+    prev = x;
+  }
+}
+
+TEST(SwitchingControllerTest, ShrinksWhenDegrading) {
+  // Growing hurt: y increases with x. After the forced first step up,
+  // the controller must reverse.
+  SwitchingExtremumController controller(BaseConfig());
+  int64_t x = controller.initial_block_size();
+  x = controller.NextBlockSize(1.0);        // first step: 1000 -> 2000
+  int64_t next = controller.NextBlockSize(2.0);  // got worse
+  EXPECT_LT(next, x);
+}
+
+TEST(SwitchingControllerTest, ConstantGainOscillatesAroundOptimum) {
+  SwitchingConfig config = BaseConfig();
+  config.b1 = 500.0;
+  SwitchingExtremumController controller(config);
+  int64_t x = controller.initial_block_size();
+  std::vector<int64_t> tail;
+  for (int i = 0; i < 60; ++i) {
+    x = controller.NextBlockSize(Bowl(static_cast<double>(x), 5000.0));
+    if (i >= 40) tail.push_back(x);
+  }
+  // The saw-tooth must hover around the optimum.
+  double mean = 0.0;
+  for (int64_t v : tail) mean += static_cast<double>(v);
+  mean /= static_cast<double>(tail.size());
+  EXPECT_NEAR(mean, 5000.0, 1200.0);
+  // ... and oscillate rather than converge.
+  int64_t lo = tail.front();
+  int64_t hi = tail.front();
+  for (int64_t v : tail) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GE(hi - lo, 500);
+}
+
+TEST(SwitchingControllerTest, AdaptiveGainShrinksNearOptimum) {
+  SwitchingConfig config = BaseConfig();
+  config.gain_mode = GainMode::kAdaptive;
+  config.initial_block_size = 4500;  // near the optimum at 5000
+  config.dither_factor = 10.0;
+  SwitchingExtremumController controller(config);
+  int64_t x = controller.initial_block_size();
+  for (int i = 0; i < 40; ++i) {
+    x = controller.NextBlockSize(Bowl(static_cast<double>(x), 5000.0));
+  }
+  // Near the bowl's bottom relative dy is tiny, so adaptive steps are
+  // small and the operating point stays close.
+  EXPECT_NEAR(static_cast<double>(x), 5000.0, 1500.0);
+  EXPECT_LT(controller.last_gain(), 500.0);
+}
+
+TEST(SwitchingControllerTest, LimitsClampCommands) {
+  SwitchingConfig config = BaseConfig();
+  config.b1 = 50000.0;  // one step overshoots any limit
+  SwitchingExtremumController controller(config);
+  EXPECT_EQ(controller.NextBlockSize(1.0), 20000);  // clamped at max
+  // Force decreases repeatedly: y grows -> shrink, clamped at min.
+  int64_t x = 20000;
+  for (int i = 0; i < 5; ++i) {
+    x = controller.NextBlockSize(static_cast<double>(i + 2));
+  }
+  EXPECT_EQ(x, 100);
+}
+
+TEST(SwitchingControllerTest, AveragingSmoothsNoiseSpike) {
+  // With n=3, a single corrupted measurement must not flip the
+  // direction decision that the clean trend implies.
+  SwitchingConfig smooth = BaseConfig();
+  smooth.averaging_horizon = 3;
+  SwitchingExtremumController controller(smooth);
+  int64_t x = controller.initial_block_size();
+  // Feed a falling trend with one spike.
+  const double ys[] = {10.0, 9.0, 8.0, 30.0, 7.0, 6.5, 6.0};
+  int64_t prev = x;
+  int drops = 0;
+  for (double y : ys) {
+    x = controller.NextBlockSize(y);
+    if (x < prev) ++drops;
+    prev = x;
+  }
+  // At most one reversal despite the spike.
+  EXPECT_LE(drops, 1);
+}
+
+TEST(SwitchingControllerTest, DitherKeepsProbing) {
+  SwitchingConfig config = BaseConfig();
+  config.dither_factor = 50.0;
+  SwitchingExtremumController controller(config);
+  int64_t x = controller.initial_block_size();
+  std::set<int64_t> values;
+  for (int i = 0; i < 30; ++i) {
+    x = controller.NextBlockSize(Bowl(static_cast<double>(x), 5000.0));
+    values.insert(x);
+  }
+  // Dither must produce off-grid values (not only multiples of b1).
+  int off_grid = 0;
+  for (int64_t v : values) {
+    if ((v - 1000) % 1000 != 0) ++off_grid;
+  }
+  EXPECT_GT(off_grid, 5);
+}
+
+TEST(SwitchingControllerTest, HistoriesTrackSteps) {
+  SwitchingExtremumController controller(BaseConfig());
+  for (int i = 0; i < 10; ++i) {
+    controller.NextBlockSize(Bowl(4000, 5000.0) + i * 0.01);
+  }
+  EXPECT_EQ(controller.adaptivity_steps(), 10);
+  // Signs start from the second step.
+  EXPECT_EQ(controller.sign_history().size(), 9u);
+  EXPECT_EQ(controller.averaged_input_history().size(), 10u);
+  for (int s : controller.sign_history()) {
+    EXPECT_TRUE(s == 1 || s == -1);
+  }
+}
+
+TEST(SwitchingControllerTest, ResetRestoresInitialState) {
+  SwitchingConfig config = BaseConfig();
+  config.dither_factor = 25.0;
+  SwitchingExtremumController controller(config);
+  std::vector<int64_t> first;
+  for (int i = 0; i < 8; ++i) {
+    first.push_back(controller.NextBlockSize(Bowl(2000, 5000.0)));
+  }
+  controller.Reset();
+  EXPECT_EQ(controller.adaptivity_steps(), 0);
+  EXPECT_TRUE(controller.sign_history().empty());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(controller.NextBlockSize(Bowl(2000, 5000.0)), first[i]);
+  }
+}
+
+TEST(SwitchingControllerTest, SetCommandClampsToLimits) {
+  SwitchingExtremumController controller(BaseConfig());
+  controller.set_command(50.0);
+  EXPECT_EQ(controller.NextBlockSize(1.0), 100 + 1000);  // clamped then +b1
+  controller.set_command(1e9);
+  // Second step: direction depends on deltas, but the command base is
+  // clamped to the max.
+  const int64_t next = controller.NextBlockSize(1.0);
+  EXPECT_LE(next, 20000);
+}
+
+TEST(SwitchingControllerTest, ResetDeltasHoldsPosition) {
+  SwitchingExtremumController controller(BaseConfig());
+  controller.NextBlockSize(5.0);  // 1000 -> 2000
+  controller.ResetDeltas(/*hold_position=*/true);
+  // Next step must hold (no +b1, no movement since dither is 0).
+  EXPECT_EQ(controller.NextBlockSize(5.0), 2000);
+  // The step after that resumes normal control.
+  EXPECT_NE(controller.NextBlockSize(4.0), 2000);
+}
+
+TEST(SwitchingControllerTest, GainModeSwitchMidFlight) {
+  SwitchingExtremumController controller(BaseConfig());
+  controller.NextBlockSize(5.0);
+  controller.NextBlockSize(4.0);
+  EXPECT_EQ(controller.gain_mode(), GainMode::kConstant);
+  controller.set_gain_mode(GainMode::kAdaptive);
+  controller.NextBlockSize(3.9);
+  // Adaptive gain is proportional, not b1.
+  EXPECT_NE(controller.last_gain(), BaseConfig().b1);
+}
+
+TEST(SwitchingControllerTest, NamesReflectMode) {
+  EXPECT_EQ(SwitchingExtremumController(BaseConfig()).name(),
+            "constant_gain");
+  SwitchingConfig adaptive = BaseConfig();
+  adaptive.gain_mode = GainMode::kAdaptive;
+  EXPECT_EQ(SwitchingExtremumController(adaptive).name(), "adaptive_gain");
+  EXPECT_EQ(GainModeName(GainMode::kConstant), "constant_gain");
+  EXPECT_EQ(GainModeName(GainMode::kAdaptive), "adaptive_gain");
+}
+
+/// Property sweep: for any bowl optimum and starting point, the constant
+/// gain controller's late-phase mean must land near the optimum.
+struct BowlCase {
+  double optimum;
+  int64_t start;
+};
+
+class SwitchingBowlTest : public ::testing::TestWithParam<BowlCase> {};
+
+TEST_P(SwitchingBowlTest, ConstantGainTracksBowl) {
+  SwitchingConfig config = BaseConfig();
+  config.b1 = 600.0;
+  config.averaging_horizon = 3;
+  config.initial_block_size = GetParam().start;
+  SwitchingExtremumController controller(config);
+
+  int64_t x = controller.initial_block_size();
+  double late_mean = 0.0;
+  int late_count = 0;
+  for (int i = 0; i < 120; ++i) {
+    x = controller.NextBlockSize(Bowl(static_cast<double>(x),
+                                      GetParam().optimum));
+    if (i >= 80) {
+      late_mean += static_cast<double>(x);
+      ++late_count;
+    }
+  }
+  late_mean /= late_count;
+  EXPECT_NEAR(late_mean, GetParam().optimum,
+              std::max(1500.0, GetParam().optimum * 0.35));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BowlSweep, SwitchingBowlTest,
+    ::testing::Values(BowlCase{3000.0, 500}, BowlCase{5000.0, 1000},
+                      BowlCase{8000.0, 1000}, BowlCase{8000.0, 18000},
+                      BowlCase{12000.0, 2000}, BowlCase{4000.0, 15000}));
+
+}  // namespace
+}  // namespace wsq

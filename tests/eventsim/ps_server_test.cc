@@ -1,0 +1,122 @@
+#include "wsq/eventsim/ps_server.h"
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+TEST(PsServerTest, SingleJobRunsAtFullRate) {
+  PsServer server;
+  auto job = server.Submit(0.0, 100.0);
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE(server.NextCompletionTime().has_value());
+  EXPECT_DOUBLE_EQ(*server.NextCompletionTime(), 100.0);
+
+  auto completed = server.AdvanceTo(100.0);
+  ASSERT_TRUE(completed.ok());
+  ASSERT_TRUE(completed.value().has_value());
+  EXPECT_EQ(*completed.value(), job.value());
+  EXPECT_EQ(server.active_jobs(), 0);
+}
+
+TEST(PsServerTest, TwoEqualJobsShareTheProcessor) {
+  PsServer server;
+  ASSERT_TRUE(server.Submit(0.0, 100.0).ok());
+  ASSERT_TRUE(server.Submit(0.0, 100.0).ok());
+  // Each runs at rate 1/2: both finish around t=200.
+  EXPECT_DOUBLE_EQ(*server.NextCompletionTime(), 200.0);
+}
+
+TEST(PsServerTest, ShortJobFinishesFirstAndSurvivorSpeedsUp) {
+  PsServer server;
+  auto long_job = server.Submit(0.0, 100.0);
+  auto short_job = server.Submit(0.0, 10.0);
+  ASSERT_TRUE(long_job.ok());
+  ASSERT_TRUE(short_job.ok());
+
+  // Sharing: the 10ms job needs 20ms of wall time.
+  ASSERT_TRUE(server.NextCompletionTime().has_value());
+  EXPECT_DOUBLE_EQ(*server.NextCompletionTime(), 20.0);
+  auto first = server.AdvanceTo(20.0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first.value(), short_job.value());
+
+  // The long job has 90ms left and now runs alone: completes at 110.
+  EXPECT_DOUBLE_EQ(*server.NextCompletionTime(), 110.0);
+  auto second = server.AdvanceTo(110.0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second.value(), long_job.value());
+}
+
+TEST(PsServerTest, LateArrivalSlowsTheFirstJob) {
+  PsServer server;
+  auto first = server.Submit(0.0, 100.0);
+  ASSERT_TRUE(first.ok());
+  // At t=50 the first job is half done; a second arrives.
+  auto second = server.Submit(50.0, 100.0);
+  ASSERT_TRUE(second.ok());
+  // First needs 50 more solo-ms at rate 1/2 -> completes at 150.
+  EXPECT_DOUBLE_EQ(*server.NextCompletionTime(), 150.0);
+  auto completed = server.AdvanceTo(150.0);
+  ASSERT_TRUE(completed.ok());
+  EXPECT_EQ(*completed.value(), first.value());
+  // Second had 50 solo-ms of progress by then; 50 left alone -> 200.
+  EXPECT_DOUBLE_EQ(*server.NextCompletionTime(), 200.0);
+}
+
+TEST(PsServerTest, WorkConservation) {
+  // Total wall time to drain any job set equals total demand,
+  // regardless of interleaving.
+  PsServer server;
+  ASSERT_TRUE(server.Submit(0.0, 30.0).ok());
+  ASSERT_TRUE(server.Submit(0.0, 50.0).ok());
+  ASSERT_TRUE(server.Submit(0.0, 20.0).ok());
+  double last = 0.0;
+  while (server.active_jobs() > 0) {
+    const double next = *server.NextCompletionTime();
+    auto completed = server.AdvanceTo(next);
+    ASSERT_TRUE(completed.ok());
+    ASSERT_TRUE(completed.value().has_value());
+    last = next;
+  }
+  EXPECT_NEAR(last, 100.0, 1e-9);
+}
+
+TEST(PsServerTest, IdleAdvanceMovesClockOnly) {
+  PsServer server;
+  auto completed = server.AdvanceTo(500.0);
+  ASSERT_TRUE(completed.ok());
+  EXPECT_FALSE(completed.value().has_value());
+  EXPECT_DOUBLE_EQ(server.now_ms(), 500.0);
+  EXPECT_FALSE(server.NextCompletionTime().has_value());
+}
+
+TEST(PsServerTest, Validation) {
+  PsServer server;
+  EXPECT_FALSE(server.Submit(0.0, 0.0).ok());
+  EXPECT_FALSE(server.Submit(0.0, -1.0).ok());
+  ASSERT_TRUE(server.Submit(10.0, 100.0).ok());
+  EXPECT_FALSE(server.Submit(5.0, 10.0).ok());     // time regression
+  EXPECT_FALSE(server.AdvanceTo(5.0).ok());        // time regression
+  EXPECT_FALSE(server.AdvanceTo(1000.0).ok());     // skips a completion
+}
+
+TEST(PsServerTest, SimultaneousCompletionsHarvestOneAtATime) {
+  PsServer server;
+  ASSERT_TRUE(server.Submit(0.0, 50.0).ok());
+  ASSERT_TRUE(server.Submit(0.0, 50.0).ok());
+  const double t = *server.NextCompletionTime();
+  auto first = server.AdvanceTo(t);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first.value().has_value());
+  // The tied job completes at (numerically) the same instant.
+  const double t2 = *server.NextCompletionTime();
+  EXPECT_NEAR(t2, t, 1e-6);
+  auto second = server.AdvanceTo(t2);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second.value().has_value());
+  EXPECT_EQ(server.active_jobs(), 0);
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,113 @@
+#include "wsq/relation/tuple_serializer.h"
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", ColumnType::kInt64},
+                 {"name", ColumnType::kString},
+                 {"balance", ColumnType::kDouble}});
+}
+
+TEST(EscapeTest, RoundTripsSpecials) {
+  const std::string raw = "a|b\\c\nd";
+  const std::string escaped = EscapeField(raw);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  Result<std::string> back = UnescapeField(escaped);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), raw);
+}
+
+TEST(EscapeTest, DanglingEscapeRejected) {
+  EXPECT_EQ(UnescapeField("abc\\").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TupleSerializerTest, RoundTripSimple) {
+  TupleSerializer ser(TestSchema());
+  Tuple t({Value(int64_t{42}), Value(std::string("alice")), Value(10.25)});
+  Result<std::string> line = ser.Serialize(t);
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(line.value(), "42|alice|10.25");
+
+  Result<Tuple> back = ser.Deserialize(line.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(std::get<int64_t>(back.value().value(0)), 42);
+  EXPECT_EQ(std::get<std::string>(back.value().value(1)), "alice");
+  EXPECT_DOUBLE_EQ(std::get<double>(back.value().value(2)), 10.25);
+}
+
+TEST(TupleSerializerTest, RoundTripSpecialCharacters) {
+  TupleSerializer ser(TestSchema());
+  Tuple t({Value(int64_t{1}), Value(std::string("pipe|back\\slash\nnl")),
+           Value(0.5)});
+  Result<std::string> line = ser.Serialize(t);
+  ASSERT_TRUE(line.ok());
+  Result<Tuple> back = ser.Deserialize(line.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(std::get<std::string>(back.value().value(1)),
+            "pipe|back\\slash\nnl");
+}
+
+TEST(TupleSerializerTest, BlockRoundTrip) {
+  TupleSerializer ser(TestSchema());
+  std::vector<Tuple> block;
+  for (int i = 0; i < 5; ++i) {
+    block.push_back(Tuple({Value(static_cast<int64_t>(i)),
+                           Value("name" + std::to_string(i)),
+                           Value(i * 1.5)}));
+  }
+  Result<std::string> data = ser.SerializeBlock(block);
+  ASSERT_TRUE(data.ok());
+  Result<std::vector<Tuple>> back = ser.DeserializeBlock(data.value());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(std::get<int64_t>(back.value()[i].value(0)), i);
+    EXPECT_EQ(std::get<std::string>(back.value()[i].value(1)),
+              "name" + std::to_string(i));
+  }
+}
+
+TEST(TupleSerializerTest, EmptyBlock) {
+  TupleSerializer ser(TestSchema());
+  Result<std::string> data = ser.SerializeBlock({});
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(data.value().empty());
+  Result<std::vector<Tuple>> back = ser.DeserializeBlock("");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().empty());
+}
+
+TEST(TupleSerializerTest, NonConformingTupleRejected) {
+  TupleSerializer ser(TestSchema());
+  Tuple bad({Value(int64_t{1})});
+  EXPECT_EQ(ser.Serialize(bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TupleSerializerTest, MalformedLinesRejected) {
+  TupleSerializer ser(TestSchema());
+  EXPECT_EQ(ser.Deserialize("1|only_two").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ser.Deserialize("abc|x|1.0").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ser.Deserialize("1|x|notnum").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ser.Deserialize("1|x|1.0\\").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TupleSerializerTest, DoublePrecisionIsTwoDigits) {
+  // Doubles travel in money format (2 fraction digits); values round.
+  TupleSerializer ser(TestSchema());
+  Tuple t({Value(int64_t{1}), Value(std::string("x")), Value(1.239)});
+  Result<Tuple> back = ser.Deserialize(ser.Serialize(t).value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(std::get<double>(back.value().value(2)), 1.24);
+}
+
+}  // namespace
+}  // namespace wsq

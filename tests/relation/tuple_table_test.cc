@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "wsq/relation/table.h"
+#include "wsq/relation/tuple.h"
+
+namespace wsq {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", ColumnType::kInt64},
+                 {"name", ColumnType::kString},
+                 {"balance", ColumnType::kDouble}});
+}
+
+Tuple MakeRow(int64_t id, const std::string& name, double balance) {
+  return Tuple({Value(id), Value(name), Value(balance)});
+}
+
+TEST(TupleTest, Conformance) {
+  Schema s = TestSchema();
+  EXPECT_TRUE(MakeRow(1, "a", 2.0).ConformsTo(s).ok());
+
+  Tuple short_tuple({Value(int64_t{1})});
+  EXPECT_EQ(short_tuple.ConformsTo(s).code(), StatusCode::kInvalidArgument);
+
+  Tuple wrong_type({Value(1.5), Value(std::string("a")), Value(2.0)});
+  EXPECT_EQ(wrong_type.ConformsTo(s).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TupleTest, Projection) {
+  Tuple t = MakeRow(7, "bob", 10.5);
+  Result<Tuple> p = t.Project({2, 0});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().num_values(), 2u);
+  EXPECT_EQ(std::get<double>(p.value().value(0)), 10.5);
+  EXPECT_EQ(std::get<int64_t>(p.value().value(1)), 7);
+  EXPECT_EQ(t.Project({9}).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(TupleTest, ApproxBytes) {
+  Tuple t = MakeRow(1, "abcd", 2.0);
+  // 8 (int) + 4 (string) + 8 (double)
+  EXPECT_EQ(t.ApproxBytes(), 20u);
+}
+
+TEST(TupleTest, EqualityAndToString) {
+  EXPECT_EQ(MakeRow(1, "a", 2.0), MakeRow(1, "a", 2.0));
+  EXPECT_FALSE(MakeRow(1, "a", 2.0) == MakeRow(2, "a", 2.0));
+  const std::string s = MakeRow(1, "a", 2.0).ToString();
+  EXPECT_NE(s.find("1"), std::string::npos);
+  EXPECT_NE(s.find("a"), std::string::npos);
+}
+
+TEST(TableTest, AppendValidates) {
+  Table table("t", TestSchema());
+  EXPECT_TRUE(table.Append(MakeRow(1, "a", 2.0)).ok());
+  EXPECT_EQ(table.Append(Tuple({Value(int64_t{1})})).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(TableTest, AppendUncheckedSkipsValidation) {
+  Table table("t", TestSchema());
+  table.AppendUnchecked(Tuple({Value(int64_t{1})}));  // nonconforming
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(TableTest, RowAccessAndBytes) {
+  Table table("t", TestSchema());
+  ASSERT_TRUE(table.Append(MakeRow(1, "ab", 2.0)).ok());
+  ASSERT_TRUE(table.Append(MakeRow(2, "cdef", 3.0)).ok());
+  EXPECT_EQ(std::get<int64_t>(table.row(1).value(0)), 2);
+  // (8+2+8) + (8+4+8)
+  EXPECT_EQ(table.ApproxBytes(), 38u);
+  EXPECT_EQ(table.name(), "t");
+}
+
+}  // namespace
+}  // namespace wsq

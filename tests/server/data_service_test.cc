@@ -1,0 +1,165 @@
+#include "wsq/server/data_service.h"
+
+#include <gtest/gtest.h>
+
+#include "wsq/soap/envelope.h"
+
+namespace wsq {
+namespace {
+
+class DataServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto table = std::make_shared<Table>(
+        "nums", Schema({{"id", ColumnType::kInt64},
+                        {"label", ColumnType::kString}}));
+    for (int i = 0; i < 10; ++i) {
+      table->AppendUnchecked(Tuple(
+          {Value(static_cast<int64_t>(i)), Value("r" + std::to_string(i))}));
+    }
+    ASSERT_TRUE(dbms_.RegisterTable(table).ok());
+    service_ = std::make_unique<DataService>(&dbms_);
+  }
+
+  int64_t OpenSession() {
+    OpenSessionRequest request;
+    request.table = "nums";
+    ServiceResult result = service_->Handle(EncodeOpenSession(request));
+    EXPECT_FALSE(result.is_fault);
+    auto payload = ParseEnvelope(result.response);
+    EXPECT_TRUE(payload.ok());
+    return DecodeOpenSessionResponse(payload.value()).value().session_id;
+  }
+
+  Dbms dbms_;
+  std::unique_ptr<DataService> service_;
+};
+
+TEST_F(DataServiceTest, FullSessionLifecycle) {
+  const int64_t session = OpenSession();
+  EXPECT_EQ(service_->open_sessions(), 1u);
+
+  RequestBlockRequest request;
+  request.session_id = session;
+  request.block_size = 4;
+
+  ServiceResult r1 = service_->Handle(EncodeRequestBlock(request));
+  ASSERT_FALSE(r1.is_fault);
+  EXPECT_EQ(r1.tuples_produced, 4);
+  auto b1 = DecodeBlockResponse(ParseEnvelope(r1.response).value());
+  ASSERT_TRUE(b1.ok());
+  EXPECT_EQ(b1.value().num_tuples, 4);
+  EXPECT_FALSE(b1.value().end_of_results);
+
+  ServiceResult r2 = service_->Handle(EncodeRequestBlock(request));
+  ServiceResult r3 = service_->Handle(EncodeRequestBlock(request));
+  auto b3 = DecodeBlockResponse(ParseEnvelope(r3.response).value());
+  ASSERT_TRUE(b3.ok());
+  EXPECT_EQ(b3.value().num_tuples, 2);
+  EXPECT_TRUE(b3.value().end_of_results);
+
+  CloseSessionRequest close;
+  close.session_id = session;
+  ServiceResult r4 = service_->Handle(EncodeCloseSession(close));
+  EXPECT_FALSE(r4.is_fault);
+  EXPECT_EQ(service_->open_sessions(), 0u);
+  (void)r2;
+}
+
+TEST_F(DataServiceTest, OpenSessionReportsTotalRows) {
+  OpenSessionRequest request;
+  request.table = "nums";
+  ServiceResult result = service_->Handle(EncodeOpenSession(request));
+  auto response =
+      DecodeOpenSessionResponse(ParseEnvelope(result.response).value());
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().total_rows, 10);
+}
+
+TEST_F(DataServiceTest, UnknownTableYieldsFault) {
+  OpenSessionRequest request;
+  request.table = "ghost";
+  ServiceResult result = service_->Handle(EncodeOpenSession(request));
+  EXPECT_TRUE(result.is_fault);
+  EXPECT_EQ(ParseEnvelope(result.response).status().code(),
+            StatusCode::kRemoteFault);
+}
+
+TEST_F(DataServiceTest, UnknownSessionYieldsFault) {
+  RequestBlockRequest request;
+  request.session_id = 999;
+  request.block_size = 5;
+  ServiceResult result = service_->Handle(EncodeRequestBlock(request));
+  EXPECT_TRUE(result.is_fault);
+
+  CloseSessionRequest close;
+  close.session_id = 999;
+  EXPECT_TRUE(service_->Handle(EncodeCloseSession(close)).is_fault);
+}
+
+TEST_F(DataServiceTest, BadBlockSizeYieldsFault) {
+  const int64_t session = OpenSession();
+  RequestBlockRequest request;
+  request.session_id = session;
+  request.block_size = 0;
+  EXPECT_TRUE(service_->Handle(EncodeRequestBlock(request)).is_fault);
+}
+
+TEST_F(DataServiceTest, MalformedDocumentYieldsFault) {
+  EXPECT_TRUE(service_->Handle("this is not xml").is_fault);
+  EXPECT_TRUE(service_->Handle("<a/>").is_fault);
+}
+
+TEST_F(DataServiceTest, UnknownOperationYieldsFault) {
+  XmlNode op("Frobnicate");
+  EXPECT_TRUE(service_->Handle(BuildEnvelope(op)).is_fault);
+}
+
+TEST_F(DataServiceTest, ProjectionRespectedInPayload) {
+  OpenSessionRequest request;
+  request.table = "nums";
+  request.columns = {"label"};
+  ServiceResult opened = service_->Handle(EncodeOpenSession(request));
+  ASSERT_FALSE(opened.is_fault);
+  const int64_t session =
+      DecodeOpenSessionResponse(ParseEnvelope(opened.response).value())
+          .value()
+          .session_id;
+
+  RequestBlockRequest block_request;
+  block_request.session_id = session;
+  block_request.block_size = 2;
+  ServiceResult result = service_->Handle(EncodeRequestBlock(block_request));
+  auto block = DecodeBlockResponse(ParseEnvelope(result.response).value());
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block.value().payload, "r0\nr1\n");
+}
+
+TEST_F(DataServiceTest, MultipleConcurrentSessions) {
+  const int64_t s1 = OpenSession();
+  const int64_t s2 = OpenSession();
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(service_->open_sessions(), 2u);
+
+  RequestBlockRequest r;
+  r.session_id = s1;
+  r.block_size = 10;
+  auto b1 = DecodeBlockResponse(
+      ParseEnvelope(service_->Handle(EncodeRequestBlock(r)).response)
+          .value());
+  ASSERT_TRUE(b1.ok());
+  EXPECT_TRUE(b1.value().end_of_results);
+
+  // Session 2 still at the start.
+  r.session_id = s2;
+  r.block_size = 3;
+  auto b2 = DecodeBlockResponse(
+      ParseEnvelope(service_->Handle(EncodeRequestBlock(r)).response)
+          .value());
+  ASSERT_TRUE(b2.ok());
+  EXPECT_EQ(b2.value().num_tuples, 3);
+  EXPECT_FALSE(b2.value().end_of_results);
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,155 @@
+#include "wsq/server/load_model.h"
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+LoadModelConfig Quiet() {
+  LoadModelConfig config;
+  config.noise_sigma = 0.0;
+  return config;
+}
+
+TEST(LoadModelConfigTest, Validation) {
+  EXPECT_TRUE(Quiet().Validate().ok());
+
+  LoadModelConfig bad = Quiet();
+  bad.concurrent_jobs = -1;
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = Quiet();
+  bad.concurrent_queries = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = Quiet();
+  bad.memory_pressure = 1.0;
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = Quiet();
+  bad.buffer_capacity_tuples = 0.0;
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = Quiet();
+  bad.per_tuple_cpu_ms = -0.1;
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = Quiet();
+  bad.query_buffer_shrink = -1.0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(LoadModelTest, CpuMultiplierGrowsWithLoad) {
+  LoadModelConfig config = Quiet();
+  LoadModel unloaded(config);
+  EXPECT_DOUBLE_EQ(unloaded.CpuMultiplier(), 1.0);
+
+  config.concurrent_jobs = 5;
+  LoadModel jobs(config);
+  EXPECT_GT(jobs.CpuMultiplier(), unloaded.CpuMultiplier());
+
+  config.concurrent_queries = 3;
+  LoadModel queries(config);
+  EXPECT_GT(queries.CpuMultiplier(), jobs.CpuMultiplier());
+}
+
+TEST(LoadModelTest, BufferShrinksWithLoad) {
+  LoadModelConfig config = Quiet();
+  const double base = LoadModel(config).EffectiveBufferTuples();
+  EXPECT_DOUBLE_EQ(base, config.buffer_capacity_tuples);
+
+  config.concurrent_jobs = 10;
+  const double with_jobs = LoadModel(config).EffectiveBufferTuples();
+  EXPECT_LT(with_jobs, base);
+
+  config.concurrent_queries = 3;
+  const double with_queries = LoadModel(config).EffectiveBufferTuples();
+  EXPECT_LT(with_queries, with_jobs);
+
+  config.memory_pressure = 0.5;
+  const double with_memory = LoadModel(config).EffectiveBufferTuples();
+  EXPECT_NEAR(with_memory, with_queries * 0.5, 1e-9);
+}
+
+TEST(LoadModelTest, ServiceTimeLinearBelowBuffer) {
+  LoadModel model(Quiet());
+  const double t1 = model.NominalServiceTimeMs(1000);
+  const double t2 = model.NominalServiceTimeMs(2000);
+  const double t0 = model.NominalServiceTimeMs(0);
+  EXPECT_NEAR(t2 - t1, t1 - t0, 1e-9);  // constant marginal cost
+  EXPECT_GT(t0, 0.0);                   // per-request floor
+}
+
+TEST(LoadModelTest, PagingPenaltyKicksInPastBuffer) {
+  LoadModelConfig config = Quiet();
+  config.buffer_capacity_tuples = 5000.0;
+  LoadModel model(config);
+  const double just_below = model.NominalServiceTimeMs(5000);
+  const double above = model.NominalServiceTimeMs(10000);
+  const double way_above = model.NominalServiceTimeMs(20000);
+  // Superlinear: the marginal cost of the second 5000 tuples past the
+  // buffer exceeds the first.
+  const double linear_extrapolation =
+      just_below + (above - just_below) * 2.0 +
+      config.per_tuple_cpu_ms * 10000;
+  EXPECT_GT(way_above, linear_extrapolation);
+}
+
+TEST(LoadModelTest, MemoryPressureShiftsOptimumLeft) {
+  // The per-tuple-optimal block size must shrink when memory pressure
+  // rises — the core claim of the paper's Fig. 2(b).
+  auto optimum_for = [](double pressure) {
+    LoadModelConfig config;
+    config.noise_sigma = 0.0;
+    config.memory_pressure = pressure;
+    LoadModel model(config);
+    int64_t best_x = 0;
+    double best = 1e300;
+    for (int64_t x = 500; x <= 20000; x += 250) {
+      const double per_tuple =
+          model.NominalServiceTimeMs(x) / static_cast<double>(x);
+      if (per_tuple < best) {
+        best = per_tuple;
+        best_x = x;
+      }
+    }
+    return best_x;
+  };
+  EXPECT_GT(optimum_for(0.0), optimum_for(0.4));
+}
+
+TEST(LoadModelTest, NoiseMultiplicative) {
+  LoadModelConfig config = Quiet();
+  config.noise_sigma = 0.2;
+  LoadModel model(config);
+  Random rng(3);
+  const double nominal = model.NominalServiceTimeMs(5000);
+  double min_seen = 1e300;
+  double max_seen = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double t = model.ServiceTimeMs(5000, rng);
+    min_seen = std::min(min_seen, t);
+    max_seen = std::max(max_seen, t);
+    EXPECT_GT(t, 0.0);
+  }
+  EXPECT_LT(min_seen, nominal);
+  EXPECT_GT(max_seen, nominal);
+}
+
+TEST(LoadModelTest, LiveReconfiguration) {
+  LoadModel model(Quiet());
+  const double before = model.NominalServiceTimeMs(1000);
+  LoadModelConfig loaded = Quiet();
+  loaded.concurrent_queries = 3;
+  model.set_config(loaded);
+  EXPECT_GT(model.NominalServiceTimeMs(1000), before);
+}
+
+TEST(LoadModelTest, NegativeTuplesTreatedAsZero) {
+  LoadModel model(Quiet());
+  EXPECT_DOUBLE_EQ(model.NominalServiceTimeMs(-5),
+                   model.NominalServiceTimeMs(0));
+}
+
+}  // namespace
+}  // namespace wsq

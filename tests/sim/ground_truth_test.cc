@@ -1,0 +1,81 @@
+#include "wsq/sim/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+ParametricProfile BowlProfile() {
+  ParametricProfile::Params p;
+  p.name = "bowl";
+  p.dataset_tuples = 50000;
+  p.overhead_ms = 100.0;
+  p.per_tuple_ms = 0.1;
+  p.paging_ms = 1e-3;
+  p.buffer_tuples = 4000.0;
+  return ParametricProfile(p);
+}
+
+SimOptions Options(double noise) {
+  SimOptions options;
+  options.noise_amplitude = noise;
+  options.seed = 3;
+  return options;
+}
+
+TEST(GroundTruthTest, SweepCoversGridIncludingMax) {
+  ParametricProfile profile = BowlProfile();
+  Result<GroundTruth> gt = ComputeGroundTruth(
+      profile, {100, 10000}, 1000, 2, Options(0.0));
+  ASSERT_TRUE(gt.ok());
+  EXPECT_EQ(gt.value().sweep.front().block_size, 100);
+  EXPECT_EQ(gt.value().sweep.back().block_size, 10000);
+  // 100, 1100, ..., 9100, then 10000 appended.
+  EXPECT_EQ(gt.value().sweep.size(), 11u);
+}
+
+TEST(GroundTruthTest, NoiseFreeOptimumMatchesProfile) {
+  ParametricProfile profile = BowlProfile();
+  Result<GroundTruth> gt =
+      ComputeGroundTruth(profile, {100, 20000}, 200, 1, Options(0.0));
+  ASSERT_TRUE(gt.ok());
+  const int64_t direct = NoiseFreeOptimum(profile, 100, 20000, 200);
+  EXPECT_EQ(gt.value().optimum_block_size, direct);
+  EXPECT_GT(gt.value().optimum_mean_ms, 0.0);
+}
+
+TEST(GroundTruthTest, NoisyOptimumInNeighborhood) {
+  ParametricProfile profile = BowlProfile();
+  Result<GroundTruth> gt =
+      ComputeGroundTruth(profile, {100, 20000}, 500, 6, Options(0.1));
+  ASSERT_TRUE(gt.ok());
+  const int64_t direct = NoiseFreeOptimum(profile, 100, 20000, 100);
+  EXPECT_NEAR(static_cast<double>(gt.value().optimum_block_size),
+              static_cast<double>(direct), 2500.0);
+}
+
+TEST(GroundTruthTest, StddevPopulatedWithRepeats) {
+  ParametricProfile profile = BowlProfile();
+  Result<GroundTruth> gt =
+      ComputeGroundTruth(profile, {100, 5000}, 1000, 5, Options(0.15));
+  ASSERT_TRUE(gt.ok());
+  bool some_spread = false;
+  for (const SweepPoint& point : gt.value().sweep) {
+    EXPECT_GT(point.mean_ms, 0.0);
+    if (point.stddev_ms > 0.0) some_spread = true;
+  }
+  EXPECT_TRUE(some_spread);
+}
+
+TEST(GroundTruthTest, Validation) {
+  ParametricProfile profile = BowlProfile();
+  EXPECT_FALSE(
+      ComputeGroundTruth(profile, {100, 50}, 100, 1, Options(0.0)).ok());
+  EXPECT_FALSE(
+      ComputeGroundTruth(profile, {100, 500}, 0, 1, Options(0.0)).ok());
+  EXPECT_FALSE(
+      ComputeGroundTruth(profile, {100, 500}, 100, 0, Options(0.0)).ok());
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,138 @@
+#include "wsq/sim/profile_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "wsq/sim/profile_library.h"
+
+namespace wsq {
+namespace {
+
+GroundTruth SampleSweep() {
+  GroundTruth gt;
+  gt.sweep = {{500, 900.0, 10.0}, {1000, 700.0, 8.0}, {2000, 800.0, 12.0}};
+  gt.optimum_block_size = 1000;
+  gt.optimum_mean_ms = 700.0;
+  return gt;
+}
+
+TEST(ProfileFromSweepTest, BuildsInterpolatingProfile) {
+  Result<TabulatedProfile> profile =
+      ProfileFromSweep("captured", 10000, SampleSweep());
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile.value().name(), "captured");
+  EXPECT_EQ(profile.value().dataset_tuples(), 10000);
+  EXPECT_DOUBLE_EQ(profile.value().AggregateMs(1000), 700.0);
+  EXPECT_DOUBLE_EQ(profile.value().AggregateMs(750), 800.0);  // midpoint
+  EXPECT_EQ(NoiseFreeOptimum(profile.value(), 500, 2000, 50), 1000);
+}
+
+TEST(ProfileFromSweepTest, EmptySweepRejected) {
+  GroundTruth empty;
+  EXPECT_FALSE(ProfileFromSweep("x", 1000, empty).ok());
+  EXPECT_FALSE(ProfileFromSweep("x", 0, SampleSweep()).ok());
+}
+
+TEST(ProfileCsvTest, SaveLoadRoundTrip) {
+  Result<TabulatedProfile> original =
+      ProfileFromSweep("orig", 10000, SampleSweep());
+  ASSERT_TRUE(original.ok());
+
+  const std::string path = ::testing::TempDir() + "/wsq_profile_io.csv";
+  ASSERT_TRUE(
+      SaveProfileCsv(original.value(), 500, 2000, 250, path).ok());
+
+  Result<TabulatedProfile> loaded = LoadProfileCsv("copy", 10000, path);
+  ASSERT_TRUE(loaded.ok());
+  // Agreement on a fine grid (both interpolate the same table points).
+  for (int64_t x = 500; x <= 2000; x += 50) {
+    EXPECT_NEAR(loaded.value().AggregateMs(static_cast<double>(x)),
+                original.value().AggregateMs(static_cast<double>(x)), 0.01)
+        << x;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ProfileCsvTest, SaveIncludesExactUpperLimit) {
+  Result<TabulatedProfile> original =
+      ProfileFromSweep("orig", 10000, SampleSweep());
+  ASSERT_TRUE(original.ok());
+  const std::string path = ::testing::TempDir() + "/wsq_profile_io2.csv";
+  // Step 700 from 500 does not land on 2000; the save must append it.
+  ASSERT_TRUE(SaveProfileCsv(original.value(), 500, 2000, 700, path).ok());
+  Result<TabulatedProfile> loaded = LoadProfileCsv("copy", 10000, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_NEAR(loaded.value().AggregateMs(2000),
+              original.value().AggregateMs(2000), 0.01);
+  std::remove(path.c_str());
+}
+
+TEST(ProfileCsvTest, SaveValidatesGrid) {
+  Result<TabulatedProfile> original =
+      ProfileFromSweep("orig", 10000, SampleSweep());
+  ASSERT_TRUE(original.ok());
+  EXPECT_FALSE(SaveProfileCsv(original.value(), 0, 2000, 100, "/tmp/x").ok());
+  EXPECT_FALSE(
+      SaveProfileCsv(original.value(), 2000, 500, 100, "/tmp/x").ok());
+  EXPECT_FALSE(SaveProfileCsv(original.value(), 500, 2000, 0, "/tmp/x").ok());
+}
+
+TEST(ProfileCsvTest, LoadRejectsMissingAndMalformed) {
+  EXPECT_EQ(LoadProfileCsv("x", 1000, "/nonexistent/file.csv")
+                .status()
+                .code(),
+            StatusCode::kUnavailable);
+
+  const std::string path = ::testing::TempDir() + "/wsq_profile_bad.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("block_size,aggregate_ms\nnot_a_number,5\n", f);
+  std::fclose(f);
+  EXPECT_EQ(LoadProfileCsv("x", 1000, path).status().code(),
+            StatusCode::kInvalidArgument);
+
+  f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("block_size,aggregate_ms\n100;5\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadProfileCsv("x", 1000, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ProfileCsvTest, LoadRejectsNonIncreasingSizes) {
+  const std::string path = ::testing::TempDir() + "/wsq_profile_order.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("block_size,aggregate_ms\n200,5\n100,6\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadProfileCsv("x", 1000, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ProfileIoTest, CapturedLibraryProfileDrivesSimEngine) {
+  // End-to-end within sim: ground truth of conf2.1 -> captured profile
+  // -> controller run on the capture lands near the same optimum.
+  const ConfiguredProfile conf = Conf2_1();
+  SimOptions options;
+  options.noise_amplitude = 0.0;
+  options.seed = 1;
+  Result<GroundTruth> gt =
+      ComputeGroundTruth(*conf.profile, conf.limits, 250, 1, options);
+  ASSERT_TRUE(gt.ok());
+  Result<TabulatedProfile> captured =
+      ProfileFromSweep("conf2.1-capture", conf.profile->dataset_tuples(),
+                       gt.value());
+  ASSERT_TRUE(captured.ok());
+  const int64_t original =
+      NoiseFreeOptimum(*conf.profile, conf.limits.min_size,
+                       conf.limits.max_size, 50);
+  const int64_t recaptured =
+      NoiseFreeOptimum(captured.value(), conf.limits.min_size,
+                       conf.limits.max_size, 50);
+  EXPECT_NEAR(static_cast<double>(recaptured),
+              static_cast<double>(original), 300.0);
+}
+
+}  // namespace
+}  // namespace wsq

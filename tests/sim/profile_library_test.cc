@@ -1,0 +1,122 @@
+#include "wsq/sim/profile_library.h"
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+TEST(ProfileLibraryTest, AllConfigurationsResolve) {
+  for (const std::string& name : AllConfigurationNames()) {
+    Result<ConfiguredProfile> conf = ConfigurationByName(name);
+    ASSERT_TRUE(conf.ok()) << name;
+    EXPECT_EQ(conf.value().profile->name(), name);
+    EXPECT_TRUE(conf.value().limits.Valid()) << name;
+    EXPECT_GT(conf.value().noise_amplitude, 0.0) << name;
+    EXPECT_GT(conf.value().paper_b1, 0.0) << name;
+  }
+  EXPECT_EQ(ConfigurationByName("conf9.9").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(AllConfigurationNames().size(), 5u);
+}
+
+TEST(ProfileLibraryTest, WanProfilesFavorLargeBlocks) {
+  // conf1.1/conf1.2: the optimum is at (or near) the upper limit.
+  for (const ConfiguredProfile& conf : {Conf1_1(), Conf1_2()}) {
+    const int64_t optimum = NoiseFreeOptimum(
+        *conf.profile, conf.limits.min_size, conf.limits.max_size, 100);
+    EXPECT_GE(optimum, conf.limits.max_size * 7 / 10)
+        << conf.profile->name();
+  }
+}
+
+TEST(ProfileLibraryTest, Conf13OptimumShiftsLeftOfConf11) {
+  const ConfiguredProfile c11 = Conf1_1();
+  const ConfiguredProfile c13 = Conf1_3();
+  const int64_t opt11 = NoiseFreeOptimum(*c11.profile, 100, 20000, 100);
+  const int64_t opt13 = NoiseFreeOptimum(*c13.profile, 100, 20000, 100);
+  EXPECT_LT(opt13, opt11);
+  EXPECT_GT(opt13, 10000);  // "a small shift ... to the left"
+}
+
+TEST(ProfileLibraryTest, LanProfilesHaveInteriorOptima) {
+  const ConfiguredProfile c21 = Conf2_1();
+  const int64_t opt21 = NoiseFreeOptimum(*c21.profile, c21.limits.min_size,
+                                         c21.limits.max_size, 25);
+  EXPECT_GT(opt21, 1000);
+  EXPECT_LT(opt21, 4000);  // paper: ~2.2K
+
+  const ConfiguredProfile c22 = Conf2_2();
+  const int64_t opt22 = NoiseFreeOptimum(*c22.profile, c22.limits.min_size,
+                                         c22.limits.max_size, 25);
+  EXPECT_GT(opt22, 5500);
+  EXPECT_LT(opt22, 9500);  // paper: ~7.5K
+}
+
+TEST(ProfileLibraryTest, Fixed1000PenaltiesMatchPaperBand) {
+  // Paper Table I: static 1000 tuples costs 1.39x (conf1.1), 2.05x
+  // (conf1.2), 1.69x (conf1.3) of the optimum. Require the same band
+  // (+-25%) on the noise-free curves.
+  struct Expect {
+    ConfiguredProfile conf;
+    double ratio;
+  };
+  const Expect cases[] = {
+      {Conf1_1(), 1.39}, {Conf1_2(), 2.05}, {Conf1_3(), 1.69}};
+  for (const Expect& c : cases) {
+    const int64_t opt = NoiseFreeOptimum(
+        *c.conf.profile, c.conf.limits.min_size, c.conf.limits.max_size, 100);
+    const double ratio =
+        c.conf.profile->AggregateMs(1000.0) /
+        c.conf.profile->AggregateMs(static_cast<double>(opt));
+    EXPECT_NEAR(ratio, c.ratio, c.ratio * 0.25) << c.conf.profile->name();
+  }
+}
+
+TEST(ProfileLibraryTest, Conf22PunishesUpperLimit) {
+  // Fig. 7(a): at the 20K upper limit conf2.2 costs a multiple of the
+  // optimum (overshoot there is what destabilizes constant gain).
+  const ConfiguredProfile conf = Conf2_2();
+  const int64_t opt = NoiseFreeOptimum(*conf.profile, 100, 20000, 50);
+  const double ratio =
+      conf.profile->AggregateMs(20000.0) /
+      conf.profile->AggregateMs(static_cast<double>(opt));
+  EXPECT_GT(ratio, 1.8);
+}
+
+TEST(ProfileLibraryTest, Conf22HasLocalMinima) {
+  // Count sign changes of the discrete derivative: conf2.2 must have
+  // multiple local minima ("many local minima" per the paper).
+  const ConfiguredProfile conf = Conf2_2();
+  int minima = 0;
+  double prev = conf.profile->AggregateMs(100);
+  double prev_slope = 0.0;
+  for (int64_t x = 200; x <= 20000; x += 100) {
+    const double y = conf.profile->AggregateMs(static_cast<double>(x));
+    const double slope = y - prev;
+    if (prev_slope < 0.0 && slope > 0.0) ++minima;
+    prev_slope = slope;
+    prev = y;
+  }
+  EXPECT_GE(minima, 2);
+}
+
+TEST(ProfileLibraryTest, DatasetSizesMatchWorkloads) {
+  EXPECT_EQ(Conf1_1().profile->dataset_tuples(), 150000);
+  EXPECT_EQ(Conf2_1().profile->dataset_tuples(), 150000);
+  // conf2.2 uses the Orders result: 3x more tuples.
+  EXPECT_EQ(Conf2_2().profile->dataset_tuples(), 450000);
+}
+
+TEST(ProfileLibraryTest, Conf21UsesReducedUpperLimit) {
+  EXPECT_EQ(Conf2_1().limits.max_size, 7000);
+  EXPECT_EQ(Conf2_2().limits.max_size, 20000);
+}
+
+TEST(ProfileLibraryTest, PaperB1Overrides) {
+  EXPECT_EQ(Conf1_1().paper_b1, 2000.0);
+  EXPECT_EQ(Conf1_2().paper_b1, 1200.0);  // paper drops b1 for conf1.2
+  EXPECT_EQ(Conf2_1().paper_b1, 1200.0);
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,120 @@
+#include "wsq/sim/profile.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+ParametricProfile::Params BaseParams() {
+  ParametricProfile::Params p;
+  p.name = "test";
+  p.dataset_tuples = 100000;
+  p.overhead_ms = 100.0;
+  p.per_tuple_ms = 0.2;
+  return p;
+}
+
+TEST(ParametricProfileTest, PureOverheadDecaysWithBlockSize) {
+  ParametricProfile profile(BaseParams());
+  EXPECT_GT(profile.AggregateMs(100), profile.AggregateMs(1000));
+  EXPECT_GT(profile.AggregateMs(1000), profile.AggregateMs(10000));
+  // T(x) = overhead * N / x + per_tuple * N exactly.
+  EXPECT_NEAR(profile.AggregateMs(1000), 100.0 * 100.0 + 0.2 * 100000.0,
+              1e-6);
+}
+
+TEST(ParametricProfileTest, PerTupleAndPerBlockConsistent) {
+  ParametricProfile profile(BaseParams());
+  const double agg = profile.AggregateMs(2000);
+  EXPECT_NEAR(profile.PerTupleMs(2000), agg / 100000.0, 1e-12);
+  EXPECT_NEAR(profile.PerBlockMs(2000), agg / 100000.0 * 2000.0, 1e-9);
+}
+
+TEST(ParametricProfileTest, PagingCreatesInteriorMinimum) {
+  ParametricProfile::Params p = BaseParams();
+  p.paging_ms = 1e-3;
+  p.buffer_tuples = 5000.0;
+  ParametricProfile profile(p);
+  const int64_t optimum = NoiseFreeOptimum(profile, 100, 20000, 50);
+  EXPECT_GT(optimum, 1000);
+  EXPECT_LT(optimum, 12000);
+  // Past the knee the curve must rise.
+  EXPECT_GT(profile.AggregateMs(20000),
+            profile.AggregateMs(static_cast<double>(optimum)));
+}
+
+TEST(ParametricProfileTest, BumpsCreateLocalStructure) {
+  ParametricProfile::Params smooth = BaseParams();
+  ParametricProfile::Params bumpy = BaseParams();
+  bumpy.bumps = {{5000.0, 500.0, 3000.0}};
+  ParametricProfile a(smooth);
+  ParametricProfile b(bumpy);
+  // At the bump center, the bumpy profile is higher by the bump height.
+  EXPECT_NEAR(b.AggregateMs(5000) - a.AggregateMs(5000), 3000.0, 1.0);
+  // Far away, identical.
+  EXPECT_NEAR(b.AggregateMs(15000), a.AggregateMs(15000), 1.0);
+}
+
+TEST(ParametricProfileTest, NegativeBumpCarvesDip) {
+  ParametricProfile::Params p = BaseParams();
+  p.bumps = {{5000.0, 500.0, -2000.0}};
+  ParametricProfile profile(p);
+  ParametricProfile base(BaseParams());
+  EXPECT_LT(profile.AggregateMs(5000), base.AggregateMs(5000));
+}
+
+TEST(ParametricProfileTest, BlockSizeBelowOneClamps) {
+  ParametricProfile profile(BaseParams());
+  EXPECT_EQ(profile.AggregateMs(0.0), profile.AggregateMs(1.0));
+  EXPECT_EQ(profile.AggregateMs(-10.0), profile.AggregateMs(1.0));
+}
+
+TEST(TabulatedProfileTest, InterpolatesLinearly) {
+  auto profile = TabulatedProfile::Create(
+      "tab", 1000, {{100.0, 50.0}, {200.0, 100.0}, {400.0, 80.0}});
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile.value().AggregateMs(100), 50.0);
+  EXPECT_EQ(profile.value().AggregateMs(150), 75.0);
+  EXPECT_EQ(profile.value().AggregateMs(200), 100.0);
+  EXPECT_EQ(profile.value().AggregateMs(300), 90.0);
+  // Flat extrapolation outside the table.
+  EXPECT_EQ(profile.value().AggregateMs(50), 50.0);
+  EXPECT_EQ(profile.value().AggregateMs(1000), 80.0);
+}
+
+TEST(TabulatedProfileTest, Validation) {
+  EXPECT_FALSE(TabulatedProfile::Create("t", 100, {}).ok());
+  EXPECT_FALSE(TabulatedProfile::Create(
+                   "t", 100, {{100.0, 1.0}, {100.0, 2.0}})
+                   .ok());
+  EXPECT_FALSE(TabulatedProfile::Create(
+                   "t", 100, {{200.0, 1.0}, {100.0, 2.0}})
+                   .ok());
+  EXPECT_FALSE(
+      TabulatedProfile::Create("t", 0, {{100.0, 1.0}}).ok());
+}
+
+TEST(NoiseFreeOptimumTest, FindsGlobalMinimumOnGrid) {
+  ParametricProfile::Params p = BaseParams();
+  p.paging_ms = 1e-3;
+  p.buffer_tuples = 4000.0;
+  ParametricProfile profile(p);
+  const int64_t optimum = NoiseFreeOptimum(profile, 100, 20000, 10);
+  // Brute-force check: no grid point beats it.
+  const double best = profile.AggregateMs(static_cast<double>(optimum));
+  for (int64_t x = 100; x <= 20000; x += 10) {
+    EXPECT_GE(profile.AggregateMs(static_cast<double>(x)) + 1e-9, best);
+  }
+}
+
+TEST(NoiseFreeOptimumTest, UpperLimitConsideredEvenOffGrid) {
+  // Monotone decreasing profile: the optimum is the exact max, even when
+  // the step does not land on it.
+  ParametricProfile profile(BaseParams());
+  EXPECT_EQ(NoiseFreeOptimum(profile, 100, 9999, 1000), 9999);
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,68 @@
+#include "wsq/soap/envelope.h"
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+TEST(EnvelopeTest, BuildAndParseRoundTrip) {
+  XmlNode payload("MyOperation");
+  payload.set_text("data");
+  const std::string doc = BuildEnvelope(payload);
+
+  EXPECT_NE(doc.find("<?xml"), std::string::npos);
+  EXPECT_NE(doc.find("soapenv:Envelope"), std::string::npos);
+  EXPECT_NE(doc.find("soapenv:Body"), std::string::npos);
+
+  Result<XmlNode> parsed = ParseEnvelope(doc);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().name(), "MyOperation");
+  EXPECT_EQ(parsed.value().text(), "data");
+}
+
+TEST(EnvelopeTest, FaultBecomesRemoteFaultStatus) {
+  const std::string doc =
+      BuildFaultEnvelope({"Client", "no such table"});
+  Result<XmlNode> parsed = ParseEnvelope(doc);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kRemoteFault);
+  EXPECT_NE(parsed.status().message().find("no such table"),
+            std::string::npos);
+}
+
+TEST(EnvelopeTest, RejectsNonEnvelopeRoot) {
+  EXPECT_EQ(ParseEnvelope("<NotAnEnvelope/>").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EnvelopeTest, RejectsMissingBody) {
+  EXPECT_EQ(
+      ParseEnvelope("<soapenv:Envelope></soapenv:Envelope>").status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(EnvelopeTest, RejectsEmptyBody) {
+  EXPECT_EQ(ParseEnvelope("<soapenv:Envelope><soapenv:Body/>"
+                          "</soapenv:Envelope>")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EnvelopeTest, RejectsMalformedXml) {
+  EXPECT_EQ(ParseEnvelope("<soapenv:Envelope><soapenv:Body>").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EnvelopeTest, AcceptsForeignPrefix) {
+  // A different prefix with the same local names must still parse.
+  const std::string doc =
+      "<s:Envelope xmlns:s=\"http://schemas.xmlsoap.org/soap/envelope/\">"
+      "<s:Body><Op>x</Op></s:Body></s:Envelope>";
+  Result<XmlNode> parsed = ParseEnvelope(doc);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().name(), "Op");
+}
+
+}  // namespace
+}  // namespace wsq

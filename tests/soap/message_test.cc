@@ -1,0 +1,165 @@
+#include "wsq/soap/message.h"
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+TEST(MessageTest, OpenSessionRoundTrip) {
+  OpenSessionRequest request;
+  request.table = "customer";
+  request.columns = {"c_custkey", "c_name"};
+  const std::string doc = EncodeOpenSession(request);
+
+  Result<XmlNode> payload = ParseEnvelope(doc);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(ClassifyRequest(payload.value()).value(),
+            RequestKind::kOpenSession);
+
+  Result<OpenSessionRequest> back = DecodeOpenSession(payload.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().table, "customer");
+  ASSERT_EQ(back.value().columns.size(), 2u);
+  EXPECT_EQ(back.value().columns[1], "c_name");
+}
+
+TEST(MessageTest, OpenSessionFilterRoundTrip) {
+  OpenSessionRequest request;
+  request.table = "customer";
+  request.filter = "c_acctbal >= 100 AND c_mktsegment = 'BUILDING'";
+  Result<XmlNode> payload = ParseEnvelope(EncodeOpenSession(request));
+  ASSERT_TRUE(payload.ok());
+  Result<OpenSessionRequest> back = DecodeOpenSession(payload.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().filter, request.filter);
+
+  // No filter -> empty string after the round trip.
+  OpenSessionRequest plain;
+  plain.table = "t";
+  Result<XmlNode> plain_payload = ParseEnvelope(EncodeOpenSession(plain));
+  ASSERT_TRUE(plain_payload.ok());
+  EXPECT_TRUE(DecodeOpenSession(plain_payload.value()).value().filter
+                  .empty());
+}
+
+TEST(MessageTest, OpenSessionEmptyColumnsMeansAll) {
+  OpenSessionRequest request;
+  request.table = "t";
+  Result<XmlNode> payload = ParseEnvelope(EncodeOpenSession(request));
+  ASSERT_TRUE(payload.ok());
+  Result<OpenSessionRequest> back = DecodeOpenSession(payload.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().columns.empty());
+}
+
+TEST(MessageTest, OpenSessionResponseRoundTrip) {
+  OpenSessionResponse response;
+  response.session_id = 7;
+  response.total_rows = 150000;
+  Result<XmlNode> payload =
+      ParseEnvelope(EncodeOpenSessionResponse(response));
+  ASSERT_TRUE(payload.ok());
+  Result<OpenSessionResponse> back =
+      DecodeOpenSessionResponse(payload.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().session_id, 7);
+  EXPECT_EQ(back.value().total_rows, 150000);
+}
+
+TEST(MessageTest, RequestBlockRoundTrip) {
+  RequestBlockRequest request;
+  request.session_id = 3;
+  request.block_size = 2500;
+  Result<XmlNode> payload = ParseEnvelope(EncodeRequestBlock(request));
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(ClassifyRequest(payload.value()).value(),
+            RequestKind::kRequestBlock);
+  Result<RequestBlockRequest> back = DecodeRequestBlock(payload.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().session_id, 3);
+  EXPECT_EQ(back.value().block_size, 2500);
+}
+
+TEST(MessageTest, BlockResponseRoundTripWithPayload) {
+  BlockResponse response;
+  response.session_id = 3;
+  response.end_of_results = true;
+  response.num_tuples = 2;
+  response.payload = "1|alice|2.50\n2|bob<&>|3.75\n";
+  Result<XmlNode> payload = ParseEnvelope(EncodeBlockResponse(response));
+  ASSERT_TRUE(payload.ok());
+  Result<BlockResponse> back = DecodeBlockResponse(payload.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().session_id, 3);
+  EXPECT_TRUE(back.value().end_of_results);
+  EXPECT_EQ(back.value().num_tuples, 2);
+  EXPECT_EQ(back.value().payload, response.payload);
+}
+
+TEST(MessageTest, CloseSessionRoundTrip) {
+  CloseSessionRequest request;
+  request.session_id = 9;
+  Result<XmlNode> payload = ParseEnvelope(EncodeCloseSession(request));
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(ClassifyRequest(payload.value()).value(),
+            RequestKind::kCloseSession);
+  Result<CloseSessionRequest> back = DecodeCloseSession(payload.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().session_id, 9);
+
+  CloseSessionResponse response;
+  response.session_id = 9;
+  Result<XmlNode> resp_payload =
+      ParseEnvelope(EncodeCloseSessionResponse(response));
+  ASSERT_TRUE(resp_payload.ok());
+  EXPECT_EQ(DecodeCloseSessionResponse(resp_payload.value()).value()
+                .session_id,
+            9);
+}
+
+TEST(MessageTest, ClassifyRejectsUnknownOperation) {
+  XmlNode unknown("Frobnicate");
+  EXPECT_EQ(ClassifyRequest(unknown).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MessageTest, DecodersValidateElementName) {
+  XmlNode wrong("RequestBlock");
+  EXPECT_EQ(DecodeOpenSession(wrong).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MessageTest, DecodersValidateFieldTypes) {
+  XmlNode bad("RequestBlock");
+  XmlNode id("sessionId");
+  id.set_text("not_a_number");
+  bad.AddChild(std::move(id));
+  XmlNode size("blockSize");
+  size.set_text("100");
+  bad.AddChild(std::move(size));
+  EXPECT_EQ(DecodeRequestBlock(bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MessageTest, DecodersRequireFields) {
+  XmlNode missing("RequestBlock");
+  EXPECT_EQ(DecodeRequestBlock(missing).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(MessageTest, BoolFieldValidation) {
+  BlockResponse response;
+  response.payload = "";
+  std::string doc = EncodeBlockResponse(response);
+  // Corrupt the boolean.
+  const size_t pos = doc.find("false");
+  ASSERT_NE(pos, std::string::npos);
+  doc.replace(pos, 5, "maybe");
+  Result<XmlNode> payload = ParseEnvelope(doc);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(DecodeBlockResponse(payload.value()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,126 @@
+// Property tests for the XML codec: randomly generated documents must
+// survive serialize -> parse -> serialize unchanged, for any seed.
+
+#include <gtest/gtest.h>
+
+#include "wsq/common/random.h"
+#include "wsq/soap/xml.h"
+
+namespace wsq {
+namespace {
+
+std::string RandomName(Random& rng) {
+  static constexpr std::string_view kAlpha =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  std::string name;
+  const int64_t len = rng.UniformInt(1, 10);
+  for (int64_t i = 0; i < len; ++i) {
+    name += kAlpha[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(kAlpha.size()) - 1))];
+  }
+  // Occasionally add a namespace prefix.
+  if (rng.Bernoulli(0.2)) return "ns:" + name;
+  return name;
+}
+
+std::string RandomText(Random& rng) {
+  // Includes every XML special character and some whitespace — but not
+  // raw control characters, which our documents never carry.
+  static constexpr std::string_view kChars =
+      "abc XYZ 0123456789 <>&\"' .,;:!?()[]{}|/\\=+-*#@~";
+  std::string text;
+  const int64_t len = rng.UniformInt(0, 40);
+  for (int64_t i = 0; i < len; ++i) {
+    text += kChars[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(kChars.size()) - 1))];
+  }
+  return text;
+}
+
+XmlNode RandomTree(Random& rng, int depth) {
+  XmlNode node(RandomName(rng));
+  const int64_t attrs = rng.UniformInt(0, 3);
+  for (int64_t i = 0; i < attrs; ++i) {
+    node.AddAttribute(RandomName(rng) + std::to_string(i), RandomText(rng));
+  }
+  if (depth > 0 && rng.Bernoulli(0.7)) {
+    const int64_t children = rng.UniformInt(1, 4);
+    for (int64_t i = 0; i < children; ++i) {
+      node.AddChild(RandomTree(rng, depth - 1));
+    }
+  } else if (rng.Bernoulli(0.7)) {
+    node.set_text(RandomText(rng));
+  }
+  return node;
+}
+
+bool TreesEqual(const XmlNode& a, const XmlNode& b) {
+  if (a.name() != b.name() || a.text() != b.text()) return false;
+  if (a.attributes() != b.attributes()) return false;
+  if (a.children().size() != b.children().size()) return false;
+  for (size_t i = 0; i < a.children().size(); ++i) {
+    if (!TreesEqual(a.children()[i], b.children()[i])) return false;
+  }
+  return true;
+}
+
+class XmlRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XmlRoundTripTest, SerializeParseRoundTrips) {
+  Random rng(GetParam());
+  for (int doc = 0; doc < 20; ++doc) {
+    const XmlNode original = RandomTree(rng, 4);
+    const std::string serialized = original.ToString();
+
+    Result<XmlNode> parsed = ParseXml(serialized);
+    ASSERT_TRUE(parsed.ok())
+        << parsed.status().ToString() << "\ndoc: " << serialized;
+
+    // Exact tree equality (modulo our generator never emitting mixed
+    // text+children, which serialization would reorder).
+    EXPECT_TRUE(TreesEqual(original, parsed.value()))
+        << "mismatch for: " << serialized;
+    // And the idempotence of serialization.
+    EXPECT_EQ(parsed.value().ToString(), serialized);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTripTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+class XmlGarbageTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XmlGarbageTest, RandomBytesNeverCrashTheParser) {
+  Random rng(GetParam());
+  for (int doc = 0; doc < 50; ++doc) {
+    std::string garbage;
+    const int64_t len = rng.UniformInt(0, 120);
+    for (int64_t i = 0; i < len; ++i) {
+      garbage += static_cast<char>(rng.UniformInt(32, 126));
+    }
+    // Must return (ok or error), not crash or hang.
+    Result<XmlNode> parsed = ParseXml(garbage);
+    if (parsed.ok()) {
+      // If it parsed, it must re-serialize without issues.
+      (void)parsed.value().ToString();
+    }
+  }
+}
+
+TEST_P(XmlGarbageTest, TruncatedValidDocumentsFailCleanly) {
+  Random rng(GetParam());
+  const XmlNode tree = RandomTree(rng, 3);
+  const std::string serialized = tree.ToString();
+  for (size_t cut = 1; cut < serialized.size();
+       cut += std::max<size_t>(serialized.size() / 23, 1)) {
+    Result<XmlNode> parsed = ParseXml(serialized.substr(0, cut));
+    EXPECT_FALSE(parsed.ok()) << "truncation at " << cut << " parsed";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlGarbageTest,
+                         ::testing::Values(7, 11, 17, 23, 31));
+
+}  // namespace
+}  // namespace wsq

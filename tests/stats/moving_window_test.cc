@@ -1,0 +1,76 @@
+#include "wsq/stats/moving_window.h"
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+TEST(MovingWindowTest, FillsToCapacity) {
+  MovingWindow w(3);
+  EXPECT_TRUE(w.empty());
+  w.Add(1.0);
+  w.Add(2.0);
+  EXPECT_FALSE(w.full());
+  w.Add(3.0);
+  EXPECT_TRUE(w.full());
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.Mean(), 2.0);
+}
+
+TEST(MovingWindowTest, EvictsOldest) {
+  MovingWindow w(3);
+  for (double v : {1.0, 2.0, 3.0, 4.0}) w.Add(v);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.Oldest(), 2.0);
+  EXPECT_EQ(w.Newest(), 4.0);
+  EXPECT_DOUBLE_EQ(w.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(w.Sum(), 9.0);
+}
+
+TEST(MovingWindowTest, MeanOfPartialWindow) {
+  MovingWindow w(5);
+  w.Add(10.0);
+  w.Add(20.0);
+  EXPECT_DOUBLE_EQ(w.Mean(), 15.0);
+}
+
+TEST(MovingWindowTest, EmptyMeanIsZero) {
+  MovingWindow w(4);
+  EXPECT_EQ(w.Mean(), 0.0);
+  EXPECT_EQ(w.Sum(), 0.0);
+}
+
+TEST(MovingWindowTest, CapacityOnePromotion) {
+  MovingWindow w(0);  // promoted to 1
+  EXPECT_EQ(w.capacity(), 1u);
+  w.Add(1.0);
+  w.Add(2.0);
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_EQ(w.Mean(), 2.0);
+}
+
+TEST(MovingWindowTest, ClearResets) {
+  MovingWindow w(3);
+  w.Add(1.0);
+  w.Add(2.0);
+  w.Clear();
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.Sum(), 0.0);
+  w.Add(5.0);
+  EXPECT_DOUBLE_EQ(w.Mean(), 5.0);
+}
+
+TEST(MovingWindowTest, LongStreamSumStaysConsistent) {
+  MovingWindow w(7);
+  double expected_tail[7] = {0};
+  for (int i = 0; i < 1000; ++i) {
+    w.Add(i * 0.5);
+  }
+  for (int i = 0; i < 7; ++i) expected_tail[i] = (993 + i) * 0.5;
+  double sum = 0;
+  for (double v : expected_tail) sum += v;
+  EXPECT_NEAR(w.Sum(), sum, 1e-9);
+}
+
+}  // namespace
+}  // namespace wsq

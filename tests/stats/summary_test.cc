@@ -1,0 +1,70 @@
+#include "wsq/stats/summary.h"
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+TEST(SummaryTest, EmptyInput) {
+  Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.median, 0.0);
+}
+
+TEST(SummaryTest, SingleValue) {
+  Summary s = Summarize({42.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.mean, 42.0);
+  EXPECT_EQ(s.median, 42.0);
+  EXPECT_EQ(s.min, 42.0);
+  EXPECT_EQ(s.max, 42.0);
+  EXPECT_EQ(s.p95, 42.0);
+}
+
+TEST(SummaryTest, KnownDistribution) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  Summary s = Summarize(v);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_NEAR(s.median, 50.5, 0.01);
+  EXPECT_NEAR(s.p25, 25.75, 0.01);
+  EXPECT_NEAR(s.p75, 75.25, 0.01);
+  EXPECT_NEAR(s.p95, 95.05, 0.01);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 100.0);
+}
+
+TEST(SummaryTest, UnsortedInputHandled) {
+  Summary s = Summarize({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_EQ(s.median, 3.0);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+}
+
+TEST(SortedPercentileTest, Interpolates) {
+  std::vector<double> v = {10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(SortedPercentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(SortedPercentile(v, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(SortedPercentile(v, 1.0), 30.0);
+  EXPECT_DOUBLE_EQ(SortedPercentile(v, 0.25), 15.0);
+}
+
+TEST(SortedPercentileTest, ClampsOutOfRangeQ) {
+  std::vector<double> v = {1.0, 2.0};
+  EXPECT_EQ(SortedPercentile(v, -0.5), 1.0);
+  EXPECT_EQ(SortedPercentile(v, 1.5), 2.0);
+  EXPECT_EQ(SortedPercentile({}, 0.5), 0.0);
+}
+
+TEST(SummaryTest, ToStringContainsFields) {
+  Summary s = Summarize({1.0, 2.0, 3.0});
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("n=3"), std::string::npos);
+  EXPECT_NE(str.find("mean=2.00"), std::string::npos);
+  EXPECT_NE(str.find("p50="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsq
