@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_averaging.dir/bench_ablation_averaging.cc.o"
+  "CMakeFiles/bench_ablation_averaging.dir/bench_ablation_averaging.cc.o.d"
+  "bench_ablation_averaging"
+  "bench_ablation_averaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_averaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dither.dir/bench_ablation_dither.cc.o"
+  "CMakeFiles/bench_ablation_dither.dir/bench_ablation_dither.cc.o.d"
+  "bench_ablation_dither"
+  "bench_ablation_dither.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dither.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

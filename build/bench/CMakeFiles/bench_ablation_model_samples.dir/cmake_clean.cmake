@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_model_samples.dir/bench_ablation_model_samples.cc.o"
+  "CMakeFiles/bench_ablation_model_samples.dir/bench_ablation_model_samples.cc.o.d"
+  "bench_ablation_model_samples"
+  "bench_ablation_model_samples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_model_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

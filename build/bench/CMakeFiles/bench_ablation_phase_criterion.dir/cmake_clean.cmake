@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_phase_criterion.dir/bench_ablation_phase_criterion.cc.o"
+  "CMakeFiles/bench_ablation_phase_criterion.dir/bench_ablation_phase_criterion.cc.o.d"
+  "bench_ablation_phase_criterion"
+  "bench_ablation_phase_criterion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_phase_criterion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rls.dir/bench_ablation_rls.cc.o"
+  "CMakeFiles/bench_ablation_rls.dir/bench_ablation_rls.cc.o.d"
+  "bench_ablation_rls"
+  "bench_ablation_rls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_concurrent_queries.cc" "bench/CMakeFiles/bench_fig2_concurrent_queries.dir/bench_fig2_concurrent_queries.cc.o" "gcc" "bench/CMakeFiles/bench_fig2_concurrent_queries.dir/bench_fig2_concurrent_queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wsq_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_eventsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_event_driven.dir/bench_fig2_event_driven.cc.o"
+  "CMakeFiles/bench_fig2_event_driven.dir/bench_fig2_event_driven.cc.o.d"
+  "bench_fig2_event_driven"
+  "bench_fig2_event_driven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_event_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_wan_decisions.dir/bench_fig4_wan_decisions.cc.o"
+  "CMakeFiles/bench_fig4_wan_decisions.dir/bench_fig4_wan_decisions.cc.o.d"
+  "bench_fig4_wan_decisions"
+  "bench_fig4_wan_decisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_wan_decisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_enhanced_model_based.dir/bench_fig9_enhanced_model_based.cc.o"
+  "CMakeFiles/bench_fig9_enhanced_model_based.dir/bench_fig9_enhanced_model_based.cc.o.d"
+  "bench_fig9_enhanced_model_based"
+  "bench_fig9_enhanced_model_based.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_enhanced_model_based.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linear_schemes.dir/bench_linear_schemes.cc.o"
+  "CMakeFiles/bench_linear_schemes.dir/bench_linear_schemes.cc.o.d"
+  "bench_linear_schemes"
+  "bench_linear_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linear_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

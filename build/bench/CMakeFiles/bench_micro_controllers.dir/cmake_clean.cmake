@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_controllers.dir/bench_micro_controllers.cc.o"
+  "CMakeFiles/bench_micro_controllers.dir/bench_micro_controllers.cc.o.d"
+  "bench_micro_controllers"
+  "bench_micro_controllers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_controllers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_ls.dir/bench_micro_ls.cc.o"
+  "CMakeFiles/bench_micro_ls.dir/bench_micro_ls.cc.o.d"
+  "bench_micro_ls"
+  "bench_micro_ls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_relation.dir/bench_micro_relation.cc.o"
+  "CMakeFiles/bench_micro_relation.dir/bench_micro_relation.cc.o.d"
+  "bench_micro_relation"
+  "bench_micro_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_soap.dir/bench_micro_soap.cc.o"
+  "CMakeFiles/bench_micro_soap.dir/bench_micro_soap.cc.o.d"
+  "bench_micro_soap"
+  "bench_micro_soap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_soap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_wan_normalized.dir/bench_table1_wan_normalized.cc.o"
+  "CMakeFiles/bench_table1_wan_normalized.dir/bench_table1_wan_normalized.cc.o.d"
+  "bench_table1_wan_normalized"
+  "bench_table1_wan_normalized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_wan_normalized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_model_based.dir/bench_table2_model_based.cc.o"
+  "CMakeFiles/bench_table2_model_based.dir/bench_table2_model_based.cc.o.d"
+  "bench_table2_model_based"
+  "bench_table2_model_based.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_model_based.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_degradation.dir/bench_table3_degradation.cc.o"
+  "CMakeFiles/bench_table3_degradation.dir/bench_table3_degradation.cc.o.d"
+  "bench_table3_degradation"
+  "bench_table3_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_vs_static.dir/adaptive_vs_static.cpp.o"
+  "CMakeFiles/adaptive_vs_static.dir/adaptive_vs_static.cpp.o.d"
+  "adaptive_vs_static"
+  "adaptive_vs_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_vs_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

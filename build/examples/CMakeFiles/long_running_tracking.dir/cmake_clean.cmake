@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/long_running_tracking.dir/long_running_tracking.cpp.o"
+  "CMakeFiles/long_running_tracking.dir/long_running_tracking.cpp.o.d"
+  "long_running_tracking"
+  "long_running_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/long_running_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

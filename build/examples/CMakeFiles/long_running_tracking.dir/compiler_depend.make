@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for long_running_tracking.
+# This may be replaced when dependencies are built.

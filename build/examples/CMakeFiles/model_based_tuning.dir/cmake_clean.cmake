@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_based_tuning.dir/model_based_tuning.cpp.o"
+  "CMakeFiles/model_based_tuning.dir/model_based_tuning.cpp.o.d"
+  "model_based_tuning"
+  "model_based_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_based_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

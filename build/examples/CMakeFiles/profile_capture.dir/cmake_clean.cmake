@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_capture.dir/profile_capture.cpp.o"
+  "CMakeFiles/profile_capture.dir/profile_capture.cpp.o.d"
+  "profile_capture"
+  "profile_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_enrichment.dir/ws_enrichment.cpp.o"
+  "CMakeFiles/ws_enrichment.dir/ws_enrichment.cpp.o.d"
+  "ws_enrichment"
+  "ws_enrichment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_enrichment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsq_client.dir/wsq/client/block_fetcher.cc.o"
+  "CMakeFiles/wsq_client.dir/wsq/client/block_fetcher.cc.o.d"
+  "CMakeFiles/wsq_client.dir/wsq/client/block_shipper.cc.o"
+  "CMakeFiles/wsq_client.dir/wsq/client/block_shipper.cc.o.d"
+  "CMakeFiles/wsq_client.dir/wsq/client/query_session.cc.o"
+  "CMakeFiles/wsq_client.dir/wsq/client/query_session.cc.o.d"
+  "CMakeFiles/wsq_client.dir/wsq/client/ws_client.cc.o"
+  "CMakeFiles/wsq_client.dir/wsq/client/ws_client.cc.o.d"
+  "libwsq_client.a"
+  "libwsq_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsq_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsq/common/clock.cc" "src/CMakeFiles/wsq_common.dir/wsq/common/clock.cc.o" "gcc" "src/CMakeFiles/wsq_common.dir/wsq/common/clock.cc.o.d"
+  "/root/repo/src/wsq/common/csv_writer.cc" "src/CMakeFiles/wsq_common.dir/wsq/common/csv_writer.cc.o" "gcc" "src/CMakeFiles/wsq_common.dir/wsq/common/csv_writer.cc.o.d"
+  "/root/repo/src/wsq/common/logging.cc" "src/CMakeFiles/wsq_common.dir/wsq/common/logging.cc.o" "gcc" "src/CMakeFiles/wsq_common.dir/wsq/common/logging.cc.o.d"
+  "/root/repo/src/wsq/common/random.cc" "src/CMakeFiles/wsq_common.dir/wsq/common/random.cc.o" "gcc" "src/CMakeFiles/wsq_common.dir/wsq/common/random.cc.o.d"
+  "/root/repo/src/wsq/common/status.cc" "src/CMakeFiles/wsq_common.dir/wsq/common/status.cc.o" "gcc" "src/CMakeFiles/wsq_common.dir/wsq/common/status.cc.o.d"
+  "/root/repo/src/wsq/common/text_table.cc" "src/CMakeFiles/wsq_common.dir/wsq/common/text_table.cc.o" "gcc" "src/CMakeFiles/wsq_common.dir/wsq/common/text_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

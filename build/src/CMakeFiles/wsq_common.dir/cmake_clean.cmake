@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsq_common.dir/wsq/common/clock.cc.o"
+  "CMakeFiles/wsq_common.dir/wsq/common/clock.cc.o.d"
+  "CMakeFiles/wsq_common.dir/wsq/common/csv_writer.cc.o"
+  "CMakeFiles/wsq_common.dir/wsq/common/csv_writer.cc.o.d"
+  "CMakeFiles/wsq_common.dir/wsq/common/logging.cc.o"
+  "CMakeFiles/wsq_common.dir/wsq/common/logging.cc.o.d"
+  "CMakeFiles/wsq_common.dir/wsq/common/random.cc.o"
+  "CMakeFiles/wsq_common.dir/wsq/common/random.cc.o.d"
+  "CMakeFiles/wsq_common.dir/wsq/common/status.cc.o"
+  "CMakeFiles/wsq_common.dir/wsq/common/status.cc.o.d"
+  "CMakeFiles/wsq_common.dir/wsq/common/text_table.cc.o"
+  "CMakeFiles/wsq_common.dir/wsq/common/text_table.cc.o.d"
+  "libwsq_common.a"
+  "libwsq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

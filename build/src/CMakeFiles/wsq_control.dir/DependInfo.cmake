@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsq/control/controller.cc" "src/CMakeFiles/wsq_control.dir/wsq/control/controller.cc.o" "gcc" "src/CMakeFiles/wsq_control.dir/wsq/control/controller.cc.o.d"
+  "/root/repo/src/wsq/control/controller_factory.cc" "src/CMakeFiles/wsq_control.dir/wsq/control/controller_factory.cc.o" "gcc" "src/CMakeFiles/wsq_control.dir/wsq/control/controller_factory.cc.o.d"
+  "/root/repo/src/wsq/control/fixed_controller.cc" "src/CMakeFiles/wsq_control.dir/wsq/control/fixed_controller.cc.o" "gcc" "src/CMakeFiles/wsq_control.dir/wsq/control/fixed_controller.cc.o.d"
+  "/root/repo/src/wsq/control/hybrid_controller.cc" "src/CMakeFiles/wsq_control.dir/wsq/control/hybrid_controller.cc.o" "gcc" "src/CMakeFiles/wsq_control.dir/wsq/control/hybrid_controller.cc.o.d"
+  "/root/repo/src/wsq/control/mimd_controller.cc" "src/CMakeFiles/wsq_control.dir/wsq/control/mimd_controller.cc.o" "gcc" "src/CMakeFiles/wsq_control.dir/wsq/control/mimd_controller.cc.o.d"
+  "/root/repo/src/wsq/control/model_based_controller.cc" "src/CMakeFiles/wsq_control.dir/wsq/control/model_based_controller.cc.o" "gcc" "src/CMakeFiles/wsq_control.dir/wsq/control/model_based_controller.cc.o.d"
+  "/root/repo/src/wsq/control/self_tuning_controller.cc" "src/CMakeFiles/wsq_control.dir/wsq/control/self_tuning_controller.cc.o" "gcc" "src/CMakeFiles/wsq_control.dir/wsq/control/self_tuning_controller.cc.o.d"
+  "/root/repo/src/wsq/control/switching_controller.cc" "src/CMakeFiles/wsq_control.dir/wsq/control/switching_controller.cc.o" "gcc" "src/CMakeFiles/wsq_control.dir/wsq/control/switching_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wsq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsq_control.dir/wsq/control/controller.cc.o"
+  "CMakeFiles/wsq_control.dir/wsq/control/controller.cc.o.d"
+  "CMakeFiles/wsq_control.dir/wsq/control/controller_factory.cc.o"
+  "CMakeFiles/wsq_control.dir/wsq/control/controller_factory.cc.o.d"
+  "CMakeFiles/wsq_control.dir/wsq/control/fixed_controller.cc.o"
+  "CMakeFiles/wsq_control.dir/wsq/control/fixed_controller.cc.o.d"
+  "CMakeFiles/wsq_control.dir/wsq/control/hybrid_controller.cc.o"
+  "CMakeFiles/wsq_control.dir/wsq/control/hybrid_controller.cc.o.d"
+  "CMakeFiles/wsq_control.dir/wsq/control/mimd_controller.cc.o"
+  "CMakeFiles/wsq_control.dir/wsq/control/mimd_controller.cc.o.d"
+  "CMakeFiles/wsq_control.dir/wsq/control/model_based_controller.cc.o"
+  "CMakeFiles/wsq_control.dir/wsq/control/model_based_controller.cc.o.d"
+  "CMakeFiles/wsq_control.dir/wsq/control/self_tuning_controller.cc.o"
+  "CMakeFiles/wsq_control.dir/wsq/control/self_tuning_controller.cc.o.d"
+  "CMakeFiles/wsq_control.dir/wsq/control/switching_controller.cc.o"
+  "CMakeFiles/wsq_control.dir/wsq/control/switching_controller.cc.o.d"
+  "libwsq_control.a"
+  "libwsq_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsq_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

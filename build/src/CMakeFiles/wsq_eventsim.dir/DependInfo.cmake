@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsq/eventsim/event_sim.cc" "src/CMakeFiles/wsq_eventsim.dir/wsq/eventsim/event_sim.cc.o" "gcc" "src/CMakeFiles/wsq_eventsim.dir/wsq/eventsim/event_sim.cc.o.d"
+  "/root/repo/src/wsq/eventsim/ps_server.cc" "src/CMakeFiles/wsq_eventsim.dir/wsq/eventsim/ps_server.cc.o" "gcc" "src/CMakeFiles/wsq_eventsim.dir/wsq/eventsim/ps_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wsq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

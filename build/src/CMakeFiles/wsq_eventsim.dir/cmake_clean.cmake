@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsq_eventsim.dir/wsq/eventsim/event_sim.cc.o"
+  "CMakeFiles/wsq_eventsim.dir/wsq/eventsim/event_sim.cc.o.d"
+  "CMakeFiles/wsq_eventsim.dir/wsq/eventsim/ps_server.cc.o"
+  "CMakeFiles/wsq_eventsim.dir/wsq/eventsim/ps_server.cc.o.d"
+  "libwsq_eventsim.a"
+  "libwsq_eventsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsq_eventsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

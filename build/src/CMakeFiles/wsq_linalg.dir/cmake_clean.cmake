@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsq_linalg.dir/wsq/linalg/least_squares.cc.o"
+  "CMakeFiles/wsq_linalg.dir/wsq/linalg/least_squares.cc.o.d"
+  "CMakeFiles/wsq_linalg.dir/wsq/linalg/matrix.cc.o"
+  "CMakeFiles/wsq_linalg.dir/wsq/linalg/matrix.cc.o.d"
+  "CMakeFiles/wsq_linalg.dir/wsq/linalg/rls.cc.o"
+  "CMakeFiles/wsq_linalg.dir/wsq/linalg/rls.cc.o.d"
+  "libwsq_linalg.a"
+  "libwsq_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsq_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

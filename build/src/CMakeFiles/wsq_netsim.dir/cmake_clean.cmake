@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsq_netsim.dir/wsq/netsim/link_model.cc.o"
+  "CMakeFiles/wsq_netsim.dir/wsq/netsim/link_model.cc.o.d"
+  "CMakeFiles/wsq_netsim.dir/wsq/netsim/presets.cc.o"
+  "CMakeFiles/wsq_netsim.dir/wsq/netsim/presets.cc.o.d"
+  "libwsq_netsim.a"
+  "libwsq_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsq_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsq/relation/predicate.cc" "src/CMakeFiles/wsq_relation.dir/wsq/relation/predicate.cc.o" "gcc" "src/CMakeFiles/wsq_relation.dir/wsq/relation/predicate.cc.o.d"
+  "/root/repo/src/wsq/relation/query.cc" "src/CMakeFiles/wsq_relation.dir/wsq/relation/query.cc.o" "gcc" "src/CMakeFiles/wsq_relation.dir/wsq/relation/query.cc.o.d"
+  "/root/repo/src/wsq/relation/schema.cc" "src/CMakeFiles/wsq_relation.dir/wsq/relation/schema.cc.o" "gcc" "src/CMakeFiles/wsq_relation.dir/wsq/relation/schema.cc.o.d"
+  "/root/repo/src/wsq/relation/table.cc" "src/CMakeFiles/wsq_relation.dir/wsq/relation/table.cc.o" "gcc" "src/CMakeFiles/wsq_relation.dir/wsq/relation/table.cc.o.d"
+  "/root/repo/src/wsq/relation/tpch_gen.cc" "src/CMakeFiles/wsq_relation.dir/wsq/relation/tpch_gen.cc.o" "gcc" "src/CMakeFiles/wsq_relation.dir/wsq/relation/tpch_gen.cc.o.d"
+  "/root/repo/src/wsq/relation/tuple.cc" "src/CMakeFiles/wsq_relation.dir/wsq/relation/tuple.cc.o" "gcc" "src/CMakeFiles/wsq_relation.dir/wsq/relation/tuple.cc.o.d"
+  "/root/repo/src/wsq/relation/tuple_serializer.cc" "src/CMakeFiles/wsq_relation.dir/wsq/relation/tuple_serializer.cc.o" "gcc" "src/CMakeFiles/wsq_relation.dir/wsq/relation/tuple_serializer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wsq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

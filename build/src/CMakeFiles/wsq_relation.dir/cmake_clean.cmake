@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsq_relation.dir/wsq/relation/predicate.cc.o"
+  "CMakeFiles/wsq_relation.dir/wsq/relation/predicate.cc.o.d"
+  "CMakeFiles/wsq_relation.dir/wsq/relation/query.cc.o"
+  "CMakeFiles/wsq_relation.dir/wsq/relation/query.cc.o.d"
+  "CMakeFiles/wsq_relation.dir/wsq/relation/schema.cc.o"
+  "CMakeFiles/wsq_relation.dir/wsq/relation/schema.cc.o.d"
+  "CMakeFiles/wsq_relation.dir/wsq/relation/table.cc.o"
+  "CMakeFiles/wsq_relation.dir/wsq/relation/table.cc.o.d"
+  "CMakeFiles/wsq_relation.dir/wsq/relation/tpch_gen.cc.o"
+  "CMakeFiles/wsq_relation.dir/wsq/relation/tpch_gen.cc.o.d"
+  "CMakeFiles/wsq_relation.dir/wsq/relation/tuple.cc.o"
+  "CMakeFiles/wsq_relation.dir/wsq/relation/tuple.cc.o.d"
+  "CMakeFiles/wsq_relation.dir/wsq/relation/tuple_serializer.cc.o"
+  "CMakeFiles/wsq_relation.dir/wsq/relation/tuple_serializer.cc.o.d"
+  "libwsq_relation.a"
+  "libwsq_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsq_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwsq_relation.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsq/server/container.cc" "src/CMakeFiles/wsq_server.dir/wsq/server/container.cc.o" "gcc" "src/CMakeFiles/wsq_server.dir/wsq/server/container.cc.o.d"
+  "/root/repo/src/wsq/server/data_service.cc" "src/CMakeFiles/wsq_server.dir/wsq/server/data_service.cc.o" "gcc" "src/CMakeFiles/wsq_server.dir/wsq/server/data_service.cc.o.d"
+  "/root/repo/src/wsq/server/dbms.cc" "src/CMakeFiles/wsq_server.dir/wsq/server/dbms.cc.o" "gcc" "src/CMakeFiles/wsq_server.dir/wsq/server/dbms.cc.o.d"
+  "/root/repo/src/wsq/server/load_model.cc" "src/CMakeFiles/wsq_server.dir/wsq/server/load_model.cc.o" "gcc" "src/CMakeFiles/wsq_server.dir/wsq/server/load_model.cc.o.d"
+  "/root/repo/src/wsq/server/processing_service.cc" "src/CMakeFiles/wsq_server.dir/wsq/server/processing_service.cc.o" "gcc" "src/CMakeFiles/wsq_server.dir/wsq/server/processing_service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wsq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

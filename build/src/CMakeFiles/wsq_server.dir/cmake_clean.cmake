@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsq_server.dir/wsq/server/container.cc.o"
+  "CMakeFiles/wsq_server.dir/wsq/server/container.cc.o.d"
+  "CMakeFiles/wsq_server.dir/wsq/server/data_service.cc.o"
+  "CMakeFiles/wsq_server.dir/wsq/server/data_service.cc.o.d"
+  "CMakeFiles/wsq_server.dir/wsq/server/dbms.cc.o"
+  "CMakeFiles/wsq_server.dir/wsq/server/dbms.cc.o.d"
+  "CMakeFiles/wsq_server.dir/wsq/server/load_model.cc.o"
+  "CMakeFiles/wsq_server.dir/wsq/server/load_model.cc.o.d"
+  "CMakeFiles/wsq_server.dir/wsq/server/processing_service.cc.o"
+  "CMakeFiles/wsq_server.dir/wsq/server/processing_service.cc.o.d"
+  "libwsq_server.a"
+  "libwsq_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsq_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsq/sim/experiment.cc" "src/CMakeFiles/wsq_sim.dir/wsq/sim/experiment.cc.o" "gcc" "src/CMakeFiles/wsq_sim.dir/wsq/sim/experiment.cc.o.d"
+  "/root/repo/src/wsq/sim/ground_truth.cc" "src/CMakeFiles/wsq_sim.dir/wsq/sim/ground_truth.cc.o" "gcc" "src/CMakeFiles/wsq_sim.dir/wsq/sim/ground_truth.cc.o.d"
+  "/root/repo/src/wsq/sim/profile.cc" "src/CMakeFiles/wsq_sim.dir/wsq/sim/profile.cc.o" "gcc" "src/CMakeFiles/wsq_sim.dir/wsq/sim/profile.cc.o.d"
+  "/root/repo/src/wsq/sim/profile_io.cc" "src/CMakeFiles/wsq_sim.dir/wsq/sim/profile_io.cc.o" "gcc" "src/CMakeFiles/wsq_sim.dir/wsq/sim/profile_io.cc.o.d"
+  "/root/repo/src/wsq/sim/profile_library.cc" "src/CMakeFiles/wsq_sim.dir/wsq/sim/profile_library.cc.o" "gcc" "src/CMakeFiles/wsq_sim.dir/wsq/sim/profile_library.cc.o.d"
+  "/root/repo/src/wsq/sim/sim_engine.cc" "src/CMakeFiles/wsq_sim.dir/wsq/sim/sim_engine.cc.o" "gcc" "src/CMakeFiles/wsq_sim.dir/wsq/sim/sim_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wsq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

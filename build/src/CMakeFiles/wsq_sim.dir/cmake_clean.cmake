@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsq_sim.dir/wsq/sim/experiment.cc.o"
+  "CMakeFiles/wsq_sim.dir/wsq/sim/experiment.cc.o.d"
+  "CMakeFiles/wsq_sim.dir/wsq/sim/ground_truth.cc.o"
+  "CMakeFiles/wsq_sim.dir/wsq/sim/ground_truth.cc.o.d"
+  "CMakeFiles/wsq_sim.dir/wsq/sim/profile.cc.o"
+  "CMakeFiles/wsq_sim.dir/wsq/sim/profile.cc.o.d"
+  "CMakeFiles/wsq_sim.dir/wsq/sim/profile_io.cc.o"
+  "CMakeFiles/wsq_sim.dir/wsq/sim/profile_io.cc.o.d"
+  "CMakeFiles/wsq_sim.dir/wsq/sim/profile_library.cc.o"
+  "CMakeFiles/wsq_sim.dir/wsq/sim/profile_library.cc.o.d"
+  "CMakeFiles/wsq_sim.dir/wsq/sim/sim_engine.cc.o"
+  "CMakeFiles/wsq_sim.dir/wsq/sim/sim_engine.cc.o.d"
+  "libwsq_sim.a"
+  "libwsq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

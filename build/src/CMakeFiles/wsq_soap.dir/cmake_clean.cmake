@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsq_soap.dir/wsq/soap/envelope.cc.o"
+  "CMakeFiles/wsq_soap.dir/wsq/soap/envelope.cc.o.d"
+  "CMakeFiles/wsq_soap.dir/wsq/soap/message.cc.o"
+  "CMakeFiles/wsq_soap.dir/wsq/soap/message.cc.o.d"
+  "CMakeFiles/wsq_soap.dir/wsq/soap/xml.cc.o"
+  "CMakeFiles/wsq_soap.dir/wsq/soap/xml.cc.o.d"
+  "libwsq_soap.a"
+  "libwsq_soap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsq_soap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

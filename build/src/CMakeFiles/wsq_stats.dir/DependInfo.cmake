@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsq/stats/moving_window.cc" "src/CMakeFiles/wsq_stats.dir/wsq/stats/moving_window.cc.o" "gcc" "src/CMakeFiles/wsq_stats.dir/wsq/stats/moving_window.cc.o.d"
+  "/root/repo/src/wsq/stats/running_stats.cc" "src/CMakeFiles/wsq_stats.dir/wsq/stats/running_stats.cc.o" "gcc" "src/CMakeFiles/wsq_stats.dir/wsq/stats/running_stats.cc.o.d"
+  "/root/repo/src/wsq/stats/summary.cc" "src/CMakeFiles/wsq_stats.dir/wsq/stats/summary.cc.o" "gcc" "src/CMakeFiles/wsq_stats.dir/wsq/stats/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wsq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

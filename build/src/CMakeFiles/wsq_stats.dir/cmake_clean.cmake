@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsq_stats.dir/wsq/stats/moving_window.cc.o"
+  "CMakeFiles/wsq_stats.dir/wsq/stats/moving_window.cc.o.d"
+  "CMakeFiles/wsq_stats.dir/wsq/stats/running_stats.cc.o"
+  "CMakeFiles/wsq_stats.dir/wsq/stats/running_stats.cc.o.d"
+  "CMakeFiles/wsq_stats.dir/wsq/stats/summary.cc.o"
+  "CMakeFiles/wsq_stats.dir/wsq/stats/summary.cc.o.d"
+  "libwsq_stats.a"
+  "libwsq_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsq_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

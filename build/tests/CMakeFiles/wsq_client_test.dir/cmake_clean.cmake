@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsq_client_test.dir/client/block_shipper_test.cc.o"
+  "CMakeFiles/wsq_client_test.dir/client/block_shipper_test.cc.o.d"
+  "CMakeFiles/wsq_client_test.dir/client/client_test.cc.o"
+  "CMakeFiles/wsq_client_test.dir/client/client_test.cc.o.d"
+  "CMakeFiles/wsq_client_test.dir/client/failure_injection_test.cc.o"
+  "CMakeFiles/wsq_client_test.dir/client/failure_injection_test.cc.o.d"
+  "wsq_client_test"
+  "wsq_client_test.pdb"
+  "wsq_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsq_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

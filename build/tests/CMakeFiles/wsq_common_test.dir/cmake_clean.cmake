@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsq_common_test.dir/common/clock_test.cc.o"
+  "CMakeFiles/wsq_common_test.dir/common/clock_test.cc.o.d"
+  "CMakeFiles/wsq_common_test.dir/common/csv_writer_test.cc.o"
+  "CMakeFiles/wsq_common_test.dir/common/csv_writer_test.cc.o.d"
+  "CMakeFiles/wsq_common_test.dir/common/logging_test.cc.o"
+  "CMakeFiles/wsq_common_test.dir/common/logging_test.cc.o.d"
+  "CMakeFiles/wsq_common_test.dir/common/random_test.cc.o"
+  "CMakeFiles/wsq_common_test.dir/common/random_test.cc.o.d"
+  "CMakeFiles/wsq_common_test.dir/common/status_test.cc.o"
+  "CMakeFiles/wsq_common_test.dir/common/status_test.cc.o.d"
+  "CMakeFiles/wsq_common_test.dir/common/text_table_test.cc.o"
+  "CMakeFiles/wsq_common_test.dir/common/text_table_test.cc.o.d"
+  "wsq_common_test"
+  "wsq_common_test.pdb"
+  "wsq_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsq_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

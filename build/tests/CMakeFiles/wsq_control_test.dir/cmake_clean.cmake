@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsq_control_test.dir/control/controller_factory_test.cc.o"
+  "CMakeFiles/wsq_control_test.dir/control/controller_factory_test.cc.o.d"
+  "CMakeFiles/wsq_control_test.dir/control/controller_property_test.cc.o"
+  "CMakeFiles/wsq_control_test.dir/control/controller_property_test.cc.o.d"
+  "CMakeFiles/wsq_control_test.dir/control/fixed_controller_test.cc.o"
+  "CMakeFiles/wsq_control_test.dir/control/fixed_controller_test.cc.o.d"
+  "CMakeFiles/wsq_control_test.dir/control/hybrid_controller_test.cc.o"
+  "CMakeFiles/wsq_control_test.dir/control/hybrid_controller_test.cc.o.d"
+  "CMakeFiles/wsq_control_test.dir/control/mimd_controller_test.cc.o"
+  "CMakeFiles/wsq_control_test.dir/control/mimd_controller_test.cc.o.d"
+  "CMakeFiles/wsq_control_test.dir/control/model_based_controller_test.cc.o"
+  "CMakeFiles/wsq_control_test.dir/control/model_based_controller_test.cc.o.d"
+  "CMakeFiles/wsq_control_test.dir/control/self_tuning_controller_test.cc.o"
+  "CMakeFiles/wsq_control_test.dir/control/self_tuning_controller_test.cc.o.d"
+  "CMakeFiles/wsq_control_test.dir/control/switching_controller_test.cc.o"
+  "CMakeFiles/wsq_control_test.dir/control/switching_controller_test.cc.o.d"
+  "wsq_control_test"
+  "wsq_control_test.pdb"
+  "wsq_control_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsq_control_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsq_eventsim_test.dir/eventsim/event_sim_test.cc.o"
+  "CMakeFiles/wsq_eventsim_test.dir/eventsim/event_sim_test.cc.o.d"
+  "CMakeFiles/wsq_eventsim_test.dir/eventsim/ps_server_test.cc.o"
+  "CMakeFiles/wsq_eventsim_test.dir/eventsim/ps_server_test.cc.o.d"
+  "wsq_eventsim_test"
+  "wsq_eventsim_test.pdb"
+  "wsq_eventsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsq_eventsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

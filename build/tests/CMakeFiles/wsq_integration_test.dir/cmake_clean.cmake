@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsq_integration_test.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/wsq_integration_test.dir/integration/end_to_end_test.cc.o.d"
+  "CMakeFiles/wsq_integration_test.dir/integration/paper_properties_test.cc.o"
+  "CMakeFiles/wsq_integration_test.dir/integration/paper_properties_test.cc.o.d"
+  "wsq_integration_test"
+  "wsq_integration_test.pdb"
+  "wsq_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsq_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/linalg/least_squares_test.cc" "tests/CMakeFiles/wsq_linalg_test.dir/linalg/least_squares_test.cc.o" "gcc" "tests/CMakeFiles/wsq_linalg_test.dir/linalg/least_squares_test.cc.o.d"
+  "/root/repo/tests/linalg/matrix_test.cc" "tests/CMakeFiles/wsq_linalg_test.dir/linalg/matrix_test.cc.o" "gcc" "tests/CMakeFiles/wsq_linalg_test.dir/linalg/matrix_test.cc.o.d"
+  "/root/repo/tests/linalg/rls_test.cc" "tests/CMakeFiles/wsq_linalg_test.dir/linalg/rls_test.cc.o" "gcc" "tests/CMakeFiles/wsq_linalg_test.dir/linalg/rls_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wsq_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_eventsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

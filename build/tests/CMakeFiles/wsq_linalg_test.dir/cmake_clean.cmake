@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsq_linalg_test.dir/linalg/least_squares_test.cc.o"
+  "CMakeFiles/wsq_linalg_test.dir/linalg/least_squares_test.cc.o.d"
+  "CMakeFiles/wsq_linalg_test.dir/linalg/matrix_test.cc.o"
+  "CMakeFiles/wsq_linalg_test.dir/linalg/matrix_test.cc.o.d"
+  "CMakeFiles/wsq_linalg_test.dir/linalg/rls_test.cc.o"
+  "CMakeFiles/wsq_linalg_test.dir/linalg/rls_test.cc.o.d"
+  "wsq_linalg_test"
+  "wsq_linalg_test.pdb"
+  "wsq_linalg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsq_linalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsq_netsim_test.dir/netsim/link_model_test.cc.o"
+  "CMakeFiles/wsq_netsim_test.dir/netsim/link_model_test.cc.o.d"
+  "wsq_netsim_test"
+  "wsq_netsim_test.pdb"
+  "wsq_netsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsq_netsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsq_relation_test.dir/relation/predicate_test.cc.o"
+  "CMakeFiles/wsq_relation_test.dir/relation/predicate_test.cc.o.d"
+  "CMakeFiles/wsq_relation_test.dir/relation/query_test.cc.o"
+  "CMakeFiles/wsq_relation_test.dir/relation/query_test.cc.o.d"
+  "CMakeFiles/wsq_relation_test.dir/relation/schema_test.cc.o"
+  "CMakeFiles/wsq_relation_test.dir/relation/schema_test.cc.o.d"
+  "CMakeFiles/wsq_relation_test.dir/relation/serializer_property_test.cc.o"
+  "CMakeFiles/wsq_relation_test.dir/relation/serializer_property_test.cc.o.d"
+  "CMakeFiles/wsq_relation_test.dir/relation/tpch_gen_test.cc.o"
+  "CMakeFiles/wsq_relation_test.dir/relation/tpch_gen_test.cc.o.d"
+  "CMakeFiles/wsq_relation_test.dir/relation/tuple_serializer_test.cc.o"
+  "CMakeFiles/wsq_relation_test.dir/relation/tuple_serializer_test.cc.o.d"
+  "CMakeFiles/wsq_relation_test.dir/relation/tuple_table_test.cc.o"
+  "CMakeFiles/wsq_relation_test.dir/relation/tuple_table_test.cc.o.d"
+  "wsq_relation_test"
+  "wsq_relation_test.pdb"
+  "wsq_relation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsq_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsq_server_test.dir/server/container_test.cc.o"
+  "CMakeFiles/wsq_server_test.dir/server/container_test.cc.o.d"
+  "CMakeFiles/wsq_server_test.dir/server/data_service_test.cc.o"
+  "CMakeFiles/wsq_server_test.dir/server/data_service_test.cc.o.d"
+  "CMakeFiles/wsq_server_test.dir/server/dbms_test.cc.o"
+  "CMakeFiles/wsq_server_test.dir/server/dbms_test.cc.o.d"
+  "CMakeFiles/wsq_server_test.dir/server/load_model_test.cc.o"
+  "CMakeFiles/wsq_server_test.dir/server/load_model_test.cc.o.d"
+  "CMakeFiles/wsq_server_test.dir/server/processing_service_test.cc.o"
+  "CMakeFiles/wsq_server_test.dir/server/processing_service_test.cc.o.d"
+  "wsq_server_test"
+  "wsq_server_test.pdb"
+  "wsq_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsq_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

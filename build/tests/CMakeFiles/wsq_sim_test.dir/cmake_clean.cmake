@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsq_sim_test.dir/sim/experiment_test.cc.o"
+  "CMakeFiles/wsq_sim_test.dir/sim/experiment_test.cc.o.d"
+  "CMakeFiles/wsq_sim_test.dir/sim/ground_truth_test.cc.o"
+  "CMakeFiles/wsq_sim_test.dir/sim/ground_truth_test.cc.o.d"
+  "CMakeFiles/wsq_sim_test.dir/sim/profile_io_test.cc.o"
+  "CMakeFiles/wsq_sim_test.dir/sim/profile_io_test.cc.o.d"
+  "CMakeFiles/wsq_sim_test.dir/sim/profile_library_test.cc.o"
+  "CMakeFiles/wsq_sim_test.dir/sim/profile_library_test.cc.o.d"
+  "CMakeFiles/wsq_sim_test.dir/sim/profile_test.cc.o"
+  "CMakeFiles/wsq_sim_test.dir/sim/profile_test.cc.o.d"
+  "CMakeFiles/wsq_sim_test.dir/sim/sim_engine_test.cc.o"
+  "CMakeFiles/wsq_sim_test.dir/sim/sim_engine_test.cc.o.d"
+  "wsq_sim_test"
+  "wsq_sim_test.pdb"
+  "wsq_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsq_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

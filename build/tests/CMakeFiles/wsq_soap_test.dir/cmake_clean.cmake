@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsq_soap_test.dir/soap/envelope_test.cc.o"
+  "CMakeFiles/wsq_soap_test.dir/soap/envelope_test.cc.o.d"
+  "CMakeFiles/wsq_soap_test.dir/soap/message_test.cc.o"
+  "CMakeFiles/wsq_soap_test.dir/soap/message_test.cc.o.d"
+  "CMakeFiles/wsq_soap_test.dir/soap/xml_property_test.cc.o"
+  "CMakeFiles/wsq_soap_test.dir/soap/xml_property_test.cc.o.d"
+  "CMakeFiles/wsq_soap_test.dir/soap/xml_test.cc.o"
+  "CMakeFiles/wsq_soap_test.dir/soap/xml_test.cc.o.d"
+  "wsq_soap_test"
+  "wsq_soap_test.pdb"
+  "wsq_soap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsq_soap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsq_stats_test.dir/stats/moving_window_test.cc.o"
+  "CMakeFiles/wsq_stats_test.dir/stats/moving_window_test.cc.o.d"
+  "CMakeFiles/wsq_stats_test.dir/stats/running_stats_test.cc.o"
+  "CMakeFiles/wsq_stats_test.dir/stats/running_stats_test.cc.o.d"
+  "CMakeFiles/wsq_stats_test.dir/stats/summary_test.cc.o"
+  "CMakeFiles/wsq_stats_test.dir/stats/summary_test.cc.o.d"
+  "wsq_stats_test"
+  "wsq_stats_test.pdb"
+  "wsq_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsq_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/wsq_common_test[1]_include.cmake")
+include("/root/repo/build/tests/wsq_linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/wsq_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/wsq_relation_test[1]_include.cmake")
+include("/root/repo/build/tests/wsq_soap_test[1]_include.cmake")
+include("/root/repo/build/tests/wsq_netsim_test[1]_include.cmake")
+include("/root/repo/build/tests/wsq_server_test[1]_include.cmake")
+include("/root/repo/build/tests/wsq_client_test[1]_include.cmake")
+include("/root/repo/build/tests/wsq_control_test[1]_include.cmake")
+include("/root/repo/build/tests/wsq_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/wsq_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/wsq_eventsim_test[1]_include.cmake")
