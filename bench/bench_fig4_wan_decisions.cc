@@ -23,9 +23,12 @@ void Panel(const char* panel, const ConfiguredProfile& conf) {
               conf.profile->name().c_str(), conf.paper_b1);
   CsvWriter csv({"step", "constant", "adaptive", "hybrid"});
   std::vector<std::vector<double>> series;
+  // Through the unified execution interface: the same factories run
+  // unchanged on EventSimBackend/EmpiricalBackend for cross-validation.
+  ProfileBackend backend = ProfileBackend::FromConfiguration(conf);
   for (const Candidate& candidate : candidates) {
-    Result<RepeatedRunSummary> summary = RunRepeated(
-        candidate.factory, *conf.profile, 10, OptionsFor(conf));
+    Result<RepeatedRunSummary> summary =
+        RunRepeated(candidate.factory, backend, 10, OptionsFor(conf).seed);
     if (!summary.ok()) std::exit(1);
     std::printf("%-14s (steps every 2): %s\n", candidate.label,
                 DecisionSeries(summary.value().mean_decision_per_step, 2)

@@ -10,75 +10,10 @@
 
 namespace wsq::bench {
 
-/// Controllers configured for a library configuration, paper-style
-/// (b1 from the config, limits from the config, everything else the
-/// paper's standard parameters).
-inline SwitchingConfig BaseFor(const ConfiguredProfile& conf,
-                               GainMode mode, uint64_t seed = 42) {
-  SwitchingConfig config = PaperSwitchingConfig();
-  config.gain_mode = mode;
-  config.b1 = conf.paper_b1;
-  config.limits = conf.limits;
-  config.seed = seed;
-  return config;
-}
-
-inline ControllerFactoryFn FixedFactory(int64_t size) {
-  return [size]() {
-    return std::unique_ptr<Controller>(new FixedController(size));
-  };
-}
-
-inline ControllerFactoryFn SwitchingFactory(const ConfiguredProfile& conf,
-                                            GainMode mode,
-                                            double b1_override = 0.0) {
-  return [conf, mode, b1_override]() {
-    SwitchingConfig config = BaseFor(conf, mode);
-    if (b1_override > 0.0) config.b1 = b1_override;
-    return std::unique_ptr<Controller>(
-        new SwitchingExtremumController(config));
-  };
-}
-
-inline ControllerFactoryFn HybridFactory(
-    const ConfiguredProfile& conf,
-    HybridFlavor flavor = HybridFlavor::kNoSwitchBack,
-    PhaseCriterion criterion = PhaseCriterion::kSignSwitches,
-    int64_t reset_period = 0) {
-  return [conf, flavor, criterion, reset_period]() {
-    HybridConfig config = PaperHybridConfig();
-    config.base = BaseFor(conf, GainMode::kConstant);
-    config.flavor = flavor;
-    config.criterion = criterion;
-    config.reset_period = reset_period;
-    return std::unique_ptr<Controller>(new HybridController(config));
-  };
-}
-
-inline ControllerFactoryFn ModelFactory(const ConfiguredProfile& conf,
-                                        IdentificationModel model) {
-  return [conf, model]() {
-    ModelBasedConfig config = PaperModelBasedConfig();
-    config.model = model;
-    config.limits = conf.limits;
-    return std::unique_ptr<Controller>(new ModelBasedController(config));
-  };
-}
-
-inline ControllerFactoryFn SelfTuningFactory(const ConfiguredProfile& conf,
-                                             IdentificationModel model,
-                                             Continuation continuation) {
-  return [conf, model, continuation]() {
-    SelfTuningConfig config;
-    config.identification = PaperModelBasedConfig();
-    config.identification.model = model;
-    config.identification.limits = conf.limits;
-    config.continuation = continuation;
-    config.controller = PaperHybridConfig();
-    config.controller.base = BaseFor(conf, GainMode::kConstant);
-    return std::unique_ptr<Controller>(new SelfTuningController(config));
-  };
-}
+// The controller-factory helpers (FixedFactory, SwitchingFactory,
+// HybridFactory, ModelFactory, SelfTuningFactory, BaseFor) live in the
+// library now — wsq/control/factories.h — shared with examples and
+// tests; unqualified calls below resolve to the wsq:: versions.
 
 inline SimOptions OptionsFor(const ConfiguredProfile& conf,
                              uint64_t seed = 11) {

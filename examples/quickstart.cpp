@@ -4,7 +4,10 @@
 // in-memory DBMS, wrapped by a SOAP data service in a loaded container,
 // reached over a simulated WAN — then pulls the full result with the
 // paper's hybrid extremum controller choosing every block size, and
-// compares against a naive fixed block size.
+// compares against a naive fixed block size. Both runs go through the
+// unified QueryBackend interface (EmpiricalBackend here; swap in
+// ProfileBackend or EventSimBackend to drive the same controller on the
+// other execution stacks).
 //
 //   ./build/examples/quickstart [controller]
 //
@@ -44,13 +47,9 @@ int main(int argc, char** argv) {
   setup.load.concurrent_jobs = 2;
   setup.seed = 7;
 
-  Result<std::unique_ptr<QuerySession>> session =
-      QuerySession::Create(setup);
-  if (!session.ok()) {
-    std::fprintf(stderr, "session: %s\n",
-                 session.status().ToString().c_str());
-    return 1;
-  }
+  // Each RunQuery stands up a fresh client/server stack from the setup,
+  // so the adaptive run and the baseline see identical environments.
+  EmpiricalBackend backend(setup);
 
   // 3. Controller: anything the factory knows.
   Result<std::unique_ptr<Controller>> controller =
@@ -63,8 +62,8 @@ int main(int argc, char** argv) {
 
   // 4. Run the query; the fetch loop is the paper's Algorithm 1.
   std::vector<Tuple> rows;
-  Result<FetchOutcome> outcome =
-      session.value()->Execute(controller.value().get(), &rows);
+  Result<RunTrace> outcome = backend.RunQueryKeepingTuples(
+      controller.value().get(), RunSpec{}, &rows);
   if (!outcome.ok()) {
     std::fprintf(stderr, "query: %s\n",
                  outcome.status().ToString().c_str());
@@ -80,12 +79,8 @@ int main(int argc, char** argv) {
   std::printf("response time : %.0f ms\n", outcome.value().total_time_ms);
 
   // 5. Baseline: the same query with a conservative fixed block size.
-  Result<std::unique_ptr<QuerySession>> baseline_session =
-      QuerySession::Create(setup);
-  if (!baseline_session.ok()) return 1;
   FixedController fixed(1000);
-  Result<FetchOutcome> baseline =
-      baseline_session.value()->Execute(&fixed);
+  Result<RunTrace> baseline = backend.RunQuery(&fixed, RunSpec{});
   if (!baseline.ok()) return 1;
   std::printf("fixed-1000    : %.0f ms  (adaptive saves %.1f%%)\n",
               baseline.value().total_time_ms,
@@ -94,8 +89,8 @@ int main(int argc, char** argv) {
 
   // The decision trail, block by block.
   std::printf("\nblock sizes chosen:");
-  for (const BlockTrace& trace : outcome.value().trace) {
-    std::printf(" %lld", static_cast<long long>(trace.requested_size));
+  for (const RunStep& step : outcome.value().steps) {
+    std::printf(" %lld", static_cast<long long>(step.requested_size));
   }
   std::printf("\n");
   return 0;

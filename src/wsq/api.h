@@ -10,10 +10,19 @@
 ///  * the full simulated WS stack (relation + soap + netsim + server +
 ///    client) for end-to-end "empirical" runs;
 ///  * the profile-driven simulation engine (wsq/sim) for controlled
-///    experiments.
+///    experiments;
+///  * the unified execution layer (wsq/backend): one QueryBackend
+///    interface and RunTrace record over all three stacks, plus the
+///    backend-generic repeated-run harness.
 ///
 /// See examples/quickstart.cc for the 30-line tour.
 
+#include "wsq/backend/empirical_backend.h"
+#include "wsq/backend/eventsim_backend.h"
+#include "wsq/backend/experiment.h"
+#include "wsq/backend/profile_backend.h"
+#include "wsq/backend/query_backend.h"
+#include "wsq/backend/run_trace.h"
 #include "wsq/client/block_fetcher.h"
 #include "wsq/client/block_shipper.h"
 #include "wsq/client/query_session.h"
@@ -26,6 +35,7 @@
 #include "wsq/common/text_table.h"
 #include "wsq/control/controller.h"
 #include "wsq/control/controller_factory.h"
+#include "wsq/control/factories.h"
 #include "wsq/control/fixed_controller.h"
 #include "wsq/control/hybrid_controller.h"
 #include "wsq/control/mimd_controller.h"

@@ -1,0 +1,61 @@
+#include "wsq/backend/empirical_backend.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace wsq {
+
+EmpiricalBackend::EmpiricalBackend(EmpiricalSetup setup)
+    : setup_(std::move(setup)) {}
+
+Result<RunTrace> EmpiricalBackend::RunQuery(Controller* controller,
+                                            const RunSpec& spec) {
+  return RunQueryKeepingTuples(controller, spec, nullptr);
+}
+
+Result<RunTrace> EmpiricalBackend::RunQueryKeepingTuples(
+    Controller* controller, const RunSpec& spec, std::vector<Tuple>* rows) {
+  if (controller == nullptr) {
+    return Status::InvalidArgument("EmpiricalBackend: null controller");
+  }
+  if (spec.is_schedule()) {
+    return Status::FailedPrecondition(
+        "EmpiricalBackend: profile schedules are not supported");
+  }
+
+  EmpiricalSetup run_setup = setup_;
+  if (spec.seed != 0) run_setup.seed = spec.seed;
+  Result<std::unique_ptr<QuerySession>> session =
+      QuerySession::Create(std::move(run_setup));
+  if (!session.ok()) return session.status();
+
+  Result<FetchOutcome> outcome = session.value()->Execute(controller, rows);
+  if (!outcome.ok()) return outcome.status();
+  const FetchOutcome& fetch = outcome.value();
+
+  RunTrace trace;
+  trace.backend_name = "empirical";
+  trace.controller_name = controller->name();
+  trace.total_time_ms = fetch.total_time_ms;
+  trace.total_blocks = fetch.total_blocks;
+  trace.total_tuples = fetch.total_tuples;
+  trace.total_retries = fetch.retries;
+  trace.steps.reserve(fetch.trace.size());
+  for (const BlockTrace& block : fetch.trace) {
+    RunStep step;
+    step.step = block.block_index;
+    step.requested_size = block.requested_size;
+    step.received_tuples = block.received_tuples;
+    step.block_time_ms = block.response_time_ms;
+    step.per_tuple_ms =
+        block.response_time_ms /
+        static_cast<double>(std::max<int64_t>(block.received_tuples, 1));
+    step.retries = block.retries;
+    step.adaptivity_step = block.adaptivity_steps;
+    trace.steps.push_back(step);
+  }
+  return trace;
+}
+
+}  // namespace wsq

@@ -1,0 +1,41 @@
+#ifndef WSQ_BACKEND_EMPIRICAL_BACKEND_H_
+#define WSQ_BACKEND_EMPIRICAL_BACKEND_H_
+
+#include <vector>
+
+#include "wsq/backend/query_backend.h"
+#include "wsq/client/query_session.h"
+#include "wsq/relation/tuple.h"
+
+namespace wsq {
+
+/// QueryBackend over the full simulated SOAP stack (`QuerySession` +
+/// `BlockFetcher`) — the C++ analogue of the paper's physical OGSA-DAI
+/// testbed. Each run stands up a fresh client/server stack from the
+/// setup so RunSpec::seed fully determines link jitter, load and
+/// failures; runs are independent, like re-running the testbed
+/// experiment.
+class EmpiricalBackend final : public QueryBackend {
+ public:
+  explicit EmpiricalBackend(EmpiricalSetup setup);
+
+  std::string name() const override { return "empirical"; }
+
+  Result<RunTrace> RunQuery(Controller* controller,
+                            const RunSpec& spec) override;
+
+  /// Same as RunQuery but also deserializes and returns the result rows
+  /// (examples want the data; benches only want the trace).
+  Result<RunTrace> RunQueryKeepingTuples(Controller* controller,
+                                         const RunSpec& spec,
+                                         std::vector<Tuple>* rows);
+
+  const EmpiricalSetup& setup() const { return setup_; }
+
+ private:
+  EmpiricalSetup setup_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_BACKEND_EMPIRICAL_BACKEND_H_

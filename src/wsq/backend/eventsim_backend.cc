@@ -1,0 +1,82 @@
+#include "wsq/backend/eventsim_backend.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace wsq {
+
+EventSimBackend::EventSimBackend(const EventSimConfig& config,
+                                 int64_t dataset_tuples, double start_time_ms,
+                                 std::vector<BackgroundClientSpec> background)
+    : config_(config),
+      dataset_tuples_(dataset_tuples),
+      start_time_ms_(start_time_ms),
+      background_(std::move(background)) {}
+
+Result<RunTrace> EventSimBackend::RunQuery(Controller* controller,
+                                           const RunSpec& spec) {
+  if (controller == nullptr) {
+    return Status::InvalidArgument("EventSimBackend: null controller");
+  }
+  if (spec.is_schedule()) {
+    return Status::FailedPrecondition(
+        "EventSimBackend: profile schedules are not supported");
+  }
+
+  EventSimConfig run_config = config_;
+  if (spec.seed != 0) run_config.seed = spec.seed;
+
+  // Tracked client first, then the background fleet with fresh
+  // controllers owned for the duration of the run.
+  std::vector<std::unique_ptr<Controller>> background_controllers;
+  std::vector<ClientSpec> clients;
+  clients.push_back({dataset_tuples_, controller, start_time_ms_});
+  for (const BackgroundClientSpec& spec_bg : background_) {
+    if (!spec_bg.make_controller) {
+      return Status::InvalidArgument(
+          "EventSimBackend: background client without a factory");
+    }
+    background_controllers.push_back(spec_bg.make_controller());
+    if (background_controllers.back() == nullptr) {
+      return Status::InvalidArgument(
+          "EventSimBackend: background factory returned null");
+    }
+    clients.push_back({spec_bg.dataset_tuples,
+                       background_controllers.back().get(),
+                       spec_bg.start_time_ms});
+  }
+
+  Result<std::vector<ClientOutcome>> outcomes =
+      RunEventSimulation(run_config, clients);
+  if (!outcomes.ok()) return outcomes.status();
+  const ClientOutcome& tracked = outcomes.value().front();
+
+  RunTrace trace;
+  trace.backend_name = "eventsim";
+  trace.controller_name = controller->name();
+  trace.total_time_ms = tracked.response_time_ms;
+  trace.total_blocks = tracked.total_blocks;
+  trace.total_tuples = tracked.total_tuples;
+  trace.steps.reserve(tracked.block_sizes.size());
+  for (size_t i = 0; i < tracked.block_sizes.size(); ++i) {
+    RunStep step;
+    step.step = static_cast<int64_t>(i);
+    // The event sim clamps the commanded size to the remaining tuples
+    // before the request leaves, so requested == received.
+    step.requested_size = tracked.block_sizes[i];
+    step.received_tuples = tracked.block_sizes[i];
+    if (i < tracked.block_times_ms.size()) {
+      step.block_time_ms = tracked.block_times_ms[i];
+      step.per_tuple_ms =
+          step.block_time_ms /
+          static_cast<double>(std::max<int64_t>(step.received_tuples, 1));
+    }
+    if (i < tracked.adaptivity_steps.size()) {
+      step.adaptivity_step = tracked.adaptivity_steps[i];
+    }
+    trace.steps.push_back(step);
+  }
+  return trace;
+}
+
+}  // namespace wsq

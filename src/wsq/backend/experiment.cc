@@ -1,0 +1,116 @@
+#include "wsq/backend/experiment.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "wsq/backend/profile_backend.h"
+
+namespace wsq {
+namespace {
+
+/// Keeps repeated runs independent while staying reproducible; the
+/// stride predates the backend layer, so historical figures are
+/// bit-identical.
+constexpr uint64_t kRunSeedStride = 104729;
+
+/// Folds per-run step traces into the summary's per-step mean decisions.
+void FoldDecisions(const std::vector<std::vector<int64_t>>& per_run_decisions,
+                   RepeatedRunSummary* summary) {
+  if (per_run_decisions.empty()) return;
+  size_t min_len = per_run_decisions.front().size();
+  for (const auto& run : per_run_decisions) {
+    min_len = std::min(min_len, run.size());
+  }
+  summary->mean_decision_per_step.assign(min_len, 0.0);
+  for (const auto& run : per_run_decisions) {
+    for (size_t i = 0; i < min_len; ++i) {
+      summary->mean_decision_per_step[i] +=
+          static_cast<double>(run[i]) /
+          static_cast<double>(per_run_decisions.size());
+    }
+  }
+}
+
+/// Shared driver: `spec` carries everything but the per-run seed.
+Result<RepeatedRunSummary> RunMany(const ControllerFactoryFn& make_controller,
+                                   QueryBackend& backend, RunSpec spec,
+                                   int runs, uint64_t base_seed) {
+  if (runs < 1) {
+    return Status::InvalidArgument("RunRepeated: runs must be >= 1");
+  }
+  RepeatedRunSummary summary;
+  std::vector<std::vector<int64_t>> decisions;
+  decisions.reserve(static_cast<size_t>(runs));
+
+  for (int run = 0; run < runs; ++run) {
+    std::unique_ptr<Controller> controller = make_controller();
+    if (controller == nullptr) {
+      return Status::InvalidArgument("RunRepeated: factory returned null");
+    }
+    if (run == 0) summary.controller_name = controller->name();
+
+    spec.seed = base_seed + static_cast<uint64_t>(run) * kRunSeedStride;
+    Result<RunTrace> trace = backend.RunQuery(controller.get(), spec);
+    if (!trace.ok()) return trace.status();
+
+    summary.total_time_ms.Add(trace.value().total_time_ms);
+    std::vector<int64_t> run_decisions = trace.value().RequestedSizes();
+    if (!run_decisions.empty()) {
+      summary.final_block_size.Add(
+          static_cast<double>(run_decisions.back()));
+    }
+    decisions.push_back(std::move(run_decisions));
+  }
+  FoldDecisions(decisions, &summary);
+  return summary;
+}
+
+}  // namespace
+
+double RepeatedRunSummary::NormalizedMean(double optimum_ms) const {
+  if (optimum_ms <= 0.0) return 0.0;
+  return total_time_ms.mean() / optimum_ms;
+}
+
+Result<RepeatedRunSummary> RunRepeated(
+    const ControllerFactoryFn& make_controller, QueryBackend& backend,
+    int runs, uint64_t base_seed) {
+  return RunMany(make_controller, backend, RunSpec{}, runs, base_seed);
+}
+
+Result<RepeatedRunSummary> RunRepeatedSchedule(
+    const ControllerFactoryFn& make_controller, QueryBackend& backend,
+    const std::vector<const ResponseProfile*>& schedule,
+    int64_t steps_per_profile, int64_t total_steps, int runs,
+    uint64_t base_seed) {
+  if (!backend.SupportsSchedules()) {
+    return Status::FailedPrecondition("RunRepeatedSchedule: backend '" +
+                                      backend.name() +
+                                      "' does not support schedules");
+  }
+  RunSpec spec;
+  spec.schedule = schedule;
+  spec.steps_per_profile = steps_per_profile;
+  spec.total_steps = total_steps;
+  return RunMany(make_controller, backend, std::move(spec), runs, base_seed);
+}
+
+Result<RepeatedRunSummary> RunRepeated(
+    const ControllerFactoryFn& make_controller,
+    const ResponseProfile& profile, int runs, const SimOptions& options) {
+  ProfileBackend backend(profile, options);
+  return RunRepeated(make_controller, backend, runs, options.seed);
+}
+
+Result<RepeatedRunSummary> RunRepeatedSchedule(
+    const ControllerFactoryFn& make_controller,
+    const std::vector<const ResponseProfile*>& schedule,
+    int64_t steps_per_profile, int64_t total_steps, int runs,
+    const SimOptions& options) {
+  ProfileBackend backend(nullptr, options);
+  return RunRepeatedSchedule(make_controller, backend, schedule,
+                             steps_per_profile, total_steps, runs,
+                             options.seed);
+}
+
+}  // namespace wsq

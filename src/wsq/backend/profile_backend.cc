@@ -1,0 +1,85 @@
+#include "wsq/backend/profile_backend.h"
+
+#include <algorithm>
+
+namespace wsq {
+namespace {
+
+/// Folds a SimRunResult into the canonical trace. `dataset_tuples` < 0
+/// marks an unbounded (schedule) run where every block is full-size.
+RunTrace TraceFromSimResult(const SimRunResult& sim, int64_t dataset_tuples,
+                            const Controller& controller) {
+  RunTrace trace;
+  trace.backend_name = "profile";
+  trace.controller_name = controller.name();
+  trace.total_time_ms = sim.total_time_ms;
+  trace.total_blocks = sim.total_blocks;
+  trace.total_tuples = sim.total_tuples;
+  trace.steps.reserve(sim.steps.size());
+  int64_t remaining = dataset_tuples;
+  for (const SimStep& sim_step : sim.steps) {
+    RunStep step;
+    step.step = sim_step.step;
+    step.requested_size = sim_step.block_size;
+    step.received_tuples =
+        dataset_tuples < 0
+            ? sim_step.block_size
+            : std::min<int64_t>(sim_step.block_size, remaining);
+    step.per_tuple_ms = sim_step.per_tuple_ms;
+    step.block_time_ms =
+        sim_step.per_tuple_ms * static_cast<double>(step.received_tuples);
+    step.adaptivity_step = sim_step.adaptivity_steps;
+    if (dataset_tuples >= 0) remaining -= step.received_tuples;
+    trace.steps.push_back(step);
+  }
+  return trace;
+}
+
+}  // namespace
+
+ProfileBackend::ProfileBackend(std::shared_ptr<const ResponseProfile> profile,
+                               const SimOptions& options)
+    : profile_(std::move(profile)), options_(options) {}
+
+ProfileBackend::ProfileBackend(const ResponseProfile& profile,
+                               const SimOptions& options)
+    : profile_(std::shared_ptr<const ResponseProfile>(
+          std::shared_ptr<const ResponseProfile>(), &profile)),
+      options_(options) {}
+
+ProfileBackend ProfileBackend::FromConfiguration(const ConfiguredProfile& conf,
+                                                 uint64_t seed) {
+  SimOptions options;
+  options.noise_amplitude = conf.noise_amplitude;
+  options.seed = seed;
+  return ProfileBackend(conf.profile, options);
+}
+
+Result<RunTrace> ProfileBackend::RunQuery(Controller* controller,
+                                          const RunSpec& spec) {
+  if (controller == nullptr) {
+    return Status::InvalidArgument("ProfileBackend: null controller");
+  }
+  SimOptions run_options = options_;
+  if (spec.seed != 0) run_options.seed = spec.seed;
+  SimEngine engine(run_options);
+
+  if (spec.is_schedule()) {
+    Result<SimRunResult> result = engine.RunSchedule(
+        controller, spec.schedule, spec.steps_per_profile, spec.total_steps);
+    if (!result.ok()) return result.status();
+    return TraceFromSimResult(result.value(), /*dataset_tuples=*/-1,
+                              *controller);
+  }
+
+  if (profile_ == nullptr) {
+    return Status::FailedPrecondition(
+        "ProfileBackend: no profile configured for a non-schedule run");
+  }
+  Result<SimRunResult> result = engine.RunQuery(controller, *profile_);
+  if (!result.ok()) return result.status();
+  return TraceFromSimResult(result.value(), profile_->dataset_tuples(),
+                            *controller);
+}
+
+}  // namespace wsq

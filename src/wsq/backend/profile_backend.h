@@ -1,0 +1,47 @@
+#ifndef WSQ_BACKEND_PROFILE_BACKEND_H_
+#define WSQ_BACKEND_PROFILE_BACKEND_H_
+
+#include <memory>
+
+#include "wsq/backend/query_backend.h"
+#include "wsq/sim/profile_library.h"
+#include "wsq/sim/sim_engine.h"
+
+namespace wsq {
+
+/// QueryBackend over the profile-driven `SimEngine` — the reproduction
+/// of the paper's MATLAB simulation methodology. Each run constructs a
+/// fresh engine so RunSpec::seed fully determines the noise stream.
+class ProfileBackend final : public QueryBackend {
+ public:
+  /// `profile` may be null for a backend used exclusively for schedule
+  /// runs (the profiles then come from RunSpec::schedule). `options.seed`
+  /// is the base seed used when RunSpec::seed is 0.
+  ProfileBackend(std::shared_ptr<const ResponseProfile> profile,
+                 const SimOptions& options);
+
+  /// Non-owning convenience: `profile` must outlive the backend.
+  ProfileBackend(const ResponseProfile& profile, const SimOptions& options);
+
+  /// Backend over a library configuration: its profile, its calibrated
+  /// noise amplitude.
+  static ProfileBackend FromConfiguration(const ConfiguredProfile& conf,
+                                          uint64_t seed = 11);
+
+  std::string name() const override { return "profile"; }
+  bool SupportsSchedules() const override { return true; }
+
+  Result<RunTrace> RunQuery(Controller* controller,
+                            const RunSpec& spec) override;
+
+  const ResponseProfile* profile() const { return profile_.get(); }
+  const SimOptions& options() const { return options_; }
+
+ private:
+  std::shared_ptr<const ResponseProfile> profile_;
+  SimOptions options_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_BACKEND_PROFILE_BACKEND_H_

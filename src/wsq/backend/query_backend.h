@@ -1,0 +1,66 @@
+#ifndef WSQ_BACKEND_QUERY_BACKEND_H_
+#define WSQ_BACKEND_QUERY_BACKEND_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wsq/backend/run_trace.h"
+#include "wsq/common/status.h"
+#include "wsq/control/controller.h"
+#include "wsq/sim/profile.h"
+
+namespace wsq {
+
+/// Parameters of one query run through a `QueryBackend`.
+struct RunSpec {
+  /// Seed for this run; repeated-run harnesses vary it so runs are
+  /// independent. 0 means "use the backend's configured base seed".
+  uint64_t seed = 0;
+
+  /// Optional profile-schedule section (the paper's Fig. 8 methodology):
+  /// when `total_steps` > 0 the run is a long-lived query of exactly
+  /// `total_steps` adaptivity steps where `schedule[i]` is active for
+  /// steps [i * steps_per_profile, (i+1) * steps_per_profile) and the
+  /// last entry stays active through the end; the dataset is treated as
+  /// unbounded. Only backends with SupportsSchedules() can execute it —
+  /// the others return kFailedPrecondition.
+  std::vector<const ResponseProfile*> schedule;
+  int64_t steps_per_profile = 0;
+  int64_t total_steps = 0;
+
+  bool is_schedule() const { return total_steps > 0; }
+};
+
+/// One execution stack that can drain a query under a block-size
+/// controller — the unifying interface over the reproduction's three
+/// methodologies (mirroring the paper's dual MATLAB-simulator /
+/// physical-testbed evaluation):
+///
+///  * ProfileBackend   — profile-driven SimEngine (Sec. III-C / IV-B);
+///  * EventSimBackend  — event-driven processor-sharing concurrency sim;
+///  * EmpiricalBackend — the full SOAP client/server stack (testbed
+///    analogue).
+///
+/// All of them run the paper's Algorithm 1 pull loop and report the
+/// canonical `RunTrace`, so the same controller factory can be
+/// cross-validated on every stack through one code path.
+class QueryBackend {
+ public:
+  virtual ~QueryBackend() = default;
+
+  /// Short, stable identifier ("profile", "eventsim", "empirical").
+  virtual std::string name() const = 0;
+
+  /// True when RunQuery can execute RunSpec::schedule sections.
+  virtual bool SupportsSchedules() const { return false; }
+
+  /// Drains one query under `controller` (not reset first; callers own
+  /// reset policy). The controller must outlive the call.
+  virtual Result<RunTrace> RunQuery(Controller* controller,
+                                    const RunSpec& spec) = 0;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_BACKEND_QUERY_BACKEND_H_

@@ -1,0 +1,63 @@
+#include "wsq/backend/run_trace.h"
+
+#include <cmath>
+
+namespace wsq {
+
+std::vector<int64_t> RunTrace::RequestedSizes() const {
+  std::vector<int64_t> sizes;
+  sizes.reserve(steps.size());
+  for (const RunStep& step : steps) {
+    sizes.push_back(step.requested_size);
+  }
+  return sizes;
+}
+
+int64_t RunTrace::final_block_size() const {
+  return steps.empty() ? 0 : steps.back().requested_size;
+}
+
+Status RunTrace::CheckConsistent() const {
+  if (static_cast<int64_t>(steps.size()) != total_blocks) {
+    return Status::Internal("RunTrace: steps.size() != total_blocks");
+  }
+  int64_t tuples = 0;
+  int64_t retries = 0;
+  double block_time = 0.0;
+  int64_t last_adaptivity = 0;
+  for (const RunStep& step : steps) {
+    if (step.requested_size < 1) {
+      return Status::Internal("RunTrace: requested_size < 1");
+    }
+    if (step.received_tuples < 0 ||
+        step.received_tuples > step.requested_size) {
+      return Status::Internal(
+          "RunTrace: received_tuples outside [0, requested_size]");
+    }
+    if (step.per_tuple_ms < 0.0 || step.block_time_ms < 0.0 ||
+        step.retries < 0) {
+      return Status::Internal("RunTrace: negative cost or retries");
+    }
+    if (step.adaptivity_step < last_adaptivity) {
+      return Status::Internal("RunTrace: adaptivity steps not monotone");
+    }
+    last_adaptivity = step.adaptivity_step;
+    tuples += step.received_tuples;
+    retries += step.retries;
+    block_time += step.block_time_ms;
+  }
+  if (tuples != total_tuples) {
+    return Status::Internal("RunTrace: per-step tuples != total_tuples");
+  }
+  if (retries > total_retries) {
+    return Status::Internal("RunTrace: per-step retries exceed total");
+  }
+  // Session management and retry timeouts may add dead time on top of
+  // the blocks, but never the other way around (allow rounding slack).
+  if (block_time > total_time_ms * (1.0 + 1e-9) + 1e-6) {
+    return Status::Internal("RunTrace: block time exceeds total time");
+  }
+  return Status::Ok();
+}
+
+}  // namespace wsq

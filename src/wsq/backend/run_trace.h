@@ -1,0 +1,72 @@
+#ifndef WSQ_BACKEND_RUN_TRACE_H_
+#define WSQ_BACKEND_RUN_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wsq/common/status.h"
+
+namespace wsq {
+
+/// Canonical per-block record of one query run, shared by every
+/// execution backend. Subsumes the historical per-backend structs
+/// (`SimStep`, `BlockTrace`, `ClientOutcome::block_sizes`): whichever
+/// stack executed the query, one block of the pull loop becomes one
+/// `RunStep`, so analysis and figure code never branches on the backend.
+struct RunStep {
+  /// 0-based block index within the run.
+  int64_t step = 0;
+  /// Block size the controller had commanded for this request.
+  int64_t requested_size = 0;
+  /// Tuples actually delivered (the last block of a bounded dataset may
+  /// be short).
+  int64_t received_tuples = 0;
+  /// Per-tuple cost the controller observed for this block (ms/tuple) —
+  /// the metric fed to Controller::NextBlockSize.
+  double per_tuple_ms = 0.0;
+  /// Wall time of the block: request issued -> response folded in (ms).
+  double block_time_ms = 0.0;
+  /// Calls retried after simulated timeouts while fetching this block
+  /// (only the empirical stack injects failures today).
+  int64_t retries = 0;
+  /// Controller adaptivity steps completed *after* this block was folded
+  /// in; lets analysis group blocks by adaptivity step. Fixed-size
+  /// controllers always report 0.
+  int64_t adaptivity_step = 0;
+};
+
+/// Canonical result of one query run through any `QueryBackend`.
+struct RunTrace {
+  /// Backend that produced the trace ("profile", "eventsim",
+  /// "empirical").
+  std::string backend_name;
+  /// Controller::name() of the controller that drove the run.
+  std::string controller_name;
+  /// End-to-end response time (ms). May exceed the sum of per-block
+  /// times: session open/close and retry timeouts are dead time that is
+  /// charged to the query but belongs to no block.
+  double total_time_ms = 0.0;
+  int64_t total_blocks = 0;
+  int64_t total_tuples = 0;
+  int64_t total_retries = 0;
+  std::vector<RunStep> steps;
+
+  /// Commanded block size per step, in order — the y-series behind the
+  /// paper's decision figures (Figs. 4-9).
+  std::vector<int64_t> RequestedSizes() const;
+
+  /// Size commanded for the last block, or 0 for an empty trace.
+  int64_t final_block_size() const;
+
+  /// Verifies the cross-field invariants every backend must uphold:
+  /// steps match the totals, per-step fields are sane, block time never
+  /// exceeds the end-to-end total, adaptivity steps are monotone.
+  /// Returns kInternal naming the first violated invariant. This is the
+  /// backend conformance contract; tests run it against all adapters.
+  Status CheckConsistent() const;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_BACKEND_RUN_TRACE_H_

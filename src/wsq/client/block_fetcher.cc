@@ -54,6 +54,7 @@ Result<FetchOutcome> BlockFetcher::Run(const ScanProjectQuery& query,
 
     // t1 .. t2 around the call (Algorithm 1); the simulated clock makes
     // elapsed_ms exactly the charged time.
+    const int64_t retries_before = outcome.retries;
     Result<CallResult> call =
         CallWithRetry(EncodeRequestBlock(request), &outcome);
     if (!call.ok()) return call.status();
@@ -67,6 +68,7 @@ Result<FetchOutcome> BlockFetcher::Run(const ScanProjectQuery& query,
     trace.requested_size = block_size;
     trace.received_tuples = block.value().num_tuples;
     trace.response_time_ms = call.value().elapsed_ms;
+    trace.retries = outcome.retries - retries_before;
 
     outcome.total_tuples += block.value().num_tuples;
     outcome.total_blocks += 1;

@@ -20,6 +20,9 @@ struct BlockTrace {
   int64_t requested_size = 0;
   int64_t received_tuples = 0;
   double response_time_ms = 0.0;
+  /// Calls retried after a simulated link timeout while fetching this
+  /// block (session open/close retries are not attributed to any block).
+  int64_t retries = 0;
   /// Controller adaptivity steps completed *after* this block was folded
   /// in (lets analysis group blocks by adaptivity step).
   int64_t adaptivity_steps = 0;

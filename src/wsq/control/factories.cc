@@ -1,0 +1,84 @@
+#include "wsq/control/factories.h"
+
+#include "wsq/control/hybrid_controller.h"
+#include "wsq/control/model_based_controller.h"
+#include "wsq/control/self_tuning_controller.h"
+#include "wsq/control/switching_controller.h"
+
+namespace wsq {
+
+SwitchingConfig BaseFor(const ConfiguredProfile& conf, GainMode mode,
+                        uint64_t seed) {
+  SwitchingConfig config = PaperSwitchingConfig();
+  config.gain_mode = mode;
+  config.b1 = conf.paper_b1;
+  config.limits = conf.limits;
+  config.seed = seed;
+  return config;
+}
+
+ControllerFactoryFn FixedFactory(int64_t size) {
+  return [size]() {
+    return std::unique_ptr<Controller>(new FixedController(size));
+  };
+}
+
+ControllerFactoryFn SwitchingFactory(const ConfiguredProfile& conf,
+                                     GainMode mode, double b1_override) {
+  return [conf, mode, b1_override]() {
+    SwitchingConfig config = BaseFor(conf, mode);
+    if (b1_override > 0.0) config.b1 = b1_override;
+    return std::unique_ptr<Controller>(
+        new SwitchingExtremumController(config));
+  };
+}
+
+ControllerFactoryFn HybridFactory(const ConfiguredProfile& conf,
+                                  HybridFlavor flavor,
+                                  PhaseCriterion criterion,
+                                  int64_t reset_period) {
+  return [conf, flavor, criterion, reset_period]() {
+    HybridConfig config = PaperHybridConfig();
+    config.base = BaseFor(conf, GainMode::kConstant);
+    config.flavor = flavor;
+    config.criterion = criterion;
+    config.reset_period = reset_period;
+    return std::unique_ptr<Controller>(new HybridController(config));
+  };
+}
+
+ControllerFactoryFn ModelFactory(const ConfiguredProfile& conf,
+                                 IdentificationModel model) {
+  return [conf, model]() {
+    ModelBasedConfig config = PaperModelBasedConfig();
+    config.model = model;
+    config.limits = conf.limits;
+    return std::unique_ptr<Controller>(new ModelBasedController(config));
+  };
+}
+
+ControllerFactoryFn SelfTuningFactory(const ConfiguredProfile& conf,
+                                      IdentificationModel model,
+                                      Continuation continuation) {
+  return [conf, model, continuation]() {
+    SelfTuningConfig config;
+    config.identification = PaperModelBasedConfig();
+    config.identification.model = model;
+    config.identification.limits = conf.limits;
+    config.continuation = continuation;
+    config.controller = PaperHybridConfig();
+    config.controller.base = BaseFor(conf, GainMode::kConstant);
+    return std::unique_ptr<Controller>(new SelfTuningController(config));
+  };
+}
+
+ControllerFactoryFn NamedFactory(const std::string& name) {
+  return [name]() -> std::unique_ptr<Controller> {
+    Result<std::unique_ptr<Controller>> made =
+        ControllerFactory::FromName(name);
+    if (!made.ok()) return nullptr;
+    return std::move(made).value();
+  };
+}
+
+}  // namespace wsq

@@ -1,0 +1,54 @@
+#ifndef WSQ_CONTROL_FACTORIES_H_
+#define WSQ_CONTROL_FACTORIES_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "wsq/control/controller.h"
+#include "wsq/control/controller_factory.h"
+#include "wsq/control/fixed_controller.h"
+// ConfiguredProfile is a plain aggregate; this is a header-only
+// dependency — wsq_control does not link against wsq_sim.
+#include "wsq/sim/profile_library.h"
+
+namespace wsq {
+
+/// Builds a fresh controller for one run; experiments construct one per
+/// repetition so runs are independent (mirrors the paper's "10 runs ...
+/// scheduled in a round-robin fashion").
+using ControllerFactoryFn = std::function<std::unique_ptr<Controller>()>;
+
+/// Switching-controller config for a library configuration, paper-style:
+/// b1 from the config, limits from the config, everything else the
+/// paper's standard parameters.
+SwitchingConfig BaseFor(const ConfiguredProfile& conf, GainMode mode,
+                        uint64_t seed = 42);
+
+ControllerFactoryFn FixedFactory(int64_t size);
+
+ControllerFactoryFn SwitchingFactory(const ConfiguredProfile& conf,
+                                     GainMode mode, double b1_override = 0.0);
+
+ControllerFactoryFn HybridFactory(
+    const ConfiguredProfile& conf,
+    HybridFlavor flavor = HybridFlavor::kNoSwitchBack,
+    PhaseCriterion criterion = PhaseCriterion::kSignSwitches,
+    int64_t reset_period = 0);
+
+ControllerFactoryFn ModelFactory(const ConfiguredProfile& conf,
+                                 IdentificationModel model);
+
+ControllerFactoryFn SelfTuningFactory(const ConfiguredProfile& conf,
+                                      IdentificationModel model,
+                                      Continuation continuation);
+
+/// Factory over ControllerFactory::FromName ("hybrid", "fixed:<N>", ...);
+/// the returned factory yields nullptr for unknown names (repeated-run
+/// harnesses surface that as kInvalidArgument).
+ControllerFactoryFn NamedFactory(const std::string& name);
+
+}  // namespace wsq
+
+#endif  // WSQ_CONTROL_FACTORIES_H_

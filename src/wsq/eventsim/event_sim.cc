@@ -201,12 +201,15 @@ class Simulation {
     client.outcome.total_blocks += 1;
     client.outcome.total_tuples += received;
     client.outcome.block_sizes.push_back(received);
+    client.outcome.block_times_ms.push_back(elapsed_ms);
     client.remaining -= received;
 
     // Algorithm 1: the controller consumes the per-tuple cost of the
     // block that just arrived and names the next size.
     const int64_t next_size = client.spec.controller->NextBlockSize(
         elapsed_ms / static_cast<double>(std::max<int64_t>(received, 1)));
+    client.outcome.adaptivity_steps.push_back(
+        client.spec.controller->adaptivity_steps());
 
     if (client.remaining <= 0) {
       client.finished = true;

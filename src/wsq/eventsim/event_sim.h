@@ -63,6 +63,12 @@ struct ClientOutcome {
   int64_t total_tuples = 0;
   /// Block sizes requested, in order.
   std::vector<int64_t> block_sizes;
+  /// Wall time of each block (request sent -> response arrived), in
+  /// order; pairs with block_sizes.
+  std::vector<double> block_times_ms;
+  /// Controller adaptivity steps completed after each block was folded
+  /// in; pairs with block_sizes.
+  std::vector<int64_t> adaptivity_steps;
 };
 
 /// Runs all clients to completion on one shared timeline and returns

@@ -1,55 +1,12 @@
 #ifndef WSQ_SIM_EXPERIMENT_H_
 #define WSQ_SIM_EXPERIMENT_H_
 
-#include <functional>
-#include <memory>
-#include <string>
-#include <vector>
+/// The repeated-run experiment harness moved to wsq/backend/experiment.h
+/// when it became backend-generic (any QueryBackend, not just the
+/// profile-driven SimEngine). This forwarding header keeps historical
+/// includes — and the profile-based compatibility overloads of
+/// RunRepeated/RunRepeatedSchedule — working unchanged.
 
-#include "wsq/common/status.h"
-#include "wsq/control/controller.h"
-#include "wsq/sim/profile.h"
-#include "wsq/sim/sim_engine.h"
-#include "wsq/stats/running_stats.h"
-
-namespace wsq {
-
-/// Builds a fresh controller for one run; experiments construct one per
-/// repetition so runs are independent (mirrors the paper's "10 runs ...
-/// scheduled in a round-robin fashion").
-using ControllerFactoryFn = std::function<std::unique_ptr<Controller>()>;
-
-/// Aggregate of repeated simulated runs of one controller against one
-/// profile.
-struct RepeatedRunSummary {
-  std::string controller_name;
-  /// Query response time across runs.
-  RunningStats total_time_ms;
-  /// Mean commanded block size at each adaptivity step, averaged across
-  /// runs (the y-values of paper Figs. 4-9); truncated to the shortest
-  /// run so every step has all runs contributing.
-  std::vector<double> mean_decision_per_step;
-  /// Final block size at the end of each run.
-  RunningStats final_block_size;
-
-  /// total_time mean divided by `optimum_ms` — the paper's normalized
-  /// response time (1.0 = post-mortem optimum).
-  double NormalizedMean(double optimum_ms) const;
-};
-
-/// Runs `runs` independent queries of `make_controller()` against
-/// `profile`, varying the engine seed per run.
-Result<RepeatedRunSummary> RunRepeated(const ControllerFactoryFn& make_controller,
-                                       const ResponseProfile& profile,
-                                       int runs, const SimOptions& options);
-
-/// Same but over a profile schedule of fixed total steps (Fig. 8).
-Result<RepeatedRunSummary> RunRepeatedSchedule(
-    const ControllerFactoryFn& make_controller,
-    const std::vector<const ResponseProfile*>& schedule,
-    int64_t steps_per_profile, int64_t total_steps, int runs,
-    const SimOptions& options);
-
-}  // namespace wsq
+#include "wsq/backend/experiment.h"
 
 #endif  // WSQ_SIM_EXPERIMENT_H_

@@ -59,6 +59,7 @@ Result<SimRunResult> SimEngine::RunQuery(Controller* controller,
     remaining -= delivered;
 
     block_size = controller->NextBlockSize(per_tuple);
+    result.steps.back().adaptivity_steps = controller->adaptivity_steps();
   }
   return result;
 }
@@ -102,6 +103,7 @@ Result<SimRunResult> SimEngine::RunSchedule(
     result.total_tuples += block_size;
 
     block_size = controller->NextBlockSize(per_tuple);
+    result.steps.back().adaptivity_steps = controller->adaptivity_steps();
   }
   return result;
 }

@@ -38,6 +38,10 @@ struct SimStep {
   int64_t block_size = 0;
   /// Noisy per-tuple cost the controller observed (ms/tuple).
   double per_tuple_ms = 0.0;
+  /// Controller adaptivity steps completed after this measurement was
+  /// folded in (fixed-size controllers always report 0); keeps the sim
+  /// trace convertible to the canonical backend RunTrace.
+  int64_t adaptivity_steps = 0;
 };
 
 struct SimRunResult {

@@ -1,0 +1,81 @@
+// Backend-parity test — the robustness-of-conclusions check behind the
+// paper's dual methodology: capture the empirical stack's response
+// curve as a profile (the authors' own testbed -> MATLAB pipeline),
+// then verify that the profile-driven backend reproduces the empirical
+// run of the same controller through the unified QueryBackend
+// interface.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "wsq/backend/empirical_backend.h"
+#include "wsq/backend/profile_backend.h"
+#include "wsq/control/fixed_controller.h"
+#include "wsq/netsim/presets.h"
+#include "wsq/relation/tpch_gen.h"
+#include "wsq/sim/profile.h"
+
+namespace wsq {
+namespace {
+
+EmpiricalSetup ParitySetup() {
+  TpchGenOptions gen;
+  gen.scale = 0.02;  // 3000 customers
+  EmpiricalSetup setup;
+  setup.table = GenerateCustomer(gen).value();
+  setup.query.table_name = "customer";
+  setup.link = Lan1Gbps();
+  setup.seed = 41;
+  return setup;
+}
+
+TEST(BackendParityTest, ProfileBackendReproducesEmpiricalRuns) {
+  EmpiricalBackend empirical(ParitySetup());
+  const int64_t dataset = 3000;
+
+  // 1. Capture: sweep fixed block sizes on the empirical stack and
+  //    tabulate the measured aggregate times (Fig. 3/6(a) procedure).
+  std::vector<std::pair<double, double>> points;
+  for (int64_t size : {300, 700, 1500, 3000}) {
+    FixedController controller(size);
+    Result<RunTrace> trace = empirical.RunQuery(&controller, RunSpec{});
+    ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+    ASSERT_EQ(trace.value().total_tuples, dataset);
+    points.emplace_back(static_cast<double>(size),
+                        trace.value().total_time_ms);
+  }
+  Result<TabulatedProfile> captured =
+      TabulatedProfile::Create("captured", dataset, points);
+  ASSERT_TRUE(captured.ok());
+
+  // 2. Replay the same fixed controller on both backends. The capture
+  //    and the replay are deterministic in the setup seed, so tuple and
+  //    block counts must agree exactly and times within noise tolerance.
+  SimOptions options;  // noise-free: the curve already embeds the jitter
+  options.noise_amplitude = 0.0;
+  ProfileBackend profile(captured.value(), options);
+
+  for (int64_t size : {700, 1500}) {
+    FixedController on_profile(size);
+    FixedController on_empirical(size);
+    Result<RunTrace> sim_trace = profile.RunQuery(&on_profile, RunSpec{});
+    Result<RunTrace> emp_trace = empirical.RunQuery(&on_empirical, RunSpec{});
+    ASSERT_TRUE(sim_trace.ok());
+    ASSERT_TRUE(emp_trace.ok());
+
+    EXPECT_EQ(sim_trace.value().total_tuples, emp_trace.value().total_tuples)
+        << "size " << size;
+    EXPECT_EQ(sim_trace.value().total_blocks, emp_trace.value().total_blocks)
+        << "size " << size;
+    EXPECT_NEAR(sim_trace.value().total_time_ms,
+                emp_trace.value().total_time_ms,
+                0.02 * emp_trace.value().total_time_ms)
+        << "size " << size;
+    EXPECT_TRUE(sim_trace.value().CheckConsistent().ok());
+    EXPECT_TRUE(emp_trace.value().CheckConsistent().ok());
+  }
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,93 @@
+#include "wsq/backend/run_trace.h"
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+RunStep MakeStep(int64_t index, int64_t requested, int64_t received,
+                 double block_ms) {
+  RunStep step;
+  step.step = index;
+  step.requested_size = requested;
+  step.received_tuples = received;
+  step.block_time_ms = block_ms;
+  step.per_tuple_ms = received > 0 ? block_ms / received : 0.0;
+  return step;
+}
+
+RunTrace SmallTrace() {
+  RunTrace trace;
+  trace.backend_name = "test";
+  trace.controller_name = "fixed_1000";
+  trace.steps = {MakeStep(0, 1000, 1000, 50.0), MakeStep(1, 1000, 1000, 40.0),
+                 MakeStep(2, 1000, 500, 30.0)};
+  trace.total_blocks = 3;
+  trace.total_tuples = 2500;
+  trace.total_time_ms = 120.0;
+  return trace;
+}
+
+TEST(RunTraceTest, AccessorsOnEmptyTrace) {
+  RunTrace trace;
+  EXPECT_TRUE(trace.RequestedSizes().empty());
+  EXPECT_EQ(trace.final_block_size(), 0);
+  EXPECT_TRUE(trace.CheckConsistent().ok());
+}
+
+TEST(RunTraceTest, RequestedSizesAndFinal) {
+  RunTrace trace = SmallTrace();
+  EXPECT_EQ(trace.RequestedSizes(), (std::vector<int64_t>{1000, 1000, 1000}));
+  EXPECT_EQ(trace.final_block_size(), 1000);
+  EXPECT_TRUE(trace.CheckConsistent().ok());
+}
+
+TEST(RunTraceTest, DetectsBlockCountMismatch) {
+  RunTrace trace = SmallTrace();
+  trace.total_blocks = 4;
+  EXPECT_FALSE(trace.CheckConsistent().ok());
+}
+
+TEST(RunTraceTest, DetectsTupleMismatch) {
+  RunTrace trace = SmallTrace();
+  trace.total_tuples = 9999;
+  EXPECT_FALSE(trace.CheckConsistent().ok());
+}
+
+TEST(RunTraceTest, DetectsOverdelivery) {
+  RunTrace trace = SmallTrace();
+  trace.steps[1].received_tuples = 2000;  // > requested
+  trace.total_tuples = 3500;
+  EXPECT_FALSE(trace.CheckConsistent().ok());
+}
+
+TEST(RunTraceTest, DetectsBlockTimeExceedingTotal) {
+  RunTrace trace = SmallTrace();
+  trace.total_time_ms = 100.0;  // blocks sum to 120
+  EXPECT_FALSE(trace.CheckConsistent().ok());
+}
+
+TEST(RunTraceTest, AllowsDeadTimeOnTopOfBlocks) {
+  // Session open/close and retry timeouts make the total larger than the
+  // sum of blocks; that is legal.
+  RunTrace trace = SmallTrace();
+  trace.total_time_ms = 500.0;
+  trace.total_retries = 2;
+  EXPECT_TRUE(trace.CheckConsistent().ok());
+}
+
+TEST(RunTraceTest, DetectsNonMonotoneAdaptivity) {
+  RunTrace trace = SmallTrace();
+  trace.steps[0].adaptivity_step = 2;
+  trace.steps[1].adaptivity_step = 1;
+  EXPECT_FALSE(trace.CheckConsistent().ok());
+}
+
+TEST(RunTraceTest, DetectsRetriesExceedingTotal) {
+  RunTrace trace = SmallTrace();
+  trace.steps[2].retries = 3;  // total_retries stays 0
+  EXPECT_FALSE(trace.CheckConsistent().ok());
+}
+
+}  // namespace
+}  // namespace wsq

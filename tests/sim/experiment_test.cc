@@ -96,6 +96,46 @@ TEST(RunRepeatedScheduleTest, RunsFixedStepCount) {
   EXPECT_EQ(summary.value().total_time_ms.count(), 3u);
 }
 
+TEST(RunRepeatedScheduleTest, SingleProfileScheduleActsLikeUnboundedRun) {
+  // A one-entry schedule: the profile stays active for all steps, even
+  // past steps_per_profile (the last entry extends to the end).
+  ParametricProfile profile(SmallProfile());
+  Result<RepeatedRunSummary> summary = RunRepeatedSchedule(
+      FixedFactory(1500), {&profile}, /*steps_per_profile=*/5,
+      /*total_steps=*/23, /*runs=*/2, Noisy());
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary.value().mean_decision_per_step.size(), 23u);
+  for (double decision : summary.value().mean_decision_per_step) {
+    EXPECT_DOUBLE_EQ(decision, 1500.0);
+  }
+  EXPECT_EQ(summary.value().total_time_ms.count(), 2u);
+}
+
+TEST(RunRepeatedScheduleTest, TotalStepsNotMultipleOfStepsPerProfile) {
+  // 16 steps over two profiles at 7 steps each: the second profile
+  // serves the ragged tail (steps 14 and 15) instead of the schedule
+  // running out.
+  ParametricProfile cheap(SmallProfile());
+  ParametricProfile::Params expensive_params = SmallProfile();
+  expensive_params.name = "expensive";
+  expensive_params.per_tuple_ms = 5.0;
+  ParametricProfile expensive(expensive_params);
+
+  Result<RepeatedRunSummary> summary = RunRepeatedSchedule(
+      FixedFactory(1000), {&cheap, &expensive}, /*steps_per_profile=*/7,
+      /*total_steps=*/16, /*runs=*/3, Noisy());
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary.value().mean_decision_per_step.size(), 16u);
+
+  // The run must cost more than 16 steps of the cheap profile alone
+  // would: the expensive tail profile was genuinely active.
+  Result<RepeatedRunSummary> cheap_only = RunRepeatedSchedule(
+      FixedFactory(1000), {&cheap}, 7, 16, 3, Noisy());
+  ASSERT_TRUE(cheap_only.ok());
+  EXPECT_GT(summary.value().total_time_ms.mean(),
+            cheap_only.value().total_time_ms.mean());
+}
+
 TEST(RunRepeatedScheduleTest, Validation) {
   ParametricProfile profile(SmallProfile());
   EXPECT_FALSE(RunRepeatedSchedule(FixedFactory(100), {&profile}, 10, 30, 0,
