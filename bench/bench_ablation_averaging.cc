@@ -39,7 +39,8 @@ void Run() {
 }  // namespace
 }  // namespace wsq::bench
 
-int main() {
+int main(int argc, char** argv) {
+  wsq::bench::ObsSession obs_session(argc, argv);
   wsq::bench::Run();
   return 0;
 }

@@ -3,12 +3,94 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 
 #include "wsq/api.h"
 
 namespace wsq::bench {
+
+/// Command-line observability for bench binaries. Recognizes
+///
+///   --metrics-out=<path>   write a metrics snapshot at exit
+///                          (.json / .csv by extension, else text)
+///   --trace-out=<path>     write the run trace at exit
+///                          (.jsonl for JSONL, else Chrome trace JSON)
+///
+/// (both also accept the two-token "--flag path" form; other arguments
+/// are ignored). When either flag is present a RunObserver over the
+/// global metrics registry and a private tracer is installed as the
+/// process-global observer, so every backend run the bench performs
+/// emits into it with zero bench-specific plumbing. Without flags the
+/// global observer stays null and the bench output is byte-identical to
+/// an unobserved binary.
+class ObsSession {
+ public:
+  ObsSession(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      ParseFlag(argc, argv, &i, "--metrics-out", &metrics_path_);
+      ParseFlag(argc, argv, &i, "--trace-out", &trace_path_);
+    }
+    if (metrics_path_.empty() && trace_path_.empty()) return;
+    tracer_ = std::make_unique<Tracer>();
+    observer_ = std::make_unique<RunObserver>(
+        metrics_path_.empty() ? nullptr : &MetricsRegistry::Global(),
+        trace_path_.empty() ? nullptr : tracer_.get());
+    SetGlobalRunObserver(observer_.get());
+  }
+
+  ~ObsSession() {
+    if (observer_ == nullptr) return;
+    SetGlobalRunObserver(nullptr);
+    if (!metrics_path_.empty()) {
+      Report(MetricsRegistry::Global().WriteFile(metrics_path_), "metrics",
+             metrics_path_);
+    }
+    if (!trace_path_.empty()) {
+      const bool jsonl = EndsWith(trace_path_, ".jsonl");
+      Report(jsonl ? tracer_->WriteJsonl(trace_path_)
+                   : tracer_->WriteChromeJson(trace_path_),
+             "trace", trace_path_);
+    }
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+ private:
+  static bool EndsWith(const std::string& s, const char* suffix) {
+    const size_t n = std::strlen(suffix);
+    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+  }
+
+  static void ParseFlag(int argc, char** argv, int* i, const char* name,
+                        std::string* out) {
+    const char* arg = argv[*i];
+    const size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) != 0) return;
+    if (arg[n] == '=') {
+      *out = arg + n + 1;
+    } else if (arg[n] == '\0' && *i + 1 < argc) {
+      *out = argv[++*i];
+    }
+  }
+
+  static void Report(const Status& status, const char* what,
+                     const std::string& path) {
+    if (status.ok()) {
+      std::fprintf(stderr, "(%s written to %s)\n", what, path.c_str());
+    } else {
+      std::fprintf(stderr, "%s write failed: %s\n", what,
+                   status.ToString().c_str());
+    }
+  }
+
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<RunObserver> observer_;
+};
 
 // The controller-factory helpers (FixedFactory, SwitchingFactory,
 // HybridFactory, ModelFactory, SelfTuningFactory, BaseFor) live in the

@@ -22,6 +22,7 @@
 #include "wsq/backend/experiment.h"
 #include "wsq/backend/profile_backend.h"
 #include "wsq/backend/query_backend.h"
+#include "wsq/backend/run_stats.h"
 #include "wsq/backend/run_trace.h"
 #include "wsq/client/block_fetcher.h"
 #include "wsq/client/block_shipper.h"
@@ -49,6 +50,11 @@
 #include "wsq/linalg/rls.h"
 #include "wsq/netsim/link_model.h"
 #include "wsq/netsim/presets.h"
+#include "wsq/obs/json_lite.h"
+#include "wsq/obs/metrics.h"
+#include "wsq/obs/run_observer.h"
+#include "wsq/obs/state_snapshot.h"
+#include "wsq/obs/trace.h"
 #include "wsq/relation/predicate.h"
 #include "wsq/relation/query.h"
 #include "wsq/relation/schema.h"

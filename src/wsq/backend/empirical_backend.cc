@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "wsq/backend/run_stats.h"
+
 namespace wsq {
 
 EmpiricalBackend::EmpiricalBackend(EmpiricalSetup setup)
@@ -30,7 +32,16 @@ Result<RunTrace> EmpiricalBackend::RunQueryKeepingTuples(
       QuerySession::Create(std::move(run_setup));
   if (!session.ok()) return session.status();
 
-  Result<FetchOutcome> outcome = session.value()->Execute(controller, rows);
+  RunObserver* observer = ResolveObserver(spec);
+  if (observer != nullptr) {
+    // The empirical load model is static per run; one sample marks the
+    // level this run executed under (jobs + queries, incl. this one).
+    observer->OnServerLoadLevel(
+        session.value()->clock().NowMicros(),
+        setup_.load.concurrent_jobs + setup_.load.concurrent_queries);
+  }
+  Result<FetchOutcome> outcome =
+      session.value()->Execute(controller, rows, observer);
   if (!outcome.ok()) return outcome.status();
   const FetchOutcome& fetch = outcome.value();
 
@@ -55,6 +66,7 @@ Result<RunTrace> EmpiricalBackend::RunQueryKeepingTuples(
     step.adaptivity_step = block.adaptivity_steps;
     trace.steps.push_back(step);
   }
+  ObserveRunSummary(observer, trace);
   return trace;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "wsq/backend/run_stats.h"
+
 namespace wsq {
 
 EventSimBackend::EventSimBackend(const EventSimConfig& config,
@@ -28,9 +30,13 @@ Result<RunTrace> EventSimBackend::RunQuery(Controller* controller,
 
   // Tracked client first, then the background fleet with fresh
   // controllers owned for the duration of the run.
+  RunObserver* observer = ResolveObserver(spec);
+
   std::vector<std::unique_ptr<Controller>> background_controllers;
   std::vector<ClientSpec> clients;
-  clients.push_back({dataset_tuples_, controller, start_time_ms_});
+  // Only the tracked foreground client is observed; the background fleet
+  // exists to generate load, not data.
+  clients.push_back({dataset_tuples_, controller, start_time_ms_, observer});
   for (const BackgroundClientSpec& spec_bg : background_) {
     if (!spec_bg.make_controller) {
       return Status::InvalidArgument(
@@ -76,6 +82,7 @@ Result<RunTrace> EventSimBackend::RunQuery(Controller* controller,
     }
     trace.steps.push_back(step);
   }
+  ObserveRunSummary(observer, trace);
   return trace;
 }
 

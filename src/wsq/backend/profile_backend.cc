@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "wsq/backend/run_stats.h"
+
 namespace wsq {
 namespace {
 
@@ -63,13 +65,19 @@ Result<RunTrace> ProfileBackend::RunQuery(Controller* controller,
   SimOptions run_options = options_;
   if (spec.seed != 0) run_options.seed = spec.seed;
   SimEngine engine(run_options);
+  RunObserver* observer = ResolveObserver(spec);
+  engine.set_observer(observer);
+  engine.set_sim_time_micros(obs_time_cursor_micros_);
 
   if (spec.is_schedule()) {
     Result<SimRunResult> result = engine.RunSchedule(
         controller, spec.schedule, spec.steps_per_profile, spec.total_steps);
     if (!result.ok()) return result.status();
-    return TraceFromSimResult(result.value(), /*dataset_tuples=*/-1,
-                              *controller);
+    obs_time_cursor_micros_ = engine.sim_time_micros();
+    RunTrace trace =
+        TraceFromSimResult(result.value(), /*dataset_tuples=*/-1, *controller);
+    ObserveRunSummary(observer, trace);
+    return trace;
   }
 
   if (profile_ == nullptr) {
@@ -78,8 +86,11 @@ Result<RunTrace> ProfileBackend::RunQuery(Controller* controller,
   }
   Result<SimRunResult> result = engine.RunQuery(controller, *profile_);
   if (!result.ok()) return result.status();
-  return TraceFromSimResult(result.value(), profile_->dataset_tuples(),
-                            *controller);
+  obs_time_cursor_micros_ = engine.sim_time_micros();
+  RunTrace trace = TraceFromSimResult(result.value(),
+                                      profile_->dataset_tuples(), *controller);
+  ObserveRunSummary(observer, trace);
+  return trace;
 }
 
 }  // namespace wsq

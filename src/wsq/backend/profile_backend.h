@@ -40,6 +40,9 @@ class ProfileBackend final : public QueryBackend {
  private:
   std::shared_ptr<const ResponseProfile> profile_;
   SimOptions options_;
+  /// Carries the engines' simulated-time cursor across runs so observer
+  /// events from successive runs do not overlap at t=0.
+  int64_t obs_time_cursor_micros_ = 0;
 };
 
 }  // namespace wsq

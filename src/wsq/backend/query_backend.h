@@ -8,6 +8,7 @@
 #include "wsq/backend/run_trace.h"
 #include "wsq/common/status.h"
 #include "wsq/control/controller.h"
+#include "wsq/obs/run_observer.h"
 #include "wsq/sim/profile.h"
 
 namespace wsq {
@@ -17,6 +18,13 @@ struct RunSpec {
   /// Seed for this run; repeated-run harnesses vary it so runs are
   /// independent. 0 means "use the backend's configured base seed".
   uint64_t seed = 0;
+
+  /// Observability sink for this run (metrics + trace events), or null
+  /// to fall back to the process-global observer (see
+  /// SetGlobalRunObserver). Not owned; must outlive the run. When both
+  /// are null — the default — backends emit nothing and take a single
+  /// pointer test per event site.
+  RunObserver* observer = nullptr;
 
   /// Optional profile-schedule section (the paper's Fig. 8 methodology):
   /// when `total_steps` > 0 the run is a long-lived query of exactly
@@ -31,6 +39,12 @@ struct RunSpec {
 
   bool is_schedule() const { return total_steps > 0; }
 };
+
+/// The observer a backend should emit into for `spec`: the per-run one
+/// when set, else the process-global one, else null (observability off).
+inline RunObserver* ResolveObserver(const RunSpec& spec) {
+  return spec.observer != nullptr ? spec.observer : GlobalRunObserver();
+}
 
 /// One execution stack that can drain a query under a block-size
 /// controller — the unifying interface over the reproduction's three

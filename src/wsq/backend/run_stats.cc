@@ -1,0 +1,70 @@
+#include "wsq/backend/run_stats.h"
+
+#include <algorithm>
+
+namespace wsq {
+
+RunStats RunStats::FromTrace(const RunTrace& trace) {
+  RunStats stats;
+  stats.backend_name = trace.backend_name;
+  stats.controller_name = trace.controller_name;
+  stats.total_time_ms = trace.total_time_ms;
+  stats.total_blocks = trace.total_blocks;
+  stats.total_tuples = trace.total_tuples;
+  stats.total_retries = trace.total_retries;
+
+  double block_time_sum = 0.0;
+  for (const RunStep& step : trace.steps) {
+    stats.block_time_ms.Add(step.block_time_ms);
+    stats.per_tuple_ms.Add(step.per_tuple_ms);
+    stats.requested_size.Add(static_cast<double>(step.requested_size));
+    block_time_sum += step.block_time_ms;
+    stats.adaptivity_steps =
+        std::max(stats.adaptivity_steps, step.adaptivity_step);
+  }
+  stats.dead_time_ms = std::max(0.0, trace.total_time_ms - block_time_sum);
+  if (trace.total_time_ms > 0.0) {
+    stats.throughput_tuples_per_s =
+        static_cast<double>(trace.total_tuples) /
+        (trace.total_time_ms / 1000.0);
+  }
+  return stats;
+}
+
+StateSnapshot RunStats::ToSnapshot() const {
+  StateSnapshot snapshot;
+  snapshot.Add("backend", backend_name);
+  snapshot.Add("controller", controller_name);
+  snapshot.Add("total_time_ms", total_time_ms);
+  snapshot.Add("total_blocks", total_blocks);
+  snapshot.Add("total_tuples", total_tuples);
+  snapshot.Add("total_retries", total_retries);
+  snapshot.Add("adaptivity_steps", adaptivity_steps);
+  snapshot.Add("dead_time_ms", dead_time_ms);
+  snapshot.Add("throughput_tuples_per_s", throughput_tuples_per_s);
+  snapshot.Add("block_time_ms_mean", block_time_ms.mean());
+  snapshot.Add("per_tuple_ms_mean", per_tuple_ms.mean());
+  snapshot.Add("requested_size_mean", requested_size.mean());
+  return snapshot;
+}
+
+void RunStats::RecordTo(MetricsRegistry& registry) const {
+  registry.GetCounter("wsq.run.runs_total")->Increment();
+  registry.GetCounter("wsq.run.tuples_total")->Increment(total_tuples);
+  registry.GetCounter("wsq.run.retries_total")->Increment(total_retries);
+  registry.GetHistogram("wsq.run.total_time_ms")->Record(total_time_ms);
+  registry.GetHistogram("wsq.run.dead_time_ms")->Record(dead_time_ms);
+  registry.GetHistogram("wsq.run.throughput_tuples_per_s")
+      ->Record(throughput_tuples_per_s);
+  registry.GetGauge("wsq.run.last_total_blocks")
+      ->Set(static_cast<double>(total_blocks));
+  registry.GetGauge("wsq.run.last_adaptivity_steps")
+      ->Set(static_cast<double>(adaptivity_steps));
+}
+
+void ObserveRunSummary(RunObserver* observer, const RunTrace& trace) {
+  if (observer == nullptr || observer->metrics() == nullptr) return;
+  RunStats::FromTrace(trace).RecordTo(*observer->metrics());
+}
+
+}  // namespace wsq

@@ -17,9 +17,13 @@ Result<CallResult> BlockFetcher::CallWithRetry(const std::string& document,
     // A timed-out exchange costs its timeout; the accounting lands on
     // the total (retries are dead time, not a property of the block
     // size the controller is probing).
-    outcome->total_time_ms += client_->link().config().timeout_ms;
+    const double timeout_ms = client_->link().config().timeout_ms;
+    outcome->total_time_ms += timeout_ms;
     ++outcome->retries;
     ++attempts;
+    if (observer_ != nullptr) {
+      observer_->OnRetry(client_->clock()->NowMicros(), timeout_ms);
+    }
     call = client_->Call(document);
   }
   return call;
@@ -29,15 +33,21 @@ Result<FetchOutcome> BlockFetcher::Run(const ScanProjectQuery& query,
                                        const TupleSerializer* serializer,
                                        std::vector<Tuple>* keep_tuples) {
   FetchOutcome outcome;
+  const Clock* clock = client_->clock();
 
   // Open the session.
   OpenSessionRequest open;
   open.table = query.table_name;
   open.columns = query.projected_columns;
   open.filter = query.filter;
+  const int64_t open_started = clock->NowMicros();
   Result<CallResult> open_call =
       CallWithRetry(EncodeOpenSession(open), &outcome);
   if (!open_call.ok()) return open_call.status();
+  if (observer_ != nullptr) {
+    observer_->OnSessionOpen(open_started,
+                             clock->NowMicros() - open_started);
+  }
   Result<XmlNode> open_payload = ParseEnvelope(open_call.value().response);
   if (!open_payload.ok()) return open_payload.status();
   Result<OpenSessionResponse> opened =
@@ -55,13 +65,30 @@ Result<FetchOutcome> BlockFetcher::Run(const ScanProjectQuery& query,
     // t1 .. t2 around the call (Algorithm 1); the simulated clock makes
     // elapsed_ms exactly the charged time.
     const int64_t retries_before = outcome.retries;
+    const int64_t t1 = clock->NowMicros();
     Result<CallResult> call =
         CallWithRetry(EncodeRequestBlock(request), &outcome);
     if (!call.ok()) return call.status();
+    const int64_t t2 = clock->NowMicros();
     Result<XmlNode> payload = ParseEnvelope(call.value().response);
     if (!payload.ok()) return payload.status();
     Result<BlockResponse> block = DecodeBlockResponse(payload.value());
     if (!block.ok()) return block.status();
+
+    if (observer_ != nullptr) {
+      // Decompose the successful exchange into wire and server residence
+      // time. The legs of the exchange are folded into one wire span
+      // preceding the service span; only the split, not the interleaving,
+      // is known client-side.
+      const int64_t service_us =
+          static_cast<int64_t>(call.value().service_ms * 1000.0);
+      const int64_t wire_us =
+          static_cast<int64_t>(call.value().wire_ms * 1000.0);
+      observer_->OnNetworkTransfer(t2 - service_us - wire_us, wire_us);
+      observer_->OnServerResidence(t2 - service_us, service_us);
+      observer_->OnParse(t2,
+                         static_cast<int64_t>(call.value().response.size()));
+    }
 
     BlockTrace trace;
     trace.block_index = outcome.total_blocks;
@@ -88,9 +115,19 @@ Result<FetchOutcome> BlockFetcher::Run(const ScanProjectQuery& query,
     // different block sizes are comparable (see Controller::NextBlockSize).
     const double tuples = static_cast<double>(
         std::max<int64_t>(block.value().num_tuples, 1));
-    block_size = controller_->NextBlockSize(call.value().elapsed_ms / tuples);
+    const double per_tuple_ms = call.value().elapsed_ms / tuples;
+    block_size = controller_->NextBlockSize(per_tuple_ms);
     trace.adaptivity_steps = controller_->adaptivity_steps();
     outcome.trace.push_back(trace);
+
+    if (observer_ != nullptr) {
+      observer_->OnBlock(t1, t2 - t1, trace.requested_size,
+                         trace.received_tuples, per_tuple_ms, trace.retries);
+      observer_->OnControllerDecision(t2, controller_->name(),
+                                      controller_->DebugState(),
+                                      controller_->adaptivity_steps(),
+                                      block_size);
+    }
 
     if (block.value().end_of_results) break;
   }
@@ -98,9 +135,14 @@ Result<FetchOutcome> BlockFetcher::Run(const ScanProjectQuery& query,
   // Close the session.
   CloseSessionRequest close;
   close.session_id = session_id;
+  const int64_t close_started = clock->NowMicros();
   Result<CallResult> close_call =
       CallWithRetry(EncodeCloseSession(close), &outcome);
   if (!close_call.ok()) return close_call.status();
+  if (observer_ != nullptr) {
+    observer_->OnSessionClose(close_started,
+                              clock->NowMicros() - close_started);
+  }
 
   return outcome;
 }

@@ -8,6 +8,7 @@
 #include "wsq/client/ws_client.h"
 #include "wsq/common/status.h"
 #include "wsq/control/controller.h"
+#include "wsq/obs/run_observer.h"
 #include "wsq/relation/query.h"
 #include "wsq/relation/tuple.h"
 
@@ -54,11 +55,15 @@ class BlockFetcher {
   /// `max_retries_per_call` bounds how often a timed-out exchange
   /// (StatusCode::kUnavailable) is re-issued before the whole fetch
   /// fails; SOAP faults are never retried (they are deterministic).
+  /// `observer`, when non-null, receives the pull loop's spans and
+  /// controller decisions stamped with the client clock's simulated time.
   BlockFetcher(WsClient* client, Controller* controller,
-               int max_retries_per_call = 2)
+               int max_retries_per_call = 2,
+               RunObserver* observer = nullptr)
       : client_(client),
         controller_(controller),
-        max_retries_per_call_(max_retries_per_call) {}
+        max_retries_per_call_(max_retries_per_call),
+        observer_(observer) {}
 
   /// Runs the full fetch loop for `query`. When both `serializer` (built
   /// over the projected output schema) and `keep_tuples` are non-null,
@@ -77,6 +82,7 @@ class BlockFetcher {
   WsClient* client_;
   Controller* controller_;
   int max_retries_per_call_;
+  RunObserver* observer_;
 };
 
 }  // namespace wsq

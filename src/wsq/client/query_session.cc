@@ -35,11 +35,13 @@ Status QuerySession::Init() {
 }
 
 Result<FetchOutcome> QuerySession::Execute(Controller* controller,
-                                           std::vector<Tuple>* keep_tuples) {
+                                           std::vector<Tuple>* keep_tuples,
+                                           RunObserver* observer) {
   if (controller == nullptr) {
     return Status::InvalidArgument("Execute: null controller");
   }
-  BlockFetcher fetcher(client_.get(), controller);
+  BlockFetcher fetcher(client_.get(), controller, /*max_retries_per_call=*/2,
+                       observer);
   return fetcher.Run(setup_.query,
                      keep_tuples != nullptr ? serializer_.get() : nullptr,
                      keep_tuples);

@@ -43,9 +43,12 @@ class QuerySession {
   QuerySession& operator=(const QuerySession&) = delete;
 
   /// Drains the configured query once under `controller`. When
-  /// `keep_tuples` is non-null the result rows are returned too.
+  /// `keep_tuples` is non-null the result rows are returned too. When
+  /// `observer` is non-null the pull loop emits spans/metrics into it,
+  /// stamped with this session's simulated clock.
   Result<FetchOutcome> Execute(Controller* controller,
-                               std::vector<Tuple>* keep_tuples = nullptr);
+                               std::vector<Tuple>* keep_tuples = nullptr,
+                               RunObserver* observer = nullptr);
 
   /// Live access for mid-run load changes (e.g. a concurrent query
   /// arriving between two Execute calls).

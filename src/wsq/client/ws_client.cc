@@ -38,6 +38,8 @@ Result<CallResult> WsClient::Call(const std::string& request_document) {
   CallResult result;
   result.response = std::move(dispatched.response);
   result.elapsed_ms = elapsed_ms;
+  result.wire_ms = wire_ms;
+  result.service_ms = dispatched.service_time_ms;
   return result;
 }
 

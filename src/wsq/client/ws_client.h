@@ -18,6 +18,11 @@ struct CallResult {
   /// request serialization is free, everything else (wire + server) is
   /// simulated.
   double elapsed_ms = 0.0;
+  /// Wire-time component of elapsed_ms (both legs); lets callers
+  /// decompose a call span into network transfer vs server residence.
+  double wire_ms = 0.0;
+  /// Server residence (service) component of elapsed_ms.
+  double service_ms = 0.0;
 };
 
 /// The client-side web service stub: ships a request document over the
@@ -42,6 +47,7 @@ class WsClient {
   Result<CallResult> Call(const std::string& request_document);
 
   LinkModel& link() { return link_; }
+  const SimClock* clock() const { return clock_; }
   int64_t calls_made() const { return calls_made_; }
   int64_t calls_dropped() const { return calls_dropped_; }
 

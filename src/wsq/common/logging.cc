@@ -1,12 +1,27 @@
 #include "wsq/common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace wsq {
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+std::mutex& SinkMutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+// Guarded by SinkMutex(); leaked so logging stays safe during static
+// destruction.
+LogSink& SinkSlot() {
+  static LogSink* sink = new LogSink;
+  return *sink;
+}
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -19,7 +34,7 @@ const char* LevelTag(LogLevel level) {
     case LogLevel::kError:
       return "E";
     case LogLevel::kOff:
-      return "?";
+      break;  // unreachable: WSQ_LOG(kOff) is rejected at compile time.
   }
   return "?";
 }
@@ -34,6 +49,19 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkSlot() = std::move(sink);
+}
+
+double LogElapsedSeconds() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -46,13 +74,25 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     for (const char* p = file; *p != '\0'; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelTag(level_) << " " << base << ":" << line << "] ";
+    char elapsed[32];
+    std::snprintf(elapsed, sizeof(elapsed), "%.3f", LogElapsedSeconds());
+    stream_ << "[" << LevelTag(level_) << " " << elapsed << "s " << base
+            << ":" << line << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  if (!enabled_) return;
+  const std::string line = stream_.str();
+  LogSink sink;
+  {
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    sink = SinkSlot();
+  }
+  if (sink) {
+    sink(level_, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef WSQ_COMMON_LOGGING_H_
 #define WSQ_COMMON_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -19,10 +20,34 @@ enum class LogLevel {
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Destination for formatted log lines. The `line` already carries the
+/// "[<tag> <elapsed>s <file>:<line>] " prefix but no trailing newline.
+using LogSink = std::function<void(LogLevel level, const std::string& line)>;
+
+/// Replaces the process-wide sink. Passing a null sink restores the
+/// default (stderr, one line per message). The sink is invoked from
+/// whichever thread logged, so it must be thread-safe itself.
+void SetLogSink(LogSink sink);
+
+/// Seconds elapsed since the first log-related call in this process, on
+/// the monotonic clock; this is the value stamped into log prefixes.
+double LogElapsedSeconds();
+
 namespace internal_logging {
 
-/// Stream-style message collector; emits to stderr on destruction when the
-/// level passes the threshold.
+/// Maps a WSQ_LOG level argument to a runtime level while rejecting
+/// kOff at compile time: kOff is a threshold ("log nothing"), not a
+/// message severity, so `WSQ_LOG(kOff) << ...` is a bug.
+template <LogLevel Level>
+struct LoggableLevel {
+  static_assert(Level != LogLevel::kOff,
+                "WSQ_LOG(kOff) is invalid: kOff is a threshold for "
+                "SetLogLevel, not a message severity");
+  static constexpr LogLevel value = Level;
+};
+
+/// Stream-style message collector; emits to the active sink (stderr by
+/// default) on destruction when the level passes the threshold.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -45,9 +70,11 @@ class LogMessage {
 
 }  // namespace internal_logging
 
-#define WSQ_LOG(level)                                                     \
-  ::wsq::internal_logging::LogMessage(::wsq::LogLevel::level, __FILE__, \
-                                      __LINE__)
+#define WSQ_LOG(level)                                      \
+  ::wsq::internal_logging::LogMessage(                      \
+      ::wsq::internal_logging::LoggableLevel<               \
+          ::wsq::LogLevel::level>::value,                   \
+      __FILE__, __LINE__)
 
 }  // namespace wsq
 

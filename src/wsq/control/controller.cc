@@ -13,4 +13,11 @@ int64_t BlockSizeLimits::Clamp(double x) const {
   return static_cast<int64_t>(std::llround(clamped));
 }
 
+StateSnapshot Controller::DebugState() const {
+  StateSnapshot snapshot;
+  snapshot.Add("name", name());
+  snapshot.Add("adaptivity_steps", adaptivity_steps());
+  return snapshot;
+}
+
 }  // namespace wsq

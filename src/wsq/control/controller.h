@@ -6,6 +6,7 @@
 #include <string>
 
 #include "wsq/common/status.h"
+#include "wsq/obs/state_snapshot.h"
 
 namespace wsq {
 
@@ -67,6 +68,15 @@ class Controller {
   /// Short, stable identifier ("constant_gain", "hybrid", ...), used in
   /// bench output and logs.
   virtual std::string name() const = 0;
+
+  /// Ordered key/value snapshot of the controller's internal state for
+  /// observability: gain and phase for the switching family, sign-switch
+  /// counts, RLS estimates and covariance trace, model-fit coefficients.
+  /// Sampled per adaptivity step by the backends and attached to
+  /// controller_decision trace events; keys are stable per controller.
+  /// The base implementation reports only name/adaptivity_steps so
+  /// third-party controllers keep working unchanged.
+  virtual StateSnapshot DebugState() const;
 };
 
 }  // namespace wsq

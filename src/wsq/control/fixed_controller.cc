@@ -15,4 +15,10 @@ std::string FixedController::name() const {
   return "fixed_" + std::to_string(block_size_);
 }
 
+StateSnapshot FixedController::DebugState() const {
+  StateSnapshot snapshot = Controller::DebugState();
+  snapshot.Add("block_size", block_size_);
+  return snapshot;
+}
+
 }  // namespace wsq

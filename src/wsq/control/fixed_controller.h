@@ -19,6 +19,7 @@ class FixedController final : public Controller {
   int64_t adaptivity_steps() const override { return 0; }
   void Reset() override {}
   std::string name() const override;
+  StateSnapshot DebugState() const override;
 
  private:
   int64_t block_size_;

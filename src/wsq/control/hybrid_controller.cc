@@ -16,6 +16,16 @@ std::string_view PhaseCriterionName(PhaseCriterion criterion) {
   return "unknown";
 }
 
+std::string_view GainPhaseName(GainPhase phase) {
+  switch (phase) {
+    case GainPhase::kTransient:
+      return "transient";
+    case GainPhase::kSteadyState:
+      return "steady_state";
+  }
+  return "unknown";
+}
+
 Status HybridConfig::Validate() const {
   WSQ_RETURN_IF_ERROR(base.Validate());
   if (criterion_horizon < 2) {
@@ -163,6 +173,25 @@ std::string HybridController::name() const {
     out += "_reset" + std::to_string(config_.reset_period);
   }
   return out;
+}
+
+StateSnapshot HybridController::DebugState() const {
+  StateSnapshot snapshot = Controller::DebugState();
+  snapshot.Add("phase", GainPhaseName(phase_));
+  snapshot.Add("phase_transitions", phase_transitions_);
+  snapshot.Add("criterion", PhaseCriterionName(config_.criterion));
+  snapshot.Add("criterion_horizon", config_.criterion_horizon);
+  snapshot.Add("criterion_threshold", config_.criterion_threshold);
+  snapshot.Add("gain_mode", GainModeName(core_.gain_mode()));
+  snapshot.Add("gain", core_.last_gain());
+  snapshot.Add("b1", config_.base.b1);
+  snapshot.Add("b2", config_.base.b2);
+  snapshot.Add("dither_factor", config_.base.dither_factor);
+  snapshot.Add("sign_switches", CountSignSwitches(core_.sign_history()));
+  if (!core_.sign_history().empty()) {
+    snapshot.Add("last_sign", core_.sign_history().back());
+  }
+  return snapshot;
 }
 
 }  // namespace wsq

@@ -40,6 +40,8 @@ enum class HybridFlavor {
 /// Current phase of the hybrid gain schedule (Eq. 4).
 enum class GainPhase { kTransient, kSteadyState };
 
+std::string_view GainPhaseName(GainPhase phase);
+
 struct HybridConfig {
   /// Gains, dither, averaging horizon, limits and initial size of the
   /// underlying switching law. `base.gain_mode` is ignored: the hybrid
@@ -77,6 +79,7 @@ class HybridController final : public Controller {
   }
   void Reset() override;
   std::string name() const override;
+  StateSnapshot DebugState() const override;
 
   const HybridConfig& config() const { return config_; }
   GainPhase phase() const { return phase_; }

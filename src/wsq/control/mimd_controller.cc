@@ -103,4 +103,15 @@ void MimdController::Reset() {
   scale_history_.clear();
 }
 
+StateSnapshot MimdController::DebugState() const {
+  StateSnapshot snapshot = Controller::DebugState();
+  snapshot.Add("factor", config_.factor);
+  snapshot.Add("exponent", exponent_);
+  snapshot.Add("command", GridValue(exponent_));
+  snapshot.Add("scale_window", config_.scale_window);
+  snapshot.Add("grid_points_visited",
+               static_cast<int64_t>(scale_history_.size()));
+  return snapshot;
+}
+
 }  // namespace wsq

@@ -52,6 +52,7 @@ class MimdController final : public Controller {
   int64_t adaptivity_steps() const override { return steps_; }
   void Reset() override;
   std::string name() const override { return "mimd"; }
+  StateSnapshot DebugState() const override;
 
   const MimdConfig& config() const { return config_; }
 

@@ -230,4 +230,27 @@ std::string ModelBasedController::name() const {
   return "model_" + std::string(IdentificationModelName(config_.model));
 }
 
+StateSnapshot ModelBasedController::DebugState() const {
+  StateSnapshot snapshot = Controller::DebugState();
+  snapshot.Add("model", IdentificationModelName(config_.model));
+  snapshot.Add("identification_complete", identified_.has_value());
+  snapshot.Add("command", command_);
+  snapshot.Add("reidentifications", reidentifications_);
+  if (identified_.has_value()) {
+    snapshot.Add("optimum", identified_->optimum);
+    snapshot.Add("fit_failed", identified_->failed);
+    snapshot.Add("fit_rmse", identified_->fit.rmse);
+    snapshot.Add("fit_r_squared", identified_->fit.r_squared);
+    for (size_t i = 0; i < identified_->fit.params.size(); ++i) {
+      snapshot.Add("fit_param_" + std::to_string(i),
+                   identified_->fit.params[i]);
+    }
+  } else {
+    snapshot.Add("sample_index", static_cast<int64_t>(sample_index_));
+    snapshot.Add("num_samples",
+                 static_cast<int64_t>(sample_sizes_.size()));
+  }
+  return snapshot;
+}
+
 }  // namespace wsq

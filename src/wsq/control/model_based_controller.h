@@ -75,6 +75,7 @@ class ModelBasedController final : public Controller {
   int64_t adaptivity_steps() const override { return steps_; }
   void Reset() override;
   std::string name() const override;
+  StateSnapshot DebugState() const override;
 
   const ModelBasedConfig& config() const { return config_; }
 

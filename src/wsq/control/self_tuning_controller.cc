@@ -170,4 +170,34 @@ std::string SelfTuningController::name() const {
   return out;
 }
 
+StateSnapshot SelfTuningController::DebugState() const {
+  StateSnapshot snapshot = Controller::DebugState();
+  snapshot.Add("stage",
+               continuation_ != nullptr ? "continuation" : "identification");
+  snapshot.Add("continuation", ContinuationName(config_.continuation));
+  snapshot.Add("seed_estimate", seed_estimate_);
+  snapshot.Add("command", last_commanded_);
+  snapshot.Add("rls_enabled", config_.enable_rls);
+  if (config_.enable_rls) {
+    snapshot.Add("rls_updates", static_cast<int64_t>(rls_.num_updates()));
+    snapshot.Add("rls_forgetting", rls_.forgetting());
+    snapshot.Add("rls_covariance_trace", rls_.CovarianceTrace());
+    snapshot.Add("recenter_count", recenter_count_);
+    const std::vector<double>& theta = rls_.params();
+    for (size_t i = 0; i < theta.size(); ++i) {
+      snapshot.Add("rls_theta_" + std::to_string(i), theta[i]);
+    }
+  }
+  // Nest the driving sub-controller's state under a stable prefix so one
+  // flat snapshot still tells the whole story mid-run.
+  const Controller* inner = continuation_ != nullptr
+                                ? continuation_.get()
+                                : static_cast<const Controller*>(&identifier_);
+  const StateSnapshot inner_state = inner->DebugState();
+  for (const auto& [key, value] : inner_state.entries()) {
+    snapshot.Add("inner_" + key, value);
+  }
+  return snapshot;
+}
+
 }  // namespace wsq

@@ -72,6 +72,7 @@ class SelfTuningController final : public Controller {
   int64_t adaptivity_steps() const override;
   void Reset() override;
   std::string name() const override;
+  StateSnapshot DebugState() const override;
 
   const SelfTuningConfig& config() const { return config_; }
 

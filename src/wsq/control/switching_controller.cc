@@ -162,4 +162,28 @@ void SwitchingExtremumController::ResetDeltas(bool hold_position) {
   hold_next_first_step_ = hold_position;
 }
 
+int64_t CountSignSwitches(const std::vector<int>& signs) {
+  int64_t switches = 0;
+  for (size_t i = 1; i < signs.size(); ++i) {
+    if (signs[i] != signs[i - 1]) ++switches;
+  }
+  return switches;
+}
+
+StateSnapshot SwitchingExtremumController::DebugState() const {
+  StateSnapshot snapshot = Controller::DebugState();
+  snapshot.Add("gain_mode", GainModeName(gain_mode_));
+  snapshot.Add("gain", last_gain_);
+  snapshot.Add("b1", config_.b1);
+  snapshot.Add("b2", config_.b2);
+  snapshot.Add("dither_factor", config_.dither_factor);
+  snapshot.Add("averaging_horizon", config_.averaging_horizon);
+  snapshot.Add("command", command_);
+  snapshot.Add("sign_switches", CountSignSwitches(sign_history_));
+  if (!sign_history_.empty()) {
+    snapshot.Add("last_sign", sign_history_.back());
+  }
+  return snapshot;
+}
+
 }  // namespace wsq

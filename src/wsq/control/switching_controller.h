@@ -26,6 +26,11 @@ enum class GainMode {
 
 std::string_view GainModeName(GainMode mode);
 
+/// Number of times consecutive entries of a sign history differ — the
+/// saw-tooth count steady-state detection rests on. Shared by the
+/// switching and hybrid controllers' DebugState().
+int64_t CountSignSwitches(const std::vector<int>& signs);
+
 /// Parameters of the switching extremum controller. Defaults are the
 /// paper's WAN configuration: b1=2000, b2=25, df=25, n=3, x0=1000,
 /// limits [100, 20000].
@@ -77,6 +82,7 @@ class SwitchingExtremumController : public Controller {
   int64_t adaptivity_steps() const override { return steps_; }
   void Reset() override;
   std::string name() const override;
+  StateSnapshot DebugState() const override;
 
   const SwitchingConfig& config() const { return config_; }
 

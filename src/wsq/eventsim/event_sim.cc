@@ -37,10 +37,14 @@ struct ClientState {
   int64_t remaining = 0;
   int64_t current_block = 0;     // tuples in the in-flight block
   double request_sent_at = 0.0;  // t1 of Algorithm 1
+  double request_arrived_at = 0.0;  // server-side arrival of the request
   bool started = false;
   bool finished = false;
   ClientOutcome outcome;
 };
+
+/// Timeline ms -> trace-event microseconds.
+int64_t Micros(double ms) { return std::llround(ms * 1000.0); }
 
 class Simulation {
  public:
@@ -173,10 +177,18 @@ class Simulation {
   Status OnRequestArrives(const Event& event) {
     ClientState& client = clients_[event.client];
     client.started = true;
+    client.request_arrived_at = event.time_ms;
     Result<int64_t> job = server_.Submit(
         event.time_ms, BlockDemandMs(client.current_block));
     if (!job.ok()) return job.status();
     job_to_client_.emplace(job.value(), event.client);
+    if (RunObserver* observer = client.spec.observer) {
+      observer->OnNetworkTransfer(Micros(client.request_sent_at),
+                                  Micros(event.time_ms - client.request_sent_at));
+      observer->OnServerQueueLength(Micros(event.time_ms),
+                                    server_.active_jobs());
+      observer->OnServerLoadLevel(Micros(event.time_ms), ActiveSessions());
+    }
     return Status::Ok();
   }
 
@@ -188,8 +200,15 @@ class Simulation {
     const size_t client_index = it->second;
     job_to_client_.erase(it);
     const ClientState& client = clients_[client_index];
-    Push(now_ms + ResponseLegMs(client.current_block), client_index,
+    const double response_leg_ms = ResponseLegMs(client.current_block);
+    Push(now_ms + response_leg_ms, client_index,
          EventKind::kResponseArrivesAtClient);
+    if (RunObserver* observer = client.spec.observer) {
+      observer->OnServerResidence(Micros(client.request_arrived_at),
+                                  Micros(now_ms - client.request_arrived_at));
+      observer->OnNetworkTransfer(Micros(now_ms), Micros(response_leg_ms));
+      observer->OnServerQueueLength(Micros(now_ms), server_.active_jobs());
+    }
     return Status::Ok();
   }
 
@@ -206,10 +225,20 @@ class Simulation {
 
     // Algorithm 1: the controller consumes the per-tuple cost of the
     // block that just arrived and names the next size.
-    const int64_t next_size = client.spec.controller->NextBlockSize(
-        elapsed_ms / static_cast<double>(std::max<int64_t>(received, 1)));
+    const double per_tuple_ms =
+        elapsed_ms / static_cast<double>(std::max<int64_t>(received, 1));
+    const int64_t next_size =
+        client.spec.controller->NextBlockSize(per_tuple_ms);
     client.outcome.adaptivity_steps.push_back(
         client.spec.controller->adaptivity_steps());
+    if (RunObserver* observer = client.spec.observer) {
+      observer->OnBlock(Micros(client.request_sent_at), Micros(elapsed_ms),
+                        received, received, per_tuple_ms, /*retries=*/0);
+      observer->OnControllerDecision(
+          Micros(event.time_ms), client.spec.controller->name(),
+          client.spec.controller->DebugState(),
+          client.spec.controller->adaptivity_steps(), next_size);
+    }
 
     if (client.remaining <= 0) {
       client.finished = true;

@@ -6,6 +6,7 @@
 
 #include "wsq/common/status.h"
 #include "wsq/control/controller.h"
+#include "wsq/obs/run_observer.h"
 
 namespace wsq {
 
@@ -51,6 +52,11 @@ struct ClientSpec {
   /// When the client issues its first request (ms on the shared
   /// timeline); staggered starts model queries arriving mid-run.
   double start_time_ms = 0.0;
+  /// Observability sink for this client's pull loop (block spans,
+  /// network/server decomposition, controller decisions, server queue
+  /// samples), stamped in simulated timeline time. Null disables; not
+  /// owned. Typically only the tracked foreground client carries one.
+  RunObserver* observer = nullptr;
 };
 
 /// Per-client result.

@@ -65,6 +65,12 @@ Result<double> RecursiveLeastSquares::Predict(
   return out;
 }
 
+double RecursiveLeastSquares::CovarianceTrace() const {
+  double trace = 0.0;
+  for (size_t i = 0; i < theta_.size(); ++i) trace += p_.At(i, i);
+  return trace;
+}
+
 void RecursiveLeastSquares::Reset() {
   std::fill(theta_.begin(), theta_.end(), 0.0);
   p_ = Matrix::Identity(theta_.size()).Scaled(initial_covariance_);

@@ -42,6 +42,11 @@ class RecursiveLeastSquares {
   size_t num_updates() const { return num_updates_; }
   double forgetting() const { return forgetting_; }
 
+  /// trace(P) — the scalar health check on the covariance: large means
+  /// "estimate still uncertain", collapse toward 0 means the forgetting
+  /// factor has frozen the filter. Sampled into controller DebugState().
+  double CovarianceTrace() const;
+
   /// Resets to the know-nothing prior, keeping dimensions and lambda.
   void Reset();
 

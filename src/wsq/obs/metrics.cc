@@ -1,0 +1,249 @@
+#include "wsq/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "wsq/obs/json_lite.h"
+
+namespace wsq {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = LatencyBucketsMs();
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+std::vector<double> Histogram::LatencyBucketsMs() {
+  std::vector<double> bounds;
+  for (double decade = 1.0; decade <= 1e5; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(2.0 * decade);
+    bounds.push_back(5.0 * decade);
+  }
+  return bounds;
+}
+
+void Histogram::Record(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  counts_[static_cast<size_t>(it - bounds_.begin())] += 1;
+  stats_.Add(value);
+}
+
+int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(stats_.count());
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.mean();
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.min();
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.max();
+}
+
+double Histogram::Percentile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t total = static_cast<int64_t>(stats_.count());
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const int64_t next = cumulative + counts_[i];
+    if (rank <= static_cast<double>(next)) {
+      // Interpolate inside bucket i. Clip the nominal edges to the
+      // observed extremes so quantiles never leave the sampled range.
+      if (i == counts_.size() - 1) return stats_.max();
+      double lo = i == 0 ? stats_.min() : bounds_[i - 1];
+      double hi = bounds_[i];
+      lo = std::max(lo, stats_.min());
+      hi = std::min(hi, stats_.max());
+      if (hi <= lo) return hi;
+      const double within =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(counts_[i]);
+      return lo + (hi - lo) * within;
+    }
+    cumulative = next;
+  }
+  return stats_.max();
+}
+
+std::vector<int64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  stats_.Reset();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &counters_[std::string(name)];
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &gauges_[std::string(name)];
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(std::string(name));
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+namespace {
+
+std::string FormatValue(double v) {
+  if (std::isnan(v)) return "nan";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += name + " counter " + std::to_string(counter.value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += name + " gauge " + FormatValue(gauge.value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out += name + " histogram count=" + std::to_string(histogram->count()) +
+           " mean=" + FormatValue(histogram->mean()) +
+           " min=" + FormatValue(histogram->min()) +
+           " max=" + FormatValue(histogram->max()) +
+           " p50=" + FormatValue(histogram->p50()) +
+           " p90=" + FormatValue(histogram->p90()) +
+           " p99=" + FormatValue(histogram->p99()) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToCsv() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "name,kind,field,value\n";
+  for (const auto& [name, counter] : counters_) {
+    out += name + ",counter,value," + std::to_string(counter.value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += name + ",gauge,value," + FormatValue(gauge.value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const auto row = [&out, &name = name](std::string_view field, double v) {
+      out += name + ",histogram," + std::string(field) + "," + FormatValue(v) +
+             "\n";
+    };
+    row("count", static_cast<double>(histogram->count()));
+    row("mean", histogram->mean());
+    row("min", histogram->min());
+    row("max", histogram->max());
+    row("p50", histogram->p50());
+    row("p90", histogram->p90());
+    row("p99", histogram->p99());
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + std::to_string(counter.value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + JsonNumber(gauge.value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":{";
+    out += "\"count\":" + std::to_string(histogram->count());
+    out += ",\"mean\":" + JsonNumber(histogram->mean());
+    out += ",\"min\":" + JsonNumber(histogram->min());
+    out += ",\"max\":" + JsonNumber(histogram->max());
+    out += ",\"p50\":" + JsonNumber(histogram->p50());
+    out += ",\"p90\":" + JsonNumber(histogram->p90());
+    out += ",\"p99\":" + JsonNumber(histogram->p99());
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+Status MetricsRegistry::WriteFile(const std::string& path) const {
+  std::string body;
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0) {
+    body = ToJson();
+  } else if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+    body = ToCsv();
+  } else {
+    body = ToText();
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Unavailable("cannot open metrics file: " + path);
+  }
+  out << body;
+  out.close();
+  if (!out) return Status::Unavailable("metrics write failed: " + path);
+  return Status::Ok();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter.Reset();
+  for (auto& [name, gauge] : gauges_) gauge.Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace wsq

@@ -1,0 +1,138 @@
+#ifndef WSQ_OBS_METRICS_H_
+#define WSQ_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "wsq/common/status.h"
+#include "wsq/stats/running_stats.h"
+
+namespace wsq {
+
+/// Monotonically increasing event count (blocks pulled, retries, ...).
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (current gain, queue length, ...).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket distribution with quantile queries, built on the
+/// RunningStats accumulator for the moment statistics. Bucket `i` counts
+/// samples in (bounds[i-1], bounds[i]]; one implicit overflow bucket
+/// catches everything past the last bound. Quantiles are linearly
+/// interpolated inside the owning bucket, so their error is bounded by
+/// the bucket width — the standard fixed-bucket tradeoff (exact counts,
+/// approximate quantiles, O(1) memory however many samples arrive).
+class Histogram {
+ public:
+  /// `bounds` are the inclusive upper bounds, strictly increasing.
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Default bounds for millisecond-scale latencies: 1-2-5 decades from
+  /// 1 ms to 100 s.
+  static std::vector<double> LatencyBucketsMs();
+
+  void Record(double value);
+
+  int64_t count() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Interpolated quantile, q in [0, 1]; NaN with no samples. The
+  /// overflow bucket reports the observed maximum.
+  double Percentile(double q) const;
+  double p50() const { return Percentile(0.50); }
+  double p90() const { return Percentile(0.90); }
+  double p99() const { return Percentile(0.99); }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<int64_t> bucket_counts() const;
+
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  mutable std::mutex mu_;
+  std::vector<int64_t> counts_;  // bounds_.size() + 1 (overflow)
+  RunningStats stats_;
+};
+
+/// Name -> metric registry with text/CSV/JSON snapshot exporters. One
+/// process-wide instance (`Global()`) serves production wiring; tests
+/// and harnesses can own private instances. Lookups create on first use
+/// and return stable pointers; the hot path is then lock-free counter
+/// and gauge updates on the returned handles.
+///
+/// Naming convention: dotted paths, subsystem first —
+/// "wsq.pull.blocks_total", "wsq.controller.gain", "wsq.server.queue_len".
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// First use fixes the bounds; later calls with different bounds get
+  /// the existing histogram (names identify metrics, not shapes).
+  Histogram* GetHistogram(std::string_view name,
+                          std::vector<double> bounds = {});
+
+  /// Human-readable snapshot, one metric per line, sorted by name.
+  std::string ToText() const;
+
+  /// CSV snapshot: name,kind,field,value rows (histograms expand to
+  /// count/mean/min/max/p50/p90/p99), sorted by name.
+  std::string ToCsv() const;
+
+  /// JSON snapshot: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+
+  /// Writes a snapshot to `path`; the format follows the extension
+  /// (".json", ".csv", anything else gets the text form).
+  Status WriteFile(const std::string& path) const;
+
+  /// Zeroes every registered metric (the metrics stay registered, so
+  /// handles held by callers remain valid).
+  void ResetAll();
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  // node-based maps: pointers to mapped values stay valid on insert.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_OBS_METRICS_H_

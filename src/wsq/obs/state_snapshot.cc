@@ -1,0 +1,67 @@
+#include "wsq/obs/state_snapshot.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "wsq/obs/json_lite.h"
+
+namespace wsq {
+
+void StateSnapshot::Add(std::string_view key, std::string_view value) {
+  entries_.emplace_back(std::string(key), std::string(value));
+}
+
+void StateSnapshot::Add(std::string_view key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  entries_.emplace_back(std::string(key), buf);
+}
+
+void StateSnapshot::Add(std::string_view key, int64_t value) {
+  entries_.emplace_back(std::string(key), std::to_string(value));
+}
+
+void StateSnapshot::Append(const StateSnapshot& other) {
+  entries_.insert(entries_.end(), other.entries_.begin(),
+                  other.entries_.end());
+}
+
+const std::string* StateSnapshot::Find(std::string_view key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Result<double> StateSnapshot::Number(std::string_view key) const {
+  const std::string* value = Find(key);
+  if (value == nullptr) {
+    return Status::NotFound("no snapshot entry named '" + std::string(key) +
+                            "'");
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  if (end == value->c_str() || *end != '\0') {
+    return Status::InvalidArgument("snapshot entry '" + std::string(key) +
+                                   "' is not numeric: " + *value);
+  }
+  return parsed;
+}
+
+std::string StateSnapshot::ToJsonObject() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : entries_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += JsonEscape(key);
+    out += "\":\"";
+    out += JsonEscape(value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace wsq

@@ -1,0 +1,153 @@
+#include "wsq/obs/trace.h"
+
+#include <fstream>
+
+#include "wsq/obs/json_lite.h"
+
+namespace wsq {
+
+void Tracer::AddComplete(std::string_view name, std::string_view category,
+                         int64_t ts_micros, int64_t dur_micros, int tid,
+                         std::string args_json) {
+  TraceEvent event;
+  event.name = std::string(name);
+  event.category = std::string(category);
+  event.phase = 'X';
+  event.ts_micros = ts_micros;
+  event.dur_micros = dur_micros;
+  event.tid = tid;
+  event.args_json = std::move(args_json);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::AddInstant(std::string_view name, std::string_view category,
+                        int64_t ts_micros, int tid, std::string args_json) {
+  TraceEvent event;
+  event.name = std::string(name);
+  event.category = std::string(category);
+  event.phase = 'i';
+  event.ts_micros = ts_micros;
+  event.tid = tid;
+  event.args_json = std::move(args_json);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::AddCounterSample(std::string_view name, int64_t ts_micros,
+                              int tid, double value) {
+  TraceEvent event;
+  event.name = std::string(name);
+  event.category = "counter";
+  event.phase = 'C';
+  event.ts_micros = ts_micros;
+  event.tid = tid;
+  event.args_json = "{\"value\":" + JsonNumber(value) + "}";
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::SetLaneName(int tid, std::string_view name) {
+  TraceEvent event;
+  event.name = "thread_name";
+  event.category = "__metadata";
+  event.phase = 'M';
+  event.tid = tid;
+  event.args_json = "{\"name\":\"" + JsonEscape(name) + "\"}";
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::End(int64_t begin_micros, const Clock& clock,
+                 std::string_view name, std::string_view category, int tid,
+                 std::string args_json) {
+  const int64_t now = clock.NowMicros();
+  AddComplete(name, category, begin_micros, now - begin_micros, tid,
+              std::move(args_json));
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::string Tracer::EventJson(const TraceEvent& event) {
+  std::string out = "{\"name\":\"" + JsonEscape(event.name) + "\"";
+  if (!event.category.empty()) {
+    out += ",\"cat\":\"" + JsonEscape(event.category) + "\"";
+  }
+  out += ",\"ph\":\"";
+  out += event.phase;
+  out += "\",\"ts\":" + std::to_string(event.ts_micros);
+  if (event.phase == 'X') {
+    out += ",\"dur\":" + std::to_string(event.dur_micros);
+  }
+  out += ",\"pid\":1,\"tid\":" + std::to_string(event.tid);
+  if (!event.args_json.empty()) {
+    out += ",\"args\":" + event.args_json;
+  }
+  out += "}";
+  return out;
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events_) {
+    if (!first) out += ',';
+    first = false;
+    out += EventJson(event);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string Tracer::ToJsonl() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const TraceEvent& event : events_) {
+    out += EventJson(event);
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+Status WriteWholeFile(const std::string& path, const std::string& body,
+                      std::string_view what) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Unavailable("cannot open " + std::string(what) +
+                               " file: " + path);
+  }
+  out << body;
+  out.close();
+  if (!out) {
+    return Status::Unavailable(std::string(what) + " write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status Tracer::WriteChromeJson(const std::string& path) const {
+  return WriteWholeFile(path, ToChromeJson(), "trace");
+}
+
+Status Tracer::WriteJsonl(const std::string& path) const {
+  return WriteWholeFile(path, ToJsonl(), "trace");
+}
+
+}  // namespace wsq

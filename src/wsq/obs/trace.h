@@ -1,0 +1,104 @@
+#ifndef WSQ_OBS_TRACE_H_
+#define WSQ_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "wsq/common/clock.h"
+#include "wsq/common/status.h"
+#include "wsq/obs/state_snapshot.h"
+
+namespace wsq {
+
+/// One trace event in the Chrome trace-event model (the subset wsq
+/// emits: complete spans "X", instants "i", counters "C", metadata "M").
+/// Timestamps and durations are microseconds, matching both the Clock
+/// abstraction and the trace-event spec's `ts`/`dur` units, so simulated
+/// runs produce timelines in simulated time and wall-clocked runs in
+/// real time — same format, same viewers.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';
+  int64_t ts_micros = 0;
+  int64_t dur_micros = 0;  // complete events only
+  int tid = 0;
+  /// Pre-rendered JSON object for the event's `args`; empty = no args.
+  std::string args_json;
+};
+
+/// Well-known tracer lanes (trace-event `tid`s), so every backend's
+/// pull loop lands on the same rows in Perfetto.
+struct TraceLane {
+  static constexpr int kPullLoop = 1;    // session + block spans
+  static constexpr int kNetwork = 2;     // wire transfer / server residence
+  static constexpr int kController = 3;  // decisions + DebugState samples
+  static constexpr int kServer = 4;      // queue length / load counters
+};
+
+/// Span/event collector for the pull loop. Call sites pass explicit
+/// timestamps taken from whatever Clock drives their stack (SimClock for
+/// the simulated backends, WallClock where real time is wanted); the
+/// tracer itself never reads a clock, which is what makes simulated time
+/// first-class. Exports Chrome trace-event JSON (loadable in Perfetto /
+/// chrome://tracing) and JSONL (one event object per line, streamable).
+///
+/// Thread-safe; appends are a mutex-guarded vector push.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// A complete span [ts, ts + dur).
+  void AddComplete(std::string_view name, std::string_view category,
+                   int64_t ts_micros, int64_t dur_micros, int tid,
+                   std::string args_json = {});
+
+  /// A point-in-time event.
+  void AddInstant(std::string_view name, std::string_view category,
+                  int64_t ts_micros, int tid, std::string args_json = {});
+
+  /// A counter track sample ("C" phase): `value` plotted over time.
+  void AddCounterSample(std::string_view name, int64_t ts_micros, int tid,
+                        double value);
+
+  /// Names a lane (trace-event thread metadata), purely cosmetic in the
+  /// viewers.
+  void SetLaneName(int tid, std::string_view name);
+
+  /// Convenience for timing a region against a Clock:
+  ///   auto t0 = tracer->Begin(clock);
+  ///   ... work ...
+  ///   tracer->End(t0, clock, "parse", "pull", TraceLane::kPullLoop);
+  int64_t Begin(const Clock& clock) const { return clock.NowMicros(); }
+  void End(int64_t begin_micros, const Clock& clock, std::string_view name,
+           std::string_view category, int tid, std::string args_json = {});
+
+  size_t size() const;
+  std::vector<TraceEvent> events() const;
+  void Clear();
+
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"} — the object form every
+  /// Chrome trace-event consumer accepts.
+  std::string ToChromeJson() const;
+
+  /// One event object per line; no enclosing array, stream-friendly.
+  std::string ToJsonl() const;
+
+  Status WriteChromeJson(const std::string& path) const;
+  Status WriteJsonl(const std::string& path) const;
+
+ private:
+  static std::string EventJson(const TraceEvent& event);
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_OBS_TRACE_H_

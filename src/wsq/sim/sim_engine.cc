@@ -58,8 +58,12 @@ Result<SimRunResult> SimEngine::RunQuery(Controller* controller,
     result.total_tuples += delivered;
     remaining -= delivered;
 
-    block_size = controller->NextBlockSize(per_tuple);
+    const int64_t next_size = controller->NextBlockSize(per_tuple);
     result.steps.back().adaptivity_steps = controller->adaptivity_steps();
+    if (observer_ != nullptr) {
+      ObserveStep(controller, block_size, delivered, per_tuple, next_size);
+    }
+    block_size = next_size;
   }
   return result;
 }
@@ -102,10 +106,27 @@ Result<SimRunResult> SimEngine::RunSchedule(
     result.total_blocks += 1;
     result.total_tuples += block_size;
 
-    block_size = controller->NextBlockSize(per_tuple);
+    const int64_t next_size = controller->NextBlockSize(per_tuple);
     result.steps.back().adaptivity_steps = controller->adaptivity_steps();
+    if (observer_ != nullptr) {
+      ObserveStep(controller, block_size, block_size, per_tuple, next_size);
+    }
+    block_size = next_size;
   }
   return result;
+}
+
+void SimEngine::ObserveStep(Controller* controller, int64_t block_size,
+                            int64_t delivered, double per_tuple_ms,
+                            int64_t next_size) {
+  const double block_ms = per_tuple_ms * static_cast<double>(delivered);
+  const int64_t dur = std::llround(block_ms * 1000.0);
+  observer_->OnBlock(sim_now_micros_, dur, block_size, delivered,
+                     per_tuple_ms, /*retries=*/0);
+  sim_now_micros_ += dur;
+  observer_->OnControllerDecision(sim_now_micros_, controller->name(),
+                                  controller->DebugState(),
+                                  controller->adaptivity_steps(), next_size);
 }
 
 }  // namespace wsq

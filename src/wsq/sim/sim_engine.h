@@ -8,6 +8,7 @@
 #include "wsq/common/random.h"
 #include "wsq/common/status.h"
 #include "wsq/control/controller.h"
+#include "wsq/obs/run_observer.h"
 #include "wsq/sim/profile.h"
 
 namespace wsq {
@@ -80,13 +81,32 @@ class SimEngine {
   double MeasurePerTupleMs(const ResponseProfile& profile,
                            int64_t block_size);
 
+  /// Attaches an observability sink (block spans + controller decisions
+  /// in simulated time); null (the default) disables emission. The
+  /// simulated-time cursor persists across runs so repeated runs lay out
+  /// sequentially on one trace timeline. Not owned.
+  void set_observer(RunObserver* observer) { observer_ = observer; }
+
+  /// Simulated-time cursor (microseconds) the observer events are
+  /// stamped with. Callers that recreate engines per run (seed
+  /// isolation) hand the cursor across so consecutive runs lay out
+  /// sequentially on one trace timeline.
+  int64_t sim_time_micros() const { return sim_now_micros_; }
+  void set_sim_time_micros(int64_t micros) { sim_now_micros_ = micros; }
+
  private:
   void AdvanceDrift();
+
+  /// Emits block span + decision sample and advances the sim-time cursor.
+  void ObserveStep(Controller* controller, int64_t block_size,
+                   int64_t delivered, double per_tuple_ms, int64_t next_size);
 
   SimOptions options_;
   Random rng_;
   double drift_scale_ = 1.0;
   int64_t last_block_size_ = -1;
+  RunObserver* observer_ = nullptr;
+  int64_t sim_now_micros_ = 0;
 };
 
 }  // namespace wsq

@@ -89,5 +89,42 @@ TEST(RunTraceTest, DetectsRetriesExceedingTotal) {
   EXPECT_FALSE(trace.CheckConsistent().ok());
 }
 
+TEST(RunTraceTest, DetectsRequestedSizeBelowOne) {
+  RunTrace trace = SmallTrace();
+  trace.steps[1].requested_size = 0;
+  Status status = trace.CheckConsistent();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("requested_size"), std::string::npos);
+}
+
+TEST(RunTraceTest, DetectsNegativeReceivedTuples) {
+  RunTrace trace = SmallTrace();
+  trace.steps[0].received_tuples = -5;
+  trace.total_tuples = 2500 - 1000 - 5;
+  Status status = trace.CheckConsistent();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("received_tuples"), std::string::npos);
+}
+
+TEST(RunTraceTest, DetectsNegativePerTupleCost) {
+  RunTrace trace = SmallTrace();
+  trace.steps[2].per_tuple_ms = -0.1;
+  EXPECT_FALSE(trace.CheckConsistent().ok());
+}
+
+TEST(RunTraceTest, DetectsNegativeBlockTime) {
+  RunTrace trace = SmallTrace();
+  trace.steps[0].block_time_ms = -1.0;
+  EXPECT_FALSE(trace.CheckConsistent().ok());
+}
+
+TEST(RunTraceTest, DetectsNegativeRetries) {
+  RunTrace trace = SmallTrace();
+  trace.steps[1].retries = -1;
+  Status status = trace.CheckConsistent();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("negative"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace wsq

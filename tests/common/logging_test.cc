@@ -1,5 +1,9 @@
 #include "wsq/common/logging.h"
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace wsq {
@@ -7,7 +11,10 @@ namespace {
 
 class LoggingTest : public ::testing::Test {
  protected:
-  void TearDown() override { SetLogLevel(LogLevel::kWarning); }
+  void TearDown() override {
+    SetLogLevel(LogLevel::kWarning);
+    SetLogSink(nullptr);
+  }
 };
 
 TEST_F(LoggingTest, LevelRoundTrips) {
@@ -31,6 +38,63 @@ TEST_F(LoggingTest, EmittedMessagesGoToStderr) {
   EXPECT_NE(err.find("visible 7"), std::string::npos);
   EXPECT_NE(err.find("logging_test.cc"), std::string::npos);
   EXPECT_NE(err.find("[W "), std::string::npos);
+}
+
+TEST_F(LoggingTest, PrefixCarriesMonotonicTimestamp) {
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  WSQ_LOG(kWarning) << "stamped";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  // "[W <seconds>s file:line] " — seconds is a non-negative decimal.
+  ASSERT_NE(err.find("[W "), std::string::npos);
+  const size_t start = err.find("[W ") + 3;
+  const size_t unit = err.find("s ", start);
+  ASSERT_NE(unit, std::string::npos);
+  const double stamp = std::stod(err.substr(start, unit - start));
+  EXPECT_GE(stamp, 0.0);
+  EXPECT_LE(stamp, LogElapsedSeconds());
+}
+
+TEST_F(LoggingTest, SinkReplacesStderr) {
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  SetLogSink([&captured](LogLevel level, const std::string& line) {
+    captured.emplace_back(level, line);
+  });
+  ::testing::internal::CaptureStderr();
+  WSQ_LOG(kError) << "routed " << 3;
+  WSQ_LOG(kDebug) << "still below threshold";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(err.empty());
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].first, LogLevel::kError);
+  EXPECT_NE(captured[0].second.find("routed 3"), std::string::npos);
+  EXPECT_NE(captured[0].second.find("[E "), std::string::npos);
+
+  // Null sink restores the stderr default.
+  SetLogSink(nullptr);
+  ::testing::internal::CaptureStderr();
+  WSQ_LOG(kError) << "back on stderr";
+  EXPECT_NE(::testing::internal::GetCapturedStderr().find("back on stderr"),
+            std::string::npos);
+  EXPECT_EQ(captured.size(), 1u);
+}
+
+TEST_F(LoggingTest, ElapsedSecondsIsMonotonic) {
+  const double a = LogElapsedSeconds();
+  const double b = LogElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST_F(LoggingTest, LoggableLevelMapsSeverities) {
+  // kOff is rejected at compile time by a static_assert in
+  // LoggableLevel; the valid severities map through unchanged.
+  static_assert(internal_logging::LoggableLevel<LogLevel::kDebug>::value ==
+                LogLevel::kDebug);
+  static_assert(internal_logging::LoggableLevel<LogLevel::kError>::value ==
+                LogLevel::kError);
+  SUCCEED();
 }
 
 TEST_F(LoggingTest, BelowThresholdSuppressed) {

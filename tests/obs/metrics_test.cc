@@ -1,0 +1,162 @@
+#include "wsq/obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "wsq/obs/json_lite.h"
+
+namespace wsq {
+namespace {
+
+TEST(CounterTest, IncrementsAndResets) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge gauge;
+  gauge.Set(3.5);
+  gauge.Set(-1.25);
+  EXPECT_EQ(gauge.value(), -1.25);
+}
+
+TEST(HistogramTest, CountsBucketsAndMoments) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  histogram.Record(0.5);    // bucket 0
+  histogram.Record(5.0);    // bucket 1
+  histogram.Record(50.0);   // bucket 2
+  histogram.Record(500.0);  // overflow
+  EXPECT_EQ(histogram.count(), 4);
+  EXPECT_EQ(histogram.bucket_counts(), (std::vector<int64_t>{1, 1, 1, 1}));
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.5);
+  EXPECT_DOUBLE_EQ(histogram.max(), 500.0);
+  EXPECT_DOUBLE_EQ(histogram.mean(), (0.5 + 5.0 + 50.0 + 500.0) / 4.0);
+}
+
+TEST(HistogramTest, PercentilesInterpolateWithinBuckets) {
+  Histogram histogram({10.0, 20.0, 30.0});
+  for (int i = 0; i < 100; ++i) {
+    histogram.Record(5.0);  // all samples in the first bucket
+  }
+  const double p50 = histogram.p50();
+  // The owning bucket is (0, 10]; interpolation stays inside it, and the
+  // estimate is clipped to the observed range, so it must return the
+  // single observed value's neighborhood.
+  EXPECT_GE(p50, histogram.min());
+  EXPECT_LE(p50, histogram.max());
+}
+
+TEST(HistogramTest, PercentileOrderingOnSpread) {
+  Histogram histogram(Histogram::LatencyBucketsMs());
+  for (int i = 1; i <= 1000; ++i) {
+    histogram.Record(static_cast<double>(i));  // 1..1000 ms
+  }
+  const double p50 = histogram.p50();
+  const double p90 = histogram.p90();
+  const double p99 = histogram.p99();
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // Bucket-interpolation error is bounded by the owning bucket's width;
+  // the 1-2-5 decade grid keeps that within a factor of ~2.5.
+  EXPECT_NEAR(p50, 500.0, 300.0);
+  EXPECT_NEAR(p99, 990.0, 300.0);
+}
+
+TEST(HistogramTest, EmptyHistogramQuantilesAreNaN) {
+  Histogram histogram(Histogram::LatencyBucketsMs());
+  EXPECT_TRUE(std::isnan(histogram.p50()));
+  EXPECT_EQ(histogram.count(), 0);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndNamed) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("wsq.test.counter");
+  Counter* b = registry.GetCounter("wsq.test.counter");
+  EXPECT_EQ(a, b);
+  registry.GetGauge("wsq.test.gauge")->Set(7.0);
+  registry.GetHistogram("wsq.test.hist")->Record(3.0);
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(MetricsRegistryTest, HistogramBoundsFixedOnFirstUse) {
+  MetricsRegistry registry;
+  Histogram* first = registry.GetHistogram("h", {1.0, 2.0});
+  Histogram* second = registry.GetHistogram("h", {99.0});
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first->bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(MetricsRegistryTest, ExportersProduceParseableSnapshots) {
+  MetricsRegistry registry;
+  registry.GetCounter("wsq.a.count")->Increment(5);
+  registry.GetGauge("wsq.b.gauge")->Set(2.5);
+  Histogram* histogram = registry.GetHistogram("wsq.c.hist");
+  histogram->Record(12.0);
+  histogram->Record(120.0);
+
+  const std::string text = registry.ToText();
+  EXPECT_NE(text.find("wsq.a.count"), std::string::npos);
+  EXPECT_NE(text.find("wsq.b.gauge"), std::string::npos);
+
+  const std::string csv = registry.ToCsv();
+  EXPECT_NE(csv.find("wsq.c.hist"), std::string::npos);
+  EXPECT_NE(csv.find("p99"), std::string::npos);
+
+  const std::string json = registry.ToJson();
+  Status valid = CheckJson(json);
+  EXPECT_TRUE(valid.ok()) << valid.ToString() << "\n" << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonStaysParseableWithEmptyHistogram) {
+  MetricsRegistry registry;
+  registry.GetHistogram("empty.hist");  // NaN quantiles must become null
+  Status valid = CheckJson(registry.ToJson());
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+}
+
+TEST(MetricsRegistryTest, WriteFilePicksFormatByExtension) {
+  MetricsRegistry registry;
+  registry.GetCounter("x.count")->Increment();
+  const std::string base = ::testing::TempDir() + "/wsq_metrics_test";
+
+  ASSERT_TRUE(registry.WriteFile(base + ".json").ok());
+  std::stringstream json;
+  json << std::ifstream(base + ".json").rdbuf();
+  EXPECT_TRUE(CheckJson(json.str()).ok());
+
+  ASSERT_TRUE(registry.WriteFile(base + ".csv").ok());
+  std::stringstream csv;
+  csv << std::ifstream(base + ".csv").rdbuf();
+  EXPECT_NE(csv.str().find("x.count"), std::string::npos);
+
+  std::remove((base + ".json").c_str());
+  std::remove((base + ".csv").c_str());
+}
+
+TEST(MetricsRegistryTest, ResetAllKeepsHandlesValid) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c");
+  counter->Increment(9);
+  Histogram* histogram = registry.GetHistogram("h");
+  histogram->Record(1.0);
+  registry.ResetAll();
+  EXPECT_EQ(counter->value(), 0);
+  EXPECT_EQ(histogram->count(), 0);
+  counter->Increment();  // handle still live
+  EXPECT_EQ(counter->value(), 1);
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,78 @@
+#include "wsq/obs/run_observer.h"
+
+#include <gtest/gtest.h>
+
+#include "wsq/obs/json_lite.h"
+
+namespace wsq {
+namespace {
+
+StateSnapshot SampleState() {
+  StateSnapshot state;
+  state.Add("gain", 2000.0);
+  state.Add("phase", std::string_view("transient"));
+  return state;
+}
+
+void EmitOneOfEverything(RunObserver& observer) {
+  observer.OnSessionOpen(0, 100);
+  observer.OnBlock(100, 5000, 700, 700, 0.4, 1);
+  observer.OnNetworkTransfer(100, 2000);
+  observer.OnServerResidence(2100, 2900);
+  observer.OnParse(5100, 4096);
+  observer.OnRetry(5200, 250.0);
+  observer.OnControllerDecision(5300, "switching", SampleState(), 1, 900);
+  observer.OnServerQueueLength(5400, 3);
+  observer.OnServerLoadLevel(5400, 2);
+  observer.OnSessionClose(6000, 50);
+}
+
+TEST(RunObserverTest, HooksAccumulateMetrics) {
+  MetricsRegistry registry;
+  RunObserver observer(&registry, nullptr);
+  EmitOneOfEverything(observer);
+
+  EXPECT_EQ(registry.GetCounter("wsq.pull.sessions_total")->value(), 1);
+  EXPECT_EQ(registry.GetCounter("wsq.pull.blocks_total")->value(), 1);
+  EXPECT_EQ(registry.GetCounter("wsq.pull.tuples_total")->value(), 700);
+  EXPECT_EQ(registry.GetCounter("wsq.pull.retries_total")->value(), 1);
+  EXPECT_EQ(registry.GetCounter("wsq.pull.parses_total")->value(), 1);
+  EXPECT_EQ(registry.GetCounter("wsq.controller.decisions_total")->value(), 1);
+  EXPECT_EQ(registry.GetHistogram("wsq.pull.block_time_ms")->count(), 1);
+  EXPECT_EQ(registry.GetHistogram("wsq.net.transfer_ms")->count(), 1);
+  EXPECT_EQ(registry.GetHistogram("wsq.server.residence_ms")->count(), 1);
+  EXPECT_EQ(registry.GetGauge("wsq.server.queue_len")->value(), 3.0);
+  EXPECT_EQ(registry.GetGauge("wsq.server.load_level")->value(), 2.0);
+  // Numeric DebugState entries mirror to wsq.controller.<key> gauges.
+  EXPECT_EQ(registry.GetGauge("wsq.controller.gain")->value(), 2000.0);
+}
+
+TEST(RunObserverTest, HooksEmitValidTraceEvents) {
+  Tracer tracer;
+  RunObserver observer(nullptr, &tracer);
+  EmitOneOfEverything(observer);
+  EXPECT_GT(tracer.size(), 5u);
+  Status valid = CheckChromeTrace(tracer.ToChromeJson());
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  // The decision event carries the DebugState snapshot in its args.
+  EXPECT_NE(tracer.ToChromeJson().find("\"phase\":\"transient\""),
+            std::string::npos);
+}
+
+TEST(RunObserverTest, NullComponentsAreSafe) {
+  RunObserver observer(nullptr, nullptr);
+  EmitOneOfEverything(observer);  // must not crash
+}
+
+TEST(RunObserverTest, GlobalObserverInstallAndClear) {
+  EXPECT_EQ(GlobalRunObserver(), nullptr);
+  MetricsRegistry registry;
+  RunObserver observer(&registry, nullptr);
+  SetGlobalRunObserver(&observer);
+  EXPECT_EQ(GlobalRunObserver(), &observer);
+  SetGlobalRunObserver(nullptr);
+  EXPECT_EQ(GlobalRunObserver(), nullptr);
+}
+
+}  // namespace
+}  // namespace wsq
