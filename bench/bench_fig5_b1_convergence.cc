@@ -60,7 +60,7 @@ void Run() {
 }  // namespace wsq::bench
 
 int main(int argc, char** argv) {
-  wsq::bench::ObsSession obs_session(argc, argv);
+  wsq::bench::BenchSession session(argc, argv);
   wsq::bench::Run();
   return 0;
 }

@@ -1,6 +1,7 @@
 #ifndef WSQ_BENCH_BENCH_UTIL_H_
 #define WSQ_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -11,54 +12,100 @@
 
 namespace wsq::bench {
 
-/// Command-line observability for bench binaries. Recognizes
+/// Command-line session for bench binaries: execution parallelism,
+/// observability, and the machine-readable perf summary. Recognizes
 ///
+///   --jobs=N               run lanes for repeated-run experiments;
+///                          default = hardware concurrency, 1 = the
+///                          historical serial path. Figure/table output
+///                          is byte-identical whatever N (seeds and
+///                          fold order never depend on the lane count).
+///   --bench-json=<path>    write a BENCH_*.json perf summary at exit:
+///                          wall time, runs, runs/sec, per-run p50/p99
 ///   --metrics-out=<path>   write a metrics snapshot at exit
 ///                          (.json / .csv by extension, else text)
 ///   --trace-out=<path>     write the run trace at exit
 ///                          (.jsonl for JSONL, else Chrome trace JSON)
 ///
-/// (both also accept the two-token "--flag path" form; other arguments
-/// are ignored). When either flag is present a RunObserver over the
-/// global metrics registry and a private tracer is installed as the
-/// process-global observer, so every backend run the bench performs
-/// emits into it with zero bench-specific plumbing. Without flags the
-/// global observer stays null and the bench output is byte-identical to
-/// an unobserved binary.
-class ObsSession {
+/// (all also accept the two-token "--flag path" form; other arguments
+/// are ignored). When an observability flag is present a RunObserver
+/// over the global metrics registry and a private tracer is installed
+/// as the process-global observer, so every backend run the bench
+/// performs emits into it with zero bench-specific plumbing. Without
+/// flags the global observer stays null and the bench output is
+/// byte-identical to an unobserved binary.
+class BenchSession {
  public:
-  ObsSession(int argc, char** argv) {
+  BenchSession(int argc, char** argv)
+      : bench_name_(Basename(argc > 0 ? argv[0] : "bench")),
+        start_(std::chrono::steady_clock::now()) {
+    std::string jobs_text;
     for (int i = 1; i < argc; ++i) {
       ParseFlag(argc, argv, &i, "--metrics-out", &metrics_path_);
       ParseFlag(argc, argv, &i, "--trace-out", &trace_path_);
+      ParseFlag(argc, argv, &i, "--bench-json", &bench_json_path_);
+      ParseFlag(argc, argv, &i, "--jobs", &jobs_text);
     }
-    if (metrics_path_.empty() && trace_path_.empty()) return;
-    tracer_ = std::make_unique<Tracer>();
-    observer_ = std::make_unique<RunObserver>(
-        metrics_path_.empty() ? nullptr : &MetricsRegistry::Global(),
-        trace_path_.empty() ? nullptr : tracer_.get());
-    SetGlobalRunObserver(observer_.get());
+    jobs_ = jobs_text.empty() ? exec::ThreadPool::HardwareConcurrency()
+                              : std::atoi(jobs_text.c_str());
+    if (jobs_ < 1) {
+      std::fprintf(stderr, "invalid --jobs=%s; using 1\n", jobs_text.c_str());
+      jobs_ = 1;
+    }
+    exec::SetDefaultJobs(jobs_);
+
+    if (!bench_json_path_.empty()) {
+      timings_ = std::make_unique<exec::RunTimings>();
+      exec::SetGlobalRunTimings(timings_.get());
+    }
+    if (!metrics_path_.empty() || !trace_path_.empty()) {
+      tracer_ = std::make_unique<Tracer>();
+      observer_ = std::make_unique<RunObserver>(
+          metrics_path_.empty() ? nullptr : &MetricsRegistry::Global(),
+          trace_path_.empty() ? nullptr : tracer_.get());
+      SetGlobalRunObserver(observer_.get());
+    }
   }
 
-  ~ObsSession() {
-    if (observer_ == nullptr) return;
-    SetGlobalRunObserver(nullptr);
-    if (!metrics_path_.empty()) {
-      Report(MetricsRegistry::Global().WriteFile(metrics_path_), "metrics",
-             metrics_path_);
+  ~BenchSession() {
+    if (observer_ != nullptr) {
+      SetGlobalRunObserver(nullptr);
+      if (!metrics_path_.empty()) {
+        Report(MetricsRegistry::Global().WriteFile(metrics_path_), "metrics",
+               metrics_path_);
+      }
+      if (!trace_path_.empty()) {
+        const bool jsonl = EndsWith(trace_path_, ".jsonl");
+        Report(jsonl ? tracer_->WriteJsonl(trace_path_)
+                     : tracer_->WriteChromeJson(trace_path_),
+               "trace", trace_path_);
+      }
     }
-    if (!trace_path_.empty()) {
-      const bool jsonl = EndsWith(trace_path_, ".jsonl");
-      Report(jsonl ? tracer_->WriteJsonl(trace_path_)
-                   : tracer_->WriteChromeJson(trace_path_),
-             "trace", trace_path_);
+    if (timings_ != nullptr) {
+      exec::SetGlobalRunTimings(nullptr);
+      const std::chrono::duration<double> wall =
+          std::chrono::steady_clock::now() - start_;
+      exec::BenchReport report;
+      report.bench = bench_name_;
+      report.jobs = jobs_;
+      report.hardware_concurrency = exec::ThreadPool::HardwareConcurrency();
+      report.wall_time_s = wall.count();
+      Report(exec::WriteBenchReport(bench_json_path_, report, *timings_),
+             "bench summary", bench_json_path_);
     }
   }
 
-  ObsSession(const ObsSession&) = delete;
-  ObsSession& operator=(const ObsSession&) = delete;
+  BenchSession(const BenchSession&) = delete;
+  BenchSession& operator=(const BenchSession&) = delete;
+
+  int jobs() const { return jobs_; }
 
  private:
+  static std::string Basename(const std::string& path) {
+    const size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+  }
+
   static bool EndsWith(const std::string& s, const char* suffix) {
     const size_t n = std::strlen(suffix);
     return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
@@ -86,8 +133,13 @@ class ObsSession {
     }
   }
 
+  std::string bench_name_;
+  std::chrono::steady_clock::time_point start_;
+  int jobs_ = 1;
   std::string metrics_path_;
   std::string trace_path_;
+  std::string bench_json_path_;
+  std::unique_ptr<exec::RunTimings> timings_;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<RunObserver> observer_;
 };

@@ -13,7 +13,10 @@
 ///    experiments;
 ///  * the unified execution layer (wsq/backend): one QueryBackend
 ///    interface and RunTrace record over all three stacks, plus the
-///    backend-generic repeated-run harness.
+///    backend-generic repeated-run harness;
+///  * the parallel experiment engine (wsq/exec): a fixed ThreadPool and
+///    run-lane fan-out with deterministic per-run seeding, so repeated
+///    runs scale across cores with byte-identical figure output.
 ///
 /// See examples/quickstart.cc for the 30-line tour.
 
@@ -45,6 +48,10 @@
 #include "wsq/control/switching_controller.h"
 #include "wsq/eventsim/event_sim.h"
 #include "wsq/eventsim/ps_server.h"
+#include "wsq/exec/bench_report.h"
+#include "wsq/exec/exec_context.h"
+#include "wsq/exec/parallel_runner.h"
+#include "wsq/exec/thread_pool.h"
 #include "wsq/linalg/least_squares.h"
 #include "wsq/linalg/matrix.h"
 #include "wsq/linalg/rls.h"

@@ -11,6 +11,10 @@ namespace wsq {
 EmpiricalBackend::EmpiricalBackend(EmpiricalSetup setup)
     : setup_(std::move(setup)) {}
 
+std::unique_ptr<QueryBackend> EmpiricalBackend::Clone() const {
+  return std::make_unique<EmpiricalBackend>(setup_);
+}
+
 Result<RunTrace> EmpiricalBackend::RunQuery(Controller* controller,
                                             const RunSpec& spec) {
   return RunQueryKeepingTuples(controller, spec, nullptr);

@@ -21,6 +21,11 @@ class EmpiricalBackend final : public QueryBackend {
 
   std::string name() const override { return "empirical"; }
 
+  /// Clone shares the setup (the table via shared_ptr — it is read-only
+  /// during queries); every run stands up a fresh client/server stack,
+  /// so clones are safe on concurrent lanes.
+  std::unique_ptr<QueryBackend> Clone() const override;
+
   Result<RunTrace> RunQuery(Controller* controller,
                             const RunSpec& spec) override;
 

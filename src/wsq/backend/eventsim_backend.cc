@@ -15,6 +15,11 @@ EventSimBackend::EventSimBackend(const EventSimConfig& config,
       start_time_ms_(start_time_ms),
       background_(std::move(background)) {}
 
+std::unique_ptr<QueryBackend> EventSimBackend::Clone() const {
+  return std::make_unique<EventSimBackend>(config_, dataset_tuples_,
+                                           start_time_ms_, background_);
+}
+
 Result<RunTrace> EventSimBackend::RunQuery(Controller* controller,
                                            const RunSpec& spec) {
   if (controller == nullptr) {

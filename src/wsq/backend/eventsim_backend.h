@@ -34,6 +34,11 @@ class EventSimBackend final : public QueryBackend {
 
   std::string name() const override { return "eventsim"; }
 
+  /// Clone copies the config and client specs; every run builds its own
+  /// event timeline and background controllers, so clones are safe on
+  /// concurrent lanes.
+  std::unique_ptr<QueryBackend> Clone() const override;
+
   Result<RunTrace> RunQuery(Controller* controller,
                             const RunSpec& spec) override;
 

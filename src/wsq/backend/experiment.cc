@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "wsq/backend/profile_backend.h"
+#include "wsq/exec/exec_context.h"
+#include "wsq/exec/parallel_runner.h"
 
 namespace wsq {
 namespace {
@@ -31,30 +34,28 @@ void FoldDecisions(const std::vector<std::vector<int64_t>>& per_run_decisions,
   }
 }
 
-/// Shared driver: `spec` carries everything but the per-run seed.
+/// Shared driver: `spec` carries everything but the per-run seed. The
+/// runs execute through the exec layer — serial on one lane, fanned out
+/// over exec::DefaultJobs() lanes otherwise — and the traces come back
+/// in run order, so the folds below accumulate in exactly the
+/// historical serial sequence whatever the lane count. That ordering is
+/// what keeps figure output byte-identical between --jobs=1 and
+/// --jobs=N.
 Result<RepeatedRunSummary> RunMany(const ControllerFactoryFn& make_controller,
                                    QueryBackend& backend, RunSpec spec,
                                    int runs, uint64_t base_seed) {
-  if (runs < 1) {
-    return Status::InvalidArgument("RunRepeated: runs must be >= 1");
-  }
+  Result<std::vector<RunTrace>> traces =
+      exec::RunTraces(make_controller, backend, spec, runs, base_seed,
+                      kRunSeedStride, exec::DefaultJobs());
+  if (!traces.ok()) return traces.status();
+
   RepeatedRunSummary summary;
+  summary.controller_name = traces.value().front().controller_name;
   std::vector<std::vector<int64_t>> decisions;
   decisions.reserve(static_cast<size_t>(runs));
-
-  for (int run = 0; run < runs; ++run) {
-    std::unique_ptr<Controller> controller = make_controller();
-    if (controller == nullptr) {
-      return Status::InvalidArgument("RunRepeated: factory returned null");
-    }
-    if (run == 0) summary.controller_name = controller->name();
-
-    spec.seed = base_seed + static_cast<uint64_t>(run) * kRunSeedStride;
-    Result<RunTrace> trace = backend.RunQuery(controller.get(), spec);
-    if (!trace.ok()) return trace.status();
-
-    summary.total_time_ms.Add(trace.value().total_time_ms);
-    std::vector<int64_t> run_decisions = trace.value().RequestedSizes();
+  for (const RunTrace& trace : traces.value()) {
+    summary.total_time_ms.Add(trace.total_time_ms);
+    std::vector<int64_t> run_decisions = trace.RequestedSizes();
     if (!run_decisions.empty()) {
       summary.final_block_size.Add(
           static_cast<double>(run_decisions.back()));

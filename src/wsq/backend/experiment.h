@@ -35,6 +35,12 @@ struct RepeatedRunSummary {
 /// QueryBackend — profile-driven, event-driven, or the full empirical
 /// stack — so the same controller factory can be cross-validated on all
 /// three through one code path.
+///
+/// Executes through the parallel experiment engine (`wsq/exec/`): with
+/// exec::DefaultJobs() > 1 (what the bench `--jobs` flag sets) the runs
+/// fan out over backend clones, one lane each; the summary is
+/// byte-identical to the serial path whatever the lane count, because
+/// per-run seeds and the fold order never depend on it.
 Result<RepeatedRunSummary> RunRepeated(const ControllerFactoryFn& make_controller,
                                        QueryBackend& backend, int runs,
                                        uint64_t base_seed = 1);

@@ -49,6 +49,12 @@ ProfileBackend::ProfileBackend(const ResponseProfile& profile,
           std::shared_ptr<const ResponseProfile>(), &profile)),
       options_(options) {}
 
+std::unique_ptr<QueryBackend> ProfileBackend::Clone() const {
+  auto clone = std::make_unique<ProfileBackend>(profile_, options_);
+  clone->obs_time_cursor_micros_ = obs_time_cursor_micros_;
+  return clone;
+}
+
 ProfileBackend ProfileBackend::FromConfiguration(const ConfiguredProfile& conf,
                                                  uint64_t seed) {
   SimOptions options;

@@ -31,6 +31,11 @@ class ProfileBackend final : public QueryBackend {
   std::string name() const override { return "profile"; }
   bool SupportsSchedules() const override { return true; }
 
+  /// Clone shares the (immutable) profile and options; each clone keeps
+  /// its own simulated-time cursor, and every run constructs a fresh
+  /// SimEngine anyway, so clones are safe on concurrent lanes.
+  std::unique_ptr<QueryBackend> Clone() const override;
+
   Result<RunTrace> RunQuery(Controller* controller,
                             const RunSpec& spec) override;
 

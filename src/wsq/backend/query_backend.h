@@ -2,6 +2,7 @@
 #define WSQ_BACKEND_QUERY_BACKEND_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,18 @@ class QueryBackend {
 
   /// True when RunQuery can execute RunSpec::schedule sections.
   virtual bool SupportsSchedules() const { return false; }
+
+  /// An independent, equivalently-configured backend for a concurrent
+  /// run lane, or null when the backend cannot be replicated (the
+  /// parallel harness then falls back to serial execution). A clone
+  /// shares only immutable inputs with its source (profiles, tables,
+  /// configs); every piece of per-run mutable state — RNG streams,
+  /// simulated clocks, observability time cursors — is private to the
+  /// clone, so clones may run on different threads concurrently.
+  /// RunQuery(seed) on a clone returns the same RunTrace as on the
+  /// source, which is what keeps parallel figure output byte-identical
+  /// to the serial path.
+  virtual std::unique_ptr<QueryBackend> Clone() const { return nullptr; }
 
   /// Drains one query under `controller` (not reset first; callers own
   /// reset policy). The controller must outlive the call.

@@ -1,0 +1,120 @@
+#include "wsq/exec/bench_report.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+#include "wsq/obs/json_lite.h"
+
+namespace wsq::exec {
+namespace {
+
+std::atomic<RunTimings*> g_run_timings{nullptr};
+
+double NearestRank(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  const size_t index =
+      static_cast<size_t>(std::max(rank, 1.0)) - 1;
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+}  // namespace
+
+void RunTimings::RecordRunMs(double wall_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  run_ms_.push_back(wall_ms);
+}
+
+size_t RunTimings::runs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return run_ms_.size();
+}
+
+std::vector<double> RunTimings::SnapshotMs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return run_ms_;
+}
+
+double RunTimings::PercentileMs(double q) const {
+  std::vector<double> sorted = SnapshotMs();
+  std::sort(sorted.begin(), sorted.end());
+  return NearestRank(sorted, q);
+}
+
+double RunTimings::MeanMs() const {
+  std::vector<double> samples = SnapshotMs();
+  if (samples.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  return sum / static_cast<double>(samples.size());
+}
+
+double RunTimings::MinMs() const {
+  std::vector<double> samples = SnapshotMs();
+  if (samples.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::min_element(samples.begin(), samples.end());
+}
+
+double RunTimings::MaxMs() const {
+  std::vector<double> samples = SnapshotMs();
+  if (samples.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::max_element(samples.begin(), samples.end());
+}
+
+void RunTimings::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  run_ms_.clear();
+}
+
+RunTimings* GlobalRunTimings() {
+  return g_run_timings.load(std::memory_order_acquire);
+}
+
+void SetGlobalRunTimings(RunTimings* timings) {
+  g_run_timings.store(timings, std::memory_order_release);
+}
+
+std::string BenchReportJson(const BenchReport& report,
+                            const RunTimings& timings) {
+  const size_t runs = timings.runs();
+  const double runs_per_sec =
+      report.wall_time_s > 0.0
+          ? static_cast<double>(runs) / report.wall_time_s
+          : 0.0;
+  std::string out = "{\"schema_version\":1";
+  out += ",\"bench\":\"" + JsonEscape(report.bench) + "\"";
+  out += ",\"jobs\":" + std::to_string(report.jobs);
+  out += ",\"hardware_concurrency\":" +
+         std::to_string(report.hardware_concurrency);
+  out += ",\"wall_time_s\":" + JsonNumber(report.wall_time_s);
+  out += ",\"runs\":" + std::to_string(runs);
+  out += ",\"runs_per_sec\":" + JsonNumber(runs_per_sec);
+  out += ",\"run_ms\":{";
+  out += "\"mean\":" + JsonNumber(timings.MeanMs());
+  out += ",\"min\":" + JsonNumber(timings.MinMs());
+  out += ",\"max\":" + JsonNumber(timings.MaxMs());
+  out += ",\"p50\":" + JsonNumber(timings.PercentileMs(0.50));
+  out += ",\"p99\":" + JsonNumber(timings.PercentileMs(0.99));
+  out += "}}";
+  return out;
+}
+
+Status WriteBenchReport(const std::string& path, const BenchReport& report,
+                        const RunTimings& timings) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Unavailable("cannot open bench report file: " + path);
+  }
+  out << BenchReportJson(report, timings) << "\n";
+  out.close();
+  if (!out) {
+    return Status::Unavailable("bench report write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace wsq::exec

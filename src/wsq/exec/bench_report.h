@@ -1,0 +1,73 @@
+#ifndef WSQ_EXEC_BENCH_REPORT_H_
+#define WSQ_EXEC_BENCH_REPORT_H_
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "wsq/common/status.h"
+
+namespace wsq::exec {
+
+/// Thread-safe collector of per-run wall-clock durations. The parallel
+/// runner records one sample per completed run into the process-global
+/// instance when one is installed (bench binaries install it for
+/// `--bench-json`); exact percentiles come from the raw samples, not a
+/// bucketed sketch, because a bench performs at most a few thousand
+/// runs.
+class RunTimings {
+ public:
+  RunTimings() = default;
+  RunTimings(const RunTimings&) = delete;
+  RunTimings& operator=(const RunTimings&) = delete;
+
+  void RecordRunMs(double wall_ms);
+
+  size_t runs() const;
+  std::vector<double> SnapshotMs() const;
+
+  /// Exact nearest-rank percentile (q in [0, 1]) over the recorded
+  /// samples; NaN when empty.
+  double PercentileMs(double q) const;
+  double MeanMs() const;
+  double MinMs() const;
+  double MaxMs() const;
+
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> run_ms_;
+};
+
+/// Process-global timing sink consulted by the run harness; null (the
+/// default) disables per-run timing entirely — not even a clock read
+/// happens. Not owned.
+RunTimings* GlobalRunTimings();
+void SetGlobalRunTimings(RunTimings* timings);
+
+/// Header of one machine-readable bench summary — the repo's
+/// `BENCH_*.json` perf-trajectory row. Serialized shape
+/// (schema_version 1):
+///
+///   {"schema_version":1,"bench":"<binary>","jobs":N,
+///    "hardware_concurrency":H,"wall_time_s":S,"runs":R,
+///    "runs_per_sec":V,
+///    "run_ms":{"mean":..,"min":..,"max":..,"p50":..,"p99":..}}
+struct BenchReport {
+  std::string bench;
+  int jobs = 1;
+  int hardware_concurrency = 0;
+  double wall_time_s = 0.0;
+};
+
+std::string BenchReportJson(const BenchReport& report,
+                            const RunTimings& timings);
+
+Status WriteBenchReport(const std::string& path, const BenchReport& report,
+                        const RunTimings& timings);
+
+}  // namespace wsq::exec
+
+#endif  // WSQ_EXEC_BENCH_REPORT_H_

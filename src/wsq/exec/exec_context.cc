@@ -1,0 +1,24 @@
+#include "wsq/exec/exec_context.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace wsq::exec {
+namespace {
+
+std::atomic<int> g_default_jobs{1};
+
+}  // namespace
+
+int DefaultJobs() { return g_default_jobs.load(std::memory_order_relaxed); }
+
+void SetDefaultJobs(int jobs) {
+  g_default_jobs.store(std::max(jobs, 1), std::memory_order_relaxed);
+}
+
+int EffectiveJobs(int jobs, int runs) {
+  if (jobs <= 0) jobs = DefaultJobs();
+  return std::max(1, std::min(jobs, runs));
+}
+
+}  // namespace wsq::exec

@@ -1,0 +1,39 @@
+#ifndef WSQ_EXEC_EXEC_CONTEXT_H_
+#define WSQ_EXEC_EXEC_CONTEXT_H_
+
+namespace wsq::exec {
+
+/// Process-wide default lane count consulted by the repeated-run
+/// harnesses (RunRepeated / RunRepeatedSchedule) when no explicit job
+/// count is given. Starts at 1 — the library is serial unless a caller
+/// opts in — and bench binaries set it from `--jobs` (default: the
+/// machine's hardware concurrency).
+int DefaultJobs();
+
+/// Sets the default lane count (clamped to >= 1). Thread-safe, but
+/// intended for process setup (bench flag parsing, test fixtures).
+void SetDefaultJobs(int jobs);
+
+/// Resolves an explicit job request against the default and the run
+/// count: `jobs` <= 0 means "use DefaultJobs()", and no more lanes than
+/// runs are ever used.
+int EffectiveJobs(int jobs, int runs);
+
+/// RAII override of the process default for a scope (tests, nested
+/// harnesses); restores the previous value on destruction.
+class ScopedDefaultJobs {
+ public:
+  explicit ScopedDefaultJobs(int jobs) : previous_(DefaultJobs()) {
+    SetDefaultJobs(jobs);
+  }
+  ~ScopedDefaultJobs() { SetDefaultJobs(previous_); }
+  ScopedDefaultJobs(const ScopedDefaultJobs&) = delete;
+  ScopedDefaultJobs& operator=(const ScopedDefaultJobs&) = delete;
+
+ private:
+  int previous_;
+};
+
+}  // namespace wsq::exec
+
+#endif  // WSQ_EXEC_EXEC_CONTEXT_H_

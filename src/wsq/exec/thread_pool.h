@@ -1,0 +1,55 @@
+#ifndef WSQ_EXEC_THREAD_POOL_H_
+#define WSQ_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wsq::exec {
+
+/// Fixed-size worker pool — deliberately work-stealing-free: the
+/// experiment harness fans out *run lanes* that claim independent runs
+/// from a shared atomic cursor themselves, so the pool only needs FIFO
+/// dispatch and a barrier. Tasks must not throw (the library is
+/// exception-free); a task that does terminates the process.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task; runs on some worker, FIFO order.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed.
+  void Wait();
+
+  int thread_count() const { return static_cast<int>(threads_.size()); }
+
+  /// max(1, std::thread::hardware_concurrency()) — the default lane
+  /// count for `--jobs`.
+  static int HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: queue non-empty or stop
+  std::condition_variable idle_cv_;   // Wait(): queue empty and all idle
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  int active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace wsq::exec
+
+#endif  // WSQ_EXEC_THREAD_POOL_H_

@@ -14,7 +14,9 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   if (bounds_.empty()) bounds_ = LatencyBucketsMs();
   std::sort(bounds_.begin(), bounds_.end());
   bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
-  counts_.assign(bounds_.size() + 1, 0);
+  for (Shard& shard : shards_) {
+    shard.counts.assign(bounds_.size() + 1, 0);
+  }
 }
 
 std::vector<double> Histogram::LatencyBucketsMs() {
@@ -28,71 +30,76 @@ std::vector<double> Histogram::LatencyBucketsMs() {
 }
 
 void Histogram::Record(double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  Shard& shard = shards_[ThreadShardIndex()];
+  std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
-  counts_[static_cast<size_t>(it - bounds_.begin())] += 1;
-  stats_.Add(value);
+  shard.counts[static_cast<size_t>(it - bounds_.begin())] += 1;
+  shard.stats.Add(value);
+}
+
+Histogram::Merged Histogram::MergeShards() const {
+  Merged merged;
+  merged.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t i = 0; i < merged.counts.size(); ++i) {
+      merged.counts[i] += shard.counts[i];
+    }
+    merged.stats.Merge(shard.stats);
+  }
+  return merged;
 }
 
 int64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int64_t>(stats_.count());
+  return static_cast<int64_t>(MergeShards().stats.count());
 }
 
-double Histogram::mean() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_.mean();
-}
+double Histogram::mean() const { return MergeShards().stats.mean(); }
 
-double Histogram::min() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_.min();
-}
+double Histogram::min() const { return MergeShards().stats.min(); }
 
-double Histogram::max() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_.max();
-}
+double Histogram::max() const { return MergeShards().stats.max(); }
 
 double Histogram::Percentile(double q) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const int64_t total = static_cast<int64_t>(stats_.count());
+  const Merged merged = MergeShards();
+  const int64_t total = static_cast<int64_t>(merged.stats.count());
   if (total == 0) return std::numeric_limits<double>::quiet_NaN();
   q = std::clamp(q, 0.0, 1.0);
   const double rank = q * static_cast<double>(total);
 
   int64_t cumulative = 0;
-  for (size_t i = 0; i < counts_.size(); ++i) {
-    if (counts_[i] == 0) continue;
-    const int64_t next = cumulative + counts_[i];
+  for (size_t i = 0; i < merged.counts.size(); ++i) {
+    if (merged.counts[i] == 0) continue;
+    const int64_t next = cumulative + merged.counts[i];
     if (rank <= static_cast<double>(next)) {
       // Interpolate inside bucket i. Clip the nominal edges to the
       // observed extremes so quantiles never leave the sampled range.
-      if (i == counts_.size() - 1) return stats_.max();
-      double lo = i == 0 ? stats_.min() : bounds_[i - 1];
+      if (i == merged.counts.size() - 1) return merged.stats.max();
+      double lo = i == 0 ? merged.stats.min() : bounds_[i - 1];
       double hi = bounds_[i];
-      lo = std::max(lo, stats_.min());
-      hi = std::min(hi, stats_.max());
+      lo = std::max(lo, merged.stats.min());
+      hi = std::min(hi, merged.stats.max());
       if (hi <= lo) return hi;
       const double within =
           (rank - static_cast<double>(cumulative)) /
-          static_cast<double>(counts_[i]);
+          static_cast<double>(merged.counts[i]);
       return lo + (hi - lo) * within;
     }
     cumulative = next;
   }
-  return stats_.max();
+  return merged.stats.max();
 }
 
 std::vector<int64_t> Histogram::bucket_counts() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return counts_;
+  return MergeShards().counts;
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::fill(counts_.begin(), counts_.end(), 0);
-  stats_.Reset();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::fill(shard.counts.begin(), shard.counts.end(), 0);
+    shard.stats.Reset();
+  }
 }
 
 MetricsRegistry& MetricsRegistry::Global() {

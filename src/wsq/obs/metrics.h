@@ -1,6 +1,7 @@
 #ifndef WSQ_OBS_METRICS_H_
 #define WSQ_OBS_METRICS_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -11,21 +12,48 @@
 #include <vector>
 
 #include "wsq/common/status.h"
+#include "wsq/obs/thread_shard.h"
 #include "wsq/stats/running_stats.h"
 
 namespace wsq {
 
 /// Monotonically increasing event count (blocks pulled, retries, ...).
+///
+/// Internally sharded per thread (kMetricShards cache-line-padded
+/// atomics, threads pick a shard by registration order) so concurrent
+/// run lanes never contend on one cache line; value() sums the shards.
+/// A single-threaded process touches only shard 0 — one relaxed
+/// fetch_add, exactly the pre-sharding hot path.
 class Counter {
  public:
+  Counter() = default;
+
   void Increment(int64_t delta = 1) {
-    value_.fetch_add(delta, std::memory_order_relaxed);
+    shards_[ThreadShardIndex()].value.fetch_add(delta,
+                                                std::memory_order_relaxed);
   }
-  int64_t value() const { return value_.load(std::memory_order_relaxed); }
-  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  /// Sum over all shards. Exact once concurrent writers have quiesced
+  /// (merge is addition, so shard order cannot matter).
+  int64_t value() const {
+    int64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
 
  private:
-  std::atomic<int64_t> value_{0};
+  struct alignas(64) Shard {
+    std::atomic<int64_t> value{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
 };
 
 /// Last-write-wins instantaneous value (current gain, queue length, ...).
@@ -46,6 +74,12 @@ class Gauge {
 /// interpolated inside the owning bucket, so their error is bounded by
 /// the bucket width — the standard fixed-bucket tradeoff (exact counts,
 /// approximate quantiles, O(1) memory however many samples arrive).
+///
+/// Record() is sharded per thread: each thread locks only its own
+/// shard's mutex (uncontended — and therefore as cheap as the old
+/// single mutex — when one thread is recording), and readers merge the
+/// shards: bucket counts add exactly, moment statistics combine with
+/// the parallel Welford merge.
 class Histogram {
  public:
   /// `bounds` are the inclusive upper bounds, strictly increasing.
@@ -75,17 +109,30 @@ class Histogram {
   void Reset();
 
  private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<int64_t> counts;  // bounds_.size() + 1 (overflow)
+    RunningStats stats;
+  };
+
+  /// Point-in-time merge of every shard (counts add, stats merge).
+  struct Merged {
+    std::vector<int64_t> counts;
+    RunningStats stats;
+  };
+  Merged MergeShards() const;
+
   std::vector<double> bounds_;
-  mutable std::mutex mu_;
-  std::vector<int64_t> counts_;  // bounds_.size() + 1 (overflow)
-  RunningStats stats_;
+  std::array<Shard, kMetricShards> shards_;
 };
 
 /// Name -> metric registry with text/CSV/JSON snapshot exporters. One
 /// process-wide instance (`Global()`) serves production wiring; tests
 /// and harnesses can own private instances. Lookups create on first use
 /// and return stable pointers; the hot path is then lock-free counter
-/// and gauge updates on the returned handles.
+/// and gauge updates on the returned handles. Fully thread-safe: the
+/// maps are mutex-guarded, the metrics themselves are sharded or atomic,
+/// so concurrent run lanes can hammer one registry.
 ///
 /// Naming convention: dotted paths, subsystem first —
 /// "wsq.pull.blocks_total", "wsq.controller.gain", "wsq.server.queue_len".

@@ -1,0 +1,23 @@
+#include "wsq/obs/thread_shard.h"
+
+#include <atomic>
+
+namespace wsq {
+namespace {
+
+std::atomic<int> g_next_ordinal{0};
+
+}  // namespace
+
+int ThreadShardOrdinal() {
+  thread_local const int ordinal =
+      g_next_ordinal.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+int ThreadShardIndex() {
+  thread_local const int shard = ThreadShardOrdinal() % kMetricShards;
+  return shard;
+}
+
+}  // namespace wsq

@@ -1,0 +1,24 @@
+#ifndef WSQ_OBS_THREAD_SHARD_H_
+#define WSQ_OBS_THREAD_SHARD_H_
+
+namespace wsq {
+
+/// Number of independent shards the hot observability structures
+/// (Counter, Histogram, Tracer) keep. Threads map onto shards by
+/// registration order, so a single-threaded process only ever touches
+/// shard 0 and pays exactly the pre-sharding cost; parallel run lanes
+/// spread across shards and stop contending on one cache line / mutex.
+inline constexpr int kMetricShards = 8;
+
+/// Dense registration ordinal of the calling thread: the first thread
+/// that asks (in practice the main thread) gets 0, the next 1, and so
+/// on. Stable for the lifetime of the thread.
+int ThreadShardOrdinal();
+
+/// The calling thread's shard: ThreadShardOrdinal() folded into
+/// [0, kMetricShards). Stable for the lifetime of the thread.
+int ThreadShardIndex();
+
+}  // namespace wsq
+
+#endif  // WSQ_OBS_THREAD_SHARD_H_

@@ -6,6 +6,14 @@
 
 namespace wsq {
 
+void Tracer::Append(TraceEvent event) {
+  const int shard_index = ThreadShardIndex();
+  event.tid += TraceLane::kLaneStride * shard_index;
+  Shard& shard = shards_[static_cast<size_t>(shard_index)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.events.push_back(std::move(event));
+}
+
 void Tracer::AddComplete(std::string_view name, std::string_view category,
                          int64_t ts_micros, int64_t dur_micros, int tid,
                          std::string args_json) {
@@ -17,8 +25,7 @@ void Tracer::AddComplete(std::string_view name, std::string_view category,
   event.dur_micros = dur_micros;
   event.tid = tid;
   event.args_json = std::move(args_json);
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(std::move(event));
+  Append(std::move(event));
 }
 
 void Tracer::AddInstant(std::string_view name, std::string_view category,
@@ -30,8 +37,7 @@ void Tracer::AddInstant(std::string_view name, std::string_view category,
   event.ts_micros = ts_micros;
   event.tid = tid;
   event.args_json = std::move(args_json);
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(std::move(event));
+  Append(std::move(event));
 }
 
 void Tracer::AddCounterSample(std::string_view name, int64_t ts_micros,
@@ -43,8 +49,7 @@ void Tracer::AddCounterSample(std::string_view name, int64_t ts_micros,
   event.ts_micros = ts_micros;
   event.tid = tid;
   event.args_json = "{\"value\":" + JsonNumber(value) + "}";
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(std::move(event));
+  Append(std::move(event));
 }
 
 void Tracer::SetLaneName(int tid, std::string_view name) {
@@ -54,8 +59,7 @@ void Tracer::SetLaneName(int tid, std::string_view name) {
   event.phase = 'M';
   event.tid = tid;
   event.args_json = "{\"name\":\"" + JsonEscape(name) + "\"}";
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(std::move(event));
+  Append(std::move(event));
 }
 
 void Tracer::End(int64_t begin_micros, const Clock& clock,
@@ -67,18 +71,28 @@ void Tracer::End(int64_t begin_micros, const Clock& clock,
 }
 
 size_t Tracer::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return events_.size();
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.events.size();
+  }
+  return total;
 }
 
 std::vector<TraceEvent> Tracer::events() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return events_;
+  std::vector<TraceEvent> merged;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    merged.insert(merged.end(), shard.events.begin(), shard.events.end());
+  }
+  return merged;
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.clear();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.events.clear();
+  }
 }
 
 std::string Tracer::EventJson(const TraceEvent& event) {
@@ -101,10 +115,9 @@ std::string Tracer::EventJson(const TraceEvent& event) {
 }
 
 std::string Tracer::ToChromeJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"traceEvents\":[";
   bool first = true;
-  for (const TraceEvent& event : events_) {
+  for (const TraceEvent& event : events()) {
     if (!first) out += ',';
     first = false;
     out += EventJson(event);
@@ -114,9 +127,8 @@ std::string Tracer::ToChromeJson() const {
 }
 
 std::string Tracer::ToJsonl() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
-  for (const TraceEvent& event : events_) {
+  for (const TraceEvent& event : events()) {
     out += EventJson(event);
     out += '\n';
   }

@@ -1,6 +1,7 @@
 #ifndef WSQ_OBS_TRACE_H_
 #define WSQ_OBS_TRACE_H_
 
+#include <array>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -10,6 +11,7 @@
 #include "wsq/common/clock.h"
 #include "wsq/common/status.h"
 #include "wsq/obs/state_snapshot.h"
+#include "wsq/obs/thread_shard.h"
 
 namespace wsq {
 
@@ -37,6 +39,14 @@ struct TraceLane {
   static constexpr int kNetwork = 2;     // wire transfer / server residence
   static constexpr int kController = 3;  // decisions + DebugState samples
   static constexpr int kServer = 4;      // queue length / load counters
+
+  /// Events emitted from a parallel run lane land on
+  /// `tid + kLaneStride * shard`, where `shard` is the emitting
+  /// thread's ThreadShardIndex(). The main thread (shard 0) keeps the
+  /// base tids, so single-threaded traces are unchanged; each run lane
+  /// gets its own block of rows in the viewers instead of overdrawing
+  /// lane 1-4.
+  static constexpr int kLaneStride = 16;
 };
 
 /// Span/event collector for the pull loop. Call sites pass explicit
@@ -46,7 +56,12 @@ struct TraceLane {
 /// first-class. Exports Chrome trace-event JSON (loadable in Perfetto /
 /// chrome://tracing) and JSONL (one event object per line, streamable).
 ///
-/// Thread-safe; appends are a mutex-guarded vector push.
+/// Thread-safe and sharded: each thread appends to its own event buffer
+/// (keyed by its run-lane shard, see thread_shard.h), so concurrent run
+/// lanes never contend on one mutex; exports merge the buffers in shard
+/// order. A single-threaded process uses exactly one buffer and one
+/// uncontended mutex — the pre-sharding cost — and its exported byte
+/// stream is identical to the unsharded tracer's.
 class Tracer {
  public:
   Tracer() = default;
@@ -79,11 +94,15 @@ class Tracer {
            std::string_view category, int tid, std::string args_json = {});
 
   size_t size() const;
+  /// All buffered events, merged in shard order (within a shard:
+  /// insertion order). Single-threaded processes therefore see exact
+  /// insertion order.
   std::vector<TraceEvent> events() const;
   void Clear();
 
   /// {"traceEvents":[...],"displayTimeUnit":"ms"} — the object form every
-  /// Chrome trace-event consumer accepts.
+  /// Chrome trace-event consumer accepts. Events may be unsorted in ts
+  /// when several lanes emitted; the viewers sort on load.
   std::string ToChromeJson() const;
 
   /// One event object per line; no enclosing array, stream-friendly.
@@ -93,10 +112,18 @@ class Tracer {
   Status WriteJsonl(const std::string& path) const;
 
  private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+
   static std::string EventJson(const TraceEvent& event);
 
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  /// Appends to the calling thread's shard, offsetting the tid by the
+  /// shard's lane block (no-op for shard 0).
+  void Append(TraceEvent event);
+
+  std::array<Shard, kMetricShards> shards_;
 };
 
 }  // namespace wsq

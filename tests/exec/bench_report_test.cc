@@ -1,0 +1,103 @@
+#include "wsq/exec/bench_report.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "wsq/obs/json_lite.h"
+
+namespace wsq::exec {
+namespace {
+
+TEST(RunTimingsTest, ExactNearestRankPercentiles) {
+  RunTimings timings;
+  for (int i = 100; i >= 1; --i) {  // 1..100 ms, recorded unsorted
+    timings.RecordRunMs(static_cast<double>(i));
+  }
+  EXPECT_EQ(timings.runs(), 100u);
+  EXPECT_DOUBLE_EQ(timings.MinMs(), 1.0);
+  EXPECT_DOUBLE_EQ(timings.MaxMs(), 100.0);
+  EXPECT_DOUBLE_EQ(timings.MeanMs(), 50.5);
+  EXPECT_DOUBLE_EQ(timings.PercentileMs(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(timings.PercentileMs(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(timings.PercentileMs(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(timings.PercentileMs(1.0), 100.0);
+
+  timings.Reset();
+  EXPECT_EQ(timings.runs(), 0u);
+  EXPECT_TRUE(std::isnan(timings.PercentileMs(0.5)));
+}
+
+TEST(RunTimingsTest, SingleSampleEveryPercentile) {
+  RunTimings timings;
+  timings.RecordRunMs(42.0);
+  EXPECT_DOUBLE_EQ(timings.PercentileMs(0.50), 42.0);
+  EXPECT_DOUBLE_EQ(timings.PercentileMs(0.99), 42.0);
+  EXPECT_DOUBLE_EQ(timings.MeanMs(), 42.0);
+}
+
+TEST(RunTimingsTest, ConcurrentRecordsAllLand) {
+  RunTimings timings;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&timings] {
+      for (int i = 0; i < kPerThread; ++i) timings.RecordRunMs(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(timings.runs(), size_t{kThreads} * kPerThread);
+}
+
+TEST(GlobalRunTimingsTest, NullByDefaultAndInstallable) {
+  EXPECT_EQ(GlobalRunTimings(), nullptr);
+  RunTimings timings;
+  SetGlobalRunTimings(&timings);
+  EXPECT_EQ(GlobalRunTimings(), &timings);
+  SetGlobalRunTimings(nullptr);
+  EXPECT_EQ(GlobalRunTimings(), nullptr);
+}
+
+TEST(BenchReportTest, JsonIsValidAndCarriesEveryField) {
+  RunTimings timings;
+  timings.RecordRunMs(10.0);
+  timings.RecordRunMs(20.0);
+  BenchReport report;
+  report.bench = "bench_fig4_wan_decisions";
+  report.jobs = 8;
+  report.hardware_concurrency = 8;
+  report.wall_time_s = 0.5;
+
+  const std::string json = BenchReportJson(report, timings);
+  EXPECT_TRUE(CheckJson(json).ok()) << json;
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"bench\":\"bench_fig4_wan_decisions\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"jobs\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"hardware_concurrency\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"runs\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"runs_per_sec\":"), std::string::npos);
+  EXPECT_NE(json.find("\"run_ms\":{"), std::string::npos);
+  for (const char* field : {"\"mean\":", "\"min\":", "\"max\":", "\"p50\":",
+                            "\"p99\":"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+}
+
+TEST(BenchReportTest, EmptyTimingsStillValidJson) {
+  // No runs recorded (a bench that never hit the harness): percentiles
+  // are NaN, which must serialize as null, not as bare NaN (RFC 8259).
+  RunTimings timings;
+  BenchReport report;
+  report.bench = "empty";
+  const std::string json = BenchReportJson(report, timings);
+  EXPECT_TRUE(CheckJson(json).ok()) << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_NE(json.find("null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsq::exec

@@ -1,0 +1,118 @@
+#include "wsq/exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "wsq/exec/exec_context.h"
+
+namespace wsq::exec {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  pool.Submit([&done] { done.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(done.load(), 1);
+  pool.Submit([&done] { done.fetch_add(1); });
+  pool.Submit([&done] { done.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(done.load(), 3);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedWork) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        done.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran.store(true); });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, TasksActuallyRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> inside{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([&] {
+      const int now = inside.fetch_add(1) + 1;
+      int seen = peak.load();
+      while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      inside.fetch_sub(1);
+    });
+  }
+  pool.Wait();
+  // Even on a single-core host the sleeps overlap, so more than one
+  // task must have been inside the critical region at once.
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(ThreadPoolTest, HardwareConcurrencyIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareConcurrency(), 1);
+}
+
+TEST(ExecContextTest, DefaultJobsStartsAtOneAndClamps) {
+  EXPECT_EQ(DefaultJobs(), 1);
+  SetDefaultJobs(0);
+  EXPECT_EQ(DefaultJobs(), 1);
+  SetDefaultJobs(8);
+  EXPECT_EQ(DefaultJobs(), 8);
+  SetDefaultJobs(1);
+}
+
+TEST(ExecContextTest, ScopedDefaultJobsRestores) {
+  ASSERT_EQ(DefaultJobs(), 1);
+  {
+    ScopedDefaultJobs scoped(6);
+    EXPECT_EQ(DefaultJobs(), 6);
+    {
+      ScopedDefaultJobs inner(2);
+      EXPECT_EQ(DefaultJobs(), 2);
+    }
+    EXPECT_EQ(DefaultJobs(), 6);
+  }
+  EXPECT_EQ(DefaultJobs(), 1);
+}
+
+TEST(ExecContextTest, EffectiveJobsResolvesDefaultAndRunCap) {
+  ScopedDefaultJobs scoped(4);
+  EXPECT_EQ(EffectiveJobs(0, 100), 4);   // 0 -> default
+  EXPECT_EQ(EffectiveJobs(-3, 100), 4);  // negative -> default
+  EXPECT_EQ(EffectiveJobs(8, 100), 8);   // explicit wins
+  EXPECT_EQ(EffectiveJobs(8, 3), 3);     // never more lanes than runs
+  EXPECT_EQ(EffectiveJobs(0, 2), 2);
+  EXPECT_EQ(EffectiveJobs(1, 100), 1);
+}
+
+}  // namespace
+}  // namespace wsq::exec
