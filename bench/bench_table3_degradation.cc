@@ -4,6 +4,8 @@
 // three switching controllers, and the best model-based technique per
 // configuration.
 
+#include <limits>
+
 #include "bench/bench_util.h"
 
 namespace wsq::bench {
@@ -82,11 +84,113 @@ void Run() {
   MaybeDumpCsv(csv, "table3_degradation");
 }
 
+/// Chaos mode (--fault-plan=<name>): re-runs the controller suite with
+/// the named FaultPlan scripted into every run and reports the
+/// *normalized* total time — chaos mean over the controller's own
+/// no-fault mean — per configuration. The resilience policy is
+/// ResilienceConfig::Chaos() with any --max-retries /
+/// --breaker-threshold overrides; a column shows "nan" when the budget
+/// was too shallow to survive the plan (e.g. --max-retries=2 under
+/// "burst" reproduces the pre-resilience failure mode).
+void RunChaos(const BenchSession& session) {
+  Result<FaultPlan> plan_or = FaultPlan::FromName(session.fault_plan());
+  if (!plan_or.ok()) {
+    std::fprintf(stderr, "bad --fault-plan: %s\n",
+                 plan_or.status().ToString().c_str());
+    std::exit(1);
+  }
+  const FaultPlan plan = std::move(plan_or).value();
+  const ResilienceConfig resilience = session.ChaosResilience();
+  if (Status status = resilience.Validate(); !status.ok()) {
+    std::fprintf(stderr, "bad resilience overrides: %s\n",
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+
+  PrintHeader(
+      "Table III (chaos: " + plan.name + ")",
+      "normalized total time (chaos / no-fault, 10 runs each) under fault "
+      "plan '" + plan.name + "', resilience retries=" +
+          std::to_string(resilience.max_retries_per_call) +
+          " breaker_threshold=" +
+          std::to_string(resilience.breaker_threshold),
+      "bounded degradation: every adaptive column close to 1 and below "
+      "3x; the watchdog column matches plain hybrid on well-behaved "
+      "runs");
+
+  const ConfiguredProfile confs[] = {Conf1_1(), Conf1_2(), Conf1_3(),
+                                     Conf2_1(), Conf2_2()};
+  const char* columns[] = {"static 1K", "const. gain", "adapt. gain",
+                           "hybrid", "watchdog(hybrid)"};
+  TextTable per_config({"config", "static 1K", "const. gain", "adapt. gain",
+                        "hybrid", "watchdog(hybrid)"});
+  CsvWriter csv({"config", "column", "normalized_time", "faults_injected",
+                 "breaker_trips", "retries"});
+
+  int64_t total_faults = 0;
+  int64_t total_breaker_trips = 0;
+  int64_t total_retries = 0;
+  for (const ConfiguredProfile& conf : confs) {
+    ProfileBackend backend = ProfileBackend::FromConfiguration(conf);
+    const ControllerFactoryFn factories[] = {
+        FixedFactory(1000),
+        SwitchingFactory(conf, GainMode::kConstant),
+        SwitchingFactory(conf, GainMode::kAdaptive),
+        HybridFactory(conf),
+        WithWatchdog(HybridFactory(conf)),
+    };
+
+    std::vector<double> row;
+    for (size_t i = 0; i < std::size(factories); ++i) {
+      Result<RepeatedRunSummary> baseline =
+          RunRepeated(factories[i], backend, RunSpec{}, 10);
+      if (!baseline.ok()) std::exit(1);
+
+      RunSpec chaos_spec;
+      chaos_spec.fault_plan = &plan;
+      chaos_spec.resilience = &resilience;
+      Result<RepeatedRunSummary> chaos =
+          RunRepeated(factories[i], backend, chaos_spec, 10);
+
+      double normalized = std::numeric_limits<double>::quiet_NaN();
+      if (chaos.ok()) {
+        normalized = chaos.value().total_time_ms.mean() /
+                     baseline.value().total_time_ms.mean();
+        total_faults += chaos.value().faults_injected;
+        total_breaker_trips += chaos.value().breaker_trips;
+        total_retries += chaos.value().total_retries;
+        csv.AddRow({conf.profile->name(), columns[i],
+                    FormatDouble(normalized, 3),
+                    std::to_string(chaos.value().faults_injected),
+                    std::to_string(chaos.value().breaker_trips),
+                    std::to_string(chaos.value().total_retries)});
+      } else {
+        csv.AddRow({conf.profile->name(), columns[i], "nan", "0", "0", "0"});
+      }
+      row.push_back(normalized);
+    }
+    per_config.AddNumericRow(conf.profile->name(), row, 3);
+  }
+
+  std::printf("--- normalized time under '%s' ---\n%s\n", plan.name.c_str(),
+              per_config.ToString().c_str());
+  std::printf(
+      "faults injected: %lld, retried exchanges: %lld, breaker trips: "
+      "%lld\n",
+      static_cast<long long>(total_faults),
+      static_cast<long long>(total_retries),
+      static_cast<long long>(total_breaker_trips));
+  MaybeDumpCsv(csv, "table3_chaos_" + plan.name);
+}
+
 }  // namespace
 }  // namespace wsq::bench
 
 int main(int argc, char** argv) {
   wsq::bench::BenchSession session(argc, argv);
   wsq::bench::Run();
+  if (!session.fault_plan().empty() && session.fault_plan() != "none") {
+    wsq::bench::RunChaos(session);
+  }
   return 0;
 }

@@ -26,6 +26,14 @@ namespace wsq::bench {
 ///                          (.json / .csv by extension, else text)
 ///   --trace-out=<path>     write the run trace at exit
 ///                          (.jsonl for JSONL, else Chrome trace JSON)
+///   --fault-plan=<name>    chaos mode for benches that support it: a
+///                          FaultPlan preset ("burst", "latency",
+///                          "flaky", ...; "none" = off) scripted into
+///                          every run
+///   --max-retries=<N>      override the chaos ResilienceConfig's retry
+///                          budget (only meaningful with --fault-plan)
+///   --breaker-threshold=<K> override the chaos circuit-breaker
+///                          threshold; 0 disables the breaker
 ///
 /// (all also accept the two-token "--flag path" form; other arguments
 /// are ignored). When an observability flag is present a RunObserver
@@ -40,11 +48,22 @@ class BenchSession {
       : bench_name_(Basename(argc > 0 ? argv[0] : "bench")),
         start_(std::chrono::steady_clock::now()) {
     std::string jobs_text;
+    std::string max_retries_text;
+    std::string breaker_text;
     for (int i = 1; i < argc; ++i) {
       ParseFlag(argc, argv, &i, "--metrics-out", &metrics_path_);
       ParseFlag(argc, argv, &i, "--trace-out", &trace_path_);
       ParseFlag(argc, argv, &i, "--bench-json", &bench_json_path_);
       ParseFlag(argc, argv, &i, "--jobs", &jobs_text);
+      ParseFlag(argc, argv, &i, "--fault-plan", &fault_plan_);
+      ParseFlag(argc, argv, &i, "--max-retries", &max_retries_text);
+      ParseFlag(argc, argv, &i, "--breaker-threshold", &breaker_text);
+    }
+    if (!max_retries_text.empty()) {
+      max_retries_ = std::atoi(max_retries_text.c_str());
+    }
+    if (!breaker_text.empty()) {
+      breaker_threshold_ = std::atoi(breaker_text.c_str());
     }
     jobs_ = jobs_text.empty() ? exec::ThreadPool::HardwareConcurrency()
                               : std::atoi(jobs_text.c_str());
@@ -100,6 +119,21 @@ class BenchSession {
 
   int jobs() const { return jobs_; }
 
+  /// Chaos flags. fault_plan() is empty (or "none") when chaos mode is
+  /// off; max_retries()/breaker_threshold() are -1 when not overridden.
+  const std::string& fault_plan() const { return fault_plan_; }
+  int max_retries() const { return max_retries_; }
+  int breaker_threshold() const { return breaker_threshold_; }
+
+  /// The resilience configuration the chaos flags describe: Chaos()
+  /// with any --max-retries / --breaker-threshold overrides applied.
+  ResilienceConfig ChaosResilience() const {
+    ResilienceConfig config = ResilienceConfig::Chaos();
+    if (max_retries_ >= 0) config.max_retries_per_call = max_retries_;
+    if (breaker_threshold_ >= 0) config.breaker_threshold = breaker_threshold_;
+    return config;
+  }
+
  private:
   static std::string Basename(const std::string& path) {
     const size_t slash = path.find_last_of('/');
@@ -139,6 +173,9 @@ class BenchSession {
   std::string metrics_path_;
   std::string trace_path_;
   std::string bench_json_path_;
+  std::string fault_plan_;
+  int max_retries_ = -1;
+  int breaker_threshold_ = -1;
   std::unique_ptr<exec::RunTimings> timings_;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<RunObserver> observer_;

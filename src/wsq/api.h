@@ -16,7 +16,11 @@
 ///    backend-generic repeated-run harness;
 ///  * the parallel experiment engine (wsq/exec): a fixed ThreadPool and
 ///    run-lane fan-out with deterministic per-run seeding, so repeated
-///    runs scale across cores with byte-identical figure output.
+///    runs scale across cores with byte-identical figure output;
+///  * the fault-injection & resilience layer (wsq/fault): scripted
+///    FaultPlans honored identically by every backend, plus the
+///    backoff/deadline/circuit-breaker ResiliencePolicy and the
+///    controller divergence watchdog (wsq/control/watchdog_controller).
 ///
 /// See examples/quickstart.cc for the 30-line tour.
 
@@ -46,12 +50,17 @@
 #include "wsq/control/model_based_controller.h"
 #include "wsq/control/self_tuning_controller.h"
 #include "wsq/control/switching_controller.h"
+#include "wsq/control/watchdog_controller.h"
 #include "wsq/eventsim/event_sim.h"
 #include "wsq/eventsim/ps_server.h"
 #include "wsq/exec/bench_report.h"
 #include "wsq/exec/exec_context.h"
 #include "wsq/exec/parallel_runner.h"
 #include "wsq/exec/thread_pool.h"
+#include "wsq/fault/exchange_player.h"
+#include "wsq/fault/fault_injector.h"
+#include "wsq/fault/fault_plan.h"
+#include "wsq/fault/resilience_policy.h"
 #include "wsq/linalg/least_squares.h"
 #include "wsq/linalg/matrix.h"
 #include "wsq/linalg/rls.h"

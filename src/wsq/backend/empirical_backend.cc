@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "wsq/backend/run_stats.h"
+#include "wsq/fault/fault_injector.h"
 
 namespace wsq {
 
@@ -32,9 +34,26 @@ Result<RunTrace> EmpiricalBackend::RunQueryKeepingTuples(
 
   EmpiricalSetup run_setup = setup_;
   if (spec.seed != 0) run_setup.seed = spec.seed;
+  const uint64_t run_seed = run_setup.seed;
   Result<std::unique_ptr<QuerySession>> session =
       QuerySession::Create(std::move(run_setup));
   if (!session.ok()) return session.status();
+
+  // Chaos layer: both streams derive from the *effective* run seed, so
+  // parallel lanes (seed = base + run * 104729) replay the identical
+  // fault sequence as the serial path — and as the other backends.
+  std::optional<FaultInjector> injector;
+  std::optional<ResiliencePolicy> policy;
+  if (spec.fault_plan != nullptr && !spec.fault_plan->empty()) {
+    WSQ_RETURN_IF_ERROR(spec.fault_plan->Validate());
+    injector.emplace(*spec.fault_plan, run_seed);
+  }
+  if (injector.has_value() || spec.resilience != nullptr) {
+    const ResilienceConfig resilience =
+        spec.resilience != nullptr ? *spec.resilience : ResilienceConfig{};
+    WSQ_RETURN_IF_ERROR(resilience.Validate());
+    policy.emplace(resilience, run_seed);
+  }
 
   RunObserver* observer = ResolveObserver(spec);
   if (observer != nullptr) {
@@ -44,8 +63,9 @@ Result<RunTrace> EmpiricalBackend::RunQueryKeepingTuples(
         session.value()->clock().NowMicros(),
         setup_.load.concurrent_jobs + setup_.load.concurrent_queries);
   }
-  Result<FetchOutcome> outcome =
-      session.value()->Execute(controller, rows, observer);
+  Result<FetchOutcome> outcome = session.value()->Execute(
+      controller, rows, observer, policy.has_value() ? &*policy : nullptr,
+      injector.has_value() ? &*injector : nullptr);
   if (!outcome.ok()) return outcome.status();
   const FetchOutcome& fetch = outcome.value();
 
@@ -56,6 +76,10 @@ Result<RunTrace> EmpiricalBackend::RunQueryKeepingTuples(
   trace.total_blocks = fetch.total_blocks;
   trace.total_tuples = fetch.total_tuples;
   trace.total_retries = fetch.retries;
+  trace.session_retries = fetch.session_retries;
+  trace.total_retry_time_ms = fetch.retry_time_ms;
+  if (injector.has_value()) trace.fault_log = injector->log();
+  if (policy.has_value()) trace.breaker_trips = policy->breaker_trips();
   trace.steps.reserve(fetch.trace.size());
   for (const BlockTrace& block : fetch.trace) {
     RunStep step;

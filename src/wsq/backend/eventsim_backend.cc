@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 
 #include "wsq/backend/run_stats.h"
+#include "wsq/fault/fault_injector.h"
 
 namespace wsq {
 
@@ -37,11 +39,29 @@ Result<RunTrace> EventSimBackend::RunQuery(Controller* controller,
   // controllers owned for the duration of the run.
   RunObserver* observer = ResolveObserver(spec);
 
+  // Chaos layer: only the tracked client sees faults. Both streams
+  // derive from the *effective* run seed, so parallel lanes (seed =
+  // base + run * 104729) replay the identical fault sequence.
+  std::optional<FaultInjector> injector;
+  std::optional<ResiliencePolicy> policy;
+  if (spec.fault_plan != nullptr && !spec.fault_plan->empty()) {
+    WSQ_RETURN_IF_ERROR(spec.fault_plan->Validate());
+    injector.emplace(*spec.fault_plan, run_config.seed);
+  }
+  if (injector.has_value() || spec.resilience != nullptr) {
+    const ResilienceConfig resilience =
+        spec.resilience != nullptr ? *spec.resilience : ResilienceConfig{};
+    WSQ_RETURN_IF_ERROR(resilience.Validate());
+    policy.emplace(resilience, run_config.seed);
+  }
+
   std::vector<std::unique_ptr<Controller>> background_controllers;
   std::vector<ClientSpec> clients;
   // Only the tracked foreground client is observed; the background fleet
   // exists to generate load, not data.
-  clients.push_back({dataset_tuples_, controller, start_time_ms_, observer});
+  clients.push_back({dataset_tuples_, controller, start_time_ms_, observer,
+                     injector.has_value() ? &*injector : nullptr,
+                     policy.has_value() ? &*policy : nullptr});
   for (const BackgroundClientSpec& spec_bg : background_) {
     if (!spec_bg.make_controller) {
       return Status::InvalidArgument(
@@ -68,6 +88,10 @@ Result<RunTrace> EventSimBackend::RunQuery(Controller* controller,
   trace.total_time_ms = tracked.response_time_ms;
   trace.total_blocks = tracked.total_blocks;
   trace.total_tuples = tracked.total_tuples;
+  trace.total_retries = tracked.total_retries;
+  trace.total_retry_time_ms = tracked.retry_time_ms;
+  if (injector.has_value()) trace.fault_log = injector->log();
+  if (policy.has_value()) trace.breaker_trips = policy->breaker_trips();
   trace.steps.reserve(tracked.block_sizes.size());
   for (size_t i = 0; i < tracked.block_sizes.size(); ++i) {
     RunStep step;
@@ -84,6 +108,9 @@ Result<RunTrace> EventSimBackend::RunQuery(Controller* controller,
     }
     if (i < tracked.adaptivity_steps.size()) {
       step.adaptivity_step = tracked.adaptivity_steps[i];
+    }
+    if (i < tracked.block_retries.size()) {
+      step.retries = tracked.block_retries[i];
     }
     trace.steps.push_back(step);
   }

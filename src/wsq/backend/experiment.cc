@@ -55,6 +55,10 @@ Result<RepeatedRunSummary> RunMany(const ControllerFactoryFn& make_controller,
   decisions.reserve(static_cast<size_t>(runs));
   for (const RunTrace& trace : traces.value()) {
     summary.total_time_ms.Add(trace.total_time_ms);
+    summary.total_retries += trace.total_retries;
+    summary.retry_time_ms.Add(trace.total_retry_time_ms);
+    summary.faults_injected += static_cast<int64_t>(trace.fault_log.size());
+    summary.breaker_trips += trace.breaker_trips;
     std::vector<int64_t> run_decisions = trace.RequestedSizes();
     if (!run_decisions.empty()) {
       summary.final_block_size.Add(
@@ -77,6 +81,17 @@ Result<RepeatedRunSummary> RunRepeated(
     const ControllerFactoryFn& make_controller, QueryBackend& backend,
     int runs, uint64_t base_seed) {
   return RunMany(make_controller, backend, RunSpec{}, runs, base_seed);
+}
+
+Result<RepeatedRunSummary> RunRepeated(
+    const ControllerFactoryFn& make_controller, QueryBackend& backend,
+    const RunSpec& proto_spec, int runs, uint64_t base_seed) {
+  if (proto_spec.is_schedule()) {
+    return Status::InvalidArgument(
+        "RunRepeated: proto_spec carries a schedule; use "
+        "RunRepeatedSchedule");
+  }
+  return RunMany(make_controller, backend, proto_spec, runs, base_seed);
 }
 
 Result<RepeatedRunSummary> RunRepeatedSchedule(

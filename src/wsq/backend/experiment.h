@@ -25,6 +25,13 @@ struct RepeatedRunSummary {
   /// Final block size at the end of each run.
   RunningStats final_block_size;
 
+  /// Chaos aggregates across runs (all zero without a fault plan):
+  /// retried exchanges, their dead time, injected faults, breaker trips.
+  int64_t total_retries = 0;
+  RunningStats retry_time_ms;
+  int64_t faults_injected = 0;
+  int64_t breaker_trips = 0;
+
   /// total_time mean divided by `optimum_ms` — the paper's normalized
   /// response time (1.0 = post-mortem optimum).
   double NormalizedMean(double optimum_ms) const;
@@ -43,6 +50,16 @@ struct RepeatedRunSummary {
 /// per-run seeds and the fold order never depend on it.
 Result<RepeatedRunSummary> RunRepeated(const ControllerFactoryFn& make_controller,
                                        QueryBackend& backend, int runs,
+                                       uint64_t base_seed = 1);
+
+/// Same, but `proto_spec` seeds every per-run RunSpec — the way to
+/// thread a FaultPlan / ResilienceConfig (or an observer) through
+/// repeated runs. Per-run seeds still derive from `base_seed`;
+/// proto_spec.seed is ignored. Schedule fields must be unset (use
+/// RunRepeatedSchedule). Pointed-to plan/config must outlive the call.
+Result<RepeatedRunSummary> RunRepeated(const ControllerFactoryFn& make_controller,
+                                       QueryBackend& backend,
+                                       const RunSpec& proto_spec, int runs,
                                        uint64_t base_seed = 1);
 
 /// Same but over a profile schedule of fixed total steps (Fig. 8);

@@ -1,6 +1,7 @@
 #include "wsq/backend/profile_backend.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "wsq/backend/run_stats.h"
 
@@ -17,6 +18,8 @@ RunTrace TraceFromSimResult(const SimRunResult& sim, int64_t dataset_tuples,
   trace.total_time_ms = sim.total_time_ms;
   trace.total_blocks = sim.total_blocks;
   trace.total_tuples = sim.total_tuples;
+  trace.total_retries = sim.total_retries;
+  trace.total_retry_time_ms = sim.retry_time_ms;
   trace.steps.reserve(sim.steps.size());
   int64_t remaining = dataset_tuples;
   for (const SimStep& sim_step : sim.steps) {
@@ -31,6 +34,7 @@ RunTrace TraceFromSimResult(const SimRunResult& sim, int64_t dataset_tuples,
     step.block_time_ms =
         sim_step.per_tuple_ms * static_cast<double>(step.received_tuples);
     step.adaptivity_step = sim_step.adaptivity_steps;
+    step.retries = sim_step.retries;
     if (dataset_tuples >= 0) remaining -= step.received_tuples;
     trace.steps.push_back(step);
   }
@@ -75,6 +79,24 @@ Result<RunTrace> ProfileBackend::RunQuery(Controller* controller,
   engine.set_observer(observer);
   engine.set_sim_time_micros(obs_time_cursor_micros_);
 
+  // Chaos layer: both the injector and the policy derive their streams
+  // from the *effective* run seed, so parallel lanes (seed = base +
+  // run * 104729) replay the identical fault sequence as the serial path.
+  std::optional<FaultInjector> injector;
+  std::optional<ResiliencePolicy> policy;
+  if (spec.fault_plan != nullptr && !spec.fault_plan->empty()) {
+    WSQ_RETURN_IF_ERROR(spec.fault_plan->Validate());
+    injector.emplace(*spec.fault_plan, run_options.seed);
+  }
+  if (injector.has_value() || spec.resilience != nullptr) {
+    const ResilienceConfig config =
+        spec.resilience != nullptr ? *spec.resilience : ResilienceConfig{};
+    WSQ_RETURN_IF_ERROR(config.Validate());
+    policy.emplace(config, run_options.seed);
+  }
+  engine.set_fault_injection(injector.has_value() ? &*injector : nullptr,
+                             policy.has_value() ? &*policy : nullptr);
+
   if (spec.is_schedule()) {
     Result<SimRunResult> result = engine.RunSchedule(
         controller, spec.schedule, spec.steps_per_profile, spec.total_steps);
@@ -82,6 +104,8 @@ Result<RunTrace> ProfileBackend::RunQuery(Controller* controller,
     obs_time_cursor_micros_ = engine.sim_time_micros();
     RunTrace trace =
         TraceFromSimResult(result.value(), /*dataset_tuples=*/-1, *controller);
+    if (injector.has_value()) trace.fault_log = injector->log();
+    if (policy.has_value()) trace.breaker_trips = policy->breaker_trips();
     ObserveRunSummary(observer, trace);
     return trace;
   }
@@ -95,6 +119,8 @@ Result<RunTrace> ProfileBackend::RunQuery(Controller* controller,
   obs_time_cursor_micros_ = engine.sim_time_micros();
   RunTrace trace = TraceFromSimResult(result.value(),
                                       profile_->dataset_tuples(), *controller);
+  if (injector.has_value()) trace.fault_log = injector->log();
+  if (policy.has_value()) trace.breaker_trips = policy->breaker_trips();
   ObserveRunSummary(observer, trace);
   return trace;
 }

@@ -9,6 +9,8 @@
 #include "wsq/backend/run_trace.h"
 #include "wsq/common/status.h"
 #include "wsq/control/controller.h"
+#include "wsq/fault/fault_plan.h"
+#include "wsq/fault/resilience_policy.h"
 #include "wsq/obs/run_observer.h"
 #include "wsq/sim/profile.h"
 
@@ -37,6 +39,19 @@ struct RunSpec {
   std::vector<const ResponseProfile*> schedule;
   int64_t steps_per_profile = 0;
   int64_t total_steps = 0;
+
+  /// Scripted chaos for this run, honored by every backend: the plan is
+  /// replayed by a per-run FaultInjector seeded from (plan.seed, the
+  /// effective run seed), so repeated-run harnesses and parallel lanes
+  /// replay identical fault sequences. Null (the default) = no faults.
+  /// Not owned; must outlive the run.
+  const FaultPlan* fault_plan = nullptr;
+
+  /// Resilience policy configuration for this run's pull loop (retry
+  /// budget, backoff, deadlines, circuit breaker). Null = the legacy
+  /// behavior (ResilienceConfig defaults: 2 retries, no backoff, no
+  /// breaker). Not owned; must outlive the run.
+  const ResilienceConfig* resilience = nullptr;
 
   bool is_schedule() const { return total_steps > 0; }
 };

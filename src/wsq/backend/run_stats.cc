@@ -12,6 +12,10 @@ RunStats RunStats::FromTrace(const RunTrace& trace) {
   stats.total_blocks = trace.total_blocks;
   stats.total_tuples = trace.total_tuples;
   stats.total_retries = trace.total_retries;
+  stats.session_retries = trace.session_retries;
+  stats.retry_time_ms = trace.total_retry_time_ms;
+  stats.faults_injected = static_cast<int64_t>(trace.fault_log.size());
+  stats.breaker_trips = trace.breaker_trips;
 
   double block_time_sum = 0.0;
   for (const RunStep& step : trace.steps) {
@@ -39,6 +43,10 @@ StateSnapshot RunStats::ToSnapshot() const {
   snapshot.Add("total_blocks", total_blocks);
   snapshot.Add("total_tuples", total_tuples);
   snapshot.Add("total_retries", total_retries);
+  snapshot.Add("session_retries", session_retries);
+  snapshot.Add("retry_time_ms", retry_time_ms);
+  snapshot.Add("faults_injected", faults_injected);
+  snapshot.Add("breaker_trips", breaker_trips);
   snapshot.Add("adaptivity_steps", adaptivity_steps);
   snapshot.Add("dead_time_ms", dead_time_ms);
   snapshot.Add("throughput_tuples_per_s", throughput_tuples_per_s);
@@ -52,6 +60,13 @@ void RunStats::RecordTo(MetricsRegistry& registry) const {
   registry.GetCounter("wsq.run.runs_total")->Increment();
   registry.GetCounter("wsq.run.tuples_total")->Increment(total_tuples);
   registry.GetCounter("wsq.run.retries_total")->Increment(total_retries);
+  registry.GetCounter("wsq.run.session_retries_total")
+      ->Increment(session_retries);
+  registry.GetCounter("wsq.run.faults_injected_total")
+      ->Increment(faults_injected);
+  registry.GetCounter("wsq.run.breaker_trips_total")
+      ->Increment(breaker_trips);
+  registry.GetHistogram("wsq.run.retry_time_ms")->Record(retry_time_ms);
   registry.GetHistogram("wsq.run.total_time_ms")->Record(total_time_ms);
   registry.GetHistogram("wsq.run.dead_time_ms")->Record(dead_time_ms);
   registry.GetHistogram("wsq.run.throughput_tuples_per_s")

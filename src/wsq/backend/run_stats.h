@@ -24,6 +24,14 @@ struct RunStats {
   int64_t total_blocks = 0;
   int64_t total_tuples = 0;
   int64_t total_retries = 0;
+  /// Subset of total_retries spent on session open/close exchanges.
+  int64_t session_retries = 0;
+  /// Dead time of retried exchanges (timeouts, fault costs, backoff).
+  double retry_time_ms = 0.0;
+  /// Faults the chaos layer injected (0 without a fault plan).
+  int64_t faults_injected = 0;
+  /// Times the resilience policy's circuit breaker opened.
+  int64_t breaker_trips = 0;
   /// Adaptivity steps the controller completed over the whole run.
   int64_t adaptivity_steps = 0;
   /// End-to-end time not attributable to any block (session open/close,

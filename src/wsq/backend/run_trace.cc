@@ -49,13 +49,37 @@ Status RunTrace::CheckConsistent() const {
   if (tuples != total_tuples) {
     return Status::Internal("RunTrace: per-step tuples != total_tuples");
   }
-  if (retries > total_retries) {
-    return Status::Internal("RunTrace: per-step retries exceed total");
+  if (session_retries < 0) {
+    return Status::Internal("RunTrace: negative session_retries");
   }
-  // Session management and retry timeouts may add dead time on top of
-  // the blocks, but never the other way around (allow rounding slack).
-  if (block_time > total_time_ms * (1.0 + 1e-9) + 1e-6) {
-    return Status::Internal("RunTrace: block time exceeds total time");
+  if (retries + session_retries != total_retries) {
+    return Status::Internal(
+        "RunTrace: step retries + session_retries != total_retries");
+  }
+  if (total_retry_time_ms < 0.0) {
+    return Status::Internal("RunTrace: negative total_retry_time_ms");
+  }
+  if (breaker_trips < 0) {
+    return Status::Internal("RunTrace: negative breaker_trips");
+  }
+  int64_t last_fault_block = -1;
+  for (const InjectedFault& fault : fault_log) {
+    if (fault.block_index < 0) {
+      return Status::Internal("RunTrace: fault_log block_index < 0");
+    }
+    if (fault.block_index < last_fault_block) {
+      return Status::Internal("RunTrace: fault_log not in injection order");
+    }
+    last_fault_block = fault.block_index;
+  }
+  // The retry-time accounting invariant (see total_retry_time_ms):
+  // completed-block time plus retry dead time never exceeds the
+  // end-to-end total; session management may add more dead time on top,
+  // but never the other way around (allow rounding slack).
+  if (block_time + total_retry_time_ms >
+      total_time_ms * (1.0 + 1e-9) + 1e-6) {
+    return Status::Internal(
+        "RunTrace: block time + retry time exceeds total time");
   }
   return Status::Ok();
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "wsq/common/status.h"
+#include "wsq/fault/fault_plan.h"
 
 namespace wsq {
 
@@ -27,8 +28,10 @@ struct RunStep {
   double per_tuple_ms = 0.0;
   /// Wall time of the block: request issued -> response folded in (ms).
   double block_time_ms = 0.0;
-  /// Calls retried after simulated timeouts while fetching this block
-  /// (only the empirical stack injects failures today).
+  /// Calls retried after failed exchanges (organic link drops or
+  /// injected faults) while fetching this block. Block-only: session
+  /// open/close retries are attributed to RunTrace::session_retries,
+  /// never to a step.
   int64_t retries = 0;
   /// Controller adaptivity steps completed *after* this block was folded
   /// in; lets analysis group blocks by adaptivity step. Fixed-size
@@ -49,7 +52,30 @@ struct RunTrace {
   double total_time_ms = 0.0;
   int64_t total_blocks = 0;
   int64_t total_tuples = 0;
+  /// All retried exchanges of the run: block retries plus session
+  /// retries. Invariant (CheckConsistent): the sum of per-step
+  /// `retries` plus `session_retries` equals this exactly.
   int64_t total_retries = 0;
+  /// Retries of the session open/close calls (empirical stack only;
+  /// the simulated backends have no session exchanges and report 0).
+  int64_t session_retries = 0;
+  /// Dead time of all failed exchanges and backoff waits (ms).
+  ///
+  /// Retry-time accounting invariant, identical across backends: a
+  /// failed exchange costs its (deadline-capped) timeout plus any
+  /// backoff, charged to `total_time_ms` and to this field — but to no
+  /// step's `block_time_ms`, which times only the completed exchange.
+  /// Hence `sum(block_time_ms) + total_retry_time_ms <= total_time_ms`
+  /// (CheckConsistent), with equality on backends that have no other
+  /// dead time between blocks.
+  double total_retry_time_ms = 0.0;
+  /// Times the resilience policy's circuit breaker tripped open.
+  int64_t breaker_trips = 0;
+  /// Faults the chaos layer injected, in injection order — the artifact
+  /// the conformance suite compares across backends: for a shared
+  /// deterministic FaultPlan all three backends must log the identical
+  /// sequence. Empty when the run had no fault plan.
+  std::vector<InjectedFault> fault_log;
   std::vector<RunStep> steps;
 
   /// Commanded block size per step, in order — the y-series behind the

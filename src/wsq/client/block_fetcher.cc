@@ -2,31 +2,90 @@
 
 #include <algorithm>
 
+#include "wsq/fault/exchange_player.h"
 #include "wsq/relation/tuple_serializer.h"
 #include "wsq/soap/envelope.h"
 #include "wsq/soap/message.h"
 
 namespace wsq {
 
-Result<CallResult> BlockFetcher::CallWithRetry(const std::string& document,
-                                               FetchOutcome* outcome) {
-  Result<CallResult> call = client_->Call(document);
-  int attempts = 0;
-  while (!call.ok() && call.status().code() == StatusCode::kUnavailable &&
-         attempts < max_retries_per_call_) {
-    // A timed-out exchange costs its timeout; the accounting lands on
-    // the total (retries are dead time, not a property of the block
-    // size the controller is probing).
-    const double timeout_ms = client_->link().config().timeout_ms;
-    outcome->total_time_ms += timeout_ms;
-    ++outcome->retries;
-    ++attempts;
-    if (observer_ != nullptr) {
-      observer_->OnRetry(client_->clock()->NowMicros(), timeout_ms);
-    }
-    call = client_->Call(document);
+bool BlockFetcher::NoteFailure(double attempt_cost_ms, bool session_call,
+                               int* attempts, FetchOutcome* outcome) {
+  if (policy_ != nullptr) {
+    policy_->OnExchangeFailure();
+    EmitBreakerTransitions(policy_, observer_,
+                           client_->clock()->NowMicros());
   }
-  return call;
+  if (*attempts >= max_retries_per_call_) return false;
+  ++*attempts;
+  ++outcome->retries;
+  if (session_call) ++outcome->session_retries;
+  // A failed exchange costs its (capped) attempt time plus backoff; the
+  // accounting lands on the total and the retry pool, never on a block
+  // (retries are dead time, not a property of the block size the
+  // controller is probing).
+  double dead_ms = attempt_cost_ms;
+  if (policy_ != nullptr) {
+    const double backoff_ms = policy_->BackoffMs(*attempts);
+    if (backoff_ms > 0.0) client_->AdvanceClockMs(backoff_ms);
+    dead_ms += backoff_ms;
+  }
+  outcome->total_time_ms += dead_ms;
+  outcome->retry_time_ms += dead_ms;
+  if (observer_ != nullptr) {
+    observer_->OnRetry(client_->clock()->NowMicros(), attempt_cost_ms);
+  }
+  return true;
+}
+
+Result<CallResult> BlockFetcher::CallWithRetry(const std::string& document,
+                                               int64_t block_index,
+                                               int64_t block_size,
+                                               FetchOutcome* outcome) {
+  const bool session_call = block_index < 0;
+  int attempts = 0;
+  while (true) {
+    // Scripted faults fire ahead of the wire (block calls only — the
+    // plan addresses faults by block index); their capped cost is
+    // charged to the simulated clock exactly like a link timeout.
+    if (injector_ != nullptr && !session_call) {
+      const AttemptFault fault = injector_->NextAttempt(
+          block_index,
+          static_cast<double>(client_->clock()->NowMicros()) / 1000.0);
+      if (fault.faulted) {
+        double cost_ms = fault.cost_ms;
+        if (policy_ != nullptr) {
+          cost_ms = policy_->CapCostMs(cost_ms, block_size);
+        }
+        if (observer_ != nullptr) {
+          observer_->OnFaultInjected(client_->clock()->NowMicros(),
+                                     FaultKindName(fault.kind), block_index,
+                                     cost_ms);
+        }
+        client_->AdvanceClockMs(cost_ms);
+        if (!NoteFailure(cost_ms, session_call, &attempts, outcome)) {
+          return Status::Unavailable(
+              "injected faults exhausted the retry budget at block " +
+              std::to_string(block_index));
+        }
+        continue;
+      }
+    }
+    Result<CallResult> call = client_->Call(document);
+    if (call.ok() || call.status().code() != StatusCode::kUnavailable) {
+      if (call.ok() && policy_ != nullptr) {
+        policy_->OnExchangeSuccess();
+        EmitBreakerTransitions(policy_, observer_,
+                               client_->clock()->NowMicros());
+      }
+      return call;
+    }
+    // Link drop: WsClient already charged the timeout to the clock.
+    if (!NoteFailure(client_->link().config().timeout_ms, session_call,
+                     &attempts, outcome)) {
+      return call;
+    }
+  }
 }
 
 Result<FetchOutcome> BlockFetcher::Run(const ScanProjectQuery& query,
@@ -41,8 +100,8 @@ Result<FetchOutcome> BlockFetcher::Run(const ScanProjectQuery& query,
   open.columns = query.projected_columns;
   open.filter = query.filter;
   const int64_t open_started = clock->NowMicros();
-  Result<CallResult> open_call =
-      CallWithRetry(EncodeOpenSession(open), &outcome);
+  Result<CallResult> open_call = CallWithRetry(
+      EncodeOpenSession(open), FaultInjector::kSessionCall, 0, &outcome);
   if (!open_call.ok()) return open_call.status();
   if (observer_ != nullptr) {
     observer_->OnSessionOpen(open_started,
@@ -64,11 +123,36 @@ Result<FetchOutcome> BlockFetcher::Run(const ScanProjectQuery& query,
 
     // t1 .. t2 around the call (Algorithm 1); the simulated clock makes
     // elapsed_ms exactly the charged time.
+    const int64_t block_index = outcome.total_blocks;
     const int64_t retries_before = outcome.retries;
     const int64_t t1 = clock->NowMicros();
-    Result<CallResult> call =
-        CallWithRetry(EncodeRequestBlock(request), &outcome);
+    Result<CallResult> call = CallWithRetry(EncodeRequestBlock(request),
+                                            block_index, block_size, &outcome);
     if (!call.ok()) return call.status();
+
+    double elapsed_ms = call.value().elapsed_ms;
+    if (injector_ != nullptr) {
+      // Success perturbations (latency spikes, server stalls) inflate
+      // the completed exchange in place: their extra time is charged to
+      // the clock and rides inside the block span, so the controller
+      // observes the perturbed cost like any other measurement.
+      const SuccessPerturbation perturbation = injector_->OnSuccess(
+          block_index, static_cast<double>(clock->NowMicros()) / 1000.0);
+      if (perturbation.active()) {
+        const double extra_ms =
+            perturbation.Apply(elapsed_ms) - elapsed_ms;
+        if (extra_ms > 0.0) client_->AdvanceClockMs(extra_ms);
+        elapsed_ms += extra_ms;
+        if (observer_ != nullptr) {
+          observer_->OnFaultInjected(
+              clock->NowMicros(),
+              perturbation.stall_ms > 0.0
+                  ? FaultKindName(FaultKind::kServerStall)
+                  : FaultKindName(FaultKind::kLatencySpike),
+              block_index, 0.0);
+        }
+      }
+    }
     const int64_t t2 = clock->NowMicros();
     Result<XmlNode> payload = ParseEnvelope(call.value().response);
     if (!payload.ok()) return payload.status();
@@ -91,15 +175,15 @@ Result<FetchOutcome> BlockFetcher::Run(const ScanProjectQuery& query,
     }
 
     BlockTrace trace;
-    trace.block_index = outcome.total_blocks;
+    trace.block_index = block_index;
     trace.requested_size = block_size;
     trace.received_tuples = block.value().num_tuples;
-    trace.response_time_ms = call.value().elapsed_ms;
+    trace.response_time_ms = elapsed_ms;
     trace.retries = outcome.retries - retries_before;
 
     outcome.total_tuples += block.value().num_tuples;
     outcome.total_blocks += 1;
-    outcome.total_time_ms += call.value().elapsed_ms;
+    outcome.total_time_ms += elapsed_ms;
 
     if (serializer != nullptr && keep_tuples != nullptr &&
         !block.value().payload.empty()) {
@@ -115,10 +199,15 @@ Result<FetchOutcome> BlockFetcher::Run(const ScanProjectQuery& query,
     // different block sizes are comparable (see Controller::NextBlockSize).
     const double tuples = static_cast<double>(
         std::max<int64_t>(block.value().num_tuples, 1));
-    const double per_tuple_ms = call.value().elapsed_ms / tuples;
+    const double per_tuple_ms = elapsed_ms / tuples;
     block_size = controller_->NextBlockSize(per_tuple_ms);
     trace.adaptivity_steps = controller_->adaptivity_steps();
     outcome.trace.push_back(trace);
+    if (policy_ != nullptr) {
+      // An open breaker overrides the controller with the conservative
+      // fallback size until the cooldown admits a half-open probe.
+      block_size = policy_->GovernNextSize(block_size);
+    }
 
     if (observer_ != nullptr) {
       observer_->OnBlock(t1, t2 - t1, trace.requested_size,
@@ -136,8 +225,8 @@ Result<FetchOutcome> BlockFetcher::Run(const ScanProjectQuery& query,
   CloseSessionRequest close;
   close.session_id = session_id;
   const int64_t close_started = clock->NowMicros();
-  Result<CallResult> close_call =
-      CallWithRetry(EncodeCloseSession(close), &outcome);
+  Result<CallResult> close_call = CallWithRetry(
+      EncodeCloseSession(close), FaultInjector::kSessionCall, 0, &outcome);
   if (!close_call.ok()) return close_call.status();
   if (observer_ != nullptr) {
     observer_->OnSessionClose(close_started,

@@ -8,6 +8,8 @@
 #include "wsq/client/ws_client.h"
 #include "wsq/common/status.h"
 #include "wsq/control/controller.h"
+#include "wsq/fault/fault_injector.h"
+#include "wsq/fault/resilience_policy.h"
 #include "wsq/obs/run_observer.h"
 #include "wsq/relation/query.h"
 #include "wsq/relation/tuple.h"
@@ -36,8 +38,18 @@ struct FetchOutcome {
   /// End-to-end response time: sum of all per-block times (the client is
   /// otherwise idle — pure pull mode). Includes retry timeouts.
   double total_time_ms = 0.0;
-  /// Calls retried after a simulated link timeout.
+  /// Calls retried after a simulated link timeout or an injected fault
+  /// (block calls AND session open/close calls).
   int64_t retries = 0;
+  /// Subset of `retries` spent on session open/close exchanges — there
+  /// is no block to attribute them to, so per-block BlockTrace.retries
+  /// covers exactly `retries - session_retries`.
+  int64_t session_retries = 0;
+  /// Dead time of every retried exchange (link timeouts, capped injected
+  /// fault costs, backoff), included in total_time_ms but in no block's
+  /// response_time_ms — the cross-backend retry accounting invariant
+  /// (see run_trace.h).
+  double retry_time_ms = 0.0;
   std::vector<BlockTrace> trace;
 };
 
@@ -65,6 +77,22 @@ class BlockFetcher {
         max_retries_per_call_(max_retries_per_call),
         observer_(observer) {}
 
+  /// Chaos-enabled fetcher: `policy` replaces the fixed retry budget
+  /// (backoff between attempts, per-call deadlines capping injected
+  /// fault costs, circuit breaker governing commanded block sizes) and
+  /// `injector` scripts faults ahead of the wire, addressed by block
+  /// index on the session's simulated clock. Either may be null; both
+  /// must outlive the fetcher and are not owned.
+  BlockFetcher(WsClient* client, Controller* controller,
+               ResiliencePolicy* policy, FaultInjector* injector,
+               RunObserver* observer = nullptr)
+      : client_(client),
+        controller_(controller),
+        max_retries_per_call_(policy != nullptr ? policy->max_retries() : 2),
+        observer_(observer),
+        policy_(policy),
+        injector_(injector) {}
+
   /// Runs the full fetch loop for `query`. When both `serializer` (built
   /// over the projected output schema) and `keep_tuples` are non-null,
   /// every result tuple is deserialized and appended to `keep_tuples`
@@ -74,15 +102,29 @@ class BlockFetcher {
                            std::vector<Tuple>* keep_tuples = nullptr);
 
  private:
-  /// Issues `document`, retrying on kUnavailable up to the budget;
-  /// accumulates retry count into `outcome`.
+  /// Issues `document`, retrying on kUnavailable (link drops and
+  /// injected faults alike, sharing one budget) with any configured
+  /// backoff between attempts; accumulates retry counts and dead time
+  /// into `outcome`. `block_index` is FaultInjector::kSessionCall for
+  /// session open/close exchanges (injected faults are block-addressed
+  /// and never fire there; retries are attributed to session_retries).
   Result<CallResult> CallWithRetry(const std::string& document,
+                                   int64_t block_index, int64_t block_size,
                                    FetchOutcome* outcome);
+
+  /// Bookkeeping after a failed attempt: feeds the breaker, and when
+  /// budget remains charges the attempt's cost plus backoff as retry
+  /// dead time. Returns false when the budget is exhausted (the caller
+  /// surfaces the failure; the outcome is discarded with the run).
+  bool NoteFailure(double attempt_cost_ms, bool session_call, int* attempts,
+                   FetchOutcome* outcome);
 
   WsClient* client_;
   Controller* controller_;
   int max_retries_per_call_;
   RunObserver* observer_;
+  ResiliencePolicy* policy_ = nullptr;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace wsq

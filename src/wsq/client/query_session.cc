@@ -36,12 +36,20 @@ Status QuerySession::Init() {
 
 Result<FetchOutcome> QuerySession::Execute(Controller* controller,
                                            std::vector<Tuple>* keep_tuples,
-                                           RunObserver* observer) {
+                                           RunObserver* observer,
+                                           ResiliencePolicy* policy,
+                                           FaultInjector* injector) {
   if (controller == nullptr) {
     return Status::InvalidArgument("Execute: null controller");
   }
-  BlockFetcher fetcher(client_.get(), controller, /*max_retries_per_call=*/2,
-                       observer);
+  if (policy == nullptr && injector == nullptr) {
+    BlockFetcher fetcher(client_.get(), controller,
+                         /*max_retries_per_call=*/2, observer);
+    return fetcher.Run(setup_.query,
+                       keep_tuples != nullptr ? serializer_.get() : nullptr,
+                       keep_tuples);
+  }
+  BlockFetcher fetcher(client_.get(), controller, policy, injector, observer);
   return fetcher.Run(setup_.query,
                      keep_tuples != nullptr ? serializer_.get() : nullptr,
                      keep_tuples);

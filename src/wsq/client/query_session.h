@@ -45,10 +45,14 @@ class QuerySession {
   /// Drains the configured query once under `controller`. When
   /// `keep_tuples` is non-null the result rows are returned too. When
   /// `observer` is non-null the pull loop emits spans/metrics into it,
-  /// stamped with this session's simulated clock.
+  /// stamped with this session's simulated clock. `policy` and
+  /// `injector` (both optional, not owned) attach the chaos layer to
+  /// the fetch loop — see BlockFetcher's chaos constructor.
   Result<FetchOutcome> Execute(Controller* controller,
                                std::vector<Tuple>* keep_tuples = nullptr,
-                               RunObserver* observer = nullptr);
+                               RunObserver* observer = nullptr,
+                               ResiliencePolicy* policy = nullptr,
+                               FaultInjector* injector = nullptr);
 
   /// Live access for mid-run load changes (e.g. a concurrent query
   /// arriving between two Execute calls).

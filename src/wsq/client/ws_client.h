@@ -46,6 +46,11 @@ class WsClient {
   /// cost real time too.
   Result<CallResult> Call(const std::string& request_document);
 
+  /// Charges dead time (injected fault costs, retry backoff) to the
+  /// simulated clock without performing an exchange — the fault layer's
+  /// escape hatch so chaos time shows up on the same timeline as calls.
+  void AdvanceClockMs(double ms) { clock_->AdvanceMillis(ms); }
+
   LinkModel& link() { return link_; }
   const SimClock* clock() const { return clock_; }
   int64_t calls_made() const { return calls_made_; }

@@ -81,4 +81,15 @@ ControllerFactoryFn NamedFactory(const std::string& name) {
   };
 }
 
+ControllerFactoryFn WithWatchdog(ControllerFactoryFn inner,
+                                 WatchdogConfig config) {
+  return [inner = std::move(inner),
+          config]() -> std::unique_ptr<Controller> {
+    std::unique_ptr<Controller> controller = inner();
+    if (controller == nullptr) return nullptr;
+    return std::unique_ptr<Controller>(
+        new WatchdogController(std::move(controller), config));
+  };
+}
+
 }  // namespace wsq

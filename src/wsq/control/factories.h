@@ -9,6 +9,7 @@
 #include "wsq/control/controller.h"
 #include "wsq/control/controller_factory.h"
 #include "wsq/control/fixed_controller.h"
+#include "wsq/control/watchdog_controller.h"
 // ConfiguredProfile is a plain aggregate; this is a header-only
 // dependency — wsq_control does not link against wsq_sim.
 #include "wsq/sim/profile_library.h"
@@ -48,6 +49,12 @@ ControllerFactoryFn SelfTuningFactory(const ConfiguredProfile& conf,
 /// the returned factory yields nullptr for unknown names (repeated-run
 /// harnesses surface that as kInvalidArgument).
 ControllerFactoryFn NamedFactory(const std::string& name);
+
+/// Wraps every controller `inner` produces in a divergence watchdog
+/// (chaos runs use this to guarantee bounded degradation; see
+/// WatchdogController). Propagates nullptr from `inner` unchanged.
+ControllerFactoryFn WithWatchdog(ControllerFactoryFn inner,
+                                 WatchdogConfig config = {});
 
 }  // namespace wsq
 

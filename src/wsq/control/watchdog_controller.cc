@@ -1,0 +1,104 @@
+#include "wsq/control/watchdog_controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace wsq {
+
+WatchdogController::WatchdogController(std::unique_ptr<Controller> inner,
+                                       const WatchdogConfig& config)
+    : inner_(std::move(inner)), config_(config) {
+  config_.window = std::max(config_.window, 1);
+  config_.max_clamps_in_window = std::max(config_.max_clamps_in_window, 1);
+  config_.min_steps_between_resets =
+      std::max(config_.min_steps_between_resets, 1);
+  clamp_window_.assign(config_.window, 0);
+}
+
+int64_t WatchdogController::initial_block_size() const {
+  // The initial command is guarded too: a misconfigured inner controller
+  // must not open the query with an absurd request.
+  return config_.limits.Clamp(
+      static_cast<double>(inner_->initial_block_size()));
+}
+
+int64_t WatchdogController::NextBlockSize(double response_time_ms) {
+  double metric = response_time_ms;
+  if (!std::isfinite(metric) || metric < 0.0) {
+    ++bad_inputs_;
+    // Substitute the last well-formed measurement (1 ms before any) so
+    // the inner control law never sees NaN/Inf — which would otherwise
+    // poison its moving averages for the rest of the run.
+    metric = has_good_metric_ ? last_good_metric_ : 1.0;
+  } else {
+    last_good_metric_ = metric;
+    has_good_metric_ = true;
+  }
+
+  const int64_t raw = inner_->NextBlockSize(metric);
+  int64_t size = raw;
+  int clamped = 0;
+  if (raw < config_.limits.min_size || raw > config_.limits.max_size) {
+    size = config_.limits.Clamp(static_cast<double>(raw));
+    ++clamped_outputs_;
+    clamped = 1;
+  }
+
+  clamps_in_window_ += clamped - clamp_window_[window_pos_];
+  clamp_window_[window_pos_] = clamped;
+  window_pos_ = (window_pos_ + 1) % config_.window;
+  ++steps_;
+
+  if (clamps_in_window_ >= config_.max_clamps_in_window &&
+      steps_ - last_reset_step_ >= config_.min_steps_between_resets) {
+    // Sustained divergence: apply the paper's reset remedy — back to the
+    // initial (constant-gain) state — and restart from the initial
+    // command.
+    inner_->Reset();
+    ++watchdog_resets_;
+    last_reset_step_ = steps_;
+    clamp_window_.assign(config_.window, 0);
+    clamps_in_window_ = 0;
+    size = config_.limits.Clamp(
+        static_cast<double>(inner_->initial_block_size()));
+  }
+  return size;
+}
+
+int64_t WatchdogController::adaptivity_steps() const {
+  return inner_->adaptivity_steps();
+}
+
+void WatchdogController::Reset() {
+  inner_->Reset();
+  clamp_window_.assign(config_.window, 0);
+  window_pos_ = 0;
+  clamps_in_window_ = 0;
+  steps_ = 0;
+  last_reset_step_ = 0;
+  last_good_metric_ = 0.0;
+  has_good_metric_ = false;
+  bad_inputs_ = 0;
+  clamped_outputs_ = 0;
+  watchdog_resets_ = 0;
+}
+
+std::string WatchdogController::name() const {
+  return "watchdog(" + inner_->name() + ")";
+}
+
+StateSnapshot WatchdogController::DebugState() const {
+  StateSnapshot snapshot;
+  snapshot.Add("bad_inputs", bad_inputs_);
+  snapshot.Add("clamped_outputs", clamped_outputs_);
+  snapshot.Add("watchdog_resets", watchdog_resets_);
+  snapshot.Add("clamps_in_window", clamps_in_window_);
+  const StateSnapshot inner_state = inner_->DebugState();
+  for (const auto& [key, value] : inner_state.entries()) {
+    snapshot.Add("inner_" + key, value);
+  }
+  return snapshot;
+}
+
+}  // namespace wsq

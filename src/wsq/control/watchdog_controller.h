@@ -1,0 +1,79 @@
+#ifndef WSQ_CONTROL_WATCHDOG_CONTROLLER_H_
+#define WSQ_CONTROL_WATCHDOG_CONTROLLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wsq/control/controller.h"
+
+namespace wsq {
+
+/// Divergence-watchdog knobs. The defaults make the watchdog a pure
+/// safety net: it only intervenes on outputs that are unusable anyway
+/// (NaN/Inf/out-of-range), and resets the wrapped controller after
+/// sustained divergence.
+struct WatchdogConfig {
+  /// Range a sane `NextBlockSize` output must fall in; anything outside
+  /// (or non-finite measurements on the way in) is clamped and counted.
+  BlockSizeLimits limits;
+
+  /// Divergence detector: when at least `max_clamps_in_window` of the
+  /// last `window` decisions had to be clamped, the inner controller is
+  /// Reset() — the paper's periodic-reset remedy (Fig. 8) generalized to
+  /// fault-triggered reset: for the switching family, Reset re-enters
+  /// the constant-gain phase.
+  int window = 8;
+  int max_clamps_in_window = 4;
+
+  /// Refractory period: at least this many decisions between two
+  /// watchdog resets, so a controller that diverges right out of Reset
+  /// does not get reset on every step.
+  int min_steps_between_resets = 8;
+};
+
+/// Wraps any Controller with guardrails: sanitizes non-finite
+/// measurements before they reach the inner control law, clamps
+/// out-of-range outputs into `limits`, and resets the inner controller
+/// to its initial (constant-gain) state on sustained divergence. Every
+/// intervention is counted and visible through DebugState(), so chaos
+/// runs can assert how often the watchdog had to step in.
+class WatchdogController : public Controller {
+ public:
+  WatchdogController(std::unique_ptr<Controller> inner,
+                     const WatchdogConfig& config);
+
+  int64_t initial_block_size() const override;
+  int64_t NextBlockSize(double response_time_ms) override;
+  int64_t adaptivity_steps() const override;
+  void Reset() override;
+  /// "watchdog(<inner>)".
+  std::string name() const override;
+  /// Watchdog counters plus the inner controller's state under the
+  /// "inner_" prefix (same nesting idiom as the self-tuning controller).
+  StateSnapshot DebugState() const override;
+
+  int64_t bad_inputs() const { return bad_inputs_; }
+  int64_t clamped_outputs() const { return clamped_outputs_; }
+  int64_t watchdog_resets() const { return watchdog_resets_; }
+
+ private:
+  std::unique_ptr<Controller> inner_;
+  WatchdogConfig config_;
+  /// Ring of 0/1 clamp flags over the last `config_.window` decisions.
+  std::vector<int> clamp_window_;
+  int window_pos_ = 0;
+  int clamps_in_window_ = 0;
+  int64_t steps_ = 0;
+  int64_t last_reset_step_ = 0;
+  double last_good_metric_ = 0.0;
+  bool has_good_metric_ = false;
+  int64_t bad_inputs_ = 0;
+  int64_t clamped_outputs_ = 0;
+  int64_t watchdog_resets_ = 0;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_CONTROL_WATCHDOG_CONTROLLER_H_

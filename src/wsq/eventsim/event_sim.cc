@@ -40,6 +40,11 @@ struct ClientState {
   double request_arrived_at = 0.0;  // server-side arrival of the request
   bool started = false;
   bool finished = false;
+  /// Injected-fault state of the in-flight block, resolved at request
+  /// send time (see ReplayFaults) and folded in when the response lands.
+  int64_t pending_retries = 0;
+  SuccessPerturbation pending_perturbation;
+  bool perturbation_applied = false;
   ClientOutcome outcome;
 };
 
@@ -62,13 +67,17 @@ class Simulation {
 
   Result<std::vector<ClientOutcome>> Run() {
     // Seed the timeline: each client's first request leaves at its start
-    // time and arrives one network leg later.
+    // time (delayed by any injected faults) and arrives one network leg
+    // later.
     for (size_t i = 0; i < clients_.size(); ++i) {
       ClientState& client = clients_[i];
       client.current_block = std::min<int64_t>(
           client.spec.controller->initial_block_size(), client.remaining);
-      client.request_sent_at = client.spec.start_time_ms;
-      Push(client.spec.start_time_ms + RequestLegMs(), i,
+      double dead_ms = 0.0;
+      WSQ_RETURN_IF_ERROR(
+          ReplayFaults(client, client.spec.start_time_ms, &dead_ms));
+      client.request_sent_at = client.spec.start_time_ms + dead_ms;
+      Push(client.request_sent_at + RequestLegMs(), i,
            EventKind::kRequestArrivesAtServer);
     }
 
@@ -212,8 +221,53 @@ class Simulation {
     return Status::Ok();
   }
 
+  /// Resolves the injected-fault attempt sequence for the block `client`
+  /// is about to request at timeline time `send_at`: failed attempts and
+  /// backoff become `*dead_ms` of send delay — dead time on the client's
+  /// run clock, outside any block span. kUnavailable when the retry
+  /// budget is exhausted.
+  Status ReplayFaults(ClientState& client, double send_at, double* dead_ms) {
+    *dead_ms = 0.0;
+    client.pending_retries = 0;
+    client.pending_perturbation = SuccessPerturbation{};
+    client.perturbation_applied = false;
+    if (client.spec.injector == nullptr) return Status::Ok();
+    // The plan clock is the client's own run clock: time since its
+    // start, matching "run start" on the other backends.
+    const ExchangePlay play = PlayExchange(
+        client.spec.injector, client.spec.policy,
+        client.outcome.total_blocks, send_at - client.spec.start_time_ms,
+        client.current_block, client.spec.observer, Micros(send_at));
+    client.outcome.total_retries += play.retries;
+    client.outcome.retry_time_ms += play.dead_time_ms;
+    if (!play.completed) {
+      return Status::Unavailable(
+          "injected faults exhausted the retry budget at block " +
+          std::to_string(client.outcome.total_blocks));
+    }
+    client.pending_retries = play.retries;
+    client.pending_perturbation = play.perturbation;
+    *dead_ms = play.dead_time_ms;
+    return Status::Ok();
+  }
+
   Status OnResponseArrives(const Event& event) {
     ClientState& client = clients_[event.client];
+    // A pending latency spike / server stall extends the response path:
+    // reschedule the arrival once by the perturbation's extra time, so
+    // the client's whole subsequent timeline genuinely shifts.
+    if (client.pending_perturbation.active() &&
+        !client.perturbation_applied) {
+      client.perturbation_applied = true;
+      const double elapsed = event.time_ms - client.request_sent_at;
+      const double extra =
+          client.pending_perturbation.Apply(elapsed) - elapsed;
+      if (extra > 0.0) {
+        Push(event.time_ms + extra, event.client,
+             EventKind::kResponseArrivesAtClient);
+        return Status::Ok();
+      }
+    }
     const double elapsed_ms = event.time_ms - client.request_sent_at;
     const int64_t received = client.current_block;
 
@@ -221,24 +275,30 @@ class Simulation {
     client.outcome.total_tuples += received;
     client.outcome.block_sizes.push_back(received);
     client.outcome.block_times_ms.push_back(elapsed_ms);
+    client.outcome.block_retries.push_back(client.pending_retries);
     client.remaining -= received;
 
     // Algorithm 1: the controller consumes the per-tuple cost of the
     // block that just arrived and names the next size.
     const double per_tuple_ms =
         elapsed_ms / static_cast<double>(std::max<int64_t>(received, 1));
-    const int64_t next_size =
-        client.spec.controller->NextBlockSize(per_tuple_ms);
+    int64_t next_size = client.spec.controller->NextBlockSize(per_tuple_ms);
     client.outcome.adaptivity_steps.push_back(
         client.spec.controller->adaptivity_steps());
+    if (client.spec.policy != nullptr) {
+      next_size = client.spec.policy->GovernNextSize(next_size);
+    }
     if (RunObserver* observer = client.spec.observer) {
       observer->OnBlock(Micros(client.request_sent_at), Micros(elapsed_ms),
-                        received, received, per_tuple_ms, /*retries=*/0);
+                        received, received, per_tuple_ms,
+                        client.pending_retries);
       observer->OnControllerDecision(
           Micros(event.time_ms), client.spec.controller->name(),
           client.spec.controller->DebugState(),
           client.spec.controller->adaptivity_steps(), next_size);
     }
+    EmitBreakerTransitions(client.spec.policy, client.spec.observer,
+                           Micros(event.time_ms));
 
     if (client.remaining <= 0) {
       client.finished = true;
@@ -249,8 +309,10 @@ class Simulation {
     }
 
     client.current_block = std::min<int64_t>(next_size, client.remaining);
-    client.request_sent_at = event.time_ms;
-    Push(event.time_ms + RequestLegMs(), event.client,
+    double dead_ms = 0.0;
+    WSQ_RETURN_IF_ERROR(ReplayFaults(client, event.time_ms, &dead_ms));
+    client.request_sent_at = event.time_ms + dead_ms;
+    Push(client.request_sent_at + RequestLegMs(), event.client,
          EventKind::kRequestArrivesAtServer);
     return Status::Ok();
   }

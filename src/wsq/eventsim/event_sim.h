@@ -6,6 +6,7 @@
 
 #include "wsq/common/status.h"
 #include "wsq/control/controller.h"
+#include "wsq/fault/exchange_player.h"
 #include "wsq/obs/run_observer.h"
 
 namespace wsq {
@@ -57,6 +58,14 @@ struct ClientSpec {
   /// samples), stamped in simulated timeline time. Null disables; not
   /// owned. Typically only the tracked foreground client carries one.
   RunObserver* observer = nullptr;
+  /// Chaos layer for this client's exchanges (normally only the tracked
+  /// foreground client): injected failures delay the request send by
+  /// their capped cost + backoff (dead time outside any block span),
+  /// perturbations extend the response path, and the policy's breaker
+  /// governs commanded sizes. Both null = no faults. Not owned; a
+  /// policy must be supplied whenever an injector is.
+  FaultInjector* injector = nullptr;
+  ResiliencePolicy* policy = nullptr;
 };
 
 /// Per-client result.
@@ -75,6 +84,13 @@ struct ClientOutcome {
   /// Controller adaptivity steps completed after each block was folded
   /// in; pairs with block_sizes.
   std::vector<int64_t> adaptivity_steps;
+  /// Injected-fault retries per block (pairs with block_sizes) and their
+  /// totals; the dead time is included in response_time_ms but in no
+  /// entry of block_times_ms (the cross-backend retry accounting
+  /// invariant).
+  std::vector<int64_t> block_retries;
+  int64_t total_retries = 0;
+  double retry_time_ms = 0.0;
 };
 
 /// Runs all clients to completion on one shared timeline and returns

@@ -1,0 +1,68 @@
+#include "wsq/fault/fault_injector.h"
+
+namespace wsq {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, uint64_t run_seed)
+    : plan_(plan),
+      rng_(FaultStreamSeed(plan, run_seed)),
+      fired_this_block_(plan.specs.size(), 0) {}
+
+bool FaultInjector::SpecMatches(const FaultSpec& spec, int64_t block_index,
+                                double now_ms) const {
+  if (block_index < spec.first_block) return false;
+  if (spec.last_block >= 0 && block_index > spec.last_block) return false;
+  if (spec.start_ms >= 0.0) {
+    if (now_ms < spec.start_ms) return false;
+    if (spec.end_ms >= 0.0 && now_ms >= spec.end_ms) return false;
+  }
+  return true;
+}
+
+void FaultInjector::EnterBlock(int64_t block_index) {
+  if (block_index == current_block_) return;
+  current_block_ = block_index;
+  fired_this_block_.assign(plan_.specs.size(), 0);
+}
+
+AttemptFault FaultInjector::NextAttempt(int64_t block_index, double now_ms) {
+  AttemptFault result;
+  if (block_index < 0 || plan_.empty()) return result;
+  EnterBlock(block_index);
+  for (size_t i = 0; i < plan_.specs.size(); ++i) {
+    const FaultSpec& spec = plan_.specs[i];
+    if (!IsFailureKind(spec.kind)) continue;
+    if (fired_this_block_[i] >= spec.faults_per_block) continue;
+    if (!SpecMatches(spec, block_index, now_ms)) continue;
+    if (spec.probability < 1.0 && !rng_.Bernoulli(spec.probability)) continue;
+    ++fired_this_block_[i];
+    result.faulted = true;
+    result.kind = spec.kind;
+    result.cost_ms = plan_.FailureCostMs(spec.kind);
+    log_.push_back({block_index, spec.kind});
+    return result;
+  }
+  return result;
+}
+
+SuccessPerturbation FaultInjector::OnSuccess(int64_t block_index,
+                                             double now_ms) {
+  SuccessPerturbation perturbation;
+  if (block_index < 0 || plan_.empty()) return perturbation;
+  EnterBlock(block_index);
+  for (size_t i = 0; i < plan_.specs.size(); ++i) {
+    const FaultSpec& spec = plan_.specs[i];
+    if (IsFailureKind(spec.kind)) continue;
+    // Perturbations fire at most once per block.
+    if (fired_this_block_[i] >= 1) continue;
+    if (!SpecMatches(spec, block_index, now_ms)) continue;
+    if (spec.probability < 1.0 && !rng_.Bernoulli(spec.probability)) continue;
+    ++fired_this_block_[i];
+    perturbation.latency_multiplier *= spec.latency_multiplier;
+    perturbation.latency_add_ms += spec.latency_add_ms;
+    perturbation.stall_ms += spec.stall_ms;
+    log_.push_back({block_index, spec.kind});
+  }
+  return perturbation;
+}
+
+}  // namespace wsq

@@ -1,0 +1,95 @@
+#ifndef WSQ_FAULT_FAULT_INJECTOR_H_
+#define WSQ_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "wsq/common/random.h"
+#include "wsq/fault/fault_plan.h"
+
+namespace wsq {
+
+/// The injector's verdict for one exchange attempt.
+struct AttemptFault {
+  /// True when the attempt must fail before reaching the server.
+  bool faulted = false;
+  FaultKind kind = FaultKind::kUnavailability;
+  /// Dead time the client pays for the failed attempt (from the plan's
+  /// per-kind costs). Resilience deadlines may cap it further.
+  double cost_ms = 0.0;
+};
+
+/// The injector's perturbation of one *completed* exchange: the
+/// exchange's elapsed time becomes
+/// `elapsed * latency_multiplier + latency_add_ms + stall_ms`.
+/// Backends with a real server model may account stall_ms server-side
+/// instead of lumping it into the wire time; the total is the same.
+struct SuccessPerturbation {
+  double latency_multiplier = 1.0;
+  double latency_add_ms = 0.0;
+  double stall_ms = 0.0;
+
+  bool active() const {
+    return latency_multiplier != 1.0 || latency_add_ms != 0.0 ||
+           stall_ms != 0.0;
+  }
+  double Apply(double elapsed_ms) const {
+    return elapsed_ms * latency_multiplier + latency_add_ms + stall_ms;
+  }
+};
+
+/// Replays a FaultPlan for one run. Backends consult it at two points of
+/// every exchange: `NextAttempt` *before* the exchange (may fail it) and
+/// `OnSuccess` after a completed one (may slow it). All randomness comes
+/// from a private stream derived via FaultStreamSeed(plan, run_seed), so
+/// a given (plan, seed) pair replays the identical fault sequence on any
+/// backend and any parallel lane — the injector's `log()` is the
+/// artifact the chaos conformance suite compares byte-for-byte.
+///
+/// Not thread-safe; one injector per run.
+class FaultInjector {
+ public:
+  /// Block index backends pass for exchanges that are not part of any
+  /// data block (session open/close). Those are never script-faulted —
+  /// plans address data transfer, not session management.
+  static constexpr int64_t kSessionCall = -1;
+
+  /// `plan` is copied; it must already be Validate()d.
+  FaultInjector(const FaultPlan& plan, uint64_t run_seed);
+
+  /// Decides the fate of the next exchange attempt for `block_index` at
+  /// run-clock time `now_ms`. A returned fault is appended to log().
+  /// Per-spec per-block budgets (FaultSpec::faults_per_block) bound how
+  /// many attempts of one block a spec may fail.
+  AttemptFault NextAttempt(int64_t block_index, double now_ms);
+
+  /// Perturbation for the completed exchange of `block_index`. Each
+  /// matching perturbation spec fires at most once per block and is
+  /// appended to log().
+  SuccessPerturbation OnSuccess(int64_t block_index, double now_ms);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Every fault injected so far, in injection order.
+  const std::vector<InjectedFault>& log() const { return log_; }
+
+  int64_t faults_injected() const {
+    return static_cast<int64_t>(log_.size());
+  }
+
+ private:
+  bool SpecMatches(const FaultSpec& spec, int64_t block_index,
+                   double now_ms) const;
+  void EnterBlock(int64_t block_index);
+
+  FaultPlan plan_;
+  Random rng_;
+  int64_t current_block_ = -2;
+  /// Per-spec counters of faults injected into the current block.
+  std::vector<int> fired_this_block_;
+  std::vector<InjectedFault> log_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_FAULT_FAULT_INJECTOR_H_

@@ -50,6 +50,11 @@ RunObserver::RunObserver(MetricsRegistry* metrics, Tracer* tracer)
         metrics_->GetHistogram("wsq.pull.block_size", BlockSizeBuckets());
     per_tuple_ms_ =
         metrics_->GetHistogram("wsq.pull.per_tuple_ms", PerTupleBuckets());
+    faults_total_ = metrics_->GetCounter("wsq.fault.injected_total");
+    breaker_transitions_total_ =
+        metrics_->GetCounter("wsq.resilience.breaker_transitions_total");
+    fault_cost_ms_ = metrics_->GetHistogram("wsq.fault.cost_ms");
+    breaker_state_ = metrics_->GetGauge("wsq.resilience.breaker_state");
     net_transfer_ms_ = metrics_->GetHistogram("wsq.net.transfer_ms");
     server_residence_ms_ =
         metrics_->GetHistogram("wsq.server.residence_ms");
@@ -61,6 +66,7 @@ RunObserver::RunObserver(MetricsRegistry* metrics, Tracer* tracer)
     tracer_->SetLaneName(TraceLane::kNetwork, "network / server");
     tracer_->SetLaneName(TraceLane::kController, "controller");
     tracer_->SetLaneName(TraceLane::kServer, "server load");
+    tracer_->SetLaneName(TraceLane::kFault, "faults");
   }
 }
 
@@ -188,6 +194,38 @@ void RunObserver::OnServerLoadLevel(int64_t ts_micros, int active_sessions) {
     tracer_->AddCounterSample("server_load_level", ts_micros,
                               TraceLane::kServer,
                               static_cast<double>(active_sessions));
+  }
+}
+
+void RunObserver::OnFaultInjected(int64_t ts_micros, std::string_view kind,
+                                  int64_t block_index, double cost_ms) {
+  if (faults_total_ != nullptr) {
+    faults_total_->Increment();
+    fault_cost_ms_->Record(cost_ms);
+  }
+  if (tracer_ != nullptr) {
+    std::string args = "{\"kind\":\"" + std::string(kind) +
+                       "\",\"block\":" + std::to_string(block_index) +
+                       ",\"cost_ms\":" + JsonNumber(cost_ms) + "}";
+    tracer_->AddInstant("fault_injected", "fault", ts_micros,
+                        TraceLane::kFault, std::move(args));
+  }
+}
+
+void RunObserver::OnBreakerTransition(int64_t ts_micros,
+                                      std::string_view from,
+                                      std::string_view to) {
+  if (breaker_transitions_total_ != nullptr) {
+    breaker_transitions_total_->Increment();
+    // closed=0, open=1, half_open=2 — a plottable state track.
+    const double level = to == "open" ? 1.0 : to == "half_open" ? 2.0 : 0.0;
+    breaker_state_->Set(level);
+  }
+  if (tracer_ != nullptr) {
+    std::string args = "{\"from\":\"" + std::string(from) + "\",\"to\":\"" +
+                       std::string(to) + "\"}";
+    tracer_->AddInstant("breaker_transition", "fault", ts_micros,
+                        TraceLane::kFault, std::move(args));
   }
 }
 

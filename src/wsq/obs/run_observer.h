@@ -67,6 +67,20 @@ class RunObserver {
   void OnServerQueueLength(int64_t ts_micros, int queue_length);
   void OnServerLoadLevel(int64_t ts_micros, int active_sessions);
 
+  /// One scripted fault injected by the chaos layer (fault/). `kind` is
+  /// FaultKindName(...); `cost_ms` is the dead time the fault charged
+  /// (0 for perturbations, whose cost rides inside the block span).
+  /// Lands on the dedicated fault lane.
+  void OnFaultInjected(int64_t ts_micros, std::string_view kind,
+                       int64_t block_index, double cost_ms);
+
+  /// A circuit-breaker state change in the resilience policy; `from` /
+  /// `to` are BreakerStateName(...) values. The breaker state is also
+  /// mirrored to the wsq.resilience.breaker_state gauge
+  /// (closed=0, open=1, half_open=2).
+  void OnBreakerTransition(int64_t ts_micros, std::string_view from,
+                           std::string_view to);
+
  private:
   MetricsRegistry* metrics_;
   Tracer* tracer_;
@@ -78,6 +92,10 @@ class RunObserver {
   Counter* retries_total_ = nullptr;
   Counter* decisions_total_ = nullptr;
   Counter* parses_total_ = nullptr;
+  Counter* faults_total_ = nullptr;
+  Counter* breaker_transitions_total_ = nullptr;
+  Histogram* fault_cost_ms_ = nullptr;
+  Gauge* breaker_state_ = nullptr;
   Histogram* block_time_ms_ = nullptr;
   Histogram* block_size_ = nullptr;
   Histogram* per_tuple_ms_ = nullptr;

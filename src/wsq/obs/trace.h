@@ -39,6 +39,7 @@ struct TraceLane {
   static constexpr int kNetwork = 2;     // wire transfer / server residence
   static constexpr int kController = 3;  // decisions + DebugState samples
   static constexpr int kServer = 4;      // queue length / load counters
+  static constexpr int kFault = 5;       // injected faults / breaker state
 
   /// Events emitted from a parallel run lane land on
   /// `tid + kLaneStride * shard`, where `shard` is the emitting

@@ -44,13 +44,37 @@ Result<SimRunResult> SimEngine::RunQuery(Controller* controller,
   int64_t block_size = controller->initial_block_size();
 
   while (remaining > 0) {
+    // Replay any injected failures first: their (capped) costs and
+    // backoff are dead time on the run clock, charged to no block.
+    const ExchangePlay play =
+        PlayExchange(injector_, policy_, result.total_blocks,
+                     result.total_time_ms, block_size, observer_,
+                     sim_now_micros_);
+    result.total_time_ms += play.dead_time_ms;
+    result.retry_time_ms += play.dead_time_ms;
+    result.total_retries += play.retries;
+    sim_now_micros_ += std::llround(play.dead_time_ms * 1000.0);
+    if (!play.completed) {
+      return Status::Unavailable(
+          "injected faults exhausted the retry budget at block " +
+          std::to_string(result.total_blocks));
+    }
+
     const int64_t delivered = std::min<int64_t>(block_size, remaining);
-    const double per_tuple = MeasurePerTupleMs(profile, block_size);
+    double per_tuple = MeasurePerTupleMs(profile, block_size);
+    if (play.perturbation.active()) {
+      // Latency spikes / server stalls inflate the completed exchange;
+      // the controller observes the perturbed cost like any other.
+      per_tuple = play.perturbation.Apply(
+                      per_tuple * static_cast<double>(delivered)) /
+                  static_cast<double>(delivered);
+    }
 
     SimStep step;
     step.step = result.total_blocks;
     step.block_size = block_size;
     step.per_tuple_ms = per_tuple;
+    step.retries = play.retries;
     result.steps.push_back(step);
 
     result.total_time_ms += per_tuple * static_cast<double>(delivered);
@@ -58,11 +82,16 @@ Result<SimRunResult> SimEngine::RunQuery(Controller* controller,
     result.total_tuples += delivered;
     remaining -= delivered;
 
-    const int64_t next_size = controller->NextBlockSize(per_tuple);
+    int64_t next_size = controller->NextBlockSize(per_tuple);
     result.steps.back().adaptivity_steps = controller->adaptivity_steps();
-    if (observer_ != nullptr) {
-      ObserveStep(controller, block_size, delivered, per_tuple, next_size);
+    if (policy_ != nullptr) {
+      next_size = policy_->GovernNextSize(next_size);
     }
+    if (observer_ != nullptr) {
+      ObserveStep(controller, block_size, delivered, per_tuple, next_size,
+                  play.retries);
+    }
+    EmitBreakerTransitions(policy_, observer_, sim_now_micros_);
     block_size = next_size;
   }
   return result;
@@ -94,23 +123,47 @@ Result<SimRunResult> SimEngine::RunSchedule(
         static_cast<size_t>(step / steps_per_profile), schedule.size() - 1);
     const ResponseProfile& profile = *schedule[slot];
 
-    const double per_tuple = MeasurePerTupleMs(profile, block_size);
+    const ExchangePlay play = PlayExchange(
+        injector_, policy_, step, result.total_time_ms, block_size,
+        observer_, sim_now_micros_);
+    result.total_time_ms += play.dead_time_ms;
+    result.retry_time_ms += play.dead_time_ms;
+    result.total_retries += play.retries;
+    sim_now_micros_ += std::llround(play.dead_time_ms * 1000.0);
+    if (!play.completed) {
+      return Status::Unavailable(
+          "injected faults exhausted the retry budget at step " +
+          std::to_string(step));
+    }
+
+    double per_tuple = MeasurePerTupleMs(profile, block_size);
+    if (play.perturbation.active()) {
+      per_tuple = play.perturbation.Apply(
+                      per_tuple * static_cast<double>(block_size)) /
+                  static_cast<double>(block_size);
+    }
 
     SimStep trace;
     trace.step = step;
     trace.block_size = block_size;
     trace.per_tuple_ms = per_tuple;
+    trace.retries = play.retries;
     result.steps.push_back(trace);
 
     result.total_time_ms += per_tuple * static_cast<double>(block_size);
     result.total_blocks += 1;
     result.total_tuples += block_size;
 
-    const int64_t next_size = controller->NextBlockSize(per_tuple);
+    int64_t next_size = controller->NextBlockSize(per_tuple);
     result.steps.back().adaptivity_steps = controller->adaptivity_steps();
-    if (observer_ != nullptr) {
-      ObserveStep(controller, block_size, block_size, per_tuple, next_size);
+    if (policy_ != nullptr) {
+      next_size = policy_->GovernNextSize(next_size);
     }
+    if (observer_ != nullptr) {
+      ObserveStep(controller, block_size, block_size, per_tuple, next_size,
+                  play.retries);
+    }
+    EmitBreakerTransitions(policy_, observer_, sim_now_micros_);
     block_size = next_size;
   }
   return result;
@@ -118,11 +171,11 @@ Result<SimRunResult> SimEngine::RunSchedule(
 
 void SimEngine::ObserveStep(Controller* controller, int64_t block_size,
                             int64_t delivered, double per_tuple_ms,
-                            int64_t next_size) {
+                            int64_t next_size, int64_t retries) {
   const double block_ms = per_tuple_ms * static_cast<double>(delivered);
   const int64_t dur = std::llround(block_ms * 1000.0);
   observer_->OnBlock(sim_now_micros_, dur, block_size, delivered,
-                     per_tuple_ms, /*retries=*/0);
+                     per_tuple_ms, retries);
   sim_now_micros_ += dur;
   observer_->OnControllerDecision(sim_now_micros_, controller->name(),
                                   controller->DebugState(),

@@ -8,6 +8,7 @@
 #include "wsq/common/random.h"
 #include "wsq/common/status.h"
 #include "wsq/control/controller.h"
+#include "wsq/fault/exchange_player.h"
 #include "wsq/obs/run_observer.h"
 #include "wsq/sim/profile.h"
 
@@ -43,13 +44,22 @@ struct SimStep {
   /// folded in (fixed-size controllers always report 0); keeps the sim
   /// trace convertible to the canonical backend RunTrace.
   int64_t adaptivity_steps = 0;
+  /// Injected-fault exchange failures retried before this block's
+  /// measurement completed (0 without a fault plan).
+  int64_t retries = 0;
 };
 
 struct SimRunResult {
-  /// Sum of per-block costs — the query response time (ms).
+  /// Query response time (ms): sum of per-block costs plus any
+  /// retry/backoff dead time injected by a fault plan.
   double total_time_ms = 0.0;
   int64_t total_blocks = 0;
   int64_t total_tuples = 0;
+  /// Retried exchanges across the run and their dead time (failed
+  /// attempts' capped costs + backoff), included in total_time_ms but in
+  /// no per-block cost — the cross-backend retry accounting invariant.
+  int64_t total_retries = 0;
+  double retry_time_ms = 0.0;
   std::vector<SimStep> steps;
 };
 
@@ -94,12 +104,25 @@ class SimEngine {
   int64_t sim_time_micros() const { return sim_now_micros_; }
   void set_sim_time_micros(int64_t micros) { sim_now_micros_ = micros; }
 
+  /// Attaches the chaos layer for the next run(s): injected failures
+  /// pay their (deadline-capped) cost plus backoff as dead time, success
+  /// perturbations inflate the observed block cost, and the policy's
+  /// breaker governs the commanded sizes. Both null (the default) = no
+  /// faults, byte-identical to the historical engine. Not owned; a
+  /// policy must be supplied whenever an injector is.
+  void set_fault_injection(FaultInjector* injector,
+                           ResiliencePolicy* policy) {
+    injector_ = injector;
+    policy_ = policy;
+  }
+
  private:
   void AdvanceDrift();
 
   /// Emits block span + decision sample and advances the sim-time cursor.
   void ObserveStep(Controller* controller, int64_t block_size,
-                   int64_t delivered, double per_tuple_ms, int64_t next_size);
+                   int64_t delivered, double per_tuple_ms, int64_t next_size,
+                   int64_t retries);
 
   SimOptions options_;
   Random rng_;
@@ -107,6 +130,8 @@ class SimEngine {
   int64_t last_block_size_ = -1;
   RunObserver* observer_ = nullptr;
   int64_t sim_now_micros_ = 0;
+  FaultInjector* injector_ = nullptr;
+  ResiliencePolicy* policy_ = nullptr;
 };
 
 }  // namespace wsq

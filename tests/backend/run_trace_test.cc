@@ -69,10 +69,58 @@ TEST(RunTraceTest, DetectsBlockTimeExceedingTotal) {
 
 TEST(RunTraceTest, AllowsDeadTimeOnTopOfBlocks) {
   // Session open/close and retry timeouts make the total larger than the
-  // sum of blocks; that is legal.
+  // sum of blocks; that is legal. Retries not attributed to any block
+  // must be accounted as session retries (the attribution invariant).
   RunTrace trace = SmallTrace();
   trace.total_time_ms = 500.0;
   trace.total_retries = 2;
+  trace.session_retries = 2;
+  trace.total_retry_time_ms = 300.0;
+  EXPECT_TRUE(trace.CheckConsistent().ok());
+}
+
+TEST(RunTraceTest, DetectsUnattributedRetries) {
+  // total_retries must equal block retries + session retries exactly;
+  // a surplus means some backend forgot to attribute its retries.
+  RunTrace trace = SmallTrace();
+  trace.total_retries = 2;
+  Status status = trace.CheckConsistent();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("session_retries"), std::string::npos);
+}
+
+TEST(RunTraceTest, DetectsRetryTimeExceedingTotal) {
+  // Retry dead time is charged to the total but to no block, so blocks
+  // plus retry time can never exceed the total.
+  RunTrace trace = SmallTrace();
+  trace.total_retries = 1;
+  trace.session_retries = 1;
+  trace.total_retry_time_ms = 50.0;  // blocks sum to 120, total is 120
+  EXPECT_FALSE(trace.CheckConsistent().ok());
+  trace.total_time_ms = 170.0;
+  EXPECT_TRUE(trace.CheckConsistent().ok());
+}
+
+TEST(RunTraceTest, DetectsNegativeChaosCounters) {
+  RunTrace trace = SmallTrace();
+  trace.session_retries = -1;
+  trace.total_retries = -1;
+  EXPECT_FALSE(trace.CheckConsistent().ok());
+  trace = SmallTrace();
+  trace.total_retry_time_ms = -0.5;
+  EXPECT_FALSE(trace.CheckConsistent().ok());
+  trace = SmallTrace();
+  trace.breaker_trips = -2;
+  EXPECT_FALSE(trace.CheckConsistent().ok());
+}
+
+TEST(RunTraceTest, DetectsOutOfOrderFaultLog) {
+  RunTrace trace = SmallTrace();
+  trace.fault_log = {{2, FaultKind::kUnavailability},
+                     {1, FaultKind::kLatencySpike}};
+  EXPECT_FALSE(trace.CheckConsistent().ok());
+  trace.fault_log = {{1, FaultKind::kLatencySpike},
+                     {2, FaultKind::kUnavailability}};
   EXPECT_TRUE(trace.CheckConsistent().ok());
 }
 

@@ -1,0 +1,247 @@
+// Retry/backoff behavior of the chaos-enabled BlockFetcher on the real
+// SOAP stack: determinism of the retry schedule, exhaustion semantics,
+// and the retry-time accounting invariant.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "wsq/client/query_session.h"
+#include "wsq/control/fixed_controller.h"
+#include "wsq/fault/fault_injector.h"
+#include "wsq/fault/resilience_policy.h"
+#include "wsq/netsim/presets.h"
+
+namespace wsq {
+namespace {
+
+std::shared_ptr<Table> MakeNums(int rows) {
+  auto table =
+      std::make_shared<Table>("nums", Schema({{"id", ColumnType::kInt64}}));
+  for (int i = 0; i < rows; ++i) {
+    table->AppendUnchecked(Tuple({Value(static_cast<int64_t>(i))}));
+  }
+  return table;
+}
+
+/// A clean LAN stack plus the chaos pair (policy, injector), wired the
+/// way EmpiricalBackend does it.
+struct ChaosStack {
+  explicit ChaosStack(uint64_t seed = 7) {
+    table = MakeNums(500);
+    link = Lan1Gbps();
+    link.jitter_sigma = 0.0;
+    link.drop_probability = 0.0;
+    load.noise_sigma = 0.0;
+    dbms = std::make_unique<Dbms>();
+    EXPECT_TRUE(dbms->RegisterTable(table).ok());
+    service = std::make_unique<DataService>(dbms.get());
+    container = std::make_unique<ServiceContainer>(service.get(), load, seed);
+    clock = std::make_unique<SimClock>();
+    client = std::make_unique<WsClient>(container.get(), link, clock.get(),
+                                        seed + 1);
+  }
+
+  Result<FetchOutcome> Run(Controller* controller, ResiliencePolicy* policy,
+                           FaultInjector* injector) {
+    BlockFetcher fetcher(client.get(), controller, policy, injector);
+    ScanProjectQuery query;
+    query.table_name = "nums";
+    return fetcher.Run(query);
+  }
+
+  std::shared_ptr<Table> table;
+  LinkConfig link;
+  LoadModelConfig load;
+  std::unique_ptr<Dbms> dbms;
+  std::unique_ptr<DataService> service;
+  std::unique_ptr<ServiceContainer> container;
+  std::unique_ptr<SimClock> clock;
+  std::unique_ptr<WsClient> client;
+};
+
+FaultPlan TwoBurstPlan() {
+  FaultPlan plan;
+  FaultSpec burst;
+  burst.kind = FaultKind::kUnavailability;
+  burst.first_block = 1;
+  burst.last_block = 2;
+  burst.faults_per_block = 2;
+  plan.specs = {burst};
+  return plan;
+}
+
+ResilienceConfig JitteredConfig() {
+  ResilienceConfig config;
+  config.max_retries_per_call = 4;
+  config.backoff_initial_ms = 50.0;
+  config.backoff_jitter = 0.3;
+  return config;
+}
+
+TEST(RetryPolicyTest, SameSeedReplaysByteIdenticalTrace) {
+  // Two fresh stacks, same seeds everywhere: the retry/backoff schedule
+  // (jittered!) and the whole trace must replay exactly.
+  auto run_once = []() {
+    ChaosStack stack(7);
+    FixedController controller(60);
+    FaultInjector injector(TwoBurstPlan(), /*run_seed=*/11);
+    ResiliencePolicy policy(JitteredConfig(), /*run_seed=*/11);
+    Result<FetchOutcome> outcome =
+        stack.Run(&controller, &policy, &injector);
+    EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+    return std::move(outcome).value();
+  };
+
+  const FetchOutcome a = run_once();
+  const FetchOutcome b = run_once();
+  EXPECT_EQ(a.total_tuples, b.total_tuples);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.session_retries, b.session_retries);
+  EXPECT_DOUBLE_EQ(a.total_time_ms, b.total_time_ms);
+  EXPECT_DOUBLE_EQ(a.retry_time_ms, b.retry_time_ms);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].requested_size, b.trace[i].requested_size) << i;
+    EXPECT_EQ(a.trace[i].received_tuples, b.trace[i].received_tuples) << i;
+    EXPECT_EQ(a.trace[i].retries, b.trace[i].retries) << i;
+    EXPECT_DOUBLE_EQ(a.trace[i].response_time_ms, b.trace[i].response_time_ms)
+        << i;
+  }
+  EXPECT_EQ(a.retries, 4);  // 2 faulted attempts on each of blocks 1, 2
+  EXPECT_GT(a.retry_time_ms, 0.0);
+}
+
+TEST(RetryPolicyTest, DifferentSeedChangesTheJitteredSchedule) {
+  auto run_with_seed = [](uint64_t run_seed) {
+    ChaosStack stack(7);
+    FixedController controller(60);
+    FaultInjector injector(TwoBurstPlan(), run_seed);
+    ResiliencePolicy policy(JitteredConfig(), run_seed);
+    Result<FetchOutcome> outcome =
+        stack.Run(&controller, &policy, &injector);
+    EXPECT_TRUE(outcome.ok());
+    return std::move(outcome).value();
+  };
+  // The plan is deterministic, so the fault schedule is identical; only
+  // the jittered backoff dead time differs with the seed.
+  const FetchOutcome a = run_with_seed(11);
+  const FetchOutcome b = run_with_seed(12);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_NE(a.retry_time_ms, b.retry_time_ms);
+}
+
+TEST(RetryPolicyTest, ExhaustionSurfacesUnavailable) {
+  // A burst deeper than the retry budget: the fetch must give up with
+  // kUnavailable instead of spinning, after exactly budget+1 faulted
+  // attempts of the poisoned block.
+  FaultPlan plan;
+  FaultSpec storm;
+  storm.kind = FaultKind::kUnavailability;
+  storm.first_block = 1;
+  storm.last_block = 1;
+  storm.faults_per_block = 100;
+  plan.specs = {storm};
+
+  ResilienceConfig config;
+  config.max_retries_per_call = 3;
+
+  ChaosStack stack(7);
+  FixedController controller(60);
+  FaultInjector injector(plan, 11);
+  ResiliencePolicy policy(config, 11);
+  Result<FetchOutcome> outcome = stack.Run(&controller, &policy, &injector);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kUnavailable);
+  // The injector's log keeps the evidence: budget+1 attempts were failed.
+  EXPECT_EQ(injector.faults_injected(), 4);
+}
+
+TEST(RetryPolicyTest, BackoffIsChargedToTheRunClock) {
+  // Identical stacks, one with backoff and one without: the backoff run
+  // must cost exactly the (deterministic, jitter-free) backoff more.
+  FaultPlan plan = TwoBurstPlan();
+  ResilienceConfig no_backoff;
+  no_backoff.max_retries_per_call = 4;
+  ResilienceConfig with_backoff = no_backoff;
+  with_backoff.backoff_initial_ms = 100.0;
+  with_backoff.backoff_multiplier = 2.0;
+
+  auto run_with = [&plan](const ResilienceConfig& config) {
+    ChaosStack stack(7);
+    FixedController controller(60);
+    FaultInjector injector(plan, 11);
+    ResiliencePolicy policy(config, 11);
+    Result<FetchOutcome> outcome =
+        stack.Run(&controller, &policy, &injector);
+    EXPECT_TRUE(outcome.ok());
+    return std::move(outcome).value();
+  };
+
+  const FetchOutcome plain = run_with(no_backoff);
+  const FetchOutcome padded = run_with(with_backoff);
+  // Per burst block: retries 1 and 2 sleep 100 + 200 ms. Two blocks.
+  const double expected_backoff = 2.0 * (100.0 + 200.0);
+  EXPECT_DOUBLE_EQ(padded.retry_time_ms,
+                   plain.retry_time_ms + expected_backoff);
+  EXPECT_DOUBLE_EQ(padded.total_time_ms,
+                   plain.total_time_ms + expected_backoff);
+}
+
+TEST(RetryPolicyTest, DeadlineCapsInjectedFaultCost) {
+  // The plan's timeout dwarfs the deadline; the charged dead time per
+  // faulted attempt must be the deadline, not the plan's timeout.
+  FaultPlan plan;
+  plan.timeout_ms = 10000.0;
+  FaultSpec drop;
+  drop.kind = FaultKind::kUnavailability;
+  drop.first_block = 1;
+  drop.last_block = 1;
+  drop.faults_per_block = 1;
+  plan.specs = {drop};
+
+  ResilienceConfig config;
+  config.max_retries_per_call = 2;
+  config.deadline_base_ms = 50.0;
+  config.deadline_per_tuple_ms = 1.0;  // block of 60 -> 110 ms deadline
+
+  ChaosStack stack(7);
+  FixedController controller(60);
+  FaultInjector injector(plan, 11);
+  ResiliencePolicy policy(config, 11);
+  Result<FetchOutcome> outcome = stack.Run(&controller, &policy, &injector);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_DOUBLE_EQ(outcome.value().retry_time_ms, 110.0);
+}
+
+TEST(RetryPolicyTest, RetryAttributionInvariantHoldsOnLossyLink) {
+  // Organic link drops (the legacy path, no chaos wiring): every retry
+  // is attributed to a block or to the session, and the dead time is
+  // exactly the drops' timeouts.
+  EmpiricalSetup setup;
+  setup.table = MakeNums(500);
+  setup.query.table_name = "nums";
+  setup.link = Lan1Gbps();
+  setup.link.jitter_sigma = 0.0;
+  setup.link.drop_probability = 0.15;
+  setup.link.timeout_ms = 500.0;
+  setup.load.noise_sigma = 0.0;
+  setup.seed = 77;
+  auto session = QuerySession::Create(setup);
+  ASSERT_TRUE(session.ok());
+  FixedController controller(25);
+  Result<FetchOutcome> outcome = session.value()->Execute(&controller);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+
+  const FetchOutcome& fetched = outcome.value();
+  ASSERT_GT(fetched.retries, 0);
+  int64_t block_retries = 0;
+  for (const BlockTrace& block : fetched.trace) block_retries += block.retries;
+  EXPECT_EQ(block_retries + fetched.session_retries, fetched.retries);
+  EXPECT_DOUBLE_EQ(fetched.retry_time_ms,
+                   static_cast<double>(fetched.retries) * 500.0);
+}
+
+}  // namespace
+}  // namespace wsq

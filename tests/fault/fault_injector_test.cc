@@ -1,0 +1,154 @@
+#include "wsq/fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+FaultPlan BurstPlan() {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.kind = FaultKind::kUnavailability;
+  spec.first_block = 1;
+  spec.last_block = 2;
+  spec.faults_per_block = 2;
+  plan.specs = {spec};
+  return plan;
+}
+
+TEST(FaultInjectorTest, EmptyPlanNeverFaults) {
+  FaultInjector injector(FaultPlan{}, /*run_seed=*/1);
+  for (int64_t block = 0; block < 5; ++block) {
+    EXPECT_FALSE(injector.NextAttempt(block, 0.0).faulted);
+    EXPECT_FALSE(injector.OnSuccess(block, 0.0).active());
+  }
+  EXPECT_TRUE(injector.log().empty());
+  EXPECT_EQ(injector.faults_injected(), 0);
+}
+
+TEST(FaultInjectorTest, BlockWindowAndPerBlockBudget) {
+  FaultInjector injector(BurstPlan(), 1);
+  // Block 0: outside the window.
+  EXPECT_FALSE(injector.NextAttempt(0, 0.0).faulted);
+  // Block 1: exactly two faulted attempts, then clean.
+  AttemptFault first = injector.NextAttempt(1, 0.0);
+  EXPECT_TRUE(first.faulted);
+  EXPECT_EQ(first.kind, FaultKind::kUnavailability);
+  EXPECT_DOUBLE_EQ(first.cost_ms, FaultPlan{}.timeout_ms);
+  EXPECT_TRUE(injector.NextAttempt(1, 0.0).faulted);
+  EXPECT_FALSE(injector.NextAttempt(1, 0.0).faulted);
+  // Block 2: budget refills per block.
+  EXPECT_TRUE(injector.NextAttempt(2, 0.0).faulted);
+  EXPECT_TRUE(injector.NextAttempt(2, 0.0).faulted);
+  EXPECT_FALSE(injector.NextAttempt(2, 0.0).faulted);
+  // Block 3: past the window.
+  EXPECT_FALSE(injector.NextAttempt(3, 0.0).faulted);
+
+  ASSERT_EQ(injector.log().size(), 4u);
+  EXPECT_EQ(injector.log()[0], (InjectedFault{1, FaultKind::kUnavailability}));
+  EXPECT_EQ(injector.log()[3], (InjectedFault{2, FaultKind::kUnavailability}));
+}
+
+TEST(FaultInjectorTest, SessionCallsAreNeverFaulted) {
+  FaultPlan plan = BurstPlan();
+  plan.specs[0].first_block = 0;
+  plan.specs[0].last_block = -1;
+  FaultInjector injector(plan, 1);
+  EXPECT_FALSE(
+      injector.NextAttempt(FaultInjector::kSessionCall, 0.0).faulted);
+  EXPECT_FALSE(
+      injector.OnSuccess(FaultInjector::kSessionCall, 0.0).active());
+  EXPECT_TRUE(injector.log().empty());
+}
+
+TEST(FaultInjectorTest, TimeWindowGatesInjection) {
+  FaultPlan plan;
+  FaultSpec outage;
+  outage.kind = FaultKind::kConnectionReset;
+  outage.start_ms = 100.0;
+  outage.end_ms = 200.0;
+  outage.faults_per_block = 10;
+  plan.specs = {outage};
+  FaultInjector injector(plan, 1);
+  EXPECT_FALSE(injector.NextAttempt(0, 50.0).faulted);
+  EXPECT_TRUE(injector.NextAttempt(0, 100.0).faulted);
+  EXPECT_TRUE(injector.NextAttempt(0, 199.9).faulted);
+  // end_ms is exclusive.
+  EXPECT_FALSE(injector.NextAttempt(0, 200.0).faulted);
+}
+
+TEST(FaultInjectorTest, PerturbationsCombineAndFireOncePerBlock) {
+  FaultPlan plan;
+  FaultSpec spike;
+  spike.kind = FaultKind::kLatencySpike;
+  spike.last_block = -1;
+  spike.latency_multiplier = 2.0;
+  spike.latency_add_ms = 10.0;
+  FaultSpec stall;
+  stall.kind = FaultKind::kServerStall;
+  stall.last_block = -1;
+  stall.stall_ms = 50.0;
+  plan.specs = {spike, stall};
+
+  FaultInjector injector(plan, 1);
+  SuccessPerturbation perturbation = injector.OnSuccess(0, 0.0);
+  EXPECT_TRUE(perturbation.active());
+  EXPECT_DOUBLE_EQ(perturbation.latency_multiplier, 2.0);
+  EXPECT_DOUBLE_EQ(perturbation.latency_add_ms, 10.0);
+  EXPECT_DOUBLE_EQ(perturbation.stall_ms, 50.0);
+  // 100ms exchange -> 100 * 2 + 10 + 50.
+  EXPECT_DOUBLE_EQ(perturbation.Apply(100.0), 260.0);
+  // Same block again: the budget is spent.
+  EXPECT_FALSE(injector.OnSuccess(0, 0.0).active());
+  // Next block: fires again.
+  EXPECT_TRUE(injector.OnSuccess(1, 0.0).active());
+  EXPECT_EQ(injector.faults_injected(), 4);
+}
+
+TEST(FaultInjectorTest, ProbabilisticPlanIsDeterministicPerSeed) {
+  FaultPlan plan;
+  FaultSpec drop;
+  drop.kind = FaultKind::kUnavailability;
+  drop.last_block = -1;
+  drop.probability = 0.3;
+  drop.faults_per_block = 3;
+  plan.specs = {drop};
+
+  auto replay = [&plan](uint64_t seed) {
+    FaultInjector injector(plan, seed);
+    std::vector<InjectedFault> log;
+    for (int64_t block = 0; block < 50; ++block) {
+      while (injector.NextAttempt(block, 0.0).faulted) {
+      }
+      injector.OnSuccess(block, 0.0);
+    }
+    return injector.log();
+  };
+
+  EXPECT_EQ(replay(1), replay(1));
+  EXPECT_NE(replay(1), replay(2));
+  EXPECT_FALSE(replay(1).empty());
+}
+
+TEST(FaultInjectorTest, FirstMatchingSpecWinsPerAttempt) {
+  FaultPlan plan;
+  FaultSpec reset;
+  reset.kind = FaultKind::kConnectionReset;
+  reset.last_block = -1;
+  reset.faults_per_block = 1;
+  FaultSpec drop;
+  drop.kind = FaultKind::kUnavailability;
+  drop.last_block = -1;
+  drop.faults_per_block = 1;
+  plan.specs = {reset, drop};
+
+  FaultInjector injector(plan, 1);
+  // Attempt 1 draws the first spec (reset); attempt 2 falls through to
+  // the drop once the reset's per-block budget is spent.
+  EXPECT_EQ(injector.NextAttempt(0, 0.0).kind, FaultKind::kConnectionReset);
+  EXPECT_EQ(injector.NextAttempt(0, 0.0).kind, FaultKind::kUnavailability);
+  EXPECT_FALSE(injector.NextAttempt(0, 0.0).faulted);
+}
+
+}  // namespace
+}  // namespace wsq

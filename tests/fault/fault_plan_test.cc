@@ -1,0 +1,124 @@
+#include "wsq/fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+TEST(FaultKindTest, NamesAndFailureClassification) {
+  EXPECT_EQ(FaultKindName(FaultKind::kUnavailability), "unavailability");
+  EXPECT_EQ(FaultKindName(FaultKind::kConnectionReset), "connection_reset");
+  EXPECT_EQ(FaultKindName(FaultKind::kSoapFaultBurst), "soap_fault");
+  EXPECT_EQ(FaultKindName(FaultKind::kLatencySpike), "latency_spike");
+  EXPECT_EQ(FaultKindName(FaultKind::kServerStall), "server_stall");
+
+  EXPECT_TRUE(IsFailureKind(FaultKind::kUnavailability));
+  EXPECT_TRUE(IsFailureKind(FaultKind::kConnectionReset));
+  EXPECT_TRUE(IsFailureKind(FaultKind::kSoapFaultBurst));
+  EXPECT_FALSE(IsFailureKind(FaultKind::kLatencySpike));
+  EXPECT_FALSE(IsFailureKind(FaultKind::kServerStall));
+}
+
+TEST(FaultPlanTest, FailureCostsComeFromThePlan) {
+  FaultPlan plan;
+  plan.timeout_ms = 400.0;
+  plan.reset_cost_ms = 15.0;
+  plan.fault_response_ms = 60.0;
+  EXPECT_DOUBLE_EQ(plan.FailureCostMs(FaultKind::kUnavailability), 400.0);
+  EXPECT_DOUBLE_EQ(plan.FailureCostMs(FaultKind::kConnectionReset), 15.0);
+  EXPECT_DOUBLE_EQ(plan.FailureCostMs(FaultKind::kSoapFaultBurst), 60.0);
+  // Perturbation kinds never fail an attempt, so they carry no dead time.
+  EXPECT_DOUBLE_EQ(plan.FailureCostMs(FaultKind::kLatencySpike), 0.0);
+  EXPECT_DOUBLE_EQ(plan.FailureCostMs(FaultKind::kServerStall), 0.0);
+}
+
+TEST(FaultPlanTest, ValidateAcceptsDefaultsAndPresets) {
+  EXPECT_TRUE(FaultPlan{}.Validate().ok());
+  for (const std::string& name : FaultPlan::KnownNames()) {
+    Result<FaultPlan> plan = FaultPlan::FromName(name);
+    ASSERT_TRUE(plan.ok()) << name;
+    EXPECT_TRUE(plan.value().Validate().ok()) << name;
+    EXPECT_EQ(plan.value().name, name);
+  }
+}
+
+TEST(FaultPlanTest, ValidateRejectsBadRanges) {
+  FaultPlan plan;
+  plan.timeout_ms = 0.0;
+  EXPECT_FALSE(plan.Validate().ok());
+
+  plan = FaultPlan{};
+  FaultSpec spec;
+  spec.probability = 1.5;
+  plan.specs = {spec};
+  EXPECT_FALSE(plan.Validate().ok());
+
+  spec = FaultSpec{};
+  spec.first_block = 5;
+  spec.last_block = 3;
+  plan.specs = {spec};
+  EXPECT_FALSE(plan.Validate().ok());
+
+  spec = FaultSpec{};
+  spec.start_ms = 100.0;
+  spec.end_ms = 50.0;
+  plan.specs = {spec};
+  EXPECT_FALSE(plan.Validate().ok());
+
+  spec = FaultSpec{};
+  spec.latency_multiplier = 0.0;
+  plan.specs = {spec};
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(FaultPlanTest, FromNameRejectsUnknown) {
+  Result<FaultPlan> plan = FaultPlan::FromName("nope");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FaultPlanTest, NonePresetIsEmpty) {
+  Result<FaultPlan> plan = FaultPlan::FromName("none");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan.value().empty());
+}
+
+TEST(FaultPlanTest, BurstPresetExhaustsLegacyRetryBudget) {
+  // The burst preset exists to kill the pre-PR fixed 2-retry policy:
+  // each burst block fails 3 attempts in a row, one more than the legacy
+  // budget survives.
+  Result<FaultPlan> plan = FaultPlan::FromName("burst");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_FALSE(plan.value().specs.empty());
+  for (const FaultSpec& spec : plan.value().specs) {
+    EXPECT_EQ(spec.kind, FaultKind::kUnavailability);
+    EXPECT_GT(spec.faults_per_block, 2);
+    EXPECT_DOUBLE_EQ(spec.probability, 1.0);
+  }
+}
+
+TEST(FaultStreamSeedTest, DistinctRunsGetDistinctStreams) {
+  FaultPlan plan;
+  const uint64_t a = FaultStreamSeed(plan, 1);
+  const uint64_t b = FaultStreamSeed(plan, 1 + 104729);
+  EXPECT_NE(a, b);
+  // Same (plan, run seed) must derive the same stream on every lane.
+  EXPECT_EQ(a, FaultStreamSeed(plan, 1));
+
+  FaultPlan other;
+  other.seed = 7;
+  EXPECT_NE(FaultStreamSeed(other, 1), a);
+}
+
+TEST(InjectedFaultTest, Equality) {
+  InjectedFault a{3, FaultKind::kConnectionReset};
+  InjectedFault b{3, FaultKind::kConnectionReset};
+  InjectedFault c{3, FaultKind::kUnavailability};
+  InjectedFault d{4, FaultKind::kConnectionReset};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+}  // namespace
+}  // namespace wsq

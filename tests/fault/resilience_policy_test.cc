@@ -1,0 +1,187 @@
+#include "wsq/fault/resilience_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wsq {
+namespace {
+
+TEST(ResilienceConfigTest, DefaultsAreLegacyAndValid) {
+  const ResilienceConfig legacy = ResilienceConfig::Legacy();
+  EXPECT_TRUE(legacy.Validate().ok());
+  EXPECT_EQ(legacy.max_retries_per_call, 2);
+  EXPECT_DOUBLE_EQ(legacy.backoff_initial_ms, 0.0);
+  EXPECT_EQ(legacy.breaker_threshold, 0);
+  EXPECT_TRUE(ResilienceConfig::Chaos().Validate().ok());
+}
+
+TEST(ResilienceConfigTest, ValidateRejectsBadRanges) {
+  ResilienceConfig config;
+  config.max_retries_per_call = -1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = ResilienceConfig{};
+  config.backoff_multiplier = 0.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = ResilienceConfig{};
+  config.backoff_jitter = 1.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = ResilienceConfig{};
+  config.breaker_fallback_size = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ResiliencePolicyTest, LegacyBackoffIsZeroWithoutRngDraws) {
+  ResiliencePolicy policy(ResilienceConfig::Legacy(), 1);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(1), 0.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(2), 0.0);
+  EXPECT_DOUBLE_EQ(policy.CapCostMs(500.0, 1000), 500.0);
+  EXPECT_FALSE(policy.HasDeadline());
+}
+
+TEST(ResiliencePolicyTest, ExponentialBackoffWithCap) {
+  ResilienceConfig config;
+  config.backoff_initial_ms = 10.0;
+  config.backoff_multiplier = 2.0;
+  config.backoff_max_ms = 50.0;
+  ResiliencePolicy policy(config, 1);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(1), 10.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(2), 20.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(3), 40.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(4), 50.0);  // capped
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(5), 50.0);
+}
+
+TEST(ResiliencePolicyTest, JitteredBackoffIsDeterministicPerSeed) {
+  ResilienceConfig config;
+  config.backoff_initial_ms = 100.0;
+  config.backoff_jitter = 0.25;
+
+  auto schedule = [&config](uint64_t run_seed) {
+    ResiliencePolicy policy(config, run_seed);
+    std::vector<double> backoffs;
+    for (int k = 1; k <= 8; ++k) backoffs.push_back(policy.BackoffMs(k));
+    return backoffs;
+  };
+
+  const std::vector<double> a = schedule(1);
+  EXPECT_EQ(a, schedule(1));       // same seed, same schedule
+  EXPECT_NE(a, schedule(2));       // seed changes the jitter stream
+  for (double backoff : a) {
+    EXPECT_GE(backoff, 75.0);
+    // Base is capped at backoff_max_ms (5000); jitter adds at most 25%.
+    EXPECT_LT(backoff, 6250.0);
+  }
+}
+
+TEST(ResiliencePolicyTest, DeadlineScalesWithBlockSize) {
+  ResilienceConfig config;
+  config.deadline_base_ms = 100.0;
+  config.deadline_per_tuple_ms = 0.5;
+  ResiliencePolicy policy(config, 1);
+  EXPECT_TRUE(policy.HasDeadline());
+  EXPECT_DOUBLE_EQ(policy.DeadlineMs(1000), 600.0);
+  // Costs past the deadline are capped; cheaper ones pass through.
+  EXPECT_DOUBLE_EQ(policy.CapCostMs(5000.0, 1000), 600.0);
+  EXPECT_DOUBLE_EQ(policy.CapCostMs(200.0, 1000), 200.0);
+  // Bigger blocks buy a longer deadline.
+  EXPECT_DOUBLE_EQ(policy.CapCostMs(5000.0, 8000), 4100.0);
+}
+
+TEST(ResiliencePolicyTest, BreakerOpensAfterThresholdAndDegrades) {
+  ResilienceConfig config;
+  config.breaker_threshold = 3;
+  config.breaker_fallback_size = 250;
+  config.breaker_cooldown_blocks = 2;
+  ResiliencePolicy policy(config, 1);
+
+  EXPECT_EQ(policy.breaker_state(), BreakerState::kClosed);
+  policy.OnExchangeFailure();
+  policy.OnExchangeFailure();
+  EXPECT_EQ(policy.breaker_state(), BreakerState::kClosed);
+  EXPECT_EQ(policy.consecutive_failures(), 2);
+  policy.OnExchangeFailure();
+  EXPECT_EQ(policy.breaker_state(), BreakerState::kOpen);
+  EXPECT_EQ(policy.breaker_trips(), 1);
+
+  // Open: the controller's command is overridden with the fallback for
+  // cooldown blocks, then one half-open probe at the controller's size.
+  EXPECT_EQ(policy.GovernNextSize(9000), 250);
+  EXPECT_EQ(policy.GovernNextSize(9000), 250);
+  EXPECT_EQ(policy.GovernNextSize(9000), 9000);
+  EXPECT_EQ(policy.breaker_state(), BreakerState::kHalfOpen);
+
+  // Probe succeeds: breaker closes.
+  policy.OnExchangeSuccess();
+  EXPECT_EQ(policy.breaker_state(), BreakerState::kClosed);
+  EXPECT_EQ(policy.GovernNextSize(9000), 9000);
+  EXPECT_EQ(policy.breaker_trips(), 1);
+}
+
+TEST(ResiliencePolicyTest, FailedProbeReopensBreaker) {
+  ResilienceConfig config;
+  config.breaker_threshold = 1;
+  config.breaker_cooldown_blocks = 1;
+  ResiliencePolicy policy(config, 1);
+
+  policy.OnExchangeFailure();
+  EXPECT_EQ(policy.breaker_state(), BreakerState::kOpen);
+  EXPECT_EQ(policy.GovernNextSize(4000), config.breaker_fallback_size);
+  EXPECT_EQ(policy.GovernNextSize(4000), 4000);  // half-open probe
+  policy.OnExchangeFailure();                    // probe fails
+  EXPECT_EQ(policy.breaker_state(), BreakerState::kOpen);
+  EXPECT_EQ(policy.breaker_trips(), 2);
+}
+
+TEST(ResiliencePolicyTest, SuccessResetsConsecutiveFailures) {
+  ResilienceConfig config;
+  config.breaker_threshold = 3;
+  ResiliencePolicy policy(config, 1);
+  policy.OnExchangeFailure();
+  policy.OnExchangeFailure();
+  policy.OnExchangeSuccess();
+  EXPECT_EQ(policy.consecutive_failures(), 0);
+  policy.OnExchangeFailure();
+  policy.OnExchangeFailure();
+  EXPECT_EQ(policy.breaker_state(), BreakerState::kClosed);
+}
+
+TEST(ResiliencePolicyTest, BreakerOffNeverGoverns) {
+  ResiliencePolicy policy(ResilienceConfig::Legacy(), 1);
+  for (int i = 0; i < 10; ++i) policy.OnExchangeFailure();
+  EXPECT_EQ(policy.breaker_state(), BreakerState::kClosed);
+  EXPECT_EQ(policy.GovernNextSize(7777), 7777);
+  EXPECT_EQ(policy.breaker_trips(), 0);
+}
+
+TEST(ResiliencePolicyTest, TransitionsAreLatchedInOrder) {
+  ResilienceConfig config;
+  config.breaker_threshold = 1;
+  config.breaker_cooldown_blocks = 0;
+  ResiliencePolicy policy(config, 1);
+
+  policy.OnExchangeFailure();        // closed -> open
+  policy.GovernNextSize(1000);       // open -> half-open (cooldown 0)
+  policy.OnExchangeSuccess();        // half-open -> closed
+
+  BreakerState from, to;
+  ASSERT_TRUE(policy.ConsumeTransition(&from, &to));
+  EXPECT_EQ(from, BreakerState::kClosed);
+  EXPECT_EQ(to, BreakerState::kOpen);
+  ASSERT_TRUE(policy.ConsumeTransition(&from, &to));
+  EXPECT_EQ(from, BreakerState::kOpen);
+  EXPECT_EQ(to, BreakerState::kHalfOpen);
+  ASSERT_TRUE(policy.ConsumeTransition(&from, &to));
+  EXPECT_EQ(from, BreakerState::kHalfOpen);
+  EXPECT_EQ(to, BreakerState::kClosed);
+  EXPECT_FALSE(policy.ConsumeTransition(&from, &to));
+}
+
+TEST(BreakerStateTest, Names) {
+  EXPECT_EQ(BreakerStateName(BreakerState::kClosed), "closed");
+  EXPECT_EQ(BreakerStateName(BreakerState::kOpen), "open");
+  EXPECT_EQ(BreakerStateName(BreakerState::kHalfOpen), "half_open");
+}
+
+}  // namespace
+}  // namespace wsq
