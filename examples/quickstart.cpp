@@ -9,47 +9,120 @@
 // ProfileBackend or EventSimBackend to drive the same controller on the
 // other execution stacks).
 //
-//   ./build/examples/quickstart [controller]
+//   ./build/examples/quickstart [controller] [--live=host:port]
 //
 // where [controller] is any of: constant, adaptive, hybrid, hybrid_s,
 // mimd, model_quadratic, model_parabolic, self_tuning, fixed:<N>
 // (default: hybrid).
+//
+// With --live=host:port the same demo runs over a *real* TCP connection
+// against a wsqd server (see README "Running a live server"), timed on
+// the wall clock:
+//
+//   ./build/src/wsqd --port=9090 &
+//   ./build/examples/quickstart hybrid --live=127.0.0.1:9090
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "wsq/api.h"
+
+namespace {
+
+// Parses "host:port"; returns false on a malformed spec.
+bool ParseHostPort(const std::string& spec, std::string* host, int* port) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    return false;
+  }
+  *host = spec.substr(0, colon);
+  char* end = nullptr;
+  const long p = std::strtol(spec.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || p <= 0 || p > 65535) return false;
+  *port = static_cast<int>(p);
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace wsq;
 
-  const std::string controller_name = argc > 1 ? argv[1] : "hybrid";
-
-  // 1. Data: a scaled-down TPC-H Customer relation (15K rows).
-  TpchGenOptions gen;
-  gen.scale = 0.1;
-  Result<std::shared_ptr<Table>> customer = GenerateCustomer(gen);
-  if (!customer.ok()) {
-    std::fprintf(stderr, "generator: %s\n",
-                 customer.status().ToString().c_str());
-    return 1;
+  std::string controller_name = "hybrid";
+  std::string live_spec;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--live=", 0) == 0) {
+      live_spec = arg.substr(7);
+    } else {
+      controller_name = arg;
+    }
   }
 
-  // 2. Environment: server in the UK, client in Greece, a couple of
-  //    concurrent jobs on the container.
-  EmpiricalSetup setup;
-  setup.table = customer.value();
-  setup.query.table_name = "customer";
-  setup.query.projected_columns = {"c_custkey", "c_name", "c_acctbal"};
-  // Filters are compiled and applied server-side (the expression travels
-  // inside the OpenSession envelope).
-  setup.query.filter = "c_acctbal >= -500";
-  setup.link = WanUkToGreece();
-  setup.load.concurrent_jobs = 2;
-  setup.seed = 7;
+  // 1. The query every mode runs: three columns of TPC-H Customer,
+  //    filtered server-side (the expression travels inside the
+  //    OpenSession envelope).
+  ScanProjectQuery query;
+  query.table_name = "customer";
+  query.projected_columns = {"c_custkey", "c_name", "c_acctbal"};
+  query.filter = "c_acctbal >= -500";
 
-  // Each RunQuery stands up a fresh client/server stack from the setup,
-  // so the adaptive run and the baseline see identical environments.
-  EmpiricalBackend backend(setup);
+  // 2. Backend: simulated end-to-end stack by default; with --live a
+  //    socket-backed LiveBackend against a running wsqd server.
+  std::unique_ptr<EmpiricalBackend> empirical;
+  std::unique_ptr<LiveBackend> live;
+  if (live_spec.empty()) {
+    // A scaled-down TPC-H Customer relation (15K rows) inside an
+    // in-memory DBMS; server in the UK, client in Greece, a couple of
+    // concurrent jobs on the container.
+    TpchGenOptions gen;
+    gen.scale = 0.1;
+    Result<std::shared_ptr<Table>> customer = GenerateCustomer(gen);
+    if (!customer.ok()) {
+      std::fprintf(stderr, "generator: %s\n",
+                   customer.status().ToString().c_str());
+      return 1;
+    }
+    EmpiricalSetup setup;
+    setup.table = customer.value();
+    setup.query = query;
+    setup.link = WanUkToGreece();
+    setup.load.concurrent_jobs = 2;
+    setup.seed = 7;
+    // Each RunQuery stands up a fresh client/server stack from the
+    // setup, so the adaptive run and the baseline see identical
+    // environments.
+    empirical = std::make_unique<EmpiricalBackend>(setup);
+  } else {
+    LiveSetup setup;
+    if (!ParseHostPort(live_spec, &setup.host, &setup.port)) {
+      std::fprintf(stderr, "bad --live spec '%s' (want host:port)\n",
+                   live_spec.c_str());
+      return 1;
+    }
+    setup.query = query;
+    // The server does not ship schemas — the client states what it
+    // asked for: the customer schema projected onto the query columns.
+    const Schema customer_schema = CustomerSchema();
+    std::vector<size_t> indices;
+    for (const std::string& column : query.projected_columns) {
+      indices.push_back(customer_schema.ColumnIndex(column).value());
+    }
+    setup.output_schema =
+        std::make_shared<Schema>(customer_schema.Project(indices).value());
+    setup.seed = 7;
+    live = std::make_unique<LiveBackend>(std::move(setup));
+  }
+
+  const auto run_keeping = [&](Controller* controller,
+                               std::vector<Tuple>* rows) {
+    return live ? live->RunQueryKeepingTuples(controller, RunSpec{}, rows)
+                : empirical->RunQueryKeepingTuples(controller, RunSpec{},
+                                                   rows);
+  };
 
   // 3. Controller: anything the factory knows.
   Result<std::unique_ptr<Controller>> controller =
@@ -62,14 +135,15 @@ int main(int argc, char** argv) {
 
   // 4. Run the query; the fetch loop is the paper's Algorithm 1.
   std::vector<Tuple> rows;
-  Result<RunTrace> outcome = backend.RunQueryKeepingTuples(
-      controller.value().get(), RunSpec{}, &rows);
+  Result<RunTrace> outcome = run_keeping(controller.value().get(), &rows);
   if (!outcome.ok()) {
     std::fprintf(stderr, "query: %s\n",
                  outcome.status().ToString().c_str());
     return 1;
   }
 
+  std::printf("backend       : %s\n",
+              live ? live->name().c_str() : empirical->name().c_str());
   std::printf("controller    : %s\n", controller.value()->name().c_str());
   std::printf("rows received : %lld (first: %s)\n",
               static_cast<long long>(outcome.value().total_tuples),
@@ -80,7 +154,8 @@ int main(int argc, char** argv) {
 
   // 5. Baseline: the same query with a conservative fixed block size.
   FixedController fixed(1000);
-  Result<RunTrace> baseline = backend.RunQuery(&fixed, RunSpec{});
+  std::vector<Tuple> baseline_rows;
+  Result<RunTrace> baseline = run_keeping(&fixed, &baseline_rows);
   if (!baseline.ok()) return 1;
   std::printf("fixed-1000    : %.0f ms  (adaptive saves %.1f%%)\n",
               baseline.value().total_time_ms,

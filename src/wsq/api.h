@@ -20,20 +20,28 @@
 ///  * the fault-injection & resilience layer (wsq/fault): scripted
 ///    FaultPlans honored identically by every backend, plus the
 ///    backoff/deadline/circuit-breaker ResiliencePolicy and the
-///    controller divergence watchdog (wsq/control/watchdog_controller).
+///    controller divergence watchdog (wsq/control/watchdog_controller);
+///  * the live network transport (wsq/net + TcpWsClient + LiveBackend):
+///    length-prefixed framing over real TCP, the wsqd server frontend,
+///    and a QueryBackend that runs the same pull loop against it on the
+///    wall clock.
 ///
 /// See examples/quickstart.cc for the 30-line tour.
 
 #include "wsq/backend/empirical_backend.h"
 #include "wsq/backend/eventsim_backend.h"
 #include "wsq/backend/experiment.h"
+#include "wsq/backend/fetch_trace.h"
+#include "wsq/backend/live_backend.h"
 #include "wsq/backend/profile_backend.h"
 #include "wsq/backend/query_backend.h"
 #include "wsq/backend/run_stats.h"
 #include "wsq/backend/run_trace.h"
 #include "wsq/client/block_fetcher.h"
 #include "wsq/client/block_shipper.h"
+#include "wsq/client/call_transport.h"
 #include "wsq/client/query_session.h"
+#include "wsq/client/tcp_ws_client.h"
 #include "wsq/client/ws_client.h"
 #include "wsq/common/clock.h"
 #include "wsq/common/csv_writer.h"
@@ -64,6 +72,9 @@
 #include "wsq/linalg/least_squares.h"
 #include "wsq/linalg/matrix.h"
 #include "wsq/linalg/rls.h"
+#include "wsq/net/frame.h"
+#include "wsq/net/server.h"
+#include "wsq/net/socket.h"
 #include "wsq/netsim/link_model.h"
 #include "wsq/netsim/presets.h"
 #include "wsq/obs/json_lite.h"

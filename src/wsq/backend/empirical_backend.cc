@@ -1,10 +1,10 @@
 #include "wsq/backend/empirical_backend.h"
 
-#include <algorithm>
 #include <memory>
 #include <optional>
 #include <utility>
 
+#include "wsq/backend/fetch_trace.h"
 #include "wsq/backend/run_stats.h"
 #include "wsq/fault/fault_injector.h"
 
@@ -67,33 +67,11 @@ Result<RunTrace> EmpiricalBackend::RunQueryKeepingTuples(
       controller, rows, observer, policy.has_value() ? &*policy : nullptr,
       injector.has_value() ? &*injector : nullptr);
   if (!outcome.ok()) return outcome.status();
-  const FetchOutcome& fetch = outcome.value();
 
-  RunTrace trace;
-  trace.backend_name = "empirical";
-  trace.controller_name = controller->name();
-  trace.total_time_ms = fetch.total_time_ms;
-  trace.total_blocks = fetch.total_blocks;
-  trace.total_tuples = fetch.total_tuples;
-  trace.total_retries = fetch.retries;
-  trace.session_retries = fetch.session_retries;
-  trace.total_retry_time_ms = fetch.retry_time_ms;
+  RunTrace trace =
+      RunTraceFromFetch(outcome.value(), "empirical", controller->name());
   if (injector.has_value()) trace.fault_log = injector->log();
   if (policy.has_value()) trace.breaker_trips = policy->breaker_trips();
-  trace.steps.reserve(fetch.trace.size());
-  for (const BlockTrace& block : fetch.trace) {
-    RunStep step;
-    step.step = block.block_index;
-    step.requested_size = block.requested_size;
-    step.received_tuples = block.received_tuples;
-    step.block_time_ms = block.response_time_ms;
-    step.per_tuple_ms =
-        block.response_time_ms /
-        static_cast<double>(std::max<int64_t>(block.received_tuples, 1));
-    step.retries = block.retries;
-    step.adaptivity_step = block.adaptivity_steps;
-    trace.steps.push_back(step);
-  }
   ObserveRunSummary(observer, trace);
   return trace;
 }

@@ -1,0 +1,37 @@
+#include "wsq/backend/fetch_trace.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace wsq {
+
+RunTrace RunTraceFromFetch(const FetchOutcome& fetch,
+                           std::string backend_name,
+                           std::string controller_name) {
+  RunTrace trace;
+  trace.backend_name = std::move(backend_name);
+  trace.controller_name = std::move(controller_name);
+  trace.total_time_ms = fetch.total_time_ms;
+  trace.total_blocks = fetch.total_blocks;
+  trace.total_tuples = fetch.total_tuples;
+  trace.total_retries = fetch.retries;
+  trace.session_retries = fetch.session_retries;
+  trace.total_retry_time_ms = fetch.retry_time_ms;
+  trace.steps.reserve(fetch.trace.size());
+  for (const BlockTrace& block : fetch.trace) {
+    RunStep step;
+    step.step = block.block_index;
+    step.requested_size = block.requested_size;
+    step.received_tuples = block.received_tuples;
+    step.block_time_ms = block.response_time_ms;
+    step.per_tuple_ms =
+        block.response_time_ms /
+        static_cast<double>(std::max<int64_t>(block.received_tuples, 1));
+    step.retries = block.retries;
+    step.adaptivity_step = block.adaptivity_steps;
+    trace.steps.push_back(step);
+  }
+  return trace;
+}
+
+}  // namespace wsq

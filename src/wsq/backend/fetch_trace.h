@@ -1,0 +1,23 @@
+#ifndef WSQ_BACKEND_FETCH_TRACE_H_
+#define WSQ_BACKEND_FETCH_TRACE_H_
+
+#include <string>
+
+#include "wsq/backend/run_trace.h"
+#include "wsq/client/block_fetcher.h"
+
+namespace wsq {
+
+/// Converts a BlockFetcher `FetchOutcome` into the canonical `RunTrace`.
+/// Shared by every backend that drives the real pull loop (the empirical
+/// stack over the simulated transport, the live stack over TCP), so the
+/// two produce field-for-field comparable traces by construction.
+/// Fills everything derivable from the outcome; callers add
+/// backend-specific extras (fault_log, breaker_trips) afterwards.
+RunTrace RunTraceFromFetch(const FetchOutcome& fetch,
+                           std::string backend_name,
+                           std::string controller_name);
+
+}  // namespace wsq
+
+#endif  // WSQ_BACKEND_FETCH_TRACE_H_

@@ -43,6 +43,13 @@ Result<CallResult> BlockFetcher::CallWithRetry(const std::string& document,
                                                int64_t block_size,
                                                FetchOutcome* outcome) {
   const bool session_call = block_index < 0;
+  // Resilience deadlines reach the wire: a transport that can give up on
+  // a slow exchange (socket poll timeouts) is told how long to wait; the
+  // simulated transport ignores the hint and the policy caps charged
+  // costs instead.
+  client_->SetCallDeadlineMs(policy_ != nullptr && policy_->HasDeadline()
+                                 ? policy_->DeadlineMs(block_size)
+                                 : 0.0);
   int attempts = 0;
   while (true) {
     // Scripted faults fire ahead of the wire (block calls only — the
@@ -80,9 +87,11 @@ Result<CallResult> BlockFetcher::CallWithRetry(const std::string& document,
       }
       return call;
     }
-    // Link drop: WsClient already charged the timeout to the clock.
-    if (!NoteFailure(client_->link().config().timeout_ms, session_call,
-                     &attempts, outcome)) {
+    // Failed exchange: the transport already charged its cost to the
+    // timeline (the simulated link's timeout, or the real time a socket
+    // attempt burned before erroring out).
+    if (!NoteFailure(client_->LastFailureCostMs(), session_call, &attempts,
+                     outcome)) {
       return call;
     }
   }

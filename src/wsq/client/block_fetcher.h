@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "wsq/client/ws_client.h"
+#include "wsq/client/call_transport.h"
 #include "wsq/common/status.h"
 #include "wsq/control/controller.h"
 #include "wsq/fault/fault_injector.h"
@@ -63,13 +63,15 @@ struct FetchOutcome {
 ///     blockSize = Controller.computeNewSize(t2 - t1)
 class BlockFetcher {
  public:
-  /// `client` and `controller` must outlive the fetcher.
-  /// `max_retries_per_call` bounds how often a timed-out exchange
+  /// `client` (either transport — the simulated WsClient or the live
+  /// TcpWsClient) and `controller` must outlive the fetcher.
+  /// `max_retries_per_call` bounds how often a failed exchange
   /// (StatusCode::kUnavailable) is re-issued before the whole fetch
   /// fails; SOAP faults are never retried (they are deterministic).
   /// `observer`, when non-null, receives the pull loop's spans and
-  /// controller decisions stamped with the client clock's simulated time.
-  BlockFetcher(WsClient* client, Controller* controller,
+  /// controller decisions stamped with the transport clock's time
+  /// (simulated micros or real micros).
+  BlockFetcher(WsCallTransport* client, Controller* controller,
                int max_retries_per_call = 2,
                RunObserver* observer = nullptr)
       : client_(client),
@@ -83,7 +85,7 @@ class BlockFetcher {
   /// `injector` scripts faults ahead of the wire, addressed by block
   /// index on the session's simulated clock. Either may be null; both
   /// must outlive the fetcher and are not owned.
-  BlockFetcher(WsClient* client, Controller* controller,
+  BlockFetcher(WsCallTransport* client, Controller* controller,
                ResiliencePolicy* policy, FaultInjector* injector,
                RunObserver* observer = nullptr)
       : client_(client),
@@ -119,7 +121,7 @@ class BlockFetcher {
   bool NoteFailure(double attempt_cost_ms, bool session_call, int* attempts,
                    FetchOutcome* outcome);
 
-  WsClient* client_;
+  WsCallTransport* client_;
   Controller* controller_;
   int max_retries_per_call_;
   RunObserver* observer_;

@@ -13,7 +13,7 @@ Result<CallResult> BlockShipper::CallWithRetry(const std::string& document,
   int attempts = 0;
   while (!call.ok() && call.status().code() == StatusCode::kUnavailable &&
          attempts < max_retries_per_call_) {
-    outcome->total_time_ms += client_->link().config().timeout_ms;
+    outcome->total_time_ms += client_->LastFailureCostMs();
     ++outcome->retries;
     ++attempts;
     call = client_->Call(document);

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "wsq/client/block_fetcher.h"
-#include "wsq/client/ws_client.h"
+#include "wsq/client/call_transport.h"
 #include "wsq/common/status.h"
 #include "wsq/control/controller.h"
 #include "wsq/relation/table.h"
@@ -27,7 +27,7 @@ class BlockShipper {
   /// the same policy as BlockFetcher; ProcessBlock calls are safe to
   /// retry because drops are request-losses and the service is
   /// stateless per call.
-  BlockShipper(WsClient* client, Controller* controller,
+  BlockShipper(WsCallTransport* client, Controller* controller,
                int max_retries_per_call = 2)
       : client_(client),
         controller_(controller),
@@ -48,7 +48,7 @@ class BlockShipper {
   Result<CallResult> CallWithRetry(const std::string& document,
                                    FetchOutcome* outcome);
 
-  WsClient* client_;
+  WsCallTransport* client_;
   Controller* controller_;
   int max_retries_per_call_;
 };

@@ -1,0 +1,127 @@
+#include "wsq/client/tcp_ws_client.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "wsq/net/frame.h"
+#include "wsq/soap/envelope.h"
+
+namespace wsq {
+
+TcpWsClient::TcpWsClient(std::string host, int port,
+                         TcpWsClientOptions options)
+    : host_(std::move(host)),
+      port_(port),
+      options_(options),
+      call_deadline_ms_(options.default_call_deadline_ms) {}
+
+Status TcpWsClient::Connect() {
+  if (socket_.valid()) return Status::Ok();
+  Result<net::Socket> conn =
+      net::TcpConnect(host_, port_, options_.connect_timeout_ms);
+  if (!conn.ok()) return conn.status();
+  socket_ = std::move(conn).value();
+  if (ever_connected_) ++reconnects_;
+  ever_connected_ = true;
+  return Status::Ok();
+}
+
+void TcpWsClient::Disconnect() { socket_.Close(); }
+
+void TcpWsClient::AdvanceClockMs(double ms) {
+  if (ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
+}
+
+Result<CallResult> TcpWsClient::CallOnce(const std::string& request_document) {
+  last_failure_keeps_connection_ = false;
+  WSQ_RETURN_IF_ERROR(Connect());
+
+  const int64_t start_micros = clock_.NowMicros();
+  // Deadline enforcement: every read/write of the exchange polls with
+  // the *remaining* call budget, re-derived between the write and the
+  // read. (A byte-trickling peer could stretch the total across several
+  // partial reads; bounding each step bounds the practical cases — a
+  // dead, stalled, or unreachable server.)
+  socket_.set_io_timeout_ms(call_deadline_ms_);
+
+  net::Frame request;
+  request.type = net::FrameType::kRequest;
+  request.payload = request_document;
+  WSQ_RETURN_IF_ERROR(WriteFrame(socket_, request));
+
+  const double spent_ms =
+      static_cast<double>(clock_.NowMicros() - start_micros) / 1000.0;
+  const double remaining_ms = call_deadline_ms_ - spent_ms;
+  if (remaining_ms <= 0.0) {
+    return Status::Unavailable("call deadline expired before the response");
+  }
+  socket_.set_io_timeout_ms(remaining_ms);
+
+  Result<net::Frame> response = net::ReadFrame(socket_);
+  if (!response.ok()) return response.status();
+  if (response.value().type != net::FrameType::kResponse) {
+    return Status::InvalidArgument("peer sent a request frame in response");
+  }
+
+  CallResult result;
+  result.elapsed_ms =
+      static_cast<double>(clock_.NowMicros() - start_micros) / 1000.0;
+  result.service_ms =
+      static_cast<double>(response.value().service_micros) / 1000.0;
+  if (result.service_ms > result.elapsed_ms) {
+    // Clock skew guard: the decomposition must never go negative.
+    result.service_ms = result.elapsed_ms;
+  }
+  result.wire_ms = result.elapsed_ms - result.service_ms;
+
+  const uint8_t flags = response.value().flags;
+  if ((flags & net::kFrameFlagTransientFault) != 0) {
+    // Server-side chaos failed this exchange without advancing its
+    // cursor; retryable, and the connection itself is still good.
+    last_failure_keeps_connection_ = true;
+    return Status::Unavailable(
+        "service answered with an injected transient fault");
+  }
+  if ((flags & net::kFrameFlagSoapFault) != 0) {
+    // Organic SOAP fault: terminal, like the simulated path. ParseEnvelope
+    // surfaces the fault text as a kRemoteFault status.
+    Result<XmlNode> payload = ParseEnvelope(response.value().payload);
+    return payload.ok()
+               ? Status::RemoteFault("service returned an unparsed fault")
+               : payload.status();
+  }
+
+  result.response = std::move(response.value().payload);
+  return result;
+}
+
+Result<CallResult> TcpWsClient::Call(const std::string& request_document) {
+  ++calls_made_;
+  const int64_t start_micros = clock_.NowMicros();
+  Result<CallResult> call = CallOnce(request_document);
+  if (call.ok()) return call;
+
+  ++calls_failed_;
+  last_failure_cost_ms_ =
+      static_cast<double>(clock_.NowMicros() - start_micros) / 1000.0;
+  if (call.status().code() == StatusCode::kRemoteFault ||
+      last_failure_keeps_connection_) {
+    // The connection is fine — the *service* said no (terminal fault or
+    // retryable injected one).
+    return call.status();
+  }
+  // Anything else (reset, closed, deadline, refused connect, protocol
+  // garbage after a partial exchange) leaves the connection in an
+  // unusable state: a late response to this exchange could otherwise be
+  // mistaken for the next one's. Drop it; the next Call reconnects.
+  Disconnect();
+  if (call.status().code() == StatusCode::kInvalidArgument) {
+    return call.status();  // not-our-protocol peer: don't mask as transient
+  }
+  return Status::Unavailable(call.status().message());
+}
+
+}  // namespace wsq

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "wsq/client/call_transport.h"
 #include "wsq/common/clock.h"
 #include "wsq/common/random.h"
 #include "wsq/common/status.h"
@@ -11,28 +12,17 @@
 
 namespace wsq {
 
-/// One completed SOAP call as observed from the client side.
-struct CallResult {
-  std::string response;
-  /// Wall time the call took as measured by the client's clock —
-  /// request serialization is free, everything else (wire + server) is
-  /// simulated.
-  double elapsed_ms = 0.0;
-  /// Wire-time component of elapsed_ms (both legs); lets callers
-  /// decompose a call span into network transfer vs server residence.
-  double wire_ms = 0.0;
-  /// Server residence (service) component of elapsed_ms.
-  double service_ms = 0.0;
-};
-
-/// The client-side web service stub: ships a request document over the
-/// simulated link to the container, charges the simulated clock for
-/// wire time + server residence time, and hands back the response.
+/// The *simulated* web service stub — one of the two WsCallTransport
+/// implementations (the other, `TcpWsClient`, speaks the same call shape
+/// over a real TCP socket to a `wsqd` server). This one ships a request
+/// document over the simulated link to an in-process container, charges
+/// the simulated clock for wire time + server residence time, and hands
+/// back the response.
 ///
 /// This is the component the paper's Algorithm 1 calls
 /// `WebService.requestNewBlock` on; it deliberately knows nothing about
 /// block sizes or controllers.
-class WsClient {
+class WsClient final : public WsCallTransport {
  public:
   /// All pointers must outlive the client. `clock` is advanced on every
   /// call; `seed` feeds the client's jitter stream.
@@ -44,15 +34,22 @@ class WsClient {
   /// link dropped the request (failure injection) — in both cases the
   /// elapsed time is still charged to the clock; faults and timeouts
   /// cost real time too.
-  Result<CallResult> Call(const std::string& request_document);
+  Result<CallResult> Call(const std::string& request_document) override;
 
   /// Charges dead time (injected fault costs, retry backoff) to the
   /// simulated clock without performing an exchange — the fault layer's
   /// escape hatch so chaos time shows up on the same timeline as calls.
-  void AdvanceClockMs(double ms) { clock_->AdvanceMillis(ms); }
+  void AdvanceClockMs(double ms) override { clock_->AdvanceMillis(ms); }
+
+  const Clock* clock() const override { return clock_; }
+
+  /// A failed (dropped) exchange always costs the link's configured
+  /// timeout on the simulated path.
+  double LastFailureCostMs() const override {
+    return link_.config().timeout_ms;
+  }
 
   LinkModel& link() { return link_; }
-  const SimClock* clock() const { return clock_; }
   int64_t calls_made() const { return calls_made_; }
   int64_t calls_dropped() const { return calls_dropped_; }
 

@@ -1,0 +1,134 @@
+#include "wsq/net/frame.h"
+
+#include <cstring>
+
+namespace wsq::net {
+
+namespace {
+
+void PutU32(char* out, uint32_t v) {
+  out[0] = static_cast<char>((v >> 24) & 0xff);
+  out[1] = static_cast<char>((v >> 16) & 0xff);
+  out[2] = static_cast<char>((v >> 8) & 0xff);
+  out[3] = static_cast<char>(v & 0xff);
+}
+
+void PutU64(char* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+  PutU32(out + 4, static_cast<uint32_t>(v & 0xffffffffull));
+}
+
+uint32_t GetU32(const char* in) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(in);
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+uint64_t GetU64(const char* in) {
+  return (static_cast<uint64_t>(GetU32(in)) << 32) |
+         static_cast<uint64_t>(GetU32(in + 4));
+}
+
+}  // namespace
+
+Status ReadExact(ByteStream& stream, void* buf, size_t len) {
+  char* out = static_cast<char*>(buf);
+  size_t got = 0;
+  while (got < len) {
+    Result<size_t> n = stream.ReadSome(out + got, len - got);
+    if (!n.ok()) return n.status();
+    if (n.value() == 0) {
+      return Status::Unavailable(got == 0
+                                     ? "connection closed by peer"
+                                     : "connection closed mid-message");
+    }
+    got += n.value();
+  }
+  return Status::Ok();
+}
+
+Status WriteAll(ByteStream& stream, const void* buf, size_t len) {
+  const char* in = static_cast<const char*>(buf);
+  size_t put = 0;
+  while (put < len) {
+    Result<size_t> n = stream.WriteSome(in + put, len - put);
+    if (!n.ok()) return n.status();
+    if (n.value() == 0) {
+      return Status::Unavailable("connection refused further writes");
+    }
+    put += n.value();
+  }
+  return Status::Ok();
+}
+
+void EncodeFrameHeader(const Frame& frame, char out[kFrameHeaderBytes]) {
+  PutU32(out, kFrameMagic);
+  out[4] = static_cast<char>(frame.type);
+  out[5] = static_cast<char>(frame.flags);
+  out[6] = 0;  // reserved
+  out[7] = 0;  // reserved
+  PutU32(out + 8, static_cast<uint32_t>(frame.payload.size()));
+  PutU64(out + 12, frame.service_micros);
+}
+
+Result<FrameHeader> DecodeFrameHeader(const char in[kFrameHeaderBytes]) {
+  if (GetU32(in) != kFrameMagic) {
+    return Status::InvalidArgument("bad frame magic (not a wsq peer?)");
+  }
+  const uint8_t type = static_cast<uint8_t>(in[4]);
+  if (type != static_cast<uint8_t>(FrameType::kRequest) &&
+      type != static_cast<uint8_t>(FrameType::kResponse)) {
+    return Status::InvalidArgument("unknown frame type " +
+                                   std::to_string(type));
+  }
+  FrameHeader header;
+  header.type = static_cast<FrameType>(type);
+  header.flags = static_cast<uint8_t>(in[5]);
+  header.payload_len = GetU32(in + 8);
+  header.service_micros = GetU64(in + 12);
+  if (header.payload_len > kMaxFramePayloadBytes) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(header.payload_len) +
+        " bytes exceeds the " + std::to_string(kMaxFramePayloadBytes) +
+        "-byte limit");
+  }
+  return header;
+}
+
+Result<Frame> ReadFrame(ByteStream& stream) {
+  char raw[kFrameHeaderBytes];
+  WSQ_RETURN_IF_ERROR(ReadExact(stream, raw, sizeof(raw)));
+  Result<FrameHeader> header = DecodeFrameHeader(raw);
+  if (!header.ok()) return header.status();
+
+  Frame frame;
+  frame.type = header.value().type;
+  frame.flags = header.value().flags;
+  frame.service_micros = header.value().service_micros;
+  frame.payload.resize(header.value().payload_len);
+  if (header.value().payload_len > 0) {
+    WSQ_RETURN_IF_ERROR(
+        ReadExact(stream, frame.payload.data(), frame.payload.size()));
+  }
+  return frame;
+}
+
+Status WriteFrame(ByteStream& stream, const Frame& frame) {
+  if (frame.payload.size() > kMaxFramePayloadBytes) {
+    return Status::InvalidArgument(
+        "refusing to send a " + std::to_string(frame.payload.size()) +
+        "-byte frame payload (limit " +
+        std::to_string(kMaxFramePayloadBytes) + ")");
+  }
+  char raw[kFrameHeaderBytes];
+  EncodeFrameHeader(frame, raw);
+  WSQ_RETURN_IF_ERROR(WriteAll(stream, raw, sizeof(raw)));
+  if (!frame.payload.empty()) {
+    WSQ_RETURN_IF_ERROR(
+        WriteAll(stream, frame.payload.data(), frame.payload.size()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace wsq::net

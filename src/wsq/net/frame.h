@@ -1,0 +1,113 @@
+#ifndef WSQ_NET_FRAME_H_
+#define WSQ_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "wsq/common/status.h"
+
+namespace wsq::net {
+
+/// Abstract byte stream the framing layer reads/writes — a connected TCP
+/// socket in production, an in-memory buffer (possibly throttled to
+/// 1-byte reads/writes) in tests. Implementations may transfer fewer
+/// bytes than asked; the framing layer loops.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  /// Reads up to `len` bytes into `buf`. Returns the count actually read
+  /// (>= 1), or 0 on clean end-of-stream (peer closed). Errors (socket
+  /// failure, deadline expiry) come back as non-ok.
+  virtual Result<size_t> ReadSome(void* buf, size_t len) = 0;
+
+  /// Writes up to `len` bytes from `buf`; returns the count actually
+  /// written (>= 1). Short writes are normal (full socket buffers).
+  virtual Result<size_t> WriteSome(const void* buf, size_t len) = 0;
+};
+
+/// Loops ReadSome until exactly `len` bytes have arrived. A clean EOF
+/// after 0 bytes — or mid-message — is kUnavailable ("connection
+/// closed"): on the live path a torn-down connection is a transient,
+/// retryable condition.
+Status ReadExact(ByteStream& stream, void* buf, size_t len);
+
+/// Loops WriteSome until all `len` bytes are out.
+Status WriteAll(ByteStream& stream, const void* buf, size_t len);
+
+/// Frame type tag. Every exchange on a wsq connection is one request
+/// frame answered by one response frame, strictly in order.
+enum class FrameType : uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+};
+
+/// Response flag: the payload is a SOAP fault envelope (the service
+/// answered, but with an error — maps to kRemoteFault client-side, never
+/// retried).
+inline constexpr uint8_t kFrameFlagSoapFault = 0x01;
+/// Response flag: the exchange was failed by server-side fault injection
+/// (wsqd --fault-plan). Maps to kUnavailable client-side — retryable,
+/// exactly like a connection that dropped. The server's cursor did NOT
+/// advance.
+inline constexpr uint8_t kFrameFlagTransientFault = 0x02;
+
+/// "WSQ1" — the protocol magic leading every frame. A peer that opens
+/// with anything else is not speaking this protocol; reject, don't
+/// guess.
+inline constexpr uint32_t kFrameMagic = 0x57535131;
+
+/// Fixed header size: magic(4) type(1) flags(2:1 reserved) payload
+/// length(4) service time(8).
+inline constexpr size_t kFrameHeaderBytes = 20;
+
+/// Oversized-frame guard: a header announcing a payload beyond this is
+/// rejected before any allocation — one malformed (or hostile) length
+/// field must not make the peer try to buffer gigabytes.
+inline constexpr uint32_t kMaxFramePayloadBytes = 64u * 1024u * 1024u;
+
+/// One framed message: a SOAP envelope plus transport metadata. The
+/// server stamps `service_micros` on responses (wall time from request
+/// fully read to response write), so the client can decompose its
+/// measured call time into wire vs server residence — the live analogue
+/// of the simulated CallResult.wire_ms/service_ms split.
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  uint8_t flags = 0;
+  uint64_t service_micros = 0;
+  std::string payload;
+};
+
+/// Serializes the fixed header for `frame` into `out` (network byte
+/// order throughout).
+void EncodeFrameHeader(const Frame& frame, char out[kFrameHeaderBytes]);
+
+/// Parsed header fields, pre-payload.
+struct FrameHeader {
+  FrameType type = FrameType::kRequest;
+  uint8_t flags = 0;
+  uint32_t payload_len = 0;
+  uint64_t service_micros = 0;
+};
+
+/// Validates and decodes a fixed header: wrong magic, unknown type, or a
+/// payload length beyond kMaxFramePayloadBytes are kInvalidArgument —
+/// the connection is unsalvageable after any of them (framing is lost).
+Result<FrameHeader> DecodeFrameHeader(const char in[kFrameHeaderBytes]);
+
+/// Reads one complete frame: header (validated) then payload, handling
+/// partial reads. kUnavailable when the peer closed the connection
+/// (cleanly between frames or mid-frame); kInvalidArgument on garbage or
+/// oversized headers.
+Result<Frame> ReadFrame(ByteStream& stream);
+
+/// Writes one complete frame, handling short writes. Refuses payloads
+/// beyond kMaxFramePayloadBytes (kInvalidArgument) — the guard is
+/// enforced symmetrically so a well-behaved peer can never emit a frame
+/// the other side must reject.
+Status WriteFrame(ByteStream& stream, const Frame& frame);
+
+}  // namespace wsq::net
+
+#endif  // WSQ_NET_FRAME_H_

@@ -1,0 +1,213 @@
+#include "wsq/net/server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "wsq/common/clock.h"
+#include "wsq/net/frame.h"
+#include "wsq/soap/envelope.h"
+#include "wsq/soap/message.h"
+
+namespace wsq::net {
+
+namespace {
+
+void SleepMs(double ms) {
+  if (ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
+}
+
+}  // namespace
+
+WsqServer::WsqServer(ServiceContainer* container, WsqServerOptions options)
+    : container_(container), options_(std::move(options)) {}
+
+WsqServer::~WsqServer() { Stop(); }
+
+Status WsqServer::Start() {
+  if (running_.load()) return Status::Ok();
+  Result<Socket> listener =
+      TcpListen(pinned_port_ != 0 ? pinned_port_ : options_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  Result<int> port = LocalPort(listener_);
+  if (!port.ok()) return port.status();
+  pinned_port_ = port.value();
+
+  pool_ = std::make_unique<exec::ThreadPool>(options_.worker_threads);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void WsqServer::Stop() {
+  if (!running_.exchange(false)) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& [id, conn] : live_connections_) {
+      conn->Shutdown();  // wakes any handler blocked in ReadFrame
+    }
+  }
+  // Drains every in-flight and queued connection handler, then joins.
+  // Handlers deregister themselves on the way out.
+  pool_.reset();
+}
+
+void WsqServer::AcceptLoop() {
+  while (running_.load()) {
+    // Short accept deadline so Stop() is noticed promptly without
+    // needing a cross-thread wakeup on the listener.
+    Result<Socket> conn = Accept(listener_, 100.0);
+    if (!conn.ok()) continue;
+    connections_accepted_.fetch_add(1);
+    auto shared = std::make_shared<Socket>(std::move(conn).value());
+    int64_t id;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      id = next_connection_id_++;
+      live_connections_[id] = shared;
+    }
+    pool_->Submit([this, shared, id] { ServeConnection(shared, id); });
+  }
+}
+
+void WsqServer::ServeConnection(std::shared_ptr<Socket> conn, int64_t id) {
+  bool hard = false;
+  for (;;) {
+    Result<Frame> request = ReadFrame(*conn);
+    // Any read failure ends the connection: clean close between frames,
+    // a shutdown from Stop(), or a peer that is not speaking the
+    // protocol (garbage header — framing is unrecoverable).
+    if (!request.ok()) break;
+    if (request.value().type != FrameType::kRequest) break;
+    const ExchangeOutcome outcome = ServeExchange(*conn, request.value());
+    if (outcome == ExchangeOutcome::kContinue) continue;
+    hard = outcome == ExchangeOutcome::kCloseHard;
+    break;
+  }
+  // Deregister before closing: Stop() only touches registered sockets,
+  // so the cross-thread Shutdown can never race our Close.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    live_connections_.erase(id);
+  }
+  if (hard) {
+    conn->CloseHard();
+  } else {
+    conn->Close();
+  }
+}
+
+WsqServer::SessionFaultState* WsqServer::FaultStateForSession(
+    int64_t session_id) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  auto it = session_faults_.find(session_id);
+  if (it == session_faults_.end()) {
+    SessionFaultState state;
+    state.injector = std::make_unique<FaultInjector>(
+        options_.fault_plan,
+        options_.fault_seed + static_cast<uint64_t>(session_id));
+    state.start_micros = WallClock().NowMicros();
+    it = session_faults_.emplace(session_id, std::move(state)).first;
+  }
+  return &it->second;  // std::map nodes are pointer-stable
+}
+
+WsqServer::ExchangeOutcome WsqServer::ServeExchange(Socket& conn,
+                                                    const Frame& request) {
+  // Chaos targeting: only data-block exchanges are scripted (session
+  // management is never faulted — plans address data transfer). A parse
+  // failure here is fine; the container will answer with a SOAP fault.
+  SessionFaultState* state = nullptr;
+  if (!options_.fault_plan.empty()) {
+    Result<XmlNode> payload = ParseEnvelope(request.payload);
+    if (payload.ok()) {
+      Result<RequestKind> kind = ClassifyRequest(payload.value());
+      if (kind.ok() && kind.value() == RequestKind::kRequestBlock) {
+        Result<RequestBlockRequest> block =
+            DecodeRequestBlock(payload.value());
+        if (block.ok()) {
+          state = FaultStateForSession(block.value().session_id);
+        }
+      }
+    }
+  }
+
+  const WallClock wall;
+  const int64_t t0 = wall.NowMicros();
+
+  double injected_sleep_ms = 0.0;
+  if (state != nullptr) {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    const double now_ms =
+        static_cast<double>(t0 - state->start_micros) / 1000.0;
+    const AttemptFault fault =
+        state->injector->NextAttempt(state->blocks_served, now_ms);
+    if (fault.faulted) {
+      faults_injected_.fetch_add(1);
+      if (fault.kind == FaultKind::kSoapFaultBurst) {
+        // The service "answers" with a transient fault. The transient
+        // flag tells the client this maps to kUnavailable (retry, the
+        // cursor did not move), not to a terminal kRemoteFault.
+        Frame response;
+        response.type = FrameType::kResponse;
+        response.flags = kFrameFlagSoapFault | kFrameFlagTransientFault;
+        response.service_micros =
+            static_cast<uint64_t>(wall.NowMicros() - t0);
+        response.payload = BuildFaultEnvelope(
+            {"Server", "injected transient fault (server-side chaos)"});
+        return WriteFrame(conn, response).ok() ? ExchangeOutcome::kContinue
+                                               : ExchangeOutcome::kClose;
+      }
+      // kUnavailability drops the connection quietly (FIN); the client
+      // sees "connection closed" and retries. kConnectionReset slams it
+      // (RST) — the same observable as the sim's reset fault.
+      return fault.kind == FaultKind::kConnectionReset
+                 ? ExchangeOutcome::kCloseHard
+                 : ExchangeOutcome::kClose;
+    }
+    const SuccessPerturbation perturb =
+        state->injector->OnSuccess(state->blocks_served, now_ms);
+    if (perturb.active()) {
+      injected_sleep_ms = perturb.stall_ms + perturb.latency_add_ms;
+    }
+  }
+
+  // Injected stalls happen BEFORE dispatch, and we re-check the peer
+  // afterwards: a client whose deadline fired during the stall has
+  // abandoned the exchange, and dispatching anyway would advance the
+  // session cursor for a block the client never received (it would then
+  // silently skip that block on retry).
+  SleepMs(injected_sleep_ms);
+  if (conn.PeerClosed()) return ExchangeOutcome::kClose;
+
+  DispatchResult result;
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    result = container_->Dispatch(request.payload);
+  }
+  if (options_.simulate_service_time) {
+    SleepMs(result.service_time_ms);
+  }
+
+  if (state != nullptr && !result.is_fault) {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    ++state->blocks_served;
+  }
+
+  Frame response;
+  response.type = FrameType::kResponse;
+  response.flags = result.is_fault ? kFrameFlagSoapFault : 0;
+  // Measured residence (request fully read -> reply), which includes
+  // both the simulated service sleep and any injected stall.
+  response.service_micros = static_cast<uint64_t>(wall.NowMicros() - t0);
+  response.payload = std::move(result.response);
+  exchanges_served_.fetch_add(1);
+  return WriteFrame(conn, response).ok() ? ExchangeOutcome::kContinue
+                                         : ExchangeOutcome::kClose;
+}
+
+}  // namespace wsq::net

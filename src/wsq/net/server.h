@@ -1,0 +1,130 @@
+#ifndef WSQ_NET_SERVER_H_
+#define WSQ_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "wsq/common/status.h"
+#include "wsq/exec/thread_pool.h"
+#include "wsq/fault/fault_injector.h"
+#include "wsq/fault/fault_plan.h"
+#include "wsq/net/socket.h"
+#include "wsq/server/container.h"
+
+namespace wsq::net {
+
+struct WsqServerOptions {
+  /// TCP port to listen on; 0 picks an ephemeral port (read it back with
+  /// port() after Start).
+  int port = 0;
+  /// Connection-handler pool size — the cap on concurrently served
+  /// clients.
+  int worker_threads = 8;
+  /// Server-side chaos: a non-empty plan is replayed per *session* (not
+  /// per connection), so a client that reconnects after an injected
+  /// connection drop resumes the same fault schedule at the same block.
+  FaultPlan fault_plan;
+  /// Per-run seed for the fault plan's probabilistic specs.
+  uint64_t fault_seed = 0;
+  /// When true (the default, and what wsqd uses), the server sleeps each
+  /// exchange's LoadModel-simulated service time for real before
+  /// replying, so live response times carry the paper's block-size
+  /// dependence and adaptive controllers have a genuine signal to chase.
+  /// Tests that only care about protocol mechanics turn it off.
+  bool simulate_service_time = true;
+};
+
+/// The network frontend of the data service: accepts framed SOAP
+/// exchanges over TCP and dispatches them to a ServiceContainer —
+/// turning the in-process pull protocol into the wsqd daemon's wire
+/// protocol. Thread-per-connection on an exec::ThreadPool; container
+/// dispatch is serialized by an internal mutex (DataService and
+/// LoadModel are single-threaded by design).
+///
+/// Start/Stop is a *frontend* lifecycle: Stop tears down the listener
+/// and every live connection but leaves the container — and therefore
+/// all open DataService sessions — intact, so a restarted server
+/// resumes half-finished queries. That is precisely what lets a client
+/// with a resilient retry policy survive a server kill mid-query.
+class WsqServer {
+ public:
+  /// `container` must outlive the server and every Start/Stop cycle.
+  WsqServer(ServiceContainer* container, WsqServerOptions options);
+  ~WsqServer();
+
+  WsqServer(const WsqServer&) = delete;
+  WsqServer& operator=(const WsqServer&) = delete;
+
+  /// Binds and starts accepting. The first Start resolves an ephemeral
+  /// port request; later Starts re-bind the same pinned port (so
+  /// clients can reconnect after a Stop/Start cycle). No-op when
+  /// already running.
+  Status Start();
+
+  /// Stops accepting, wakes and drains every live connection handler,
+  /// and joins the workers. Idempotent. Sessions persist.
+  void Stop();
+
+  bool running() const { return running_.load(); }
+
+  /// The bound port; 0 before the first successful Start.
+  int port() const { return pinned_port_; }
+
+  int64_t connections_accepted() const { return connections_accepted_.load(); }
+  int64_t exchanges_served() const { return exchanges_served_.load(); }
+  int64_t faults_injected() const { return faults_injected_.load(); }
+
+ private:
+  /// Fault-plan replay state for one DataService session, persisted
+  /// across reconnects.
+  struct SessionFaultState {
+    std::unique_ptr<FaultInjector> injector;
+    int64_t blocks_served = 0;
+    int64_t start_micros = 0;
+  };
+
+  /// How one served exchange ends: keep reading, close gracefully (FIN),
+  /// or close abortively (RST — injected connection resets).
+  enum class ExchangeOutcome { kContinue, kClose, kCloseHard };
+
+  void AcceptLoop();
+  void ServeConnection(std::shared_ptr<Socket> conn, int64_t id);
+  ExchangeOutcome ServeExchange(Socket& conn, const Frame& request);
+  SessionFaultState* FaultStateForSession(int64_t session_id);
+
+  ServiceContainer* container_;
+  WsqServerOptions options_;
+
+  Socket listener_;
+  int pinned_port_ = 0;
+  std::thread accept_thread_;
+  std::unique_ptr<exec::ThreadPool> pool_;
+  std::atomic<bool> running_{false};
+
+  /// Live connections, so Stop can wake blocked readers. Handlers
+  /// deregister (under the mutex) before closing their socket, which
+  /// makes the cross-thread Shutdown race-free.
+  std::mutex conn_mu_;
+  std::map<int64_t, std::shared_ptr<Socket>> live_connections_;
+  int64_t next_connection_id_ = 0;
+
+  /// Serializes ServiceContainer::Dispatch.
+  std::mutex dispatch_mu_;
+
+  /// Session-keyed fault replay state (guarded by fault_mu_). Entries
+  /// outlive connections deliberately — see WsqServerOptions::fault_plan.
+  std::mutex fault_mu_;
+  std::map<int64_t, SessionFaultState> session_faults_;
+
+  std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> exchanges_served_{0};
+  std::atomic<int64_t> faults_injected_{0};
+};
+
+}  // namespace wsq::net
+
+#endif  // WSQ_NET_SERVER_H_

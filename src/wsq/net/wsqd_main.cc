@@ -1,0 +1,196 @@
+// wsqd — the standalone wsq data-service daemon.
+//
+// Hosts the same DataService/ServiceContainer stack the simulated
+// transport dispatches into, behind the framed TCP wire protocol
+// (net/frame.h), so any TcpWsClient / LiveBackend / `--live` example can
+// run the paper's pull protocol over a real network:
+//
+//   wsqd --port=9090 --scale=0.1 --profile=loaded --fault-plan=burst
+//
+// The daemon prints "wsqd listening on port N" once ready (scripts
+// scrape the ephemeral port from it) and serves until SIGINT/SIGTERM.
+
+#include <csignal>
+#include <cstdint>
+#include <ctime>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "wsq/fault/fault_plan.h"
+#include "wsq/net/server.h"
+#include "wsq/relation/tpch_gen.h"
+#include "wsq/server/container.h"
+#include "wsq/server/data_service.h"
+#include "wsq/server/dbms.h"
+#include "wsq/server/load_model.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+struct WsqdFlags {
+  int port = 9090;
+  double scale = 0.05;
+  uint64_t seed = 7;
+  std::string profile = "unloaded";
+  std::string fault_plan = "none";
+  int worker_threads = 8;
+  bool simulate_service_time = true;
+};
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: wsqd [--port=N] [--scale=F] [--seed=N] [--profile=NAME]\n"
+      "            [--fault-plan=NAME] [--workers=N] [--no-service-sleep]\n"
+      "\n"
+      "  --port=N           TCP port to listen on; 0 = ephemeral (default "
+      "9090)\n"
+      "  --scale=F          TPC-H scale factor for the hosted Customer/Orders "
+      "tables (default 0.05)\n"
+      "  --seed=N           data + load-noise seed (default 7)\n"
+      "  --profile=NAME     server load profile: unloaded | loaded | memory "
+      "(paper conf1.1/1.2/1.3)\n"
+      "  --fault-plan=NAME  server-side chaos preset (none | burst | latency "
+      "| stall | flaky | outage | resets)\n"
+      "  --workers=N        connection-handler threads (default 8)\n"
+      "  --no-service-sleep serve at raw dispatch speed instead of sleeping "
+      "the modeled service time\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+/// The paper's server-side configurations as LoadModelConfig presets:
+/// "unloaded" (conf1.1), "loaded" (conf1.2: concurrent queries sharing
+/// CPU/memory), "memory" (conf1.3: memory-intensive jobs shrinking the
+/// buffer).
+bool LoadProfileByName(const std::string& name, wsq::LoadModelConfig* out) {
+  wsq::LoadModelConfig config;
+  if (name == "unloaded") {
+    *out = config;
+    return true;
+  }
+  if (name == "loaded") {
+    config.concurrent_queries = 3;
+    *out = config;
+    return true;
+  }
+  if (name == "memory") {
+    config.concurrent_jobs = 4;
+    config.memory_pressure = 0.5;
+    *out = config;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  WsqdFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--port", &value)) {
+      flags.port = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--scale", &value)) {
+      flags.scale = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      flags.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "--profile", &value)) {
+      flags.profile = value;
+    } else if (ParseFlag(argv[i], "--fault-plan", &value)) {
+      flags.fault_plan = value;
+    } else if (ParseFlag(argv[i], "--workers", &value)) {
+      flags.worker_threads = std::atoi(value.c_str());
+    } else if (std::strcmp(argv[i], "--no-service-sleep") == 0) {
+      flags.simulate_service_time = false;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      PrintUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "wsqd: unknown flag %s\n", argv[i]);
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  wsq::LoadModelConfig load;
+  if (!LoadProfileByName(flags.profile, &load)) {
+    std::fprintf(stderr, "wsqd: unknown --profile=%s\n",
+                 flags.profile.c_str());
+    return 2;
+  }
+  wsq::Result<wsq::FaultPlan> plan =
+      wsq::FaultPlan::FromName(flags.fault_plan);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "wsqd: %s\n", plan.status().ToString().c_str());
+    return 2;
+  }
+
+  wsq::TpchGenOptions gen;
+  gen.scale = flags.scale;
+  gen.seed = flags.seed;
+  wsq::Result<std::shared_ptr<wsq::Table>> customer =
+      wsq::GenerateCustomer(gen);
+  wsq::Result<std::shared_ptr<wsq::Table>> orders = wsq::GenerateOrders(gen);
+  if (!customer.ok() || !orders.ok()) {
+    std::fprintf(stderr, "wsqd: table generation failed\n");
+    return 1;
+  }
+
+  wsq::Dbms dbms;
+  if (!dbms.RegisterTable(customer.value()).ok() ||
+      !dbms.RegisterTable(orders.value()).ok()) {
+    std::fprintf(stderr, "wsqd: table registration failed\n");
+    return 1;
+  }
+  wsq::DataService service(&dbms);
+  wsq::ServiceContainer container(&service, load, flags.seed);
+
+  wsq::net::WsqServerOptions server_options;
+  server_options.port = flags.port;
+  server_options.worker_threads = flags.worker_threads;
+  server_options.fault_plan = std::move(plan).value();
+  server_options.fault_seed = flags.seed;
+  server_options.simulate_service_time = flags.simulate_service_time;
+  wsq::net::WsqServer server(&container, server_options);
+
+  wsq::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "wsqd: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  std::fprintf(stderr,
+               "wsqd: profile=%s fault-plan=%s scale=%g (%lld customer "
+               "rows)\n",
+               flags.profile.c_str(), flags.fault_plan.c_str(), flags.scale,
+               static_cast<long long>(customer.value()->num_rows()));
+  // The machine-readable ready line scripts wait for and scrape.
+  std::printf("wsqd listening on port %d\n", server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    struct timespec ts {0, 100 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+
+  server.Stop();
+  std::fprintf(stderr, "wsqd: served %lld exchanges on %lld connections "
+                       "(%lld injected faults)\n",
+               static_cast<long long>(server.exchanges_served()),
+               static_cast<long long>(server.connections_accepted()),
+               static_cast<long long>(server.faults_injected()));
+  return 0;
+}

@@ -1,0 +1,204 @@
+#include "wsq/net/frame.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace wsq::net {
+namespace {
+
+/// In-memory ByteStream with a configurable maximum transfer per call,
+/// so tests exercise the partial-read / short-write loops the real
+/// socket path depends on.
+class MemoryStream : public ByteStream {
+ public:
+  explicit MemoryStream(size_t max_chunk = std::numeric_limits<size_t>::max())
+      : max_chunk_(max_chunk) {}
+
+  Result<size_t> ReadSome(void* buf, size_t len) override {
+    if (read_pos_ >= data_.size()) return static_cast<size_t>(0);  // EOF
+    const size_t n =
+        std::min({len, max_chunk_, data_.size() - read_pos_});
+    std::memcpy(buf, data_.data() + read_pos_, n);
+    read_pos_ += n;
+    return n;
+  }
+
+  Result<size_t> WriteSome(const void* buf, size_t len) override {
+    const size_t n = std::min(len, max_chunk_);
+    data_.append(static_cast<const char*>(buf), n);
+    return n;
+  }
+
+  std::string& data() { return data_; }
+
+ private:
+  std::string data_;
+  size_t read_pos_ = 0;
+  size_t max_chunk_;
+};
+
+Frame SampleFrame() {
+  Frame frame;
+  frame.type = FrameType::kResponse;
+  frame.flags = kFrameFlagSoapFault;
+  frame.service_micros = 123456789ull;
+  frame.payload = std::string("soap\0envelope\xffwith binary", 25);
+  return frame;
+}
+
+TEST(FrameTest, RoundTripPreservesEveryField) {
+  MemoryStream stream;
+  const Frame sent = SampleFrame();
+  ASSERT_TRUE(WriteFrame(stream, sent).ok());
+
+  Result<Frame> got = ReadFrame(stream);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value().type, sent.type);
+  EXPECT_EQ(got.value().flags, sent.flags);
+  EXPECT_EQ(got.value().service_micros, sent.service_micros);
+  EXPECT_EQ(got.value().payload, sent.payload);
+}
+
+TEST(FrameTest, RoundTripSurvivesOneByteTransfers) {
+  // Every ReadSome/WriteSome moves a single byte: the framing loops must
+  // reassemble the exact same frame.
+  MemoryStream stream(/*max_chunk=*/1);
+  const Frame sent = SampleFrame();
+  ASSERT_TRUE(WriteFrame(stream, sent).ok());
+  ASSERT_EQ(stream.data().size(), kFrameHeaderBytes + sent.payload.size());
+
+  Result<Frame> got = ReadFrame(stream);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value().payload, sent.payload);
+  EXPECT_EQ(got.value().service_micros, sent.service_micros);
+}
+
+TEST(FrameTest, EmptyPayloadRoundTrips) {
+  MemoryStream stream;
+  Frame frame;
+  frame.type = FrameType::kRequest;
+  ASSERT_TRUE(WriteFrame(stream, frame).ok());
+  ASSERT_EQ(stream.data().size(), kFrameHeaderBytes);
+
+  Result<Frame> got = ReadFrame(stream);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got.value().payload.empty());
+  EXPECT_EQ(got.value().type, FrameType::kRequest);
+}
+
+TEST(FrameTest, CleanEofBetweenFramesIsUnavailable) {
+  MemoryStream stream;  // nothing to read
+  Result<Frame> got = ReadFrame(stream);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(got.status().message().find("closed"), std::string::npos);
+}
+
+TEST(FrameTest, EofMidHeaderIsUnavailable) {
+  MemoryStream stream;
+  ASSERT_TRUE(WriteFrame(stream, SampleFrame()).ok());
+  stream.data().resize(kFrameHeaderBytes / 2);  // cut inside the header
+
+  Result<Frame> got = ReadFrame(stream);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(got.status().message().find("mid-message"), std::string::npos);
+}
+
+TEST(FrameTest, EofMidPayloadIsUnavailable) {
+  MemoryStream stream;
+  ASSERT_TRUE(WriteFrame(stream, SampleFrame()).ok());
+  stream.data().resize(kFrameHeaderBytes + 3);  // cut inside the payload
+
+  Result<Frame> got = ReadFrame(stream);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FrameTest, GarbageHeaderIsInvalidArgument) {
+  MemoryStream stream;
+  stream.data().assign(kFrameHeaderBytes, 'x');
+  Result<Frame> got = ReadFrame(stream);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(got.status().message().find("magic"), std::string::npos);
+}
+
+TEST(FrameTest, UnknownFrameTypeIsInvalidArgument) {
+  MemoryStream stream;
+  ASSERT_TRUE(WriteFrame(stream, SampleFrame()).ok());
+  stream.data()[4] = 9;  // corrupt the type byte
+
+  Result<Frame> got = ReadFrame(stream);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, OversizedHeaderRejectedBeforeAllocation) {
+  MemoryStream stream;
+  ASSERT_TRUE(WriteFrame(stream, SampleFrame()).ok());
+  // Patch payload_len (bytes 8..11, big-endian) to 64 MiB + 1.
+  const uint32_t huge = kMaxFramePayloadBytes + 1;
+  stream.data()[8] = static_cast<char>((huge >> 24) & 0xff);
+  stream.data()[9] = static_cast<char>((huge >> 16) & 0xff);
+  stream.data()[10] = static_cast<char>((huge >> 8) & 0xff);
+  stream.data()[11] = static_cast<char>(huge & 0xff);
+
+  Result<Frame> got = ReadFrame(stream);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(got.status().message().find("exceeds"), std::string::npos);
+}
+
+TEST(FrameTest, WriteRefusesOversizedPayloadSymmetrically) {
+  MemoryStream stream;
+  Frame frame;
+  frame.payload.resize(kMaxFramePayloadBytes + 1);
+  Status status = WriteFrame(stream, frame);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(stream.data().empty());  // nothing hit the wire
+}
+
+TEST(FrameTest, BackToBackFramesReadInOrder) {
+  MemoryStream stream(/*max_chunk=*/3);
+  Frame first = SampleFrame();
+  Frame second;
+  second.type = FrameType::kRequest;
+  second.payload = "short";
+  ASSERT_TRUE(WriteFrame(stream, first).ok());
+  ASSERT_TRUE(WriteFrame(stream, second).ok());
+
+  Result<Frame> got1 = ReadFrame(stream);
+  Result<Frame> got2 = ReadFrame(stream);
+  ASSERT_TRUE(got1.ok());
+  ASSERT_TRUE(got2.ok());
+  EXPECT_EQ(got1.value().payload, first.payload);
+  EXPECT_EQ(got2.value().payload, "short");
+  // And the stream is drained: a third read reports the clean EOF.
+  EXPECT_EQ(ReadFrame(stream).status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FrameTest, HeaderEncodeDecodeAgree) {
+  Frame frame;
+  frame.type = FrameType::kResponse;
+  frame.flags = kFrameFlagTransientFault;
+  frame.service_micros = 0xDEADBEEFCAFEull;
+  frame.payload.assign(4096, 'p');
+
+  char raw[kFrameHeaderBytes];
+  EncodeFrameHeader(frame, raw);
+  Result<FrameHeader> header = DecodeFrameHeader(raw);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header.value().type, frame.type);
+  EXPECT_EQ(header.value().flags, frame.flags);
+  EXPECT_EQ(header.value().payload_len, frame.payload.size());
+  EXPECT_EQ(header.value().service_micros, frame.service_micros);
+}
+
+}  // namespace
+}  // namespace wsq::net
