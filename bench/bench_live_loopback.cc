@@ -10,6 +10,10 @@
 //                    in-process server (its --fault-plan then governs)
 //   --controller=C   controller per run (factory name, default "hybrid")
 //   --scale=S        TPC-H scale of the served table (default 0.02)
+//   --codec=NAME     block wire codec the clients advertise (soap |
+//                    binary | binary+lz; default soap). The in-process
+//                    server always offers binary+lz, so the flag alone
+//                    decides what the wire carries.
 //
 // With --fault-plan=<preset> (in-process server only) the server replays
 // the preset per session, and the bench first demonstrates the paper's
@@ -142,6 +146,8 @@ int Main(int argc, char** argv) {
     load.noise_sigma = 0.0;
     container = std::make_unique<ServiceContainer>(service.get(), load, 7);
     net::WsqServerOptions options;
+    options.codec =
+        codec::CodecChoice{codec::CodecKind::kBinary, /*compress_blocks=*/true};
     if (fault_mode) {
       Result<FaultPlan> plan = FaultPlan::FromName(session.fault_plan());
       if (!plan.ok()) {
@@ -169,6 +175,8 @@ int Main(int argc, char** argv) {
   setup.host = "127.0.0.1";
   setup.port = port;
   setup.query.table_name = "customer";
+  setup.client_options.codec = session.wire_codec();
+  std::printf("wire codec: %s\n", session.wire_codec().ToString().c_str());
 
   // Fault mode, act one: the resilience contrast. A Legacy() client
   // must die inside the burst...

@@ -183,6 +183,139 @@ void RunChaos(const BenchSession& session) {
   MaybeDumpCsv(csv, "table3_chaos_" + plan.name);
 }
 
+/// Codec mode (--codec=binary / binary+lz): re-runs the degradation
+/// matrix on the *empirical* path — the only backend whose wire time is
+/// charged per payload byte — under SOAP and under the requested codec.
+/// The profile-driven main table cannot see codecs (profiles model
+/// response time directly), so this scenario answers the question the
+/// paper's Table III shape raises for a binary wire: does shrinking the
+/// per-tuple byte cost change the *relative* ranking of the
+/// controllers, and how much absolute time does the codec save at each
+/// config's optimum?
+struct CodecConf {
+  const char* name;
+  LoadModelConfig load;
+};
+
+std::vector<CodecConf> CodecConfs() {
+  CodecConf unloaded{"conf1.1 wan/unloaded", {}};
+  CodecConf loaded{"conf1.2 wan/loaded", {}};
+  loaded.load.concurrent_queries = 3;
+  CodecConf memory{"conf1.3 wan/memory", {}};
+  memory.load.concurrent_jobs = 4;
+  memory.load.memory_pressure = 0.5;
+  return {unloaded, loaded, memory};
+}
+
+double RunEmpiricalOnce(const std::shared_ptr<Table>& customer,
+                        const LoadModelConfig& load,
+                        const codec::CodecChoice& codec,
+                        const std::string& controller_name, uint64_t seed) {
+  EmpiricalSetup setup;
+  setup.table = customer;
+  setup.query.table_name = "customer";
+  setup.link = WanUkToSwitzerland();
+  setup.load = load;
+  setup.seed = seed;
+  setup.codec = codec;
+  auto session = QuerySession::Create(setup);
+  if (!session.ok()) {
+    std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto controller = ControllerFactory::FromName(controller_name);
+  if (!controller.ok()) {
+    std::fprintf(stderr, "%s\n", controller.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto outcome = session.value()->Execute(controller.value().get());
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
+    std::exit(1);
+  }
+  return outcome.value().total_time_ms;
+}
+
+double MeanEmpirical(const std::shared_ptr<Table>& customer,
+                     const LoadModelConfig& load,
+                     const codec::CodecChoice& codec,
+                     const std::string& controller_name) {
+  RunningStats stats;
+  for (uint64_t run = 0; run < 2; ++run) {
+    stats.Add(
+        RunEmpiricalOnce(customer, load, codec, controller_name, 17 + run * 131));
+  }
+  return stats.mean();
+}
+
+void RunCodec(const BenchSession& session) {
+  const codec::CodecChoice binary = session.wire_codec();
+  const codec::CodecChoice soap;  // default: the historical wire
+
+  PrintHeader(
+      "Table III (codec: " + binary.ToString() + ")",
+      "degradation vs the post-mortem optimum on the empirical path "
+      "(simulated wire charged per payload byte), SOAP vs " +
+          binary.ToString() + ", WAN link, Customer x0.1",
+      "controller ranking survives the codec change (hybrid < switching "
+      "<< static) and the binary wire beats SOAP at every config's "
+      "optimum");
+
+  TpchGenOptions gen;
+  gen.scale = 0.1;  // 15000 tuples: enough blocks for adaptation
+  auto customer = GenerateCustomer(gen);
+  if (!customer.ok()) std::exit(1);
+
+  // Columns mirror the paper's table; the post-mortem optimum is the
+  // best static size on a coarse grid, found per (config, codec) — the
+  // codec changes bytes/tuple and thus the bowl's floor.
+  const int64_t kGrid[] = {500, 1000, 2000, 4000, 8000, 12000};
+  const char* columns[] = {"static 1K",   "static 10K", "static 20K",
+                           "const. gain", "adapt. gain", "hybrid"};
+  const char* controller_names[] = {"fixed:1000", "fixed:10000",
+                                    "fixed:20000", "constant", "adaptive",
+                                    "hybrid"};
+
+  CsvWriter csv({"config", "codec", "column", "degradation_pct",
+                 "optimum_ms"});
+  TextTable speedup({"config", "soap optimum ms",
+                     binary.ToString() + " optimum ms", "transfer speedup"});
+  for (const CodecConf& conf : CodecConfs()) {
+    double optimum[2] = {0.0, 0.0};
+    for (int c = 0; c < 2; ++c) {
+      const codec::CodecChoice& choice = c == 0 ? soap : binary;
+      double best = 1e300;
+      for (int64_t size : kGrid) {
+        best = std::min(
+            best, MeanEmpirical(customer.value(), conf.load, choice,
+                                "fixed:" + std::to_string(size)));
+      }
+      optimum[c] = best;
+
+      TextTable table({"column", "mean ms", "degradation %"});
+      for (size_t i = 0; i < std::size(columns); ++i) {
+        const double mean = MeanEmpirical(customer.value(), conf.load, choice,
+                                          controller_names[i]);
+        const double degradation = (mean / best - 1.0) * 100.0;
+        table.AddRow({columns[i], FormatDouble(mean, 0),
+                      FormatDouble(degradation, 1)});
+        csv.AddRow({conf.name, choice.ToString(), columns[i],
+                    FormatDouble(degradation, 2), FormatDouble(best, 1)});
+      }
+      std::printf("--- %s, codec=%s (optimum %s ms) ---\n%s\n", conf.name,
+                  choice.ToString().c_str(), FormatDouble(best, 0).c_str(),
+                  table.ToString().c_str());
+    }
+    speedup.AddRow({conf.name, FormatDouble(optimum[0], 0),
+                    FormatDouble(optimum[1], 0),
+                    FormatDouble(optimum[0] / optimum[1], 2) + "x"});
+  }
+  std::printf("--- optimum response time, SOAP vs %s ---\n%s",
+              binary.ToString().c_str(), speedup.ToString().c_str());
+  MaybeDumpCsv(csv, "table3_codec_" + std::string(codec::CodecKindName(
+                        binary.kind)));
+}
+
 }  // namespace
 }  // namespace wsq::bench
 
@@ -191,6 +324,9 @@ int main(int argc, char** argv) {
   wsq::bench::Run();
   if (!session.fault_plan().empty() && session.fault_plan() != "none") {
     wsq::bench::RunChaos(session);
+  }
+  if (session.wire_codec().kind != wsq::codec::CodecKind::kSoap) {
+    wsq::bench::RunCodec(session);
   }
   return 0;
 }

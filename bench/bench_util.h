@@ -34,6 +34,9 @@ namespace wsq::bench {
 ///                          budget (only meaningful with --fault-plan)
 ///   --breaker-threshold=<K> override the chaos circuit-breaker
 ///                          threshold; 0 disables the breaker
+///   --codec=<name>         block wire codec for benches that support
+///                          it: soap (default, the historical XML
+///                          path), binary, or binary+lz
 ///
 /// (all also accept the two-token "--flag path" form; other arguments
 /// are ignored). When an observability flag is present a RunObserver
@@ -58,6 +61,18 @@ class BenchSession {
       ParseFlag(argc, argv, &i, "--fault-plan", &fault_plan_);
       ParseFlag(argc, argv, &i, "--max-retries", &max_retries_text);
       ParseFlag(argc, argv, &i, "--breaker-threshold", &breaker_text);
+      ParseFlag(argc, argv, &i, "--codec", &codec_name_);
+    }
+    if (!codec_name_.empty()) {
+      Result<codec::CodecChoice> parsed =
+          codec::CodecChoice::FromName(codec_name_);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "invalid --codec=%s; using soap\n",
+                     codec_name_.c_str());
+        codec_name_.clear();
+      } else {
+        codec_ = parsed.value();
+      }
     }
     if (!max_retries_text.empty()) {
       max_retries_ = std::atoi(max_retries_text.c_str());
@@ -125,6 +140,10 @@ class BenchSession {
   int max_retries() const { return max_retries_; }
   int breaker_threshold() const { return breaker_threshold_; }
 
+  /// The block wire codec --codec selected (SOAP when the flag is
+  /// absent or unparsable — the historical default).
+  const codec::CodecChoice& wire_codec() const { return codec_; }
+
   /// The resilience configuration the chaos flags describe: Chaos()
   /// with any --max-retries / --breaker-threshold overrides applied.
   ResilienceConfig ChaosResilience() const {
@@ -174,6 +193,8 @@ class BenchSession {
   std::string trace_path_;
   std::string bench_json_path_;
   std::string fault_plan_;
+  std::string codec_name_;
+  codec::CodecChoice codec_;
   int max_retries_ = -1;
   int breaker_threshold_ = -1;
   std::unique_ptr<exec::RunTimings> timings_;

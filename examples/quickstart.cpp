@@ -10,6 +10,7 @@
 // other execution stacks).
 //
 //   ./build/examples/quickstart [controller] [--live=host:port]
+//                               [--codec=soap|binary|binary+lz]
 //
 // where [controller] is any of: constant, adaptive, hybrid, hybrid_s,
 // mimd, model_quadratic, model_parabolic, self_tuning, fixed:<N>
@@ -17,10 +18,13 @@
 //
 // With --live=host:port the same demo runs over a *real* TCP connection
 // against a wsqd server (see README "Running a live server"), timed on
-// the wall clock:
+// the wall clock. Add --codec=binary to negotiate the binary block
+// codec with the server (falls back to SOAP if the daemon was not
+// started with --codec=binary):
 //
-//   ./build/src/wsqd --port=9090 &
-//   ./build/examples/quickstart hybrid --live=127.0.0.1:9090
+//   ./build/src/wsqd --port=9090 --codec=binary &
+//   ./build/examples/quickstart hybrid --live=127.0.0.1:9090 \
+//       --codec=binary
 
 #include <cstdio>
 #include <cstdlib>
@@ -53,10 +57,20 @@ int main(int argc, char** argv) {
 
   std::string controller_name = "hybrid";
   std::string live_spec;
+  codec::CodecChoice codec_choice;  // defaults to SOAP
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--live=", 0) == 0) {
       live_spec = arg.substr(7);
+    } else if (arg.rfind("--codec=", 0) == 0) {
+      Result<codec::CodecChoice> parsed =
+          codec::CodecChoice::FromName(arg.substr(8));
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "bad --codec spec '%s' (want soap, binary, "
+                     "or binary+lz)\n", arg.substr(8).c_str());
+        return 1;
+      }
+      codec_choice = parsed.value();
     } else {
       controller_name = arg;
     }
@@ -92,6 +106,7 @@ int main(int argc, char** argv) {
     setup.link = WanUkToGreece();
     setup.load.concurrent_jobs = 2;
     setup.seed = 7;
+    setup.codec = codec_choice;
     // Each RunQuery stands up a fresh client/server stack from the
     // setup, so the adaptive run and the baseline see identical
     // environments.
@@ -114,6 +129,7 @@ int main(int argc, char** argv) {
     setup.output_schema =
         std::make_shared<Schema>(customer_schema.Project(indices).value());
     setup.seed = 7;
+    setup.client_options.codec = codec_choice;
     live = std::make_unique<LiveBackend>(std::move(setup));
   }
 

@@ -24,7 +24,11 @@
 ///  * the live network transport (wsq/net + TcpWsClient + LiveBackend):
 ///    length-prefixed framing over real TCP, the wsqd server frontend,
 ///    and a QueryBackend that runs the same pull loop against it on the
-///    wall clock.
+///    wall clock;
+///  * the negotiated block codecs (wsq/codec): the historical SOAP/XML
+///    round-trip behind a BlockCodec interface next to a columnar
+///    binary codec with zero-copy decode and optional LZ compression,
+///    selected per connection via the Hello/HelloAck handshake.
 ///
 /// See examples/quickstart.cc for the 30-line tour.
 
@@ -43,6 +47,10 @@
 #include "wsq/client/query_session.h"
 #include "wsq/client/tcp_ws_client.h"
 #include "wsq/client/ws_client.h"
+#include "wsq/codec/binary_codec.h"
+#include "wsq/codec/codec.h"
+#include "wsq/codec/soap_codec.h"
+#include "wsq/codec/wire_rows.h"
 #include "wsq/common/clock.h"
 #include "wsq/common/csv_writer.h"
 #include "wsq/common/logging.h"

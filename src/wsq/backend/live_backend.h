@@ -18,6 +18,9 @@ struct LiveSetup {
   std::string host = "127.0.0.1";
   int port = 0;
   ScanProjectQuery query;
+  /// Transport options; `client_options.codec` selects what the
+  /// connection handshake advertises (--codec=binary upgrades the block
+  /// path when the server agrees).
   TcpWsClientOptions client_options;
   /// Retry budget when RunSpec carries no ResilienceConfig (matches the
   /// legacy BlockFetcher default).

@@ -1,13 +1,32 @@
 #include "wsq/client/block_fetcher.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "wsq/codec/binary_codec.h"
+#include "wsq/codec/soap_codec.h"
 #include "wsq/fault/exchange_player.h"
 #include "wsq/relation/tuple_serializer.h"
 #include "wsq/soap/envelope.h"
 #include "wsq/soap/message.h"
 
 namespace wsq {
+namespace {
+
+const codec::BinaryCodec kBinaryCodec;
+const codec::SoapCodec kSoapCodec;
+
+/// Block responses are decoded by what they *are*, not by what was
+/// negotiated: a reconnect may have downgraded the connection mid-run,
+/// and a sniffed dispatch can never mis-pair codec and payload.
+Result<codec::DecodedBlock> DecodeBlockPayload(std::string payload) {
+  if (codec::SniffPayloadCodec(payload) == codec::CodecKind::kBinary) {
+    return kBinaryCodec.DecodeBlockResponse(std::move(payload));
+  }
+  return kSoapCodec.DecodeBlockResponse(std::move(payload));
+}
+
+}  // namespace
 
 bool BlockFetcher::NoteFailure(double attempt_cost_ms, bool session_call,
                                int* attempts, FetchOutcome* outcome) {
@@ -126,17 +145,33 @@ Result<FetchOutcome> BlockFetcher::Run(const ScanProjectQuery& query,
   int64_t block_size = controller_->initial_block_size();
 
   while (true) {
+    const int64_t block_index = outcome.total_blocks;
+
     RequestBlockRequest request;
     request.session_id = session_id;
     request.block_size = block_size;
 
+    // Encode in the negotiated wire form. Binary requests carry the
+    // block index as their sequence number, which is what arms the
+    // server's idempotent replay cache — a retried fetch re-sends the
+    // same sequence and replays rather than skipping a block. The SOAP
+    // form stays unsequenced (-1): its bytes are the legacy bytes.
+    std::string document;
+    if (client_->wire_codec() == codec::CodecKind::kBinary) {
+      request.sequence = block_index;
+      Result<std::string> encoded = kBinaryCodec.EncodeRequestBlock(request);
+      if (!encoded.ok()) return encoded.status();
+      document = std::move(encoded).value();
+    } else {
+      document = EncodeRequestBlock(request);
+    }
+
     // t1 .. t2 around the call (Algorithm 1); the simulated clock makes
     // elapsed_ms exactly the charged time.
-    const int64_t block_index = outcome.total_blocks;
     const int64_t retries_before = outcome.retries;
     const int64_t t1 = clock->NowMicros();
-    Result<CallResult> call = CallWithRetry(EncodeRequestBlock(request),
-                                            block_index, block_size, &outcome);
+    Result<CallResult> call =
+        CallWithRetry(document, block_index, block_size, &outcome);
     if (!call.ok()) return call.status();
 
     double elapsed_ms = call.value().elapsed_ms;
@@ -163,10 +198,15 @@ Result<FetchOutcome> BlockFetcher::Run(const ScanProjectQuery& query,
       }
     }
     const int64_t t2 = clock->NowMicros();
-    Result<XmlNode> payload = ParseEnvelope(call.value().response);
-    if (!payload.ok()) return payload.status();
-    Result<BlockResponse> block = DecodeBlockResponse(payload.value());
-    if (!block.ok()) return block.status();
+    const int64_t response_bytes =
+        static_cast<int64_t>(call.value().response.size());
+    // The payload buffer moves into the decoder: under binary the
+    // decoded block's row views point straight into these bytes — the
+    // received frame payload is the last copy that ever exists.
+    Result<codec::DecodedBlock> decoded =
+        DecodeBlockPayload(std::move(call.value().response));
+    if (!decoded.ok()) return decoded.status();
+    const codec::DecodedBlock& block = decoded.value();
 
     if (observer_ != nullptr) {
       // Decompose the successful exchange into wire and server residence
@@ -179,25 +219,25 @@ Result<FetchOutcome> BlockFetcher::Run(const ScanProjectQuery& query,
           static_cast<int64_t>(call.value().wire_ms * 1000.0);
       observer_->OnNetworkTransfer(t2 - service_us - wire_us, wire_us);
       observer_->OnServerResidence(t2 - service_us, service_us);
-      observer_->OnParse(t2,
-                         static_cast<int64_t>(call.value().response.size()));
+      observer_->OnParse(t2, response_bytes);
     }
 
     BlockTrace trace;
     trace.block_index = block_index;
     trace.requested_size = block_size;
-    trace.received_tuples = block.value().num_tuples;
+    trace.received_tuples = block.num_tuples;
     trace.response_time_ms = elapsed_ms;
     trace.retries = outcome.retries - retries_before;
 
-    outcome.total_tuples += block.value().num_tuples;
+    outcome.total_tuples += block.num_tuples;
     outcome.total_blocks += 1;
     outcome.total_time_ms += elapsed_ms;
 
-    if (serializer != nullptr && keep_tuples != nullptr &&
-        !block.value().payload.empty()) {
-      Result<std::vector<Tuple>> tuples =
-          serializer->DeserializeBlock(block.value().payload);
+    // Keep-tuples: text-mode blocks (SOAP) still need the serializer;
+    // binary blocks materialize straight from their column views.
+    if (keep_tuples != nullptr && block.num_tuples > 0 &&
+        (!block.rows.text_mode() || serializer != nullptr)) {
+      Result<std::vector<Tuple>> tuples = block.rows.Materialize(serializer);
       if (!tuples.ok()) return tuples.status();
       for (Tuple& tuple : tuples.value()) {
         keep_tuples->push_back(std::move(tuple));
@@ -206,8 +246,8 @@ Result<FetchOutcome> BlockFetcher::Run(const ScanProjectQuery& query,
 
     // Controllers consume the per-tuple cost so measurements at
     // different block sizes are comparable (see Controller::NextBlockSize).
-    const double tuples = static_cast<double>(
-        std::max<int64_t>(block.value().num_tuples, 1));
+    const double tuples =
+        static_cast<double>(std::max<int64_t>(block.num_tuples, 1));
     const double per_tuple_ms = elapsed_ms / tuples;
     block_size = controller_->NextBlockSize(per_tuple_ms);
     trace.adaptivity_steps = controller_->adaptivity_steps();
@@ -227,7 +267,7 @@ Result<FetchOutcome> BlockFetcher::Run(const ScanProjectQuery& query,
                                       block_size);
     }
 
-    if (block.value().end_of_results) break;
+    if (block.end_of_results) break;
   }
 
   // Close the session.

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "wsq/codec/codec.h"
 #include "wsq/common/clock.h"
 #include "wsq/common/status.h"
 
@@ -69,6 +70,13 @@ class WsCallTransport {
   /// that can enforce it (socket poll timeouts) do; the simulated one
   /// ignores it — there the policy caps charged costs directly.
   virtual void SetCallDeadlineMs(double deadline_ms) { (void)deadline_ms; }
+
+  /// The block codec negotiated with the peer — what the pull loop must
+  /// encode RequestBlock messages in. SOAP until (unless) a handshake
+  /// upgrades it; session-management messages are SOAP on every codec.
+  virtual codec::CodecKind wire_codec() const {
+    return codec::CodecKind::kSoap;
+  }
 };
 
 }  // namespace wsq

@@ -31,6 +31,9 @@ Status QuerySession::Init() {
                                                   setup_.seed);
   client_ = std::make_unique<WsClient>(container_.get(), setup_.link, &clock_,
                                        setup_.seed + 1);
+  if (setup_.codec.kind != codec::CodecKind::kSoap) {
+    client_->NegotiateCodec(setup_.codec);
+  }
   return Status::Ok();
 }
 

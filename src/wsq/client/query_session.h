@@ -26,6 +26,12 @@ struct EmpiricalSetup {
   LinkConfig link;
   LoadModelConfig load;
   uint64_t seed = 1;
+  /// Block wire codec for the simulated connection (negotiation is
+  /// in-process, so the setup just states the outcome). The SOAP
+  /// default is byte-identical to the pre-codec stack; binary changes
+  /// payload byte counts and therefore simulated wire times — pick per
+  /// scenario, not per comparison arm.
+  codec::CodecChoice codec;
 };
 
 /// Owns the whole client/server stack — DBMS, data service, container,

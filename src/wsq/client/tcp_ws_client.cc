@@ -24,6 +24,42 @@ Status TcpWsClient::Connect() {
   socket_ = std::move(conn).value();
   if (ever_connected_) ++reconnects_;
   ever_connected_ = true;
+  // Negotiation runs per connection, so a reconnect after a drop keeps
+  // the upgraded codec. Advertising plain SOAP skips the exchange: the
+  // byte stream is then indistinguishable from a pre-codec client.
+  if (options_.codec.kind != codec::CodecKind::kSoap && handshake_enabled_) {
+    WSQ_RETURN_IF_ERROR(NegotiateCodec());
+  } else {
+    negotiated_codec_ = codec::CodecKind::kSoap;
+  }
+  return Status::Ok();
+}
+
+Status TcpWsClient::NegotiateCodec() {
+  negotiated_codec_ = codec::CodecKind::kSoap;
+  socket_.set_io_timeout_ms(options_.connect_timeout_ms);
+
+  net::Frame hello;
+  hello.type = net::FrameType::kHello;
+  hello.payload = codec::AdvertisedCodecs(options_.codec.kind);
+  const Status sent = WriteFrame(socket_, hello);
+  Result<net::Frame> ack =
+      sent.ok() ? net::ReadFrame(socket_) : Result<net::Frame>(sent);
+  if (!ack.ok() || ack.value().type != net::FrameType::kHelloAck) {
+    // The peer predates the handshake (it closed on the unknown frame
+    // type, or answered nonsense). Reconnect once, speak SOAP, and stop
+    // offering Hellos to this server.
+    handshake_enabled_ = false;
+    socket_.Close();
+    Result<net::Socket> conn =
+        net::TcpConnect(host_, port_, options_.connect_timeout_ms);
+    if (!conn.ok()) return conn.status();
+    socket_ = std::move(conn).value();
+    return Status::Ok();
+  }
+  if (ack.value().payload == "binary") {
+    negotiated_codec_ = codec::CodecKind::kBinary;
+  }
   return Status::Ok();
 }
 

@@ -18,6 +18,11 @@ struct TcpWsClientOptions {
   /// tighter one via SetCallDeadlineMs. Matches the simulated link's
   /// default timeout so the two transports agree on what "hung" means.
   double default_call_deadline_ms = 30000.0;
+  /// The codec to advertise in the connection handshake. SOAP (the
+  /// default) skips the handshake entirely — the connection is
+  /// wire-identical to a pre-codec client. Binary sends a Hello on every
+  /// (re)connect and honors whatever the server picks.
+  codec::CodecChoice codec;
 };
 
 /// The live WsCallTransport: one framed SOAP exchange per Call over a
@@ -77,8 +82,17 @@ class TcpWsClient final : public WsCallTransport {
   /// connect does not count).
   int64_t reconnects() const { return reconnects_; }
 
+  /// What the last completed handshake negotiated (kSoap when no
+  /// handshake ran — advertising SOAP, or not yet connected).
+  codec::CodecKind wire_codec() const override { return negotiated_codec_; }
+
  private:
   Result<CallResult> CallOnce(const std::string& request_document);
+  /// Runs the Hello/HelloAck exchange on a fresh connection. Any
+  /// failure degrades to SOAP rather than failing the connect: a peer
+  /// that tears the connection down on an unknown frame type gets one
+  /// silent reconnect with the handshake disabled for good.
+  Status NegotiateCodec();
 
   std::string host_;
   int port_;
@@ -95,6 +109,9 @@ class TcpWsClient final : public WsCallTransport {
   int64_t calls_failed_ = 0;
   int64_t reconnects_ = 0;
   bool ever_connected_ = false;
+  codec::CodecKind negotiated_codec_ = codec::CodecKind::kSoap;
+  /// Latched false after a peer proves it cannot handle Hello frames.
+  bool handshake_enabled_ = true;
 };
 
 }  // namespace wsq

@@ -8,6 +8,13 @@ WsClient::WsClient(ServiceContainer* container, const LinkConfig& link,
                    SimClock* clock, uint64_t seed)
     : container_(container), link_(link), clock_(clock), rng_(seed) {}
 
+void WsClient::NegotiateCodec(const codec::CodecChoice& choice) {
+  codec_choice_ = choice;
+  response_codec_ = choice.kind == codec::CodecKind::kSoap
+                        ? nullptr
+                        : codec::MakeBlockCodec(choice);
+}
+
 Result<CallResult> WsClient::Call(const std::string& request_document) {
   ++calls_made_;
 
@@ -20,7 +27,8 @@ Result<CallResult> WsClient::Call(const std::string& request_document) {
     return Status::Unavailable("request timed out on the simulated link");
   }
 
-  DispatchResult dispatched = container_->Dispatch(request_document);
+  DispatchResult dispatched =
+      container_->Dispatch(request_document, response_codec_.get());
 
   const double wire_ms = link_.ExchangeTimeMs(
       request_document.size(), dispatched.response.size(), rng_);

@@ -1,6 +1,7 @@
 #ifndef WSQ_CLIENT_WS_CLIENT_H_
 #define WSQ_CLIENT_WS_CLIENT_H_
 
+#include <memory>
 #include <string>
 
 #include "wsq/client/call_transport.h"
@@ -53,6 +54,15 @@ class WsClient final : public WsCallTransport {
   int64_t calls_made() const { return calls_made_; }
   int64_t calls_dropped() const { return calls_dropped_; }
 
+  /// Simulated codec negotiation: in-process there is no handshake to
+  /// run, so the backend states the outcome directly. Block responses
+  /// are then dispatched with this codec, and wire_codec() tells the
+  /// pull loop to encode block requests to match — the same contract
+  /// the live transport establishes over Hello/HelloAck.
+  void NegotiateCodec(const codec::CodecChoice& choice);
+
+  codec::CodecKind wire_codec() const override { return codec_choice_.kind; }
+
  private:
   ServiceContainer* container_;
   LinkModel link_;
@@ -60,6 +70,8 @@ class WsClient final : public WsCallTransport {
   Random rng_;
   int64_t calls_made_ = 0;
   int64_t calls_dropped_ = 0;
+  codec::CodecChoice codec_choice_;
+  std::unique_ptr<codec::BlockCodec> response_codec_;
 };
 
 }  // namespace wsq

@@ -1,0 +1,157 @@
+#include "wsq/codec/lz.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace wsq::codec {
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+constexpr int kHashBits = 13;
+constexpr size_t kHashSize = size_t{1} << kHashBits;
+
+uint32_t Load32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint32_t Hash(uint32_t v) {
+  // Fibonacci hash of the next 4 bytes; only needs to spread well
+  // enough for a 13-bit table.
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void PutLength(std::string* out, size_t extra) {
+  // Continuation of a nibble that saturated at 15.
+  while (extra >= 255) {
+    out->push_back(static_cast<char>(0xff));
+    extra -= 255;
+  }
+  out->push_back(static_cast<char>(extra));
+}
+
+void EmitSequence(std::string_view literals, size_t match_len,
+                  size_t offset, std::string* out) {
+  const size_t lit_nibble = literals.size() < 15 ? literals.size() : 15;
+  const size_t match_code = match_len == 0 ? 0 : match_len - kMinMatch;
+  const size_t match_nibble = match_code < 15 ? match_code : 15;
+  out->push_back(static_cast<char>((lit_nibble << 4) | match_nibble));
+  if (lit_nibble == 15) PutLength(out, literals.size() - 15);
+  out->append(literals.data(), literals.size());
+  if (match_len == 0) return;  // terminal literals-only sequence
+  out->push_back(static_cast<char>(offset & 0xff));
+  out->push_back(static_cast<char>((offset >> 8) & 0xff));
+  if (match_nibble == 15) PutLength(out, match_code - 15);
+}
+
+}  // namespace
+
+void LzCompress(std::string_view input, std::string* out) {
+  const char* base = input.data();
+  const size_t n = input.size();
+  // Matches need 4 bytes of lookahead plus something to follow; tiny
+  // inputs go out as one literal run.
+  if (n < kMinMatch + 1) {
+    EmitSequence(input, 0, 0, out);
+    return;
+  }
+
+  std::vector<uint32_t> table(kHashSize, 0);
+  std::vector<uint8_t> table_set(kHashSize, 0);
+  size_t pos = 0;
+  size_t literal_start = 0;
+  const size_t match_limit = n - kMinMatch;  // last position a match can start
+
+  while (pos <= match_limit) {
+    const uint32_t h = Hash(Load32(base + pos));
+    size_t candidate = table[h];
+    const bool usable = table_set[h] != 0 && candidate < pos &&
+                        pos - candidate <= kMaxOffset &&
+                        Load32(base + candidate) == Load32(base + pos);
+    table[h] = static_cast<uint32_t>(pos);
+    table_set[h] = 1;
+    if (!usable) {
+      ++pos;
+      continue;
+    }
+    size_t match_len = kMinMatch;
+    while (pos + match_len < n &&
+           base[candidate + match_len] == base[pos + match_len]) {
+      ++match_len;
+    }
+    EmitSequence(input.substr(literal_start, pos - literal_start), match_len,
+                 pos - candidate, out);
+    pos += match_len;
+    literal_start = pos;
+  }
+  EmitSequence(input.substr(literal_start), 0, 0, out);
+}
+
+Result<std::string> LzDecompress(std::string_view input,
+                                 size_t expected_size) {
+  std::string out;
+  out.reserve(expected_size);
+  const char* p = input.data();
+  const char* end = p + input.size();
+
+  auto read_length = [&](size_t nibble) -> Result<size_t> {
+    size_t len = nibble;
+    if (nibble == 15) {
+      while (true) {
+        if (p == end) {
+          return Status::InvalidArgument("lz: truncated length run");
+        }
+        const uint8_t byte = static_cast<uint8_t>(*p++);
+        len += byte;
+        if (byte != 255) break;
+      }
+    }
+    return len;
+  };
+
+  while (p != end) {
+    const uint8_t token = static_cast<uint8_t>(*p++);
+    Result<size_t> lit_len = read_length(token >> 4);
+    if (!lit_len.ok()) return lit_len.status();
+    if (static_cast<size_t>(end - p) < lit_len.value()) {
+      return Status::InvalidArgument("lz: literals overrun input");
+    }
+    if (out.size() + lit_len.value() > expected_size) {
+      return Status::InvalidArgument("lz: output exceeds declared size");
+    }
+    out.append(p, lit_len.value());
+    p += lit_len.value();
+    if (p == end) break;  // terminal sequence has no match part
+
+    if (end - p < 2) return Status::InvalidArgument("lz: truncated offset");
+    const size_t offset = static_cast<uint8_t>(p[0]) |
+                          (static_cast<size_t>(static_cast<uint8_t>(p[1]))
+                           << 8);
+    p += 2;
+    if (offset == 0 || offset > out.size()) {
+      return Status::InvalidArgument("lz: back-reference out of range");
+    }
+    Result<size_t> match_code = read_length(token & 0x0f);
+    if (!match_code.ok()) return match_code.status();
+    const size_t match_len = match_code.value() + kMinMatch;
+    if (out.size() + match_len > expected_size) {
+      return Status::InvalidArgument("lz: output exceeds declared size");
+    }
+    // Byte-at-a-time on purpose: overlapping matches (offset < length)
+    // are the RLE case and must re-read bytes the loop just wrote.
+    size_t from = out.size() - offset;
+    for (size_t i = 0; i < match_len; ++i) {
+      out.push_back(out[from + i]);
+    }
+  }
+
+  if (out.size() != expected_size) {
+    return Status::InvalidArgument("lz: output size mismatch");
+  }
+  return out;
+}
+
+}  // namespace wsq::codec

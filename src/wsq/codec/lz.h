@@ -1,0 +1,38 @@
+#ifndef WSQ_CODEC_LZ_H_
+#define WSQ_CODEC_LZ_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "wsq/common/status.h"
+
+namespace wsq::codec {
+
+/// Self-contained byte-oriented LZ block compressor for the optional
+/// compressed-body flag of the binary block format. The format is the
+/// classic token/literals/offset/match sequence scheme: each sequence is
+///
+///   token byte: (literal_len << 4) | (match_len - 4)
+///   — a nibble of 15 is extended with 255-run continuation bytes —
+///   literal bytes, then a 2-byte little-endian back-reference offset
+///   and the (possibly extended) match length. The final sequence of a
+///   block carries literals only (its match nibble is zero and no
+///   offset follows).
+///
+/// No external dependency, no framing, no checksum: the caller stores
+/// the uncompressed size out of band and `LzDecompress` refuses any
+/// input that does not reproduce exactly that many bytes.
+
+/// Appends the compressed form of `input` to `*out`.
+void LzCompress(std::string_view input, std::string* out);
+
+/// Inverse of LzCompress. `expected_size` is the exact uncompressed
+/// size recorded by the caller; malformed or truncated input yields
+/// kInvalidArgument, never out-of-bounds access.
+Result<std::string> LzDecompress(std::string_view input,
+                                 size_t expected_size);
+
+}  // namespace wsq::codec
+
+#endif  // WSQ_CODEC_LZ_H_

@@ -78,7 +78,9 @@ Result<FrameHeader> DecodeFrameHeader(const char in[kFrameHeaderBytes]) {
   }
   const uint8_t type = static_cast<uint8_t>(in[4]);
   if (type != static_cast<uint8_t>(FrameType::kRequest) &&
-      type != static_cast<uint8_t>(FrameType::kResponse)) {
+      type != static_cast<uint8_t>(FrameType::kResponse) &&
+      type != static_cast<uint8_t>(FrameType::kHello) &&
+      type != static_cast<uint8_t>(FrameType::kHelloAck)) {
     return Status::InvalidArgument("unknown frame type " +
                                    std::to_string(type));
   }

@@ -37,10 +37,18 @@ Status ReadExact(ByteStream& stream, void* buf, size_t len);
 Status WriteAll(ByteStream& stream, const void* buf, size_t len);
 
 /// Frame type tag. Every exchange on a wsq connection is one request
-/// frame answered by one response frame, strictly in order.
+/// frame answered by one response frame, strictly in order. A client
+/// may open the connection with one optional Hello/HelloAck exchange to
+/// negotiate the block codec; a client that skips it (every pre-codec
+/// peer) simply speaks SOAP, as always.
 enum class FrameType : uint8_t {
   kRequest = 1,
   kResponse = 2,
+  /// Codec negotiation: payload is a comma-separated, preference-ordered
+  /// list of codec names the client can speak (e.g. "binary,soap").
+  kHello = 3,
+  /// Server's answer: payload is the single codec name it picked.
+  kHelloAck = 4,
 };
 
 /// Response flag: the payload is a SOAP fault envelope (the service

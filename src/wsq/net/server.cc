@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "wsq/codec/binary_codec.h"
 #include "wsq/common/clock.h"
 #include "wsq/net/frame.h"
 #include "wsq/soap/envelope.h"
@@ -76,14 +77,33 @@ void WsqServer::AcceptLoop() {
 
 void WsqServer::ServeConnection(std::shared_ptr<Socket> conn, int64_t id) {
   bool hard = false;
+  // The connection's negotiated response codec. Null until (unless) the
+  // client sends a Hello — un-negotiated peers are answered per-request
+  // by payload sniffing, which means SOAP for every pre-codec client.
+  std::unique_ptr<codec::BlockCodec> negotiated;
   for (;;) {
     Result<Frame> request = ReadFrame(*conn);
     // Any read failure ends the connection: clean close between frames,
     // a shutdown from Stop(), or a peer that is not speaking the
     // protocol (garbage header — framing is unrecoverable).
     if (!request.ok()) break;
+    if (request.value().type == FrameType::kHello) {
+      const codec::CodecKind picked = codec::NegotiateCodec(
+          request.value().payload, options_.codec.kind);
+      codec::CodecChoice choice;
+      choice.kind = picked;
+      choice.compress_blocks = picked == codec::CodecKind::kBinary &&
+                               options_.codec.compress_blocks;
+      negotiated = codec::MakeBlockCodec(choice);
+      Frame ack;
+      ack.type = FrameType::kHelloAck;
+      ack.payload = std::string(codec::CodecKindName(picked));
+      if (!WriteFrame(*conn, ack).ok()) break;
+      continue;
+    }
     if (request.value().type != FrameType::kRequest) break;
-    const ExchangeOutcome outcome = ServeExchange(*conn, request.value());
+    const ExchangeOutcome outcome =
+        ServeExchange(*conn, request.value(), negotiated.get());
     if (outcome == ExchangeOutcome::kContinue) continue;
     hard = outcome == ExchangeOutcome::kCloseHard;
     break;
@@ -116,21 +136,32 @@ WsqServer::SessionFaultState* WsqServer::FaultStateForSession(
   return &it->second;  // std::map nodes are pointer-stable
 }
 
-WsqServer::ExchangeOutcome WsqServer::ServeExchange(Socket& conn,
-                                                    const Frame& request) {
+WsqServer::ExchangeOutcome WsqServer::ServeExchange(
+    Socket& conn, const Frame& request,
+    const codec::BlockCodec* response_codec) {
   // Chaos targeting: only data-block exchanges are scripted (session
   // management is never faulted — plans address data transfer). A parse
   // failure here is fine; the container will answer with a SOAP fault.
   SessionFaultState* state = nullptr;
   if (!options_.fault_plan.empty()) {
-    Result<XmlNode> payload = ParseEnvelope(request.payload);
-    if (payload.ok()) {
-      Result<RequestKind> kind = ClassifyRequest(payload.value());
-      if (kind.ok() && kind.value() == RequestKind::kRequestBlock) {
-        Result<RequestBlockRequest> block =
-            DecodeRequestBlock(payload.value());
-        if (block.ok()) {
-          state = FaultStateForSession(block.value().session_id);
+    if (codec::SniffPayloadCodec(request.payload) ==
+        codec::CodecKind::kBinary) {
+      static const codec::BinaryCodec sniffer;
+      Result<RequestBlockRequest> block =
+          sniffer.DecodeRequestBlock(request.payload);
+      if (block.ok()) {
+        state = FaultStateForSession(block.value().session_id);
+      }
+    } else {
+      Result<XmlNode> payload = ParseEnvelope(request.payload);
+      if (payload.ok()) {
+        Result<RequestKind> kind = ClassifyRequest(payload.value());
+        if (kind.ok() && kind.value() == RequestKind::kRequestBlock) {
+          Result<RequestBlockRequest> block =
+              DecodeRequestBlock(payload.value());
+          if (block.ok()) {
+            state = FaultStateForSession(block.value().session_id);
+          }
         }
       }
     }
@@ -187,7 +218,7 @@ WsqServer::ExchangeOutcome WsqServer::ServeExchange(Socket& conn,
   DispatchResult result;
   {
     std::lock_guard<std::mutex> lock(dispatch_mu_);
-    result = container_->Dispatch(request.payload);
+    result = container_->Dispatch(request.payload, response_codec);
   }
   if (options_.simulate_service_time) {
     SleepMs(result.service_time_ms);

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "wsq/codec/codec.h"
 #include "wsq/common/status.h"
 #include "wsq/exec/thread_pool.h"
 #include "wsq/fault/fault_injector.h"
@@ -36,6 +37,11 @@ struct WsqServerOptions {
   /// dependence and adaptive controllers have a genuine signal to chase.
   /// Tests that only care about protocol mechanics turn it off.
   bool simulate_service_time = true;
+  /// The richest block codec this server negotiates (wsqd --codec).
+  /// The default keeps negotiation answering "soap" to everyone; set to
+  /// binary to let advertising clients upgrade. Its compression option
+  /// applies to the binary responses this server encodes.
+  codec::CodecChoice codec;
 };
 
 /// The network frontend of the data service: accepts framed SOAP
@@ -93,7 +99,8 @@ class WsqServer {
 
   void AcceptLoop();
   void ServeConnection(std::shared_ptr<Socket> conn, int64_t id);
-  ExchangeOutcome ServeExchange(Socket& conn, const Frame& request);
+  ExchangeOutcome ServeExchange(Socket& conn, const Frame& request,
+                                const codec::BlockCodec* response_codec);
   SessionFaultState* FaultStateForSession(int64_t session_id);
 
   ServiceContainer* container_;

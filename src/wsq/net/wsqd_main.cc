@@ -18,6 +18,7 @@
 #include <cstring>
 #include <string>
 
+#include "wsq/codec/codec.h"
 #include "wsq/fault/fault_plan.h"
 #include "wsq/net/server.h"
 #include "wsq/relation/tpch_gen.h"
@@ -38,6 +39,7 @@ struct WsqdFlags {
   uint64_t seed = 7;
   std::string profile = "unloaded";
   std::string fault_plan = "none";
+  std::string codec = "binary";
   int worker_threads = 8;
   bool simulate_service_time = true;
 };
@@ -46,7 +48,8 @@ void PrintUsage() {
   std::fprintf(
       stderr,
       "usage: wsqd [--port=N] [--scale=F] [--seed=N] [--profile=NAME]\n"
-      "            [--fault-plan=NAME] [--workers=N] [--no-service-sleep]\n"
+      "            [--fault-plan=NAME] [--codec=NAME] [--workers=N]\n"
+      "            [--no-service-sleep]\n"
       "\n"
       "  --port=N           TCP port to listen on; 0 = ephemeral (default "
       "9090)\n"
@@ -57,6 +60,9 @@ void PrintUsage() {
       "(paper conf1.1/1.2/1.3)\n"
       "  --fault-plan=NAME  server-side chaos preset (none | burst | latency "
       "| stall | flaky | outage | resets)\n"
+      "  --codec=NAME       richest block codec offered in negotiation: soap "
+      "| binary | binary+lz (default binary; clients that don't ask still "
+      "get SOAP)\n"
       "  --workers=N        connection-handler threads (default 8)\n"
       "  --no-service-sleep serve at raw dispatch speed instead of sleeping "
       "the modeled service time\n");
@@ -109,6 +115,8 @@ int main(int argc, char** argv) {
       flags.profile = value;
     } else if (ParseFlag(argv[i], "--fault-plan", &value)) {
       flags.fault_plan = value;
+    } else if (ParseFlag(argv[i], "--codec", &value)) {
+      flags.codec = value;
     } else if (ParseFlag(argv[i], "--workers", &value)) {
       flags.worker_threads = std::atoi(value.c_str());
     } else if (std::strcmp(argv[i], "--no-service-sleep") == 0) {
@@ -133,6 +141,12 @@ int main(int argc, char** argv) {
       wsq::FaultPlan::FromName(flags.fault_plan);
   if (!plan.ok()) {
     std::fprintf(stderr, "wsqd: %s\n", plan.status().ToString().c_str());
+    return 2;
+  }
+  wsq::Result<wsq::codec::CodecChoice> codec =
+      wsq::codec::CodecChoice::FromName(flags.codec);
+  if (!codec.ok()) {
+    std::fprintf(stderr, "wsqd: %s\n", codec.status().ToString().c_str());
     return 2;
   }
 
@@ -162,6 +176,7 @@ int main(int argc, char** argv) {
   server_options.fault_plan = std::move(plan).value();
   server_options.fault_seed = flags.seed;
   server_options.simulate_service_time = flags.simulate_service_time;
+  server_options.codec = codec.value();
   wsq::net::WsqServer server(&container, server_options);
 
   wsq::Status started = server.Start();
@@ -171,9 +186,10 @@ int main(int argc, char** argv) {
   }
 
   std::fprintf(stderr,
-               "wsqd: profile=%s fault-plan=%s scale=%g (%lld customer "
-               "rows)\n",
-               flags.profile.c_str(), flags.fault_plan.c_str(), flags.scale,
+               "wsqd: profile=%s fault-plan=%s codec<=%s scale=%g (%lld "
+               "customer rows)\n",
+               flags.profile.c_str(), flags.fault_plan.c_str(),
+               flags.codec.c_str(), flags.scale,
                static_cast<long long>(customer.value()->num_rows()));
   // The machine-readable ready line scripts wait for and scrape.
   std::printf("wsqd listening on port %d\n", server.port());

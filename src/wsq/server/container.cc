@@ -8,7 +8,13 @@ ServiceContainer::ServiceContainer(Service* service,
 
 DispatchResult ServiceContainer::Dispatch(
     const std::string& request_document) {
-  ServiceResult handled = service_->Handle(request_document);
+  return Dispatch(request_document, nullptr);
+}
+
+DispatchResult ServiceContainer::Dispatch(
+    const std::string& request_document,
+    const codec::BlockCodec* response_codec) {
+  ServiceResult handled = service_->Handle(request_document, response_codec);
 
   DispatchResult result;
   result.response = std::move(handled.response);

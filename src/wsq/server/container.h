@@ -33,6 +33,12 @@ class ServiceContainer {
   /// Dispatches one raw SOAP document.
   DispatchResult Dispatch(const std::string& request_document);
 
+  /// Codec-aware dispatch: forwards `response_codec` to the service so
+  /// a negotiated connection's block responses come back in its wire
+  /// form. Null behaves exactly like the overload above.
+  DispatchResult Dispatch(const std::string& request_document,
+                          const codec::BlockCodec* response_codec);
+
   LoadModel& load_model() { return load_model_; }
   const LoadModel& load_model() const { return load_model_; }
 

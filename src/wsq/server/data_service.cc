@@ -1,8 +1,23 @@
 #include "wsq/server/data_service.h"
 
+#include "wsq/codec/binary_codec.h"
+#include "wsq/codec/soap_codec.h"
 #include "wsq/soap/envelope.h"
 
 namespace wsq {
+namespace {
+
+const codec::SoapCodec& DefaultSoapCodec() {
+  static const codec::SoapCodec* soap = new codec::SoapCodec();
+  return *soap;
+}
+
+const codec::BinaryCodec& DefaultBinaryCodec() {
+  static const codec::BinaryCodec* binary = new codec::BinaryCodec();
+  return *binary;
+}
+
+}  // namespace
 
 ServiceResult DataService::Fault(std::string_view code,
                                  std::string_view message) {
@@ -14,6 +29,15 @@ ServiceResult DataService::Fault(std::string_view code,
 }
 
 ServiceResult DataService::Handle(const std::string& request_document) {
+  return Handle(request_document, nullptr);
+}
+
+ServiceResult DataService::Handle(const std::string& request_document,
+                                  const codec::BlockCodec* response_codec) {
+  if (codec::SniffPayloadCodec(request_document) ==
+      codec::CodecKind::kBinary) {
+    return HandleBinaryRequest(request_document, response_codec);
+  }
   Result<XmlNode> payload = ParseEnvelope(request_document);
   if (!payload.ok()) {
     return Fault("Client", payload.status().ToString());
@@ -25,12 +49,39 @@ ServiceResult DataService::Handle(const std::string& request_document) {
   switch (kind.value()) {
     case RequestKind::kOpenSession:
       return HandleOpenSession(payload.value());
-    case RequestKind::kRequestBlock:
-      return HandleRequestBlock(payload.value());
+    case RequestKind::kRequestBlock: {
+      Result<RequestBlockRequest> request =
+          DecodeRequestBlock(payload.value());
+      if (!request.ok()) {
+        return Fault("Client", request.status().ToString());
+      }
+      // A SOAP request gets a SOAP response no matter what the
+      // connection negotiated — this is what keeps legacy clients and
+      // every pre-codec simulation byte-identical.
+      return HandleRequestBlock(request.value(), DefaultSoapCodec());
+    }
     case RequestKind::kCloseSession:
       return HandleCloseSession(payload.value());
   }
   return Fault("Server", "unreachable dispatch");
+}
+
+ServiceResult DataService::HandleBinaryRequest(
+    const std::string& request_document,
+    const codec::BlockCodec* response_codec) {
+  Result<RequestBlockRequest> request =
+      DefaultBinaryCodec().DecodeRequestBlock(request_document);
+  if (!request.ok()) {
+    return Fault("Client", request.status().ToString());
+  }
+  // Binary requests are answered in binary; the negotiated codec only
+  // contributes its encoding options (e.g. compression).
+  const codec::BlockCodec& codec =
+      response_codec != nullptr &&
+              response_codec->kind() == codec::CodecKind::kBinary
+          ? *response_codec
+          : DefaultBinaryCodec();
+  return HandleRequestBlock(request.value(), codec);
 }
 
 ServiceResult DataService::HandleOpenSession(const XmlNode& payload) {
@@ -72,41 +123,49 @@ ServiceResult DataService::HandleOpenSession(const XmlNode& payload) {
   return result;
 }
 
-ServiceResult DataService::HandleRequestBlock(const XmlNode& payload) {
-  Result<RequestBlockRequest> request = DecodeRequestBlock(payload);
-  if (!request.ok()) {
-    return Fault("Client", request.status().ToString());
-  }
-  auto it = sessions_.find(request.value().session_id);
+ServiceResult DataService::HandleRequestBlock(
+    const RequestBlockRequest& request,
+    const codec::BlockCodec& response_codec) {
+  auto it = sessions_.find(request.session_id);
   if (it == sessions_.end()) {
-    return Fault("Client", "unknown session id " +
-                               std::to_string(request.value().session_id));
+    return Fault("Client",
+                 "unknown session id " + std::to_string(request.session_id));
   }
-  if (request.value().block_size < 1) {
+  if (request.block_size < 1) {
     return Fault("Client", "block size must be >= 1");
   }
 
   Session& session = it->second;
+  if (request.sequence >= 0 && request.sequence == session.last_sequence &&
+      !session.last_response.empty()) {
+    // Idempotent retry: the client never saw our last response, so
+    // replay it without advancing the cursor. The cache hit does no
+    // tuple work, so it is charged as a session-management op.
+    ServiceResult replay;
+    replay.response = session.last_response;
+    return replay;
+  }
+
   Result<std::vector<Tuple>> block =
-      session.cursor->FetchBlock(request.value().block_size);
+      session.cursor->FetchBlock(request.block_size);
   if (!block.ok()) {
     return Fault("Server", block.status().ToString());
   }
-  Result<std::string> serialized =
-      session.serializer->SerializeBlock(block.value());
-  if (!serialized.ok()) {
-    return Fault("Server", serialized.status().ToString());
+
+  Result<std::string> encoded = response_codec.EncodeBlockResponse(
+      request.session_id, session.cursor->exhausted(),
+      session.serializer->schema(), block.value());
+  if (!encoded.ok()) {
+    return Fault("Server", encoded.status().ToString());
   }
 
-  BlockResponse response;
-  response.session_id = request.value().session_id;
-  response.num_tuples = static_cast<int64_t>(block.value().size());
-  response.end_of_results = session.cursor->exhausted();
-  response.payload = std::move(serialized).value();
-
   ServiceResult result;
-  result.tuples_produced = response.num_tuples;
-  result.response = EncodeBlockResponse(response);
+  result.tuples_produced = static_cast<int64_t>(block.value().size());
+  result.response = std::move(encoded).value();
+  if (request.sequence >= 0) {
+    session.last_sequence = request.sequence;
+    session.last_response = result.response;
+  }
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "wsq/codec/codec.h"
 #include "wsq/common/status.h"
 #include "wsq/relation/tuple_serializer.h"
 #include "wsq/server/dbms.h"
@@ -29,17 +30,35 @@ class DataService final : public Service {
 
   ServiceResult Handle(const std::string& request_document) override;
 
+  /// Codec-aware entry point. Binary block messages (sniffed by magic)
+  /// are answered in binary; everything else takes the legacy SOAP path
+  /// unchanged. `response_codec`, when binary, supplies the encoding
+  /// options (compression) for binary responses. Faults are always SOAP
+  /// fault envelopes regardless of codec.
+  ServiceResult Handle(const std::string& request_document,
+                       const codec::BlockCodec* response_codec) override;
+
   size_t open_sessions() const { return sessions_.size(); }
 
  private:
   struct Session {
     std::unique_ptr<QueryCursor> cursor;
     std::unique_ptr<TupleSerializer> serializer;
+    /// Idempotent-retry replay cache: the last sequenced block this
+    /// session dispatched. A repeated GetNextBlock with the same
+    /// sequence number replays the cached response instead of
+    /// re-advancing the cursor (closing the at-most-once residual of
+    /// DESIGN.md §3f). Unsequenced requests (-1) bypass the cache.
+    int64_t last_sequence = -1;
+    std::string last_response;
   };
 
   ServiceResult HandleOpenSession(const XmlNode& payload);
-  ServiceResult HandleRequestBlock(const XmlNode& payload);
+  ServiceResult HandleRequestBlock(const RequestBlockRequest& request,
+                                   const codec::BlockCodec& response_codec);
   ServiceResult HandleCloseSession(const XmlNode& payload);
+  ServiceResult HandleBinaryRequest(const std::string& request_document,
+                                    const codec::BlockCodec* response_codec);
 
   static ServiceResult Fault(std::string_view code, std::string_view message);
 

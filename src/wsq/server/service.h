@@ -6,7 +6,11 @@
 
 namespace wsq {
 
-/// Outcome of one service invocation: the SOAP response document plus
+namespace codec {
+class BlockCodec;
+}  // namespace codec
+
+/// Outcome of one service invocation: the response document plus
 /// the work accounting the container converts into simulated time.
 struct ServiceResult {
   std::string response;
@@ -28,6 +32,17 @@ class Service {
 
   /// Handles one raw SOAP request document.
   virtual ServiceResult Handle(const std::string& request_document) = 0;
+
+  /// Codec-aware entry point: `response_codec` configures how block
+  /// responses are encoded (e.g. the compression option of a negotiated
+  /// binary connection). The request's own wire form is always sniffed
+  /// from its leading bytes. Services that predate codecs simply fall
+  /// through to the SOAP-only Handle above.
+  virtual ServiceResult Handle(const std::string& request_document,
+                               const codec::BlockCodec* response_codec) {
+    (void)response_codec;
+    return Handle(request_document);
+  }
 };
 
 }  // namespace wsq

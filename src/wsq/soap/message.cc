@@ -81,6 +81,11 @@ std::string EncodeRequestBlock(const RequestBlockRequest& request) {
   XmlNode op = MakeOperation("RequestBlock");
   AddIntChild(op, "sessionId", request.session_id);
   AddIntChild(op, "blockSize", request.block_size);
+  // Unsequenced requests (-1) omit the element so pre-replay-cache
+  // request documents keep their exact historical byte size.
+  if (request.sequence >= 0) {
+    AddIntChild(op, "blockSeq", request.sequence);
+  }
   return BuildEnvelope(op);
 }
 
@@ -171,6 +176,8 @@ Result<RequestBlockRequest> DecodeRequestBlock(const XmlNode& payload) {
   Result<int64_t> size = IntChild(payload, "blockSize");
   if (!size.ok()) return size.status();
   request.block_size = size.value();
+  Result<int64_t> sequence = IntChild(payload, "blockSeq");
+  if (sequence.ok()) request.sequence = sequence.value();
   return request;
 }
 

@@ -41,6 +41,11 @@ struct OpenSessionResponse {
 struct RequestBlockRequest {
   int64_t session_id = 0;
   int64_t block_size = 0;
+  /// Client block sequence number, used by the server's replay cache to
+  /// make retried fetches idempotent. -1 means "not sequenced": the
+  /// SOAP encoding omits the element entirely so legacy requests stay
+  /// byte-identical (the binary codec always carries it).
+  int64_t sequence = -1;
 };
 
 struct BlockResponse {

@@ -1,0 +1,95 @@
+// Cross-codec conformance: the same query over the same table must
+// deliver the same rows whichever wire codec carries the blocks. SOAP
+// is held to its historical contract (doubles truncated to 2 decimals
+// by the text serializer); binary is held to the stricter one the
+// codec was built for (bit-exact, byte-for-byte equal to the table).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wsq/backend/empirical_backend.h"
+#include "wsq/codec/codec.h"
+#include "wsq/control/fixed_controller.h"
+#include "wsq/netsim/presets.h"
+#include "wsq/relation/schema.h"
+#include "wsq/relation/tpch_gen.h"
+
+namespace wsq {
+namespace {
+
+EmpiricalSetup ConformanceSetup(codec::CodecChoice codec) {
+  TpchGenOptions gen;
+  gen.scale = 0.01;  // 1500 customers
+  EmpiricalSetup setup;
+  setup.table = GenerateCustomer(gen).value();
+  setup.query.table_name = "customer";
+  setup.link = Lan1Gbps();
+  setup.seed = 23;
+  setup.codec = codec;
+  return setup;
+}
+
+std::vector<Tuple> RunWith(codec::CodecChoice codec) {
+  EmpiricalBackend backend(ConformanceSetup(codec));
+  FixedController controller(400);  // 4 blocks: 400+400+400+300
+  std::vector<Tuple> rows;
+  Result<RunTrace> trace =
+      backend.RunQueryKeepingTuples(&controller, RunSpec{}, &rows);
+  EXPECT_TRUE(trace.ok()) << trace.status().ToString();
+  return rows;
+}
+
+/// Renders a tuple with doubles at SOAP's 2-decimal precision — the
+/// common denominator both codecs must agree at.
+std::string TwoDecimalKey(const Tuple& tuple) {
+  std::string key;
+  for (const Value& value : tuple.values()) {
+    key += ValueToString(value);  // doubles render with 2 fraction digits
+    key.push_back('|');
+  }
+  return key;
+}
+
+TEST(CodecConformanceTest, BinaryDeliversTheTableBitExactly) {
+  const std::vector<Tuple> rows =
+      RunWith(codec::CodecChoice{codec::CodecKind::kBinary, false});
+  const std::shared_ptr<Table> table =
+      ConformanceSetup(codec::CodecChoice{}).table;
+  ASSERT_EQ(rows.size(), table->num_rows());
+  // Tuple::operator== compares doubles exactly — under the binary codec
+  // the delivered rows are the generated rows, full precision included.
+  EXPECT_EQ(rows, table->rows());
+}
+
+TEST(CodecConformanceTest, SoapAndBinaryAgreeAtSoapPrecision) {
+  const std::vector<Tuple> via_soap =
+      RunWith(codec::CodecChoice{codec::CodecKind::kSoap, false});
+  const std::vector<Tuple> via_binary =
+      RunWith(codec::CodecChoice{codec::CodecKind::kBinary, false});
+  ASSERT_EQ(via_soap.size(), via_binary.size());
+  ASSERT_FALSE(via_soap.empty());
+
+  size_t exact_matches = 0;
+  for (size_t i = 0; i < via_soap.size(); ++i) {
+    EXPECT_EQ(TwoDecimalKey(via_soap[i]), TwoDecimalKey(via_binary[i]))
+        << "row " << i;
+    if (via_soap[i] == via_binary[i]) ++exact_matches;
+  }
+  // And the difference is real: customer acctbal is generated at full
+  // precision, so SOAP's text truncation must have changed *some* rows.
+  EXPECT_LT(exact_matches, via_soap.size());
+}
+
+TEST(CodecConformanceTest, CompressedBinaryMatchesPlainBinary) {
+  const std::vector<Tuple> plain =
+      RunWith(codec::CodecChoice{codec::CodecKind::kBinary, false});
+  const std::vector<Tuple> packed =
+      RunWith(codec::CodecChoice{codec::CodecKind::kBinary, true});
+  EXPECT_EQ(plain, packed);
+}
+
+}  // namespace
+}  // namespace wsq

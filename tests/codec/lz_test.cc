@@ -1,0 +1,133 @@
+#include "wsq/codec/lz.h"
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "wsq/common/random.h"
+
+namespace wsq::codec {
+namespace {
+
+std::string RoundTrip(const std::string& input) {
+  std::string compressed;
+  LzCompress(input, &compressed);
+  Result<std::string> back = LzDecompress(compressed, input.size());
+  EXPECT_TRUE(back.ok()) << back.status().ToString();
+  return back.ok() ? back.value() : std::string("<decompress failed>");
+}
+
+TEST(LzTest, EmptyInputRoundTrips) { EXPECT_EQ(RoundTrip(""), ""); }
+
+TEST(LzTest, SingleByteRoundTrips) { EXPECT_EQ(RoundTrip("x"), "x"); }
+
+TEST(LzTest, ShortIncompressibleInputRoundTrips) {
+  EXPECT_EQ(RoundTrip("abcd"), "abcd");
+}
+
+TEST(LzTest, HighlyRepetitiveInputCompressesAndRoundTrips) {
+  std::string input;
+  for (int i = 0; i < 500; ++i) input += "customer block ";
+  std::string compressed;
+  LzCompress(input, &compressed);
+  EXPECT_LT(compressed.size(), input.size() / 4);
+  Result<std::string> back = LzDecompress(compressed, input.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), input);
+}
+
+TEST(LzTest, RunLengthOverlapCopiesDecodeCorrectly) {
+  // A long single-char run forces matches whose source overlaps the
+  // destination — the byte-at-a-time copy path.
+  const std::string input(10000, 'a');
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(LzTest, RandomBytesRoundTripUncompressed) {
+  Random rng(42);
+  std::string input;
+  input.reserve(4096);
+  for (int i = 0; i < 4096; ++i) {
+    input.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+  }
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(LzTest, MixedStructuredPayloadRoundTrips) {
+  // Shape of a real binary block body: varint runs, doubles, strings.
+  Random rng(7);
+  std::string input;
+  for (int i = 0; i < 2000; ++i) {
+    input += "Customer#";
+    input += std::to_string(rng.UniformInt(0, 999999));
+    input.push_back('\0');
+    input.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+  }
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(LzTest, WrongExpectedSizeIsRejected) {
+  const std::string input = "the quick brown fox jumps over the lazy dog";
+  std::string compressed;
+  LzCompress(input, &compressed);
+  EXPECT_FALSE(LzDecompress(compressed, input.size() + 1).ok());
+  EXPECT_FALSE(LzDecompress(compressed, input.size() - 1).ok());
+}
+
+TEST(LzTest, TruncatedStreamNeverYieldsWrongOutput) {
+  std::string input;
+  for (int i = 0; i < 100; ++i) input += "repeat me ";
+  std::string compressed;
+  LzCompress(input, &compressed);
+  // One truncation is benign: dropping a trailing empty-literals
+  // terminal token leaves a stream that still decodes to the full
+  // output. Every other cut must be rejected — and no cut may ever
+  // produce output that differs from the original.
+  for (size_t cut = 0; cut < compressed.size(); ++cut) {
+    Result<std::string> back =
+        LzDecompress(compressed.substr(0, cut), input.size());
+    if (back.ok()) {
+      EXPECT_EQ(back.value(), input) << "cut=" << cut;
+    }
+  }
+  EXPECT_FALSE(LzDecompress("", input.size()).ok());
+  EXPECT_FALSE(
+      LzDecompress(compressed.substr(0, compressed.size() / 2), input.size())
+          .ok());
+}
+
+TEST(LzTest, CorruptOffsetIsRejectedNotCrashed) {
+  std::string input;
+  for (int i = 0; i < 64; ++i) input += "abcdefgh";
+  std::string compressed;
+  LzCompress(input, &compressed);
+  // Flip every byte in turn; decompression must either fail cleanly or
+  // produce *some* output of the expected size — never crash or hang.
+  for (size_t i = 0; i < compressed.size(); ++i) {
+    std::string corrupt = compressed;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0xff);
+    Result<std::string> back = LzDecompress(corrupt, input.size());
+    if (back.ok()) {
+      EXPECT_EQ(back.value().size(), input.size());
+    }
+  }
+}
+
+TEST(LzTest, GarbageInputIsRejected) {
+  Random rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string garbage;
+    const int len = static_cast<int>(rng.UniformInt(1, 64));
+    for (int i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+    }
+    Result<std::string> back = LzDecompress(garbage, 1000);
+    if (back.ok()) {
+      EXPECT_EQ(back.value().size(), 1000u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wsq::codec

@@ -1,0 +1,108 @@
+#include "wsq/codec/varint.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace wsq::codec {
+namespace {
+
+TEST(VarintTest, UVarintRoundTripsBoundaryValues) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             16383,
+                             16384,
+                             uint64_t{1} << 32,
+                             std::numeric_limits<uint64_t>::max() - 1,
+                             std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) {
+    std::string buf;
+    PutUVarint(&buf, v);
+    ByteCursor cursor(buf);
+    Result<uint64_t> got = cursor.ReadUVarint();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got.value(), v);
+    EXPECT_TRUE(cursor.exhausted());
+  }
+}
+
+TEST(VarintTest, UVarintWidthsMatchTheFormat) {
+  std::string one, two;
+  PutUVarint(&one, 127);
+  PutUVarint(&two, 128);
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_EQ(two.size(), 2u);
+  std::string max;
+  PutUVarint(&max, std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(max.size(), 10u);
+}
+
+TEST(VarintTest, SignedVarintRoundTripsViaZigZag) {
+  const int64_t values[] = {0,
+                            -1,
+                            1,
+                            -64,
+                            63,
+                            -65,
+                            64,
+                            std::numeric_limits<int64_t>::min(),
+                            std::numeric_limits<int64_t>::max()};
+  for (int64_t v : values) {
+    std::string buf;
+    PutVarint(&buf, v);
+    ByteCursor cursor(buf);
+    Result<int64_t> got = cursor.ReadVarint();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got.value(), v);
+  }
+}
+
+TEST(VarintTest, ZigZagMapsSmallMagnitudesToSmallCodes) {
+  // Small negatives must stay one byte — sequence=-1 rides in every
+  // binary RequestBlock.
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+  EXPECT_EQ(ZigZagDecode(ZigZagEncode(-12345)), -12345);
+}
+
+TEST(VarintTest, TruncatedUVarintIsError) {
+  std::string buf;
+  PutUVarint(&buf, uint64_t{1} << 40);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    std::string truncated = buf.substr(0, cut);
+    ByteCursor cursor(truncated);
+    EXPECT_FALSE(cursor.ReadUVarint().ok()) << "cut=" << cut;
+  }
+}
+
+TEST(VarintTest, OverlongUVarintIsRejected) {
+  // Eleven continuation bytes can't be a valid 64-bit varint.
+  std::string buf(11, '\x80');
+  ByteCursor cursor(buf);
+  EXPECT_FALSE(cursor.ReadUVarint().ok());
+}
+
+TEST(VarintTest, ByteCursorBoundsChecksEveryRead) {
+  const std::string data = "abc";
+  ByteCursor cursor(data);
+  EXPECT_EQ(cursor.remaining(), 3u);
+  Result<const char*> bytes = cursor.ReadBytes(2);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(std::string(bytes.value(), 2), "ab");
+  EXPECT_FALSE(cursor.ReadBytes(2).ok());  // only one byte left
+  Result<uint8_t> last = cursor.ReadByte();
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last.value(), 'c');
+  EXPECT_TRUE(cursor.exhausted());
+  EXPECT_FALSE(cursor.ReadByte().ok());
+}
+
+}  // namespace
+}  // namespace wsq::codec

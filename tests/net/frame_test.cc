@@ -4,8 +4,13 @@
 #include <cstring>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "wsq/codec/binary_codec.h"
+#include "wsq/relation/schema.h"
+#include "wsq/relation/tuple.h"
 
 namespace wsq::net {
 namespace {
@@ -181,6 +186,90 @@ TEST(FrameTest, BackToBackFramesReadInOrder) {
   EXPECT_EQ(got2.value().payload, "short");
   // And the stream is drained: a third read reports the clean EOF.
   EXPECT_EQ(ReadFrame(stream).status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FrameTest, BinaryCodecPayloadSurvivesOneByteTransfers) {
+  // A real binary block response — every byte value on the wire, no
+  // text anywhere — through the same single-byte framing torture the
+  // SOAP payloads get. The decoded block must be bit-exact.
+  Schema schema({{"id", ColumnType::kInt64},
+                 {"v", ColumnType::kDouble},
+                 {"s", ColumnType::kString}});
+  std::vector<Tuple> rows;
+  std::string all_bytes;
+  for (int i = 0; i < 256; ++i) {
+    all_bytes.push_back(static_cast<char>(i));
+  }
+  for (int i = 0; i < 20; ++i) {
+    rows.emplace_back(Tuple({Value(static_cast<int64_t>(i - 10) * 1000003),
+                             Value(i * 0.0625 - 0.5), Value(all_bytes)}));
+  }
+  codec::BinaryCodec codec;
+  Frame sent;
+  sent.type = FrameType::kResponse;
+  sent.payload =
+      codec.EncodeBlockResponse(3, true, schema, rows).value();
+
+  MemoryStream stream(/*max_chunk=*/1);
+  ASSERT_TRUE(WriteFrame(stream, sent).ok());
+  Result<Frame> got = ReadFrame(stream);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got.value().payload, sent.payload);
+
+  Result<codec::DecodedBlock> block =
+      codec.DecodeBlockResponse(got.value().payload);
+  ASSERT_TRUE(block.ok()) << block.status().ToString();
+  Result<std::vector<Tuple>> tuples = block.value().rows.Materialize(nullptr);
+  ASSERT_TRUE(tuples.ok());
+  EXPECT_EQ(tuples.value(), rows);
+}
+
+TEST(FrameTest, CompressedBinaryPayloadSurvivesOneByteTransfers) {
+  Schema schema({{"s", ColumnType::kString}});
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 100; ++i) {
+    rows.emplace_back(Tuple({Value(std::string("block after block "))}));
+  }
+  codec::BinaryCodecOptions options;
+  options.compress_blocks = true;
+  codec::BinaryCodec codec(options);
+  Frame sent;
+  sent.type = FrameType::kResponse;
+  sent.payload = codec.EncodeBlockResponse(1, false, schema, rows).value();
+  ASSERT_EQ(static_cast<uint8_t>(sent.payload[6]),
+            codec::kBinaryFlagCompressedBody);
+
+  MemoryStream stream(/*max_chunk=*/1);
+  ASSERT_TRUE(WriteFrame(stream, sent).ok());
+  Result<Frame> got = ReadFrame(stream);
+  ASSERT_TRUE(got.ok());
+  Result<codec::DecodedBlock> block =
+      codec.DecodeBlockResponse(got.value().payload);
+  ASSERT_TRUE(block.ok()) << block.status().ToString();
+  Result<std::vector<Tuple>> tuples = block.value().rows.Materialize(nullptr);
+  ASSERT_TRUE(tuples.ok());
+  EXPECT_EQ(tuples.value(), rows);
+}
+
+TEST(FrameTest, HelloFramesRoundTrip) {
+  MemoryStream stream(/*max_chunk=*/1);
+  Frame hello;
+  hello.type = FrameType::kHello;
+  hello.payload = "binary,soap";
+  Frame ack;
+  ack.type = FrameType::kHelloAck;
+  ack.payload = "binary";
+  ASSERT_TRUE(WriteFrame(stream, hello).ok());
+  ASSERT_TRUE(WriteFrame(stream, ack).ok());
+
+  Result<Frame> got_hello = ReadFrame(stream);
+  Result<Frame> got_ack = ReadFrame(stream);
+  ASSERT_TRUE(got_hello.ok());
+  ASSERT_TRUE(got_ack.ok());
+  EXPECT_EQ(got_hello.value().type, FrameType::kHello);
+  EXPECT_EQ(got_hello.value().payload, "binary,soap");
+  EXPECT_EQ(got_ack.value().type, FrameType::kHelloAck);
+  EXPECT_EQ(got_ack.value().payload, "binary");
 }
 
 TEST(FrameTest, HeaderEncodeDecodeAgree) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "wsq/codec/binary_codec.h"
 #include "wsq/soap/envelope.h"
 
 namespace wsq {
@@ -133,6 +134,134 @@ TEST_F(DataServiceTest, ProjectionRespectedInPayload) {
   auto block = DecodeBlockResponse(ParseEnvelope(result.response).value());
   ASSERT_TRUE(block.ok());
   EXPECT_EQ(block.value().payload, "r0\nr1\n");
+}
+
+TEST_F(DataServiceTest, SequencedRetryReplaysTheCachedBlock) {
+  const int64_t session = OpenSession();
+  RequestBlockRequest request;
+  request.session_id = session;
+  request.block_size = 4;
+  request.sequence = 0;
+
+  ServiceResult first = service_->Handle(EncodeRequestBlock(request));
+  ASSERT_FALSE(first.is_fault);
+  EXPECT_EQ(first.tuples_produced, 4);
+
+  // The retry of an already-served sequence replays the exact same
+  // bytes without touching the cursor — and does no tuple work.
+  ServiceResult retry = service_->Handle(EncodeRequestBlock(request));
+  ASSERT_FALSE(retry.is_fault);
+  EXPECT_EQ(retry.response, first.response);
+  EXPECT_EQ(retry.tuples_produced, 0);
+
+  // The next sequence continues where the first delivery left off: the
+  // replay really did not advance the cursor.
+  request.sequence = 1;
+  ServiceResult second = service_->Handle(EncodeRequestBlock(request));
+  ASSERT_FALSE(second.is_fault);
+  auto block = DecodeBlockResponse(ParseEnvelope(second.response).value());
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block.value().num_tuples, 4);
+  EXPECT_EQ(block.value().payload, "4|r4\n5|r5\n6|r6\n7|r7\n");
+}
+
+TEST_F(DataServiceTest, ReplayCacheHoldsOnlyTheLastSequence) {
+  const int64_t session = OpenSession();
+  RequestBlockRequest request;
+  request.session_id = session;
+  request.block_size = 2;
+
+  request.sequence = 0;
+  ServiceResult r0 = service_->Handle(EncodeRequestBlock(request));
+  request.sequence = 1;
+  ServiceResult r1 = service_->Handle(EncodeRequestBlock(request));
+  ASSERT_FALSE(r0.is_fault);
+  ASSERT_FALSE(r1.is_fault);
+
+  // Re-asking for sequence 0 after sequence 1 shipped is not a retry of
+  // the in-flight block; the single-entry cache misses and the cursor
+  // serves the *next* rows. The client protocol never does this —
+  // BlockFetcher retries only the outstanding sequence.
+  request.sequence = 0;
+  ServiceResult stale = service_->Handle(EncodeRequestBlock(request));
+  ASSERT_FALSE(stale.is_fault);
+  EXPECT_NE(stale.response, r0.response);
+}
+
+TEST_F(DataServiceTest, UnsequencedRequestsBypassTheReplayCache) {
+  const int64_t session = OpenSession();
+  RequestBlockRequest request;
+  request.session_id = session;
+  request.block_size = 4;
+  ASSERT_EQ(request.sequence, -1);
+
+  // Two identical legacy (unsequenced) requests advance the cursor
+  // twice — exactly the seed-era at-most-once behaviour.
+  ServiceResult a = service_->Handle(EncodeRequestBlock(request));
+  ServiceResult b = service_->Handle(EncodeRequestBlock(request));
+  ASSERT_FALSE(a.is_fault);
+  ASSERT_FALSE(b.is_fault);
+  EXPECT_NE(a.response, b.response);
+  auto block_b = DecodeBlockResponse(ParseEnvelope(b.response).value());
+  ASSERT_TRUE(block_b.ok());
+  EXPECT_EQ(block_b.value().payload, "4|r4\n5|r5\n6|r6\n7|r7\n");
+}
+
+TEST_F(DataServiceTest, BinaryRequestsHitTheSameReplayCache) {
+  const int64_t session = OpenSession();
+  codec::BinaryCodec binary;
+
+  RequestBlockRequest request;
+  request.session_id = session;
+  request.block_size = 6;
+  request.sequence = 0;
+  const std::string wire = binary.EncodeRequestBlock(request).value();
+
+  ServiceResult first = service_->Handle(wire, &binary);
+  ASSERT_FALSE(first.is_fault);
+  EXPECT_EQ(first.tuples_produced, 6);
+  ServiceResult retry = service_->Handle(wire, &binary);
+  ASSERT_FALSE(retry.is_fault);
+  EXPECT_EQ(retry.response, first.response);
+  EXPECT_EQ(retry.tuples_produced, 0);
+
+  // The replayed bytes decode to the same block the first delivery
+  // carried, and the cursor still sits at row 6.
+  auto replayed = binary.DecodeBlockResponse(retry.response);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed.value().num_tuples, 6);
+  EXPECT_EQ(replayed.value().rows.Int64At(0, 0), 0);
+
+  request.sequence = 1;
+  ServiceResult second =
+      service_->Handle(binary.EncodeRequestBlock(request).value(), &binary);
+  ASSERT_FALSE(second.is_fault);
+  auto block = binary.DecodeBlockResponse(second.response);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block.value().num_tuples, 4);
+  EXPECT_TRUE(block.value().end_of_results);
+  EXPECT_EQ(block.value().rows.Int64At(0, 0), 6);
+  EXPECT_EQ(block.value().rows.StringAt(3, 1), "r9");
+}
+
+TEST_F(DataServiceTest, ReplaySurvivesTheEndOfResultsBlock) {
+  const int64_t session = OpenSession();
+  RequestBlockRequest request;
+  request.session_id = session;
+  request.block_size = 10;
+  request.sequence = 0;
+
+  ServiceResult last = service_->Handle(EncodeRequestBlock(request));
+  ASSERT_FALSE(last.is_fault);
+  auto block = DecodeBlockResponse(ParseEnvelope(last.response).value());
+  ASSERT_TRUE(block.ok());
+  ASSERT_TRUE(block.value().end_of_results);
+
+  // A retry of the final block replays it, end-of-results flag and all
+  // — the client can lose the last response too.
+  ServiceResult retry = service_->Handle(EncodeRequestBlock(request));
+  ASSERT_FALSE(retry.is_fault);
+  EXPECT_EQ(retry.response, last.response);
 }
 
 TEST_F(DataServiceTest, MultipleConcurrentSessions) {
