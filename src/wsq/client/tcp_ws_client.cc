@@ -8,6 +8,16 @@
 #include "wsq/soap/envelope.h"
 
 namespace wsq {
+namespace {
+
+/// Reconnects to sit out after a peer answered a Hello with a definitive
+/// legacy signal, before probing again. Against a genuinely pre-codec
+/// server each re-probe costs one silent reconnect, so this only taxes
+/// the rare reconnect path; against a binary-capable server that was
+/// mid-restart it bounds how long the client stays downgraded.
+constexpr int64_t kHandshakeReprobeBackoff = 3;
+
+}  // namespace
 
 TcpWsClient::TcpWsClient(std::string host, int port,
                          TcpWsClientOptions options)
@@ -27,12 +37,17 @@ Status TcpWsClient::Connect() {
   // Negotiation runs per connection, so a reconnect after a drop keeps
   // the upgraded codec. Advertising plain SOAP skips the exchange: the
   // byte stream is then indistinguishable from a pre-codec client.
-  if (options_.codec.kind != codec::CodecKind::kSoap && handshake_enabled_) {
+  if (HandshakeDue()) {
     WSQ_RETURN_IF_ERROR(NegotiateCodec());
   } else {
     negotiated_codec_ = codec::CodecKind::kSoap;
   }
   return Status::Ok();
+}
+
+bool TcpWsClient::HandshakeDue() const {
+  return options_.codec.kind != codec::CodecKind::kSoap &&
+         reconnects_ >= suppress_handshake_until_reconnects_;
 }
 
 Status TcpWsClient::NegotiateCodec() {
@@ -45,21 +60,34 @@ Status TcpWsClient::NegotiateCodec() {
   const Status sent = WriteFrame(socket_, hello);
   Result<net::Frame> ack =
       sent.ok() ? net::ReadFrame(socket_) : Result<net::Frame>(sent);
-  if (!ack.ok() || ack.value().type != net::FrameType::kHelloAck) {
-    // The peer predates the handshake (it closed on the unknown frame
-    // type, or answered nonsense). Reconnect once, speak SOAP, and stop
-    // offering Hellos to this server.
-    handshake_enabled_ = false;
-    socket_.Close();
-    Result<net::Socket> conn =
-        net::TcpConnect(host_, port_, options_.connect_timeout_ms);
-    if (!conn.ok()) return conn.status();
-    socket_ = std::move(conn).value();
+  if (ack.ok() && ack.value().type == net::FrameType::kHelloAck) {
+    if (ack.value().payload == "binary") {
+      negotiated_codec_ = codec::CodecKind::kBinary;
+    }
     return Status::Ok();
   }
-  if (ack.value().payload == "binary") {
-    negotiated_codec_ = codec::CodecKind::kBinary;
+
+  // Only a definitive legacy signal downgrades: the peer closed cleanly
+  // on the unknown Hello frame, rejected it as protocol garbage, or
+  // answered with a non-ack frame. A timeout or a reset mid-frame says
+  // nothing about the peer, so it surfaces as an ordinary transient
+  // connect failure and the next reconnect offers the Hello again.
+  const bool legacy_signal =
+      ack.ok() || net::IsCleanClose(ack.status()) ||
+      ack.status().code() == StatusCode::kInvalidArgument;
+  if (!legacy_signal) {
+    socket_.Close();
+    return ack.status();
   }
+
+  // Almost certainly a pre-codec peer: reconnect once, speak SOAP, and
+  // hold off on Hellos for a few reconnects (see HandshakeDue).
+  suppress_handshake_until_reconnects_ = reconnects_ + kHandshakeReprobeBackoff;
+  socket_.Close();
+  Result<net::Socket> conn =
+      net::TcpConnect(host_, port_, options_.connect_timeout_ms);
+  if (!conn.ok()) return conn.status();
+  socket_ = std::move(conn).value();
   return Status::Ok();
 }
 

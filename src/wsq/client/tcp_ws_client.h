@@ -88,11 +88,17 @@ class TcpWsClient final : public WsCallTransport {
 
  private:
   Result<CallResult> CallOnce(const std::string& request_document);
-  /// Runs the Hello/HelloAck exchange on a fresh connection. Any
-  /// failure degrades to SOAP rather than failing the connect: a peer
-  /// that tears the connection down on an unknown frame type gets one
-  /// silent reconnect with the handshake disabled for good.
+  /// Runs the Hello/HelloAck exchange on a fresh connection. A peer
+  /// that gives a definitive legacy signal (clean close on the unknown
+  /// frame, protocol nonsense, a non-ack answer) gets one silent
+  /// reconnect speaking SOAP, with Hello probes suppressed for the next
+  /// few reconnects. Ambient failures (ack timeout, reset mid-frame)
+  /// fail the connect without concluding anything about the peer — the
+  /// next reconnect offers the Hello again, so a slow-but-capable
+  /// server is never latched onto SOAP.
   Status NegotiateCodec();
+  /// True when the next fresh connection should run the handshake.
+  bool HandshakeDue() const;
 
   std::string host_;
   int port_;
@@ -110,8 +116,11 @@ class TcpWsClient final : public WsCallTransport {
   int64_t reconnects_ = 0;
   bool ever_connected_ = false;
   codec::CodecKind negotiated_codec_ = codec::CodecKind::kSoap;
-  /// Latched false after a peer proves it cannot handle Hello frames.
-  bool handshake_enabled_ = true;
+  /// Hello probes are suppressed while reconnects_ is below this,
+  /// bumped when a peer gives a definitive legacy signal. A backoff
+  /// rather than a permanent latch: a server restarting mid-handshake
+  /// also closes cleanly, and a later re-probe restores binary then.
+  int64_t suppress_handshake_until_reconnects_ = 0;
 };
 
 }  // namespace wsq

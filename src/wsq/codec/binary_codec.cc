@@ -198,6 +198,15 @@ Status BinaryCodec::DecodeBody(ByteCursor* cursor, const char* buffer_base,
         for (size_t i = 0; i < num_rows; ++i) {
           Result<uint64_t> len = cursor->ReadUVarint();
           if (!len.ok()) return len.status();
+          // Reject each length on its own before accumulating: a single
+          // near-2^64 value would wrap `total` right past the running
+          // check below and turn the offsets into out-of-buffer views.
+          // With both checks `total` stays <= remaining() (itself far
+          // below 2^32), so the sum can never wrap.
+          if (len.value() > cursor->remaining()) {
+            return Status::InvalidArgument(
+                "binary codec: string data overruns payload");
+          }
           total += len.value();
           if (total > cursor->remaining()) {
             return Status::InvalidArgument(

@@ -1,6 +1,7 @@
 #include "wsq/net/frame.h"
 
 #include <cstring>
+#include <string_view>
 
 namespace wsq::net {
 
@@ -30,6 +31,8 @@ uint64_t GetU64(const char* in) {
          static_cast<uint64_t>(GetU32(in + 4));
 }
 
+constexpr std::string_view kCleanCloseMessage = "connection closed by peer";
+
 }  // namespace
 
 Status ReadExact(ByteStream& stream, void* buf, size_t len) {
@@ -40,12 +43,17 @@ Status ReadExact(ByteStream& stream, void* buf, size_t len) {
     if (!n.ok()) return n.status();
     if (n.value() == 0) {
       return Status::Unavailable(got == 0
-                                     ? "connection closed by peer"
+                                     ? kCleanCloseMessage
                                      : "connection closed mid-message");
     }
     got += n.value();
   }
   return Status::Ok();
+}
+
+bool IsCleanClose(const Status& status) {
+  return status.code() == StatusCode::kUnavailable &&
+         status.message() == kCleanCloseMessage;
 }
 
 Status WriteAll(ByteStream& stream, const void* buf, size_t len) {

@@ -36,6 +36,15 @@ Status ReadExact(ByteStream& stream, void* buf, size_t len);
 /// Loops WriteSome until all `len` bytes are out.
 Status WriteAll(ByteStream& stream, const void* buf, size_t len);
 
+/// True when `status` is the clean-close signal ReadExact/ReadFrame emit
+/// for a peer that shut the connection before sending a single byte of
+/// the next message. This is the one read failure that reflects a
+/// deliberate peer action (e.g. a pre-codec server dropping an unknown
+/// Hello frame) rather than an ambient one (deadline expiry, reset
+/// mid-frame), so callers may dispatch on it — centralized here, next to
+/// the producer, instead of string-matching at call sites.
+bool IsCleanClose(const Status& status);
+
 /// Frame type tag. Every exchange on a wsq connection is one request
 /// frame answered by one response frame, strictly in order. A client
 /// may open the connection with one optional Hello/HelloAck exchange to

@@ -143,6 +143,7 @@ ServiceResult DataService::HandleRequestBlock(
     // tuple work, so it is charged as a session-management op.
     ServiceResult replay;
     replay.response = session.last_response;
+    replay.is_fault = session.last_is_fault;
     return replay;
   }
 
@@ -156,7 +157,17 @@ ServiceResult DataService::HandleRequestBlock(
       request.session_id, session.cursor->exhausted(),
       session.serializer->schema(), block.value());
   if (!encoded.ok()) {
-    return Fault("Server", encoded.status().ToString());
+    // The fetch above already advanced the cursor, so this block's
+    // tuples are gone. Cache the fault under the request's sequence so
+    // a retry replays the same deterministic failure — the query dies
+    // loudly instead of re-fetching and silently skipping the block.
+    ServiceResult fault = Fault("Server", encoded.status().ToString());
+    if (request.sequence >= 0) {
+      session.last_sequence = request.sequence;
+      session.last_response = fault.response;
+      session.last_is_fault = true;
+    }
+    return fault;
   }
 
   ServiceResult result;
@@ -165,6 +176,7 @@ ServiceResult DataService::HandleRequestBlock(
   if (request.sequence >= 0) {
     session.last_sequence = request.sequence;
     session.last_response = result.response;
+    session.last_is_fault = false;
   }
   return result;
 }

@@ -51,6 +51,11 @@ class DataService final : public Service {
     /// DESIGN.md §3f). Unsequenced requests (-1) bypass the cache.
     int64_t last_sequence = -1;
     std::string last_response;
+    /// Whether last_response is a fault envelope. Encode failures after
+    /// a successful fetch are cached too — the cursor has already
+    /// advanced, so a retry must see the same deterministic fault, not
+    /// re-fetch and silently skip the lost block.
+    bool last_is_fault = false;
   };
 
   ServiceResult HandleOpenSession(const XmlNode& payload);

@@ -405,6 +405,51 @@ TEST(BinaryCodecTest, ImplausibleCountsAreRejected) {
   EXPECT_FALSE(codec.DecodeBlockResponse(msg2).ok());
 }
 
+TEST(BinaryCodecTest, StringLengthSumWraparoundIsRejected) {
+  // Regression: two string lengths chosen so their uint64 sum wraps —
+  // 30 + (2^64 - 10) == 20 — with exactly 20 data bytes supplied, so
+  // every pre-fix check passed (30 <= 30 remaining at row 0, wrapped 20
+  // <= 20 remaining at row 1, cursor exhausted). The raw 2^64 - 10
+  // length then went into the offset table, and StringAt would hand out
+  // a view wrapping ~4 GiB past the buffer. Decode must fail cleanly on
+  // the per-length guard instead.
+  BinaryCodec codec;
+  std::string msg;
+  msg += "WSQB";
+  msg.push_back(1);  // version
+  msg.push_back(2);  // BlockResponse
+  msg.push_back(0);  // flags
+  msg.push_back(0);  // reserved
+  msg.push_back(2);  // session id varint (=1)
+  msg.push_back(0);  // end_of_results
+  PutUVarint(&msg, 2);  // num rows
+  PutUVarint(&msg, 1);  // num cols
+  msg.push_back(static_cast<char>(ColumnType::kString));
+  msg.push_back(0);  // null bitmap (2 rows -> 1 byte)
+  PutUVarint(&msg, 30);                          // row 0 length
+  PutUVarint(&msg, uint64_t{0} - uint64_t{10});  // row 1: wraps the sum
+  msg.append(20, 'x');  // exactly the wrapped "total"
+  EXPECT_FALSE(codec.DecodeBlockResponse(msg).ok());
+
+  // The single-length overflow without wrap: one row claiming more
+  // bytes than the payload holds must fail on the per-length guard.
+  std::string msg2;
+  msg2 += "WSQB";
+  msg2.push_back(1);
+  msg2.push_back(2);
+  msg2.push_back(0);
+  msg2.push_back(0);
+  msg2.push_back(2);
+  msg2.push_back(0);
+  PutUVarint(&msg2, 1);  // one row
+  PutUVarint(&msg2, 1);  // one col
+  msg2.push_back(static_cast<char>(ColumnType::kString));
+  msg2.push_back(0);
+  PutUVarint(&msg2, uint64_t{1} << 62);  // length far beyond the payload
+  msg2.append(16, 'x');
+  EXPECT_FALSE(codec.DecodeBlockResponse(msg2).ok());
+}
+
 TEST(BinaryCodecTest, CompressedBodySizeLies) {
   BinaryCodecOptions options;
   options.compress_blocks = true;

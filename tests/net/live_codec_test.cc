@@ -9,9 +9,12 @@
 #include <gtest/gtest.h>
 
 #include "live_test_util.h"
+#include "wsq/client/tcp_ws_client.h"
 #include "wsq/codec/codec.h"
 #include "wsq/control/fixed_controller.h"
 #include "wsq/fault/resilience_policy.h"
+#include "wsq/net/frame.h"
+#include "wsq/net/socket.h"
 
 namespace wsq {
 namespace {
@@ -99,6 +102,111 @@ TEST(LiveCodecTest, SoapClientUnaffectedByABinaryCapableServer) {
       live.RunQueryKeepingTuples(&controller, RunSpec{}, &rows);
   ASSERT_TRUE(trace.ok()) << trace.status().ToString();
   EXPECT_EQ(rows, harness.WireRows());
+}
+
+TcpWsClientOptions BinaryClientOptions(double timeout_ms) {
+  TcpWsClientOptions options;
+  options.connect_timeout_ms = timeout_ms;
+  options.codec = codec::CodecChoice{codec::CodecKind::kBinary, false};
+  return options;
+}
+
+TEST(LiveCodecTest, AckTimeoutDoesNotLatchTheClientOntoSoap) {
+  // Regression: a transient ack timeout during the Hello exchange (a
+  // slow server under load) must surface as an ordinary connect failure
+  // and leave the handshake armed — not silently downgrade every future
+  // connection to SOAP against a binary-capable server.
+  Result<net::Socket> listener = net::TcpListen(0);
+  ASSERT_TRUE(listener.ok());
+  Result<int> port = net::LocalPort(listener.value());
+  ASSERT_TRUE(port.ok());
+
+  std::thread peer([&] {
+    // Connection 1: swallow the Hello and go mute (but keep the socket
+    // open, so the client sees a deadline expiry, not a close).
+    Result<net::Socket> c1 = net::Accept(listener.value(), 5000.0);
+    ASSERT_TRUE(c1.ok());
+    Result<net::Frame> hello1 = net::ReadFrame(c1.value());
+    EXPECT_TRUE(hello1.ok());
+    // Connection 2: a healthy handshake.
+    Result<net::Socket> c2 = net::Accept(listener.value(), 5000.0);
+    ASSERT_TRUE(c2.ok());
+    Result<net::Frame> hello2 = net::ReadFrame(c2.value());
+    ASSERT_TRUE(hello2.ok());
+    EXPECT_EQ(hello2.value().type, net::FrameType::kHello);
+    net::Frame ack;
+    ack.type = net::FrameType::kHelloAck;
+    ack.payload = "binary";
+    EXPECT_TRUE(WriteFrame(c2.value(), ack).ok());
+  });
+
+  TcpWsClient client("127.0.0.1", port.value(), BinaryClientOptions(200.0));
+  const Status first = client.Connect();
+  EXPECT_FALSE(first.ok());
+  EXPECT_EQ(first.code(), StatusCode::kUnavailable);
+
+  const Status second = client.Connect();
+  EXPECT_TRUE(second.ok()) << second.ToString();
+  EXPECT_EQ(client.wire_codec(), codec::CodecKind::kBinary);
+  peer.join();
+}
+
+TEST(LiveCodecTest, LegacyCloseDowngradesThenReprobesAfterBackoff) {
+  // A peer that closes cleanly on the unknown Hello frame is treated as
+  // pre-codec: the client silently reconnects speaking SOAP and stops
+  // probing — but only for a bounded number of reconnects, because a
+  // server restarting mid-handshake looks exactly the same. The peer
+  // here answers "binary" to any Hello it sees, so wire_codec() doubles
+  // as the probe detector: it can only flip to kBinary on a connection
+  // where the client actually sent a Hello.
+  Result<net::Socket> listener = net::TcpListen(0);
+  ASSERT_TRUE(listener.ok());
+  Result<int> port = net::LocalPort(listener.value());
+  ASSERT_TRUE(port.ok());
+
+  std::thread peer([&] {
+    // Connection 1: read the Hello, then slam the door (legacy peer).
+    Result<net::Socket> c1 = net::Accept(listener.value(), 5000.0);
+    ASSERT_TRUE(c1.ok());
+    EXPECT_TRUE(net::ReadFrame(c1.value()).ok());
+    c1.value().Close();
+    // Connections 2-4: the silent SOAP reconnect plus two suppressed
+    // reconnects. No Hello may arrive — the read must fail with the
+    // client's clean close, never yield a frame.
+    for (int i = 0; i < 3; ++i) {
+      Result<net::Socket> c = net::Accept(listener.value(), 5000.0);
+      ASSERT_TRUE(c.ok());
+      Result<net::Frame> frame = net::ReadFrame(c.value());
+      EXPECT_FALSE(frame.ok()) << "unexpected frame on suppressed conn " << i;
+    }
+    // Connection 5: the re-probe. Answer it.
+    Result<net::Socket> c5 = net::Accept(listener.value(), 5000.0);
+    ASSERT_TRUE(c5.ok());
+    Result<net::Frame> hello = net::ReadFrame(c5.value());
+    ASSERT_TRUE(hello.ok());
+    EXPECT_EQ(hello.value().type, net::FrameType::kHello);
+    net::Frame ack;
+    ack.type = net::FrameType::kHelloAck;
+    ack.payload = "binary";
+    EXPECT_TRUE(WriteFrame(c5.value(), ack).ok());
+  });
+
+  TcpWsClient client("127.0.0.1", port.value(), BinaryClientOptions(2000.0));
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_EQ(client.wire_codec(), codec::CodecKind::kSoap);  // downgraded
+
+  // Two dropped connections inside the suppression window stay on SOAP
+  // without a probe (the backoff is 3 reconnects)...
+  for (int i = 0; i < 2; ++i) {
+    client.Disconnect();
+    ASSERT_TRUE(client.Connect().ok());
+    EXPECT_EQ(client.wire_codec(), codec::CodecKind::kSoap);
+  }
+  // ...and the third reconnect re-offers the Hello and restores binary.
+  client.Disconnect();
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_EQ(client.wire_codec(), codec::CodecKind::kBinary);
+  peer.join();
 }
 
 TEST(LiveCodecTest, BinaryRestartRetryDeliversEveryTupleExactlyOnce) {
