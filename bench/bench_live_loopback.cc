@@ -14,6 +14,14 @@
 //                    binary | binary+lz; default soap). The in-process
 //                    server always offers binary+lz, so the flag alone
 //                    decides what the wire carries.
+//   --stats-out=PATH fetch the server's live stats JSON over the wire
+//                    (kStats control frame) after the fleet drains and
+//                    write it to PATH — works against the in-process
+//                    server and an external --port wsqd alike.
+//
+// With --trace-out the clients negotiate trace-context propagation, so
+// the exported Chrome trace carries the server-side stage spans (clock-
+// aligned onto the client timeline) alongside the client block spans.
 //
 // With --fault-plan=<preset> (in-process server only) the server replays
 // the preset per session, and the bench first demonstrates the paper's
@@ -38,6 +46,7 @@ struct LiveBenchFlags {
   int port = 0;  // 0 = in-process server
   std::string controller = "hybrid";
   double scale = 0.02;
+  std::string stats_out;
 };
 
 struct LaneOutcome {
@@ -62,6 +71,7 @@ void ParseLiveFlags(int argc, char** argv, LiveBenchFlags* flags) {
     if (const char* v = value_of("--port", i)) flags->port = std::atoi(v);
     if (const char* v = value_of("--controller", i)) flags->controller = v;
     if (const char* v = value_of("--scale", i)) flags->scale = std::atof(v);
+    if (const char* v = value_of("--stats-out", i)) flags->stats_out = v;
   }
   if (flags->clients < 1) flags->clients = 1;
   if (flags->runs < 1) flags->runs = 1;
@@ -176,7 +186,9 @@ int Main(int argc, char** argv) {
   setup.port = port;
   setup.query.table_name = "customer";
   setup.client_options.codec = session.wire_codec();
-  std::printf("wire codec: %s\n", session.wire_codec().ToString().c_str());
+  setup.client_options.enable_tracing = session.tracing_requested();
+  std::printf("wire codec: %s%s\n", session.wire_codec().ToString().c_str(),
+              session.tracing_requested() ? " (+trace)" : "");
 
   // Fault mode, act one: the resilience contrast. A Legacy() client
   // must die inside the burst...
@@ -228,6 +240,28 @@ int Main(int argc, char** argv) {
     }
   }
   std::printf("%s\n", table.ToString().c_str());
+
+  // Live telemetry: pull the server's stats snapshot over the wire
+  // (kStats) while the sessions it describes are still in its tables.
+  if (!flags.stats_out.empty()) {
+    Result<std::string> stats =
+        net::FetchServerStats("127.0.0.1", port, /*timeout_ms=*/2000.0);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "FAIL: stats fetch failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    std::FILE* out = std::fopen(flags.stats_out.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "FAIL: cannot open --stats-out=%s\n",
+                   flags.stats_out.c_str());
+      return 1;
+    }
+    std::fwrite(stats.value().data(), 1, stats.value().size(), out);
+    std::fclose(out);
+    std::fprintf(stderr, "(server stats written to %s)\n",
+                 flags.stats_out.c_str());
+  }
 
   if (server != nullptr) {
     server->Stop();

@@ -144,6 +144,11 @@ class BenchSession {
   /// absent or unparsable — the historical default).
   const codec::CodecChoice& wire_codec() const { return codec_; }
 
+  /// True when --trace-out was given: live benches then negotiate
+  /// trace-context propagation so the exported trace carries the
+  /// server-side spans alongside the client ones.
+  bool tracing_requested() const { return !trace_path_.empty(); }
+
   /// The resilience configuration the chaos flags describe: Chaos()
   /// with any --max-retries / --breaker-threshold overrides applied.
   ResilienceConfig ChaosResilience() const {

@@ -26,6 +26,17 @@ Result<codec::DecodedBlock> DecodeBlockPayload(std::string payload) {
   return kSoapCodec.DecodeBlockResponse(std::move(payload));
 }
 
+/// splitmix64 finalizer — a well-mixed 64-bit trace id out of whatever
+/// entropy the caller has (clock micros, object address). Never 0 (0
+/// means "no trace" throughout the span plumbing).
+uint64_t MixTraceId(uint64_t seed) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z != 0 ? z : 1;
+}
+
 }  // namespace
 
 bool BlockFetcher::NoteFailure(double attempt_cost_ms, bool session_call,
@@ -97,6 +108,10 @@ Result<CallResult> BlockFetcher::CallWithRetry(const std::string& document,
         continue;
       }
     }
+    // Each attempt gets its own span id within the run's trace, so a
+    // retried block's server spans stay distinguishable per attempt.
+    last_call_span_id_ = ++next_span_seq_;
+    client_->SetNextCallTrace(trace_id_, last_call_span_id_);
     Result<CallResult> call = client_->Call(document);
     if (call.ok() || call.status().code() != StatusCode::kUnavailable) {
       if (call.ok() && policy_ != nullptr) {
@@ -122,6 +137,13 @@ Result<FetchOutcome> BlockFetcher::Run(const ScanProjectQuery& query,
   FetchOutcome outcome;
   const Clock* clock = client_->clock();
 
+  // One trace per query run. Clock micros plus this outcome's address
+  // seed the mix, so parallel lanes starting the same microsecond still
+  // draw distinct ids.
+  trace_id_ = MixTraceId(static_cast<uint64_t>(clock->NowMicros()) ^
+                         reinterpret_cast<uintptr_t>(&outcome));
+  next_span_seq_ = 0;
+
   // Open the session.
   OpenSessionRequest open;
   open.table = query.table_name;
@@ -134,6 +156,8 @@ Result<FetchOutcome> BlockFetcher::Run(const ScanProjectQuery& query,
   if (observer_ != nullptr) {
     observer_->OnSessionOpen(open_started,
                              clock->NowMicros() - open_started);
+    const std::vector<RemoteSpan> remote = client_->TakeRemoteSpans();
+    if (!remote.empty()) observer_->OnRemoteSpans(remote, trace_id_);
   }
   Result<XmlNode> open_payload = ParseEnvelope(open_call.value().response);
   if (!open_payload.ok()) return open_payload.status();
@@ -259,12 +283,17 @@ Result<FetchOutcome> BlockFetcher::Run(const ScanProjectQuery& query,
     }
 
     if (observer_ != nullptr) {
+      const bool traced = client_->TracingNegotiated();
       observer_->OnBlock(t1, t2 - t1, trace.requested_size,
-                         trace.received_tuples, per_tuple_ms, trace.retries);
+                         trace.received_tuples, per_tuple_ms, trace.retries,
+                         traced ? trace_id_ : 0,
+                         traced ? last_call_span_id_ : 0);
       observer_->OnControllerDecision(t2, controller_->name(),
                                       controller_->DebugState(),
                                       controller_->adaptivity_steps(),
                                       block_size);
+      const std::vector<RemoteSpan> remote = client_->TakeRemoteSpans();
+      if (!remote.empty()) observer_->OnRemoteSpans(remote, trace_id_);
     }
 
     if (block.end_of_results) break;
@@ -280,6 +309,8 @@ Result<FetchOutcome> BlockFetcher::Run(const ScanProjectQuery& query,
   if (observer_ != nullptr) {
     observer_->OnSessionClose(close_started,
                               clock->NowMicros() - close_started);
+    const std::vector<RemoteSpan> remote = client_->TakeRemoteSpans();
+    if (!remote.empty()) observer_->OnRemoteSpans(remote, trace_id_);
   }
 
   return outcome;

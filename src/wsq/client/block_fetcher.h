@@ -127,6 +127,14 @@ class BlockFetcher {
   RunObserver* observer_;
   ResiliencePolicy* policy_ = nullptr;
   FaultInjector* injector_ = nullptr;
+
+  /// Distributed-trace identity of the current Run: one trace id per
+  /// query, one span id per call *attempt* (so retries are distinct
+  /// spans of the same trace). Stamped onto the transport before every
+  /// attempt; a transport without tracing ignores the stamp.
+  uint64_t trace_id_ = 0;
+  uint64_t next_span_seq_ = 0;
+  uint64_t last_call_span_id_ = 0;
 };
 
 }  // namespace wsq

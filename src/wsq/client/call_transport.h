@@ -1,11 +1,14 @@
 #ifndef WSQ_CLIENT_CALL_TRANSPORT_H_
 #define WSQ_CLIENT_CALL_TRANSPORT_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "wsq/codec/codec.h"
 #include "wsq/common/clock.h"
 #include "wsq/common/status.h"
+#include "wsq/obs/span_context.h"
 
 namespace wsq {
 
@@ -77,6 +80,26 @@ class WsCallTransport {
   virtual codec::CodecKind wire_codec() const {
     return codec::CodecKind::kSoap;
   }
+
+  /// True when the connection negotiated trace-context propagation —
+  /// requests carry a TraceContext extension and responses ship the
+  /// server's spans back. Defaults model a transport without the
+  /// feature: nothing is stamped, nothing comes back, and the pull
+  /// loop's tracing calls are no-ops.
+  virtual bool TracingNegotiated() const { return false; }
+
+  /// Stamps the trace identity of the *next* Call's request frame. The
+  /// pull loop calls this per attempt, so every retry is a distinct
+  /// client span within the same trace.
+  virtual void SetNextCallTrace(uint64_t trace_id, uint64_t span_id) {
+    (void)trace_id;
+    (void)span_id;
+  }
+
+  /// Drains the server-side spans accumulated by completed Calls since
+  /// the last take, timestamps already mapped onto this transport's
+  /// clock domain by the transport's clock-offset estimator.
+  virtual std::vector<RemoteSpan> TakeRemoteSpans() { return {}; }
 };
 
 }  // namespace wsq

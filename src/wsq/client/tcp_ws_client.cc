@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "wsq/net/frame.h"
+#include "wsq/obs/metrics.h"
 #include "wsq/soap/envelope.h"
 
 namespace wsq {
@@ -16,6 +17,27 @@ namespace {
 /// the rare reconnect path; against a binary-capable server that was
 /// mid-restart it bounds how long the client stays downgraded.
 constexpr int64_t kHandshakeReprobeBackoff = 3;
+
+/// Negotiation observability: every Hello sent, and every definitive
+/// legacy downgrade taken. The downgrade counter staying at zero is how
+/// a deployment confirms its whole fleet speaks the negotiated protocol.
+Counter& CodecProbesCounter() {
+  static Counter* counter =
+      MetricsRegistry::Global().GetCounter("wsq.net.codec_probes");
+  return *counter;
+}
+
+Counter& CodecDowngradesCounter() {
+  static Counter* counter =
+      MetricsRegistry::Global().GetCounter("wsq.net.codec_downgrades");
+  return *counter;
+}
+
+Counter& SpanDecodeFailuresCounter() {
+  static Counter* counter =
+      MetricsRegistry::Global().GetCounter("wsq.client.span_decode_failures");
+  return *counter;
+}
 
 }  // namespace
 
@@ -41,29 +63,44 @@ Status TcpWsClient::Connect() {
     WSQ_RETURN_IF_ERROR(NegotiateCodec());
   } else {
     negotiated_codec_ = codec::CodecKind::kSoap;
+    trace_negotiated_ = false;
   }
   return Status::Ok();
 }
 
 bool TcpWsClient::HandshakeDue() const {
-  return options_.codec.kind != codec::CodecKind::kSoap &&
+  // Tracing rides the same Hello, so wanting it forces a handshake even
+  // when the advertised codec is plain SOAP.
+  return (options_.codec.kind != codec::CodecKind::kSoap ||
+          options_.enable_tracing) &&
          reconnects_ >= suppress_handshake_until_reconnects_;
 }
 
 Status TcpWsClient::NegotiateCodec() {
   negotiated_codec_ = codec::CodecKind::kSoap;
+  trace_negotiated_ = false;
   socket_.set_io_timeout_ms(options_.connect_timeout_ms);
 
   net::Frame hello;
   hello.type = net::FrameType::kHello;
   hello.payload = codec::AdvertisedCodecs(options_.codec.kind);
+  if (options_.enable_tracing) {
+    // Appended last: a pre-feature server's NegotiateCodec stops at the
+    // codec names it knows, so the extra token is invisible to it.
+    hello.payload += ',';
+    hello.payload += codec::kTraceFeatureToken;
+  }
+  CodecProbesCounter().Increment();
   const Status sent = WriteFrame(socket_, hello);
   Result<net::Frame> ack =
       sent.ok() ? net::ReadFrame(socket_) : Result<net::Frame>(sent);
   if (ack.ok() && ack.value().type == net::FrameType::kHelloAck) {
-    if (ack.value().payload == "binary") {
+    const codec::HelloAckParts parts =
+        codec::ParseHelloAck(ack.value().payload);
+    if (parts.codec_name == "binary") {
       negotiated_codec_ = codec::CodecKind::kBinary;
     }
+    trace_negotiated_ = parts.trace && options_.enable_tracing;
     return Status::Ok();
   }
 
@@ -80,8 +117,11 @@ Status TcpWsClient::NegotiateCodec() {
     return ack.status();
   }
 
-  // Almost certainly a pre-codec peer: reconnect once, speak SOAP, and
-  // hold off on Hellos for a few reconnects (see HandshakeDue).
+  // Almost certainly a pre-codec peer: reconnect once, speak SOAP (and
+  // no tracing — the frames must stay byte-identical to what a legacy
+  // peer expects), and hold off on Hellos for a few reconnects (see
+  // HandshakeDue).
+  CodecDowngradesCounter().Increment();
   suppress_handshake_until_reconnects_ = reconnects_ + kHandshakeReprobeBackoff;
   socket_.Close();
   Result<net::Socket> conn =
@@ -114,6 +154,12 @@ Result<CallResult> TcpWsClient::CallOnce(const std::string& request_document) {
   net::Frame request;
   request.type = net::FrameType::kRequest;
   request.payload = request_document;
+  if (trace_negotiated_) {
+    request.has_trace = true;
+    request.trace.trace_id = next_trace_id_;
+    request.trace.span_id = next_span_id_;
+    request.trace.clock_micros = static_cast<uint64_t>(start_micros);
+  }
   WSQ_RETURN_IF_ERROR(WriteFrame(socket_, request));
 
   const double spent_ms =
@@ -130,9 +176,32 @@ Result<CallResult> TcpWsClient::CallOnce(const std::string& request_document) {
     return Status::InvalidArgument("peer sent a request frame in response");
   }
 
+  const int64_t end_micros = clock_.NowMicros();
+  if (response.value().has_trace) {
+    // One clock-offset sample per traced exchange: client send/receive
+    // times bracket the server's response-encode reading.
+    clock_offset_.AddSample(
+        start_micros, end_micros,
+        static_cast<int64_t>(response.value().trace.clock_micros),
+        static_cast<int64_t>(response.value().service_micros));
+    if (!response.value().span_block.empty()) {
+      Result<std::vector<RemoteSpan>> spans =
+          DecodeRemoteSpans(response.value().span_block);
+      if (spans.ok()) {
+        for (RemoteSpan& span : spans.value()) {
+          span.ts_micros = clock_offset_.ToClientMicros(span.ts_micros);
+          pending_remote_spans_.push_back(std::move(span));
+        }
+      } else {
+        // Telemetry is best-effort: a hostile or corrupt span block is
+        // counted and dropped, never fatal to the data path.
+        SpanDecodeFailuresCounter().Increment();
+      }
+    }
+  }
+
   CallResult result;
-  result.elapsed_ms =
-      static_cast<double>(clock_.NowMicros() - start_micros) / 1000.0;
+  result.elapsed_ms = static_cast<double>(end_micros - start_micros) / 1000.0;
   result.service_ms =
       static_cast<double>(response.value().service_micros) / 1000.0;
   if (result.service_ms > result.elapsed_ms) {

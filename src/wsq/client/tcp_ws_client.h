@@ -23,6 +23,12 @@ struct TcpWsClientOptions {
   /// wire-identical to a pre-codec client. Binary sends a Hello on every
   /// (re)connect and honors whatever the server picks.
   codec::CodecChoice codec;
+  /// Advertise trace-context propagation in the handshake. Off (the
+  /// default) keeps the wire byte-identical to a non-tracing client;
+  /// on, the Hello carries the "trace" feature token (which forces a
+  /// handshake even on SOAP) and, if the server acks it, every request
+  /// frame carries a TraceContext and responses ship server spans back.
+  bool enable_tracing = false;
 };
 
 /// The live WsCallTransport: one framed SOAP exchange per Call over a
@@ -86,6 +92,21 @@ class TcpWsClient final : public WsCallTransport {
   /// handshake ran — advertising SOAP, or not yet connected).
   codec::CodecKind wire_codec() const override { return negotiated_codec_; }
 
+  bool TracingNegotiated() const override { return trace_negotiated_; }
+  void SetNextCallTrace(uint64_t trace_id, uint64_t span_id) override {
+    next_trace_id_ = trace_id;
+    next_span_id_ = span_id;
+  }
+  std::vector<RemoteSpan> TakeRemoteSpans() override {
+    std::vector<RemoteSpan> out;
+    out.swap(pending_remote_spans_);
+    return out;
+  }
+
+  /// The clock-offset estimator tracking (server clock - client clock)
+  /// for this connection's peer, fed by every traced exchange.
+  const ClockOffsetEstimator& clock_offset() const { return clock_offset_; }
+
  private:
   Result<CallResult> CallOnce(const std::string& request_document);
   /// Runs the Hello/HelloAck exchange on a fresh connection. A peer
@@ -116,6 +137,17 @@ class TcpWsClient final : public WsCallTransport {
   int64_t reconnects_ = 0;
   bool ever_connected_ = false;
   codec::CodecKind negotiated_codec_ = codec::CodecKind::kSoap;
+  /// Whether the current connection's handshake negotiated tracing.
+  /// Reset on every (re)connect; a downgrade to the legacy path
+  /// disables tracing along with the codec.
+  bool trace_negotiated_ = false;
+  /// Trace identity stamped on the next Call's request frame.
+  uint64_t next_trace_id_ = 0;
+  uint64_t next_span_id_ = 0;
+  /// Server spans decoded from responses, already clock-aligned onto
+  /// this client's timeline; drained by TakeRemoteSpans.
+  std::vector<RemoteSpan> pending_remote_spans_;
+  ClockOffsetEstimator clock_offset_;
   /// Hello probes are suppressed while reconnects_ is below this,
   /// bumped when a peer gives a definitive legacy signal. A backoff
   /// rather than a permanent latch: a server restarting mid-handshake

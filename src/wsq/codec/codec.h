@@ -97,6 +97,28 @@ std::string AdvertisedCodecs(CodecKind preferred);
 /// is willing to speak (bounded by `server_max`). Falls back to kSoap.
 CodecKind NegotiateCodec(std::string_view advertised, CodecKind server_max);
 
+/// --- Feature tokens ---------------------------------------------------
+///
+/// Connection-level features ride the same Hello list as codec names —
+/// NegotiateCodec ignores names it does not know, so a feature token is
+/// invisible to every server that predates it. A server that *does*
+/// know the feature answers with "<codec>+<feature>" in the HelloAck,
+/// which only a client that advertised the feature will ever parse.
+
+/// The trace-context propagation feature (frame-header extension).
+inline constexpr std::string_view kTraceFeatureToken = "trace";
+
+/// True when the Hello's comma-separated list contains `feature`.
+bool AdvertisesFeature(std::string_view advertised, std::string_view feature);
+
+/// Splits a HelloAck payload into the codec name and its "+"-suffixed
+/// feature tokens: "binary+trace" -> {"binary", has "trace"}.
+struct HelloAckParts {
+  std::string_view codec_name;
+  bool trace = false;
+};
+HelloAckParts ParseHelloAck(std::string_view payload);
+
 }  // namespace wsq::codec
 
 #endif  // WSQ_CODEC_CODEC_H_

@@ -34,6 +34,14 @@ class ThreadPool {
 
   int thread_count() const { return static_cast<int>(threads_.size()); }
 
+  /// Tasks submitted but not yet claimed by a worker — the live stats
+  /// plane's queue-depth gauge. A snapshot, stale by the time it
+  /// returns; fine for telemetry, useless for synchronization.
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
   /// max(1, std::thread::hardware_concurrency()) — the default lane
   /// count for `--jobs`.
   static int HardwareConcurrency();
@@ -41,7 +49,7 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;   // workers: queue non-empty or stop
   std::condition_variable idle_cv_;   // Wait(): queue empty and all idle
   std::deque<std::function<void()>> queue_;

@@ -3,9 +3,39 @@
 #include <cstring>
 #include <string_view>
 
+#include "wsq/obs/metrics.h"
+
 namespace wsq::net {
 
 namespace {
+
+/// Process-wide transport counters (the "frame plane" of the live stats
+/// surface). Cached handles into the global registry: the framing layer
+/// has no context object to hang a private registry on, and in the wsqd
+/// process the global registry *is* the server's registry.
+Counter& FramesReadCounter() {
+  static Counter* counter =
+      MetricsRegistry::Global().GetCounter("wsq.net.frames_read");
+  return *counter;
+}
+
+Counter& FramesWrittenCounter() {
+  static Counter* counter =
+      MetricsRegistry::Global().GetCounter("wsq.net.frames_written");
+  return *counter;
+}
+
+Counter& PartialReadsCounter() {
+  static Counter* counter =
+      MetricsRegistry::Global().GetCounter("wsq.net.partial_reads");
+  return *counter;
+}
+
+Counter& ShortWritesCounter() {
+  static Counter* counter =
+      MetricsRegistry::Global().GetCounter("wsq.net.short_writes");
+  return *counter;
+}
 
 void PutU32(char* out, uint32_t v) {
   out[0] = static_cast<char>((v >> 24) & 0xff);
@@ -46,6 +76,7 @@ Status ReadExact(ByteStream& stream, void* buf, size_t len) {
                                      ? kCleanCloseMessage
                                      : "connection closed mid-message");
     }
+    if (n.value() < len - got) PartialReadsCounter().Increment();
     got += n.value();
   }
   return Status::Ok();
@@ -65,15 +96,24 @@ Status WriteAll(ByteStream& stream, const void* buf, size_t len) {
     if (n.value() == 0) {
       return Status::Unavailable("connection refused further writes");
     }
+    if (n.value() < len - put) ShortWritesCounter().Increment();
     put += n.value();
   }
   return Status::Ok();
 }
 
 void EncodeFrameHeader(const Frame& frame, char out[kFrameHeaderBytes]) {
+  uint8_t flags = frame.flags &
+                  static_cast<uint8_t>(
+                      ~(kFrameFlagTraceContext | kFrameFlagServerSpans));
+  if (frame.has_trace) {
+    flags |= kFrameFlagTraceContext;
+    // Spans never travel without the context that parents them.
+    if (!frame.span_block.empty()) flags |= kFrameFlagServerSpans;
+  }
   PutU32(out, kFrameMagic);
   out[4] = static_cast<char>(frame.type);
-  out[5] = static_cast<char>(frame.flags);
+  out[5] = static_cast<char>(flags);
   out[6] = 0;  // reserved
   out[7] = 0;  // reserved
   PutU32(out + 8, static_cast<uint32_t>(frame.payload.size()));
@@ -88,7 +128,9 @@ Result<FrameHeader> DecodeFrameHeader(const char in[kFrameHeaderBytes]) {
   if (type != static_cast<uint8_t>(FrameType::kRequest) &&
       type != static_cast<uint8_t>(FrameType::kResponse) &&
       type != static_cast<uint8_t>(FrameType::kHello) &&
-      type != static_cast<uint8_t>(FrameType::kHelloAck)) {
+      type != static_cast<uint8_t>(FrameType::kHelloAck) &&
+      type != static_cast<uint8_t>(FrameType::kStats) &&
+      type != static_cast<uint8_t>(FrameType::kStatsAck)) {
     return Status::InvalidArgument("unknown frame type " +
                                    std::to_string(type));
   }
@@ -97,6 +139,11 @@ Result<FrameHeader> DecodeFrameHeader(const char in[kFrameHeaderBytes]) {
   header.flags = static_cast<uint8_t>(in[5]);
   header.payload_len = GetU32(in + 8);
   header.service_micros = GetU64(in + 12);
+  if ((header.flags & kFrameFlagServerSpans) != 0 &&
+      (header.flags & kFrameFlagTraceContext) == 0) {
+    return Status::InvalidArgument(
+        "span extension announced without a trace context");
+  }
   if (header.payload_len > kMaxFramePayloadBytes) {
     return Status::InvalidArgument(
         "frame payload of " + std::to_string(header.payload_len) +
@@ -116,11 +163,34 @@ Result<Frame> ReadFrame(ByteStream& stream) {
   frame.type = header.value().type;
   frame.flags = header.value().flags;
   frame.service_micros = header.value().service_micros;
+  if ((header.value().flags & kFrameFlagTraceContext) != 0) {
+    char ext[kTraceContextBytes];
+    WSQ_RETURN_IF_ERROR(ReadExact(stream, ext, sizeof(ext)));
+    frame.has_trace = true;
+    frame.trace = DecodeTraceContext(ext);
+  }
+  if ((header.value().flags & kFrameFlagServerSpans) != 0) {
+    char len_raw[4];
+    WSQ_RETURN_IF_ERROR(ReadExact(stream, len_raw, sizeof(len_raw)));
+    const uint32_t span_len = GetU32(len_raw);
+    if (span_len > kMaxRemoteSpanBytes) {
+      return Status::InvalidArgument(
+          "span block of " + std::to_string(span_len) +
+          " bytes exceeds the " + std::to_string(kMaxRemoteSpanBytes) +
+          "-byte limit");
+    }
+    frame.span_block.resize(span_len);
+    if (span_len > 0) {
+      WSQ_RETURN_IF_ERROR(
+          ReadExact(stream, frame.span_block.data(), frame.span_block.size()));
+    }
+  }
   frame.payload.resize(header.value().payload_len);
   if (header.value().payload_len > 0) {
     WSQ_RETURN_IF_ERROR(
         ReadExact(stream, frame.payload.data(), frame.payload.size()));
   }
+  FramesReadCounter().Increment();
   return frame;
 }
 
@@ -131,13 +201,32 @@ Status WriteFrame(ByteStream& stream, const Frame& frame) {
         "-byte frame payload (limit " +
         std::to_string(kMaxFramePayloadBytes) + ")");
   }
+  if (frame.span_block.size() > kMaxRemoteSpanBytes) {
+    return Status::InvalidArgument(
+        "refusing to send a " + std::to_string(frame.span_block.size()) +
+        "-byte span block (limit " + std::to_string(kMaxRemoteSpanBytes) +
+        ")");
+  }
   char raw[kFrameHeaderBytes];
   EncodeFrameHeader(frame, raw);
   WSQ_RETURN_IF_ERROR(WriteAll(stream, raw, sizeof(raw)));
+  if (frame.has_trace) {
+    char ext[kTraceContextBytes];
+    EncodeTraceContext(frame.trace, ext);
+    WSQ_RETURN_IF_ERROR(WriteAll(stream, ext, sizeof(ext)));
+    if (!frame.span_block.empty()) {
+      char len_raw[4];
+      PutU32(len_raw, static_cast<uint32_t>(frame.span_block.size()));
+      WSQ_RETURN_IF_ERROR(WriteAll(stream, len_raw, sizeof(len_raw)));
+      WSQ_RETURN_IF_ERROR(WriteAll(stream, frame.span_block.data(),
+                                   frame.span_block.size()));
+    }
+  }
   if (!frame.payload.empty()) {
     WSQ_RETURN_IF_ERROR(
         WriteAll(stream, frame.payload.data(), frame.payload.size()));
   }
+  FramesWrittenCounter().Increment();
   return Status::Ok();
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "wsq/common/status.h"
+#include "wsq/obs/span_context.h"
 
 namespace wsq::net {
 
@@ -56,8 +57,15 @@ enum class FrameType : uint8_t {
   /// Codec negotiation: payload is a comma-separated, preference-ordered
   /// list of codec names the client can speak (e.g. "binary,soap").
   kHello = 3,
-  /// Server's answer: payload is the single codec name it picked.
+  /// Server's answer: payload is the single codec name it picked,
+  /// optionally suffixed with negotiated feature tokens ("+trace").
   kHelloAck = 4,
+  /// Telemetry-plane control frame: asks the server for its live stats
+  /// snapshot. Empty payload; answered with one kStatsAck whose payload
+  /// is the stats JSON document. Never sent by legacy peers (the type
+  /// did not exist), so accepting it costs them nothing.
+  kStats = 5,
+  kStatsAck = 6,
 };
 
 /// Response flag: the payload is a SOAP fault envelope (the service
@@ -69,6 +77,18 @@ inline constexpr uint8_t kFrameFlagSoapFault = 0x01;
 /// exactly like a connection that dropped. The server's cursor did NOT
 /// advance.
 inline constexpr uint8_t kFrameFlagTransientFault = 0x02;
+/// The frame carries a 24-byte trace-context extension (obs/span_context
+/// TraceContext) between the fixed header and the payload. Only set on
+/// connections whose handshake negotiated the "trace" feature — legacy
+/// peers and un-negotiated connections never see the flag, keeping
+/// their frames byte-identical to the pre-extension wire.
+inline constexpr uint8_t kFrameFlagTraceContext = 0x04;
+/// The frame additionally carries a span-block extension (u32 length +
+/// EncodeRemoteSpans bytes) after the trace context: the server-side
+/// spans of this exchange, piggybacked on the response. Requires
+/// kFrameFlagTraceContext; a frame with spans but no context is
+/// structurally invalid.
+inline constexpr uint8_t kFrameFlagServerSpans = 0x08;
 
 /// "WSQ1" — the protocol magic leading every frame. A peer that opens
 /// with anything else is not speaking this protocol; reject, don't
@@ -94,10 +114,20 @@ struct Frame {
   uint8_t flags = 0;
   uint64_t service_micros = 0;
   std::string payload;
+  /// Trace-context extension (kFrameFlagTraceContext). WriteFrame sets
+  /// the flag from `has_trace`; ReadFrame sets `has_trace` from the
+  /// received flags.
+  bool has_trace = false;
+  TraceContext trace;
+  /// Span-block extension (kFrameFlagServerSpans): raw EncodeRemoteSpans
+  /// bytes, empty = no extension. Responses only by convention.
+  std::string span_block;
 };
 
 /// Serializes the fixed header for `frame` into `out` (network byte
-/// order throughout).
+/// order throughout). Flags for the trace/span extensions are derived
+/// from the frame's `has_trace` / `span_block` fields, never taken from
+/// `flags` — a frame without the data cannot announce the extension.
 void EncodeFrameHeader(const Frame& frame, char out[kFrameHeaderBytes]);
 
 /// Parsed header fields, pre-payload.
@@ -113,10 +143,12 @@ struct FrameHeader {
 /// the connection is unsalvageable after any of them (framing is lost).
 Result<FrameHeader> DecodeFrameHeader(const char in[kFrameHeaderBytes]);
 
-/// Reads one complete frame: header (validated) then payload, handling
-/// partial reads. kUnavailable when the peer closed the connection
-/// (cleanly between frames or mid-frame); kInvalidArgument on garbage or
-/// oversized headers.
+/// Reads one complete frame: header (validated), any negotiated
+/// extensions (trace context, span block — length-capped before
+/// allocation), then payload, handling partial reads. kUnavailable when
+/// the peer closed the connection (cleanly between frames or
+/// mid-frame); kInvalidArgument on garbage, oversized headers, a span
+/// block past kMaxRemoteSpanBytes, or a span flag without a trace flag.
 Result<Frame> ReadFrame(ByteStream& stream);
 
 /// Writes one complete frame, handling short writes. Refuses payloads

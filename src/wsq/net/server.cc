@@ -81,6 +81,10 @@ void WsqServer::ServeConnection(std::shared_ptr<Socket> conn, int64_t id) {
   // client sends a Hello — un-negotiated peers are answered per-request
   // by payload sniffing, which means SOAP for every pre-codec client.
   std::unique_ptr<codec::BlockCodec> negotiated;
+  // Whether this connection negotiated the trace feature. Only a Hello
+  // advertising "trace" flips it, so legacy connections never see a
+  // trace-context byte on the wire.
+  bool trace_negotiated = false;
   for (;;) {
     Result<Frame> request = ReadFrame(*conn);
     // Any read failure ends the connection: clean close between frames,
@@ -98,12 +102,27 @@ void WsqServer::ServeConnection(std::shared_ptr<Socket> conn, int64_t id) {
       Frame ack;
       ack.type = FrameType::kHelloAck;
       ack.payload = std::string(codec::CodecKindName(picked));
+      if (codec::AdvertisesFeature(request.value().payload,
+                                   codec::kTraceFeatureToken)) {
+        trace_negotiated = true;
+        trace_connections_.fetch_add(1);
+        ack.payload += '+';
+        ack.payload += codec::kTraceFeatureToken;
+      }
+      if (!WriteFrame(*conn, ack).ok()) break;
+      continue;
+    }
+    if (request.value().type == FrameType::kStats) {
+      stats_requests_.fetch_add(1);
+      Frame ack;
+      ack.type = FrameType::kStatsAck;
+      ack.payload = StatsJson();
       if (!WriteFrame(*conn, ack).ok()) break;
       continue;
     }
     if (request.value().type != FrameType::kRequest) break;
-    const ExchangeOutcome outcome =
-        ServeExchange(*conn, request.value(), negotiated.get());
+    const ExchangeOutcome outcome = ServeExchange(
+        *conn, request.value(), negotiated.get(), trace_negotiated);
     if (outcome == ExchangeOutcome::kContinue) continue;
     hard = outcome == ExchangeOutcome::kCloseHard;
     break;
@@ -136,39 +155,105 @@ WsqServer::SessionFaultState* WsqServer::FaultStateForSession(
   return &it->second;  // std::map nodes are pointer-stable
 }
 
+int64_t WsqServer::BlockRequestSessionId(const std::string& payload) {
+  if (codec::SniffPayloadCodec(payload) == codec::CodecKind::kBinary) {
+    static const codec::BinaryCodec sniffer;
+    Result<RequestBlockRequest> block = sniffer.DecodeRequestBlock(payload);
+    return block.ok() ? block.value().session_id : -1;
+  }
+  Result<XmlNode> parsed = ParseEnvelope(payload);
+  if (!parsed.ok()) return -1;
+  Result<RequestKind> kind = ClassifyRequest(parsed.value());
+  if (!kind.ok() || kind.value() != RequestKind::kRequestBlock) return -1;
+  Result<RequestBlockRequest> block = DecodeRequestBlock(parsed.value());
+  return block.ok() ? block.value().session_id : -1;
+}
+
+void WsqServer::RecordExchangeStats(int64_t session_id, size_t request_bytes,
+                                    size_t response_bytes, bool replayed,
+                                    bool fault) {
+  bytes_in_.fetch_add(static_cast<int64_t>(request_bytes));
+  bytes_out_.fetch_add(static_cast<int64_t>(response_bytes));
+  if (replayed) replay_hits_.fetch_add(1);
+  if (session_id < 0) return;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    SessionStats& stats = session_stats_[session_id];
+    ++stats.blocks;
+    stats.bytes_in += static_cast<int64_t>(request_bytes);
+    stats.bytes_out += static_cast<int64_t>(response_bytes);
+    if (replayed) ++stats.replay_hits;
+    if (fault) ++stats.faults;
+  }
+  // Labeled mirrors: the same rollups as per-session counter families,
+  // so the registry's SumCounters aggregation and every exporter see
+  // them without knowing about the map above.
+  const std::string id = std::to_string(session_id);
+  stats_registry_
+      .GetCounter(LabeledName("wsq.server.session.blocks", "session", id))
+      ->Increment();
+  stats_registry_
+      .GetCounter(LabeledName("wsq.server.session.bytes_out", "session", id))
+      ->Increment(static_cast<int64_t>(response_bytes));
+  if (replayed) {
+    stats_registry_
+        .GetCounter(
+            LabeledName("wsq.server.session.replay_hits", "session", id))
+        ->Increment();
+  }
+}
+
 WsqServer::ExchangeOutcome WsqServer::ServeExchange(
     Socket& conn, const Frame& request,
-    const codec::BlockCodec* response_codec) {
+    const codec::BlockCodec* response_codec, bool trace_negotiated) {
+  // Session attribution: block exchanges carry their session id in the
+  // payload (binary or SOAP); session management and garbage do not. A
+  // parse failure is fine; the container will answer with a SOAP fault.
+  const int64_t session_id = BlockRequestSessionId(request.payload);
+
   // Chaos targeting: only data-block exchanges are scripted (session
-  // management is never faulted — plans address data transfer). A parse
-  // failure here is fine; the container will answer with a SOAP fault.
+  // management is never faulted — plans address data transfer).
   SessionFaultState* state = nullptr;
-  if (!options_.fault_plan.empty()) {
-    if (codec::SniffPayloadCodec(request.payload) ==
-        codec::CodecKind::kBinary) {
-      static const codec::BinaryCodec sniffer;
-      Result<RequestBlockRequest> block =
-          sniffer.DecodeRequestBlock(request.payload);
-      if (block.ok()) {
-        state = FaultStateForSession(block.value().session_id);
-      }
-    } else {
-      Result<XmlNode> payload = ParseEnvelope(request.payload);
-      if (payload.ok()) {
-        Result<RequestKind> kind = ClassifyRequest(payload.value());
-        if (kind.ok() && kind.value() == RequestKind::kRequestBlock) {
-          Result<RequestBlockRequest> block =
-              DecodeRequestBlock(payload.value());
-          if (block.ok()) {
-            state = FaultStateForSession(block.value().session_id);
-          }
-        }
-      }
-    }
+  if (!options_.fault_plan.empty() && session_id >= 0) {
+    state = FaultStateForSession(session_id);
   }
 
   const WallClock wall;
   const int64_t t0 = wall.NowMicros();
+
+  // Server-side spans: collected only when the connection negotiated
+  // tracing AND this request carries a context to parent them under.
+  // spans[0] is the root "server.request" span; its duration is patched
+  // when the response is stamped.
+  const bool tracing = trace_negotiated && request.has_trace;
+  std::vector<RemoteSpan> spans;
+  uint64_t root_span_id = 0;
+  const auto add_span = [&](std::string_view name, int64_t ts_micros,
+                            int64_t dur_micros, uint64_t parent) {
+    const uint64_t id = next_span_id_.fetch_add(1);
+    RemoteSpan span;
+    span.span_id = id;
+    span.parent_span_id = parent;
+    span.ts_micros = ts_micros;
+    span.dur_micros = dur_micros;
+    span.name = std::string(name);
+    spans.push_back(std::move(span));
+    return id;
+  };
+  if (tracing) {
+    root_span_id = add_span("server.request", t0, 0, request.trace.span_id);
+  }
+  const auto stamp_trace = [&](Frame& response, int64_t t_end) {
+    if (!tracing) return;
+    spans[0].dur_micros = t_end - t0;
+    response.has_trace = true;
+    response.trace.trace_id = request.trace.trace_id;
+    response.trace.span_id = root_span_id;
+    // The server clock reading paired with this response's
+    // service_micros — the client's clock-offset sample.
+    response.trace.clock_micros = static_cast<uint64_t>(t_end);
+    response.span_block = EncodeRemoteSpans(spans);
+  };
 
   double injected_sleep_ms = 0.0;
   if (state != nullptr) {
@@ -186,16 +271,25 @@ WsqServer::ExchangeOutcome WsqServer::ServeExchange(
         Frame response;
         response.type = FrameType::kResponse;
         response.flags = kFrameFlagSoapFault | kFrameFlagTransientFault;
-        response.service_micros =
-            static_cast<uint64_t>(wall.NowMicros() - t0);
+        const int64_t t_fault = wall.NowMicros();
+        response.service_micros = static_cast<uint64_t>(t_fault - t0);
         response.payload = BuildFaultEnvelope(
             {"Server", "injected transient fault (server-side chaos)"});
+        if (tracing) {
+          add_span("server.fault_injected", t_fault, 0, root_span_id);
+        }
+        stamp_trace(response, t_fault);
+        RecordExchangeStats(session_id, request.payload.size(),
+                            response.payload.size(), /*replayed=*/false,
+                            /*fault=*/true);
         return WriteFrame(conn, response).ok() ? ExchangeOutcome::kContinue
                                                : ExchangeOutcome::kClose;
       }
       // kUnavailability drops the connection quietly (FIN); the client
       // sees "connection closed" and retries. kConnectionReset slams it
-      // (RST) — the same observable as the sim's reset fault.
+      // (RST) — the same observable as the sim's reset fault. No
+      // response frame travels, so these spans are simply lost —
+      // telemetry shares the fate of the exchange it describes.
       return fault.kind == FaultKind::kConnectionReset
                  ? ExchangeOutcome::kCloseHard
                  : ExchangeOutcome::kClose;
@@ -212,16 +306,36 @@ WsqServer::ExchangeOutcome WsqServer::ServeExchange(
   // abandoned the exchange, and dispatching anyway would advance the
   // session cursor for a block the client never received (it would then
   // silently skip that block on retry).
-  SleepMs(injected_sleep_ms);
+  if (injected_sleep_ms > 0.0) {
+    const int64_t stall_begin = wall.NowMicros();
+    SleepMs(injected_sleep_ms);
+    if (tracing) {
+      add_span("server.stall", stall_begin, wall.NowMicros() - stall_begin,
+               root_span_id);
+    }
+  }
   if (conn.PeerClosed()) return ExchangeOutcome::kClose;
 
   DispatchResult result;
+  const int64_t dispatch_begin = wall.NowMicros();
   {
     std::lock_guard<std::mutex> lock(dispatch_mu_);
     result = container_->Dispatch(request.payload, response_codec);
   }
+  if (tracing) {
+    add_span("server.dispatch", dispatch_begin,
+             wall.NowMicros() - dispatch_begin, root_span_id);
+    if (result.replayed) {
+      add_span("server.replay_hit", dispatch_begin, 0, root_span_id);
+    }
+  }
   if (options_.simulate_service_time) {
+    const int64_t sleep_begin = wall.NowMicros();
     SleepMs(result.service_time_ms);
+    if (tracing && result.service_time_ms > 0.0) {
+      add_span("server.service_sleep", sleep_begin,
+               wall.NowMicros() - sleep_begin, root_span_id);
+    }
   }
 
   if (state != nullptr && !result.is_fault) {
@@ -234,11 +348,90 @@ WsqServer::ExchangeOutcome WsqServer::ServeExchange(
   response.flags = result.is_fault ? kFrameFlagSoapFault : 0;
   // Measured residence (request fully read -> reply), which includes
   // both the simulated service sleep and any injected stall.
-  response.service_micros = static_cast<uint64_t>(wall.NowMicros() - t0);
+  const int64_t t_end = wall.NowMicros();
+  response.service_micros = static_cast<uint64_t>(t_end - t0);
   response.payload = std::move(result.response);
+  stamp_trace(response, t_end);
   exchanges_served_.fetch_add(1);
+  if (codec::SniffPayloadCodec(response.payload) == codec::CodecKind::kBinary) {
+    binary_responses_.fetch_add(1);
+  } else {
+    soap_responses_.fetch_add(1);
+  }
+  RecordExchangeStats(session_id, request.payload.size(),
+                      response.payload.size(), result.replayed,
+                      result.is_fault);
   return WriteFrame(conn, response).ok() ? ExchangeOutcome::kContinue
                                          : ExchangeOutcome::kClose;
+}
+
+std::string WsqServer::StatsJson() {
+  int64_t active_sessions = -1;
+  {
+    // DataService is single-threaded by design; its session map is only
+    // safe to read under the same mutex that serializes Dispatch.
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    active_sessions = container_->active_sessions();
+  }
+  std::string out = "{\"schema_version\":1";
+  const auto field = [&out](std::string_view name, int64_t value) {
+    out += ",\"";
+    out += name;
+    out += "\":";
+    out += std::to_string(value);
+  };
+  field("active_sessions", active_sessions);
+  field("connections_accepted", connections_accepted_.load());
+  field("exchanges_served", exchanges_served_.load());
+  field("faults_injected", faults_injected_.load());
+  field("replay_hits", replay_hits_.load());
+  field("stats_requests", stats_requests_.load());
+  field("trace_connections", trace_connections_.load());
+  field("bytes_in", bytes_in_.load());
+  field("bytes_out", bytes_out_.load());
+  field("worker_queue_depth",
+        pool_ ? static_cast<int64_t>(pool_->queue_depth()) : 0);
+  out += ",\"codec_mix\":{\"soap\":" + std::to_string(soap_responses_.load()) +
+         ",\"binary\":" + std::to_string(binary_responses_.load()) + '}';
+  out += ",\"sessions\":{";
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    bool first = true;
+    for (const auto& [id, stats] : session_stats_) {
+      if (!first) out += ',';
+      first = false;
+      out += '"' + std::to_string(id) + "\":{";
+      out += "\"blocks\":" + std::to_string(stats.blocks);
+      out += ",\"bytes_in\":" + std::to_string(stats.bytes_in);
+      out += ",\"bytes_out\":" + std::to_string(stats.bytes_out);
+      out += ",\"replay_hits\":" + std::to_string(stats.replay_hits);
+      out += ",\"faults\":" + std::to_string(stats.faults);
+      out += '}';
+    }
+  }
+  out += '}';
+  out += ",\"metrics\":" + stats_registry_.ToJson();
+  out += '}';
+  return out;
+}
+
+Result<std::string> FetchServerStats(const std::string& host, int port,
+                                     double timeout_ms) {
+  Result<Socket> conn = TcpConnect(host, port, timeout_ms);
+  if (!conn.ok()) return conn.status();
+  Socket socket = std::move(conn).value();
+  socket.set_io_timeout_ms(timeout_ms);
+  Frame request;
+  request.type = FrameType::kStats;
+  WSQ_RETURN_IF_ERROR(WriteFrame(socket, request));
+  Result<Frame> response = ReadFrame(socket);
+  if (!response.ok()) return response.status();
+  if (response.value().type != FrameType::kStatsAck) {
+    return Status::InvalidArgument(
+        "peer answered a stats request with frame type " +
+        std::to_string(static_cast<int>(response.value().type)));
+  }
+  return std::move(response.value().payload);
 }
 
 }  // namespace wsq::net

@@ -6,7 +6,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "wsq/codec/codec.h"
 #include "wsq/common/status.h"
@@ -14,6 +16,8 @@
 #include "wsq/fault/fault_injector.h"
 #include "wsq/fault/fault_plan.h"
 #include "wsq/net/socket.h"
+#include "wsq/obs/metrics.h"
+#include "wsq/obs/span_context.h"
 #include "wsq/server/container.h"
 
 namespace wsq::net {
@@ -83,6 +87,16 @@ class WsqServer {
   int64_t connections_accepted() const { return connections_accepted_.load(); }
   int64_t exchanges_served() const { return exchanges_served_.load(); }
   int64_t faults_injected() const { return faults_injected_.load(); }
+  int64_t replay_hits() const { return replay_hits_.load(); }
+  int64_t stats_requests() const { return stats_requests_.load(); }
+  int64_t trace_connections() const { return trace_connections_.load(); }
+
+  /// The live stats snapshot this server answers kStats frames with (and
+  /// wsqd exports via --stats-out / SIGUSR1): schema_version, frontend
+  /// counters, codec mix, worker queue depth, the container's open
+  /// session count, per-session rollups and the server's private metric
+  /// registry — all as one RFC 8259 JSON document.
+  std::string StatsJson();
 
  private:
   /// Fault-plan replay state for one DataService session, persisted
@@ -97,11 +111,33 @@ class WsqServer {
   /// or close abortively (RST — injected connection resets).
   enum class ExchangeOutcome { kContinue, kClose, kCloseHard };
 
+  /// Per-session transfer accounting for the stats plane (guarded by
+  /// stats_mu_). Entries persist across reconnects, like the sessions
+  /// they describe.
+  struct SessionStats {
+    int64_t blocks = 0;
+    int64_t bytes_in = 0;
+    int64_t bytes_out = 0;
+    int64_t replay_hits = 0;
+    int64_t faults = 0;
+  };
+
   void AcceptLoop();
   void ServeConnection(std::shared_ptr<Socket> conn, int64_t id);
   ExchangeOutcome ServeExchange(Socket& conn, const Frame& request,
-                                const codec::BlockCodec* response_codec);
+                                const codec::BlockCodec* response_codec,
+                                bool trace_negotiated);
   SessionFaultState* FaultStateForSession(int64_t session_id);
+
+  /// The session id of a block request payload (binary or SOAP), or -1
+  /// when the payload is anything else. Shared by chaos targeting and
+  /// per-session stats attribution.
+  static int64_t BlockRequestSessionId(const std::string& payload);
+
+  /// Folds one served exchange into the per-session rollups and their
+  /// labeled mirrors in stats_registry_.
+  void RecordExchangeStats(int64_t session_id, size_t request_bytes,
+                           size_t response_bytes, bool replayed, bool fault);
 
   ServiceContainer* container_;
   WsqServerOptions options_;
@@ -130,7 +166,33 @@ class WsqServer {
   std::atomic<int64_t> connections_accepted_{0};
   std::atomic<int64_t> exchanges_served_{0};
   std::atomic<int64_t> faults_injected_{0};
+  std::atomic<int64_t> replay_hits_{0};
+  std::atomic<int64_t> stats_requests_{0};
+  std::atomic<int64_t> trace_connections_{0};
+  std::atomic<int64_t> bytes_in_{0};
+  std::atomic<int64_t> bytes_out_{0};
+  std::atomic<int64_t> soap_responses_{0};
+  std::atomic<int64_t> binary_responses_{0};
+
+  /// Server-side span-id allocator: unique within the process, which is
+  /// all the Chrome-trace model needs.
+  std::atomic<uint64_t> next_span_id_{1};
+
+  /// Per-session rollups + the private registry their labeled mirrors
+  /// live in (kept out of the global registry so a server embedded in a
+  /// test or bench process does not leak per-session series into the
+  /// client's own metric exports).
+  std::mutex stats_mu_;
+  std::map<int64_t, SessionStats> session_stats_;
+  MetricsRegistry stats_registry_;
 };
+
+/// Client side of the kStats control frame: opens a fresh connection to
+/// `host:port`, asks for a stats snapshot and returns the JSON document.
+/// A dedicated connection keeps the telemetry plane off the data path —
+/// no interleaving with in-flight exchanges, no codec negotiation.
+Result<std::string> FetchServerStats(const std::string& host, int port,
+                                     double timeout_ms);
 
 }  // namespace wsq::net
 

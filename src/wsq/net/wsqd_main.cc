@@ -30,8 +30,10 @@
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump_stats = 0;
 
 void HandleSignal(int) { g_stop = 1; }
+void HandleStatsSignal(int) { g_dump_stats = 1; }
 
 struct WsqdFlags {
   int port = 9090;
@@ -42,17 +44,51 @@ struct WsqdFlags {
   std::string codec = "binary";
   int worker_threads = 8;
   bool simulate_service_time = true;
+  /// Also write the bound port here after startup (ephemeral-port
+  /// consumers that cannot scrape stdout).
+  std::string port_file;
+  /// Live telemetry: write the server's stats JSON snapshot here every
+  /// stats_interval_s seconds (0 = only on SIGUSR1 and at shutdown).
+  std::string stats_out;
+  int stats_interval_s = 0;
 };
+
+/// One stats snapshot to `path` (atomic enough for pollers: write to a
+/// temp name, then rename over the target).
+void WriteStatsSnapshot(wsq::net::WsqServer& server, const std::string& path) {
+  const std::string body = server.StatsJson();
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "wsqd: cannot open %s\n", tmp.c_str());
+    return;
+  }
+  std::fwrite(body.data(), 1, body.size(), out);
+  std::fclose(out);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "wsqd: cannot rename %s -> %s\n", tmp.c_str(),
+                 path.c_str());
+  }
+}
 
 void PrintUsage() {
   std::fprintf(
       stderr,
       "usage: wsqd [--port=N] [--scale=F] [--seed=N] [--profile=NAME]\n"
       "            [--fault-plan=NAME] [--codec=NAME] [--workers=N]\n"
-      "            [--no-service-sleep]\n"
+      "            [--no-service-sleep] [--port-file=PATH]\n"
+      "            [--stats-out=PATH] [--stats-interval-s=N]\n"
       "\n"
       "  --port=N           TCP port to listen on; 0 = ephemeral (default "
       "9090)\n"
+      "  --port-file=PATH   also write the bound port to PATH once "
+      "listening\n"
+      "  --stats-out=PATH   write the live stats JSON snapshot to PATH on "
+      "SIGUSR1,\n"
+      "                     every --stats-interval-s seconds, and at "
+      "shutdown\n"
+      "  --stats-interval-s=N periodic stats snapshot interval (default 0 = "
+      "off)\n"
       "  --scale=F          TPC-H scale factor for the hosted Customer/Orders "
       "tables (default 0.05)\n"
       "  --seed=N           data + load-noise seed (default 7)\n"
@@ -119,6 +155,12 @@ int main(int argc, char** argv) {
       flags.codec = value;
     } else if (ParseFlag(argv[i], "--workers", &value)) {
       flags.worker_threads = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--port-file", &value)) {
+      flags.port_file = value;
+    } else if (ParseFlag(argv[i], "--stats-out", &value)) {
+      flags.stats_out = value;
+    } else if (ParseFlag(argv[i], "--stats-interval-s", &value)) {
+      flags.stats_interval_s = std::atoi(value.c_str());
     } else if (std::strcmp(argv[i], "--no-service-sleep") == 0) {
       flags.simulate_service_time = false;
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -194,14 +236,43 @@ int main(int argc, char** argv) {
   // The machine-readable ready line scripts wait for and scrape.
   std::printf("wsqd listening on port %d\n", server.port());
   std::fflush(stdout);
+  if (!flags.port_file.empty()) {
+    std::FILE* out = std::fopen(flags.port_file.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "wsqd: cannot open --port-file=%s\n",
+                   flags.port_file.c_str());
+      return 1;
+    }
+    std::fprintf(out, "%d\n", server.port());
+    std::fclose(out);
+  }
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGUSR1, HandleStatsSignal);
+  int64_t ticks = 0;  // 100 ms each
   while (g_stop == 0) {
     struct timespec ts {0, 100 * 1000 * 1000};
     nanosleep(&ts, nullptr);
+    ++ticks;
+    const bool periodic_due =
+        !flags.stats_out.empty() && flags.stats_interval_s > 0 &&
+        ticks % (static_cast<int64_t>(flags.stats_interval_s) * 10) == 0;
+    if (g_dump_stats != 0 || periodic_due) {
+      g_dump_stats = 0;
+      if (!flags.stats_out.empty()) {
+        WriteStatsSnapshot(server, flags.stats_out);
+      } else {
+        // SIGUSR1 without --stats-out: dump to stderr — still useful
+        // for a quick look at a running daemon.
+        std::fprintf(stderr, "%s\n", server.StatsJson().c_str());
+      }
+    }
   }
 
+  // Final snapshot before teardown, so a consumer always sees the
+  // complete run even when it never signaled.
+  if (!flags.stats_out.empty()) WriteStatsSnapshot(server, flags.stats_out);
   server.Stop();
   std::fprintf(stderr, "wsqd: served %lld exchanges on %lld connections "
                        "(%lld injected faults)\n",

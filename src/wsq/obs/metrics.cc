@@ -130,6 +130,35 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
   return it->second.get();
 }
 
+std::string LabeledName(std::string_view base, std::string_view label_key,
+                        std::string_view label_value) {
+  std::string out;
+  out.reserve(base.size() + label_key.size() + label_value.size() + 3);
+  out.append(base);
+  out.push_back('{');
+  out.append(label_key);
+  out.push_back('=');
+  out.append(label_value);
+  out.push_back('}');
+  return out;
+}
+
+int64_t MetricsRegistry::SumCounters(std::string_view base) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  // Labeled members sort right after "base{" in the map; walk the
+  // contiguous range instead of scanning every counter.
+  const std::string prefix = std::string(base) + "{";
+  auto it = counters_.find(std::string(base));
+  if (it != counters_.end()) total += it->second.value();
+  for (it = counters_.lower_bound(prefix);
+       it != counters_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    total += it->second.value();
+  }
+  return total;
+}
+
 namespace {
 
 std::string FormatValue(double v) {

@@ -126,6 +126,15 @@ class Histogram {
   std::array<Shard, kMetricShards> shards_;
 };
 
+/// Renders a labeled metric name: `LabeledName("wsq.server.bytes_out",
+/// "session", "7")` -> "wsq.server.bytes_out{session=7}". The registry
+/// treats a labeled name as just another name — labels are a naming
+/// convention, not a type — but the convention gives rollups something
+/// to aggregate over (see MetricsRegistry::SumCounters) and keeps
+/// per-session series distinguishable in every exporter.
+std::string LabeledName(std::string_view base, std::string_view label_key,
+                        std::string_view label_value);
+
 /// Name -> metric registry with text/CSV/JSON snapshot exporters. One
 /// process-wide instance (`Global()`) serves production wiring; tests
 /// and harnesses can own private instances. Lookups create on first use
@@ -151,6 +160,12 @@ class MetricsRegistry {
   /// the existing histogram (names identify metrics, not shapes).
   Histogram* GetHistogram(std::string_view name,
                           std::vector<double> bounds = {});
+
+  /// Rollup over a labeled-counter family: the sum of the counter named
+  /// exactly `base` (if any) and every counter named "base{...}" — the
+  /// LabeledName convention. The primitive behind "total = sum over
+  /// sessions" style aggregations.
+  int64_t SumCounters(std::string_view base) const;
 
   /// Human-readable snapshot, one metric per line, sorted by name.
   std::string ToText() const;

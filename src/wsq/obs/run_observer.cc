@@ -1,6 +1,7 @@
 #include "wsq/obs/run_observer.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 
 #include "wsq/obs/json_lite.h"
@@ -34,6 +35,16 @@ std::vector<double> PerTupleBuckets() {
   return bounds;
 }
 
+/// Trace/span ids as fixed-width hex strings — the form trace viewers
+/// and the correlation checks key on (JSON numbers would lose precision
+/// past 2^53).
+std::string HexId(uint64_t id) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
 }  // namespace
 
 RunObserver::RunObserver(MetricsRegistry* metrics, Tracer* tracer)
@@ -51,6 +62,7 @@ RunObserver::RunObserver(MetricsRegistry* metrics, Tracer* tracer)
     per_tuple_ms_ =
         metrics_->GetHistogram("wsq.pull.per_tuple_ms", PerTupleBuckets());
     faults_total_ = metrics_->GetCounter("wsq.fault.injected_total");
+    remote_spans_total_ = metrics_->GetCounter("wsq.server.remote_spans_total");
     breaker_transitions_total_ =
         metrics_->GetCounter("wsq.resilience.breaker_transitions_total");
     fault_cost_ms_ = metrics_->GetHistogram("wsq.fault.cost_ms");
@@ -67,6 +79,7 @@ RunObserver::RunObserver(MetricsRegistry* metrics, Tracer* tracer)
     tracer_->SetLaneName(TraceLane::kController, "controller");
     tracer_->SetLaneName(TraceLane::kServer, "server load");
     tracer_->SetLaneName(TraceLane::kFault, "faults");
+    tracer_->SetLaneName(TraceLane::kRemoteServer, "wsqd server");
   }
 }
 
@@ -87,7 +100,8 @@ void RunObserver::OnSessionClose(int64_t ts_micros, int64_t dur_micros) {
 
 void RunObserver::OnBlock(int64_t ts_micros, int64_t dur_micros,
                           int64_t requested_size, int64_t received_tuples,
-                          double per_tuple_ms, int64_t retries) {
+                          double per_tuple_ms, int64_t retries,
+                          uint64_t trace_id, uint64_t span_id) {
   if (blocks_total_ != nullptr) {
     blocks_total_->Increment();
     tuples_total_->Increment(received_tuples);
@@ -99,9 +113,36 @@ void RunObserver::OnBlock(int64_t ts_micros, int64_t dur_micros,
     std::string args = "{\"requested\":" + std::to_string(requested_size) +
                        ",\"received\":" + std::to_string(received_tuples) +
                        ",\"per_tuple_ms\":" + JsonNumber(per_tuple_ms) +
-                       ",\"retries\":" + std::to_string(retries) + "}";
+                       ",\"retries\":" + std::to_string(retries);
+    if (trace_id != 0) {
+      args += ",\"trace_id\":\"" + HexId(trace_id) + "\",\"span_id\":\"" +
+              HexId(span_id) + "\"";
+    }
+    args += '}';
     tracer_->AddComplete("block_request", "pull", ts_micros, dur_micros,
                          TraceLane::kPullLoop, std::move(args));
+  }
+}
+
+void RunObserver::OnRemoteSpans(const std::vector<RemoteSpan>& spans,
+                                uint64_t trace_id) {
+  if (remote_spans_total_ != nullptr) {
+    remote_spans_total_->Increment(static_cast<int64_t>(spans.size()));
+  }
+  if (tracer_ == nullptr) return;
+  for (const RemoteSpan& span : spans) {
+    std::string args = "{\"trace_id\":\"" + HexId(trace_id) +
+                       "\",\"span_id\":\"" + HexId(span.span_id) +
+                       "\",\"parent_span_id\":\"" + HexId(span.parent_span_id) +
+                       "\"}";
+    if (span.dur_micros > 0) {
+      tracer_->AddComplete(span.name, "server", span.ts_micros,
+                           span.dur_micros, TraceLane::kRemoteServer,
+                           std::move(args));
+    } else {
+      tracer_->AddInstant(span.name, "server", span.ts_micros,
+                          TraceLane::kRemoteServer, std::move(args));
+    }
   }
 }
 

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "wsq/obs/metrics.h"
+#include "wsq/obs/span_context.h"
 #include "wsq/obs/state_snapshot.h"
 #include "wsq/obs/trace.h"
 
@@ -38,8 +40,19 @@ class RunObserver {
   void OnSessionClose(int64_t ts_micros, int64_t dur_micros);
 
   /// One completed block request: the span t1 -> t2 of Algorithm 1.
+  /// `trace_id`/`span_id`, when non-zero, are the distributed-trace
+  /// identity of the client span (rendered into the event args as hex
+  /// strings, so server spans of the same trace can be correlated in
+  /// the merged timeline).
   void OnBlock(int64_t ts_micros, int64_t dur_micros, int64_t requested_size,
-               int64_t received_tuples, double per_tuple_ms, int64_t retries);
+               int64_t received_tuples, double per_tuple_ms, int64_t retries,
+               uint64_t trace_id = 0, uint64_t span_id = 0);
+
+  /// Server-side spans shipped back over the wire, timestamps already
+  /// clock-aligned onto the client timeline by the transport. Emitted
+  /// on the dedicated TraceLane::kRemoteServer lane; `dur == 0` spans
+  /// become instants.
+  void OnRemoteSpans(const std::vector<RemoteSpan>& spans, uint64_t trace_id);
 
   /// Wire-time decomposition of a block span, where the stack knows it.
   void OnNetworkTransfer(int64_t ts_micros, int64_t dur_micros);
@@ -93,6 +106,7 @@ class RunObserver {
   Counter* decisions_total_ = nullptr;
   Counter* parses_total_ = nullptr;
   Counter* faults_total_ = nullptr;
+  Counter* remote_spans_total_ = nullptr;
   Counter* breaker_transitions_total_ = nullptr;
   Histogram* fault_cost_ms_ = nullptr;
   Gauge* breaker_state_ = nullptr;

@@ -1,0 +1,131 @@
+#include "wsq/obs/span_context.h"
+
+#include <algorithm>
+
+namespace wsq {
+namespace {
+
+void PutU64(char* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<char>((v >> (56 - 8 * i)) & 0xff);
+  }
+}
+
+uint64_t GetU64(const char* in) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(in);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<uint64_t>(p[i]);
+  }
+  return v;
+}
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>(v & 0xff));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  PutU64(buf, v);
+  out->append(buf, sizeof(buf));
+}
+
+}  // namespace
+
+void EncodeTraceContext(const TraceContext& context,
+                        char out[kTraceContextBytes]) {
+  PutU64(out, context.trace_id);
+  PutU64(out + 8, context.span_id);
+  PutU64(out + 16, context.clock_micros);
+}
+
+TraceContext DecodeTraceContext(const char in[kTraceContextBytes]) {
+  TraceContext context;
+  context.trace_id = GetU64(in);
+  context.span_id = GetU64(in + 8);
+  context.clock_micros = GetU64(in + 16);
+  return context;
+}
+
+std::string EncodeRemoteSpans(const std::vector<RemoteSpan>& spans) {
+  const size_t count = std::min(spans.size(), kMaxRemoteSpansPerFrame);
+  std::string out;
+  out.reserve(2 + count * 40);
+  PutU16(&out, static_cast<uint16_t>(count));
+  for (size_t i = 0; i < count; ++i) {
+    const RemoteSpan& span = spans[i];
+    AppendU64(&out, span.span_id);
+    AppendU64(&out, span.parent_span_id);
+    AppendU64(&out, static_cast<uint64_t>(span.ts_micros));
+    AppendU64(&out, static_cast<uint64_t>(span.dur_micros));
+    const size_t name_len =
+        std::min(span.name.size(), kMaxRemoteSpanNameBytes);
+    out.push_back(static_cast<char>(name_len));
+    out.append(span.name.data(), name_len);
+  }
+  return out;
+}
+
+Result<std::vector<RemoteSpan>> DecodeRemoteSpans(std::string_view data) {
+  if (data.size() > kMaxRemoteSpanBytes) {
+    return Status::InvalidArgument(
+        "span block of " + std::to_string(data.size()) +
+        " bytes exceeds the " + std::to_string(kMaxRemoteSpanBytes) +
+        "-byte limit");
+  }
+  if (data.size() < 2) {
+    return Status::InvalidArgument("span block shorter than its count field");
+  }
+  const size_t count =
+      (static_cast<size_t>(static_cast<unsigned char>(data[0])) << 8) |
+      static_cast<size_t>(static_cast<unsigned char>(data[1]));
+  if (count > kMaxRemoteSpansPerFrame) {
+    return Status::InvalidArgument(
+        "span count " + std::to_string(count) + " exceeds the per-frame cap");
+  }
+  size_t at = 2;
+  std::vector<RemoteSpan> spans;
+  spans.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    // Fixed part: span_id, parent, ts, dur (4 x u64) + name length (u8).
+    if (data.size() - at < 33) {
+      return Status::InvalidArgument("span block truncated mid-span");
+    }
+    RemoteSpan span;
+    span.span_id = GetU64(data.data() + at);
+    span.parent_span_id = GetU64(data.data() + at + 8);
+    span.ts_micros = static_cast<int64_t>(GetU64(data.data() + at + 16));
+    span.dur_micros = static_cast<int64_t>(GetU64(data.data() + at + 24));
+    const size_t name_len =
+        static_cast<size_t>(static_cast<unsigned char>(data[at + 32]));
+    at += 33;
+    if (data.size() - at < name_len) {
+      return Status::InvalidArgument("span block truncated mid-name");
+    }
+    span.name.assign(data.data() + at, name_len);
+    at += name_len;
+    spans.push_back(std::move(span));
+  }
+  if (at != data.size()) {
+    return Status::InvalidArgument("trailing bytes after the last span");
+  }
+  return spans;
+}
+
+void ClockOffsetEstimator::AddSample(int64_t t1_micros, int64_t t2_micros,
+                                     int64_t server_t2_micros,
+                                     int64_t service_micros) {
+  const int64_t rtt = t2_micros - t1_micros;
+  if (rtt <= 0 || service_micros < 0 || service_micros > rtt) return;
+  const int64_t uncertainty = rtt - service_micros;  // total wire time
+  ++samples_;
+  if (has_offset_ && uncertainty >= uncertainty_micros_) return;
+  const int64_t server_t1 = server_t2_micros - service_micros;
+  offset_micros_ =
+      ((server_t1 - t1_micros) + (server_t2_micros - t2_micros)) / 2;
+  uncertainty_micros_ = uncertainty;
+  has_offset_ = true;
+}
+
+}  // namespace wsq

@@ -1,0 +1,123 @@
+#ifndef WSQ_OBS_SPAN_CONTEXT_H_
+#define WSQ_OBS_SPAN_CONTEXT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "wsq/common/status.h"
+
+namespace wsq {
+
+/// The trace context one framed exchange carries across the wire: which
+/// distributed trace the request belongs to (`trace_id`), which client
+/// span issued it (`span_id` — the parent of every server-side span the
+/// exchange produces), and the sender's clock reading at frame-encode
+/// time (`clock_micros` — the raw material of the clock-offset
+/// estimator; each peer stamps its *own* clock domain).
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t clock_micros = 0;
+
+  bool operator==(const TraceContext& other) const {
+    return trace_id == other.trace_id && span_id == other.span_id &&
+           clock_micros == other.clock_micros;
+  }
+};
+
+/// Fixed wire size of an encoded TraceContext (three big-endian u64s).
+inline constexpr size_t kTraceContextBytes = 24;
+
+void EncodeTraceContext(const TraceContext& context,
+                        char out[kTraceContextBytes]);
+TraceContext DecodeTraceContext(const char in[kTraceContextBytes]);
+
+/// One server-side span shipped back piggybacked on a response frame.
+/// Timestamps are in the *server's* clock domain; the client aligns them
+/// onto its own timeline with a ClockOffsetEstimator before emitting
+/// them into a Tracer. `dur_micros == 0` marks an instant (replay-cache
+/// hit, injected fault) rather than a region.
+struct RemoteSpan {
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  int64_t ts_micros = 0;
+  int64_t dur_micros = 0;
+  std::string name;
+
+  bool operator==(const RemoteSpan& other) const {
+    return span_id == other.span_id &&
+           parent_span_id == other.parent_span_id &&
+           ts_micros == other.ts_micros && dur_micros == other.dur_micros &&
+           name == other.name;
+  }
+};
+
+/// Hostile-input caps, enforced symmetrically: EncodeRemoteSpans refuses
+/// to build what DecodeRemoteSpans would reject, so a well-behaved peer
+/// can never emit a span block the other side must drop.
+inline constexpr size_t kMaxRemoteSpansPerFrame = 1024;
+inline constexpr size_t kMaxRemoteSpanBytes = 256 * 1024;
+inline constexpr size_t kMaxRemoteSpanNameBytes = 255;
+
+/// Serializes spans for the response frame's span extension: a u16
+/// count, then per span two u64 ids, two i64 timestamps and a
+/// length-prefixed name (u8 + bytes), all big-endian. Spans past the
+/// per-frame cap are dropped (telemetry is best-effort; the response
+/// payload must never be), as are names past the name cap (truncated).
+std::string EncodeRemoteSpans(const std::vector<RemoteSpan>& spans);
+
+/// Bounds-checked decode; kInvalidArgument on truncation, a count
+/// beyond the cap, or trailing garbage. Never reads past `data`.
+Result<std::vector<RemoteSpan>> DecodeRemoteSpans(std::string_view data);
+
+/// NTP-style clock-offset estimator for one client/server pair.
+///
+/// Each completed exchange gives four readings: the client clock at
+/// send (t1) and receive (t2), the server clock at response-encode time
+/// (T2), and the measured server residence (service_micros). The server
+/// receive time is then T1 = T2 - service_micros, and the RTT-midpoint
+/// offset estimate is
+///
+///     theta = ((T1 - t1) + (T2 - t2)) / 2
+///
+/// with uncertainty bounded by the wire time (t2 - t1) - service_micros:
+/// the estimate can be off by at most half of however asymmetric the
+/// two wire legs were. The estimator keeps the minimum-uncertainty
+/// sample seen so far (the classic NTP filter), so one fast exchange
+/// pins the offset however noisy the rest of the run is.
+class ClockOffsetEstimator {
+ public:
+  /// Folds in one exchange. Samples with non-positive RTT or a residence
+  /// reading exceeding the RTT (clock skew artifacts) are ignored.
+  void AddSample(int64_t t1_micros, int64_t t2_micros,
+                 int64_t server_t2_micros, int64_t service_micros);
+
+  bool has_offset() const { return has_offset_; }
+
+  /// Best estimate of (server clock - client clock), micros.
+  int64_t offset_micros() const { return offset_micros_; }
+
+  /// Wire time of the best sample — the bound on the estimate's error.
+  int64_t uncertainty_micros() const { return uncertainty_micros_; }
+
+  int64_t samples() const { return samples_; }
+
+  /// Maps a server-clock timestamp onto the client timeline (identity
+  /// until the first sample lands).
+  int64_t ToClientMicros(int64_t server_micros) const {
+    return server_micros - offset_micros_;
+  }
+
+ private:
+  bool has_offset_ = false;
+  int64_t offset_micros_ = 0;
+  int64_t uncertainty_micros_ = 0;
+  int64_t samples_ = 0;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_OBS_SPAN_CONTEXT_H_

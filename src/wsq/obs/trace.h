@@ -40,6 +40,9 @@ struct TraceLane {
   static constexpr int kController = 3;  // decisions + DebugState samples
   static constexpr int kServer = 4;      // queue length / load counters
   static constexpr int kFault = 5;       // injected faults / breaker state
+  /// Server-side spans shipped back over the wire (clock-aligned onto
+  /// the client timeline by RunObserver::OnRemoteSpans).
+  static constexpr int kRemoteServer = 6;
 
   /// Events emitted from a parallel run lane land on
   /// `tid + kLaneStride * shard`, where `shard` is the emitting

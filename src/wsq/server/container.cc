@@ -19,6 +19,7 @@ DispatchResult ServiceContainer::Dispatch(
   DispatchResult result;
   result.response = std::move(handled.response);
   result.is_fault = handled.is_fault;
+  result.replayed = handled.replayed;
   // Block-producing requests pay the full tuple-dependent cost; session
   // management and faults pay only the envelope-handling cost.
   result.service_time_ms =

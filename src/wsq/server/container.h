@@ -15,6 +15,9 @@ struct DispatchResult {
   std::string response;
   double service_time_ms = 0.0;
   bool is_fault = false;
+  /// Mirrors ServiceResult::replayed — the response came from the
+  /// per-session replay cache.
+  bool replayed = false;
 };
 
 /// The Tomcat stand-in: hosts a Service (data retrieval, processing,
@@ -45,6 +48,10 @@ class ServiceContainer {
   /// Total simulated busy time, for utilization-style assertions.
   double total_busy_ms() const { return total_busy_ms_; }
   int64_t requests_served() const { return requests_served_; }
+
+  /// Forwards the hosted service's open-session count (-1 when the
+  /// service is sessionless).
+  int64_t active_sessions() const { return service_->ActiveSessions(); }
 
  private:
   Service* service_;

@@ -144,6 +144,7 @@ ServiceResult DataService::HandleRequestBlock(
     ServiceResult replay;
     replay.response = session.last_response;
     replay.is_fault = session.last_is_fault;
+    replay.replayed = true;
     return replay;
   }
 

@@ -40,6 +40,10 @@ class DataService final : public Service {
 
   size_t open_sessions() const { return sessions_.size(); }
 
+  int64_t ActiveSessions() const override {
+    return static_cast<int64_t>(sessions_.size());
+  }
+
  private:
   struct Session {
     std::unique_ptr<QueryCursor> cursor;

@@ -20,6 +20,10 @@ struct ServiceResult {
   int64_t tuples_produced = 0;
   /// True when the response is a SOAP fault.
   bool is_fault = false;
+  /// True when the response was served from the per-session replay cache
+  /// (a retried sequence number) rather than produced fresh. Surfaced so
+  /// the telemetry plane can count replay hits per session.
+  bool replayed = false;
 };
 
 /// A web service endpoint hosted by a ServiceContainer. Implementations
@@ -43,6 +47,10 @@ class Service {
     (void)response_codec;
     return Handle(request_document);
   }
+
+  /// Number of currently open sessions, for the live stats snapshot.
+  /// -1 when the service has no session concept.
+  virtual int64_t ActiveSessions() const { return -1; }
 };
 
 }  // namespace wsq

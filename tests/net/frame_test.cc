@@ -293,6 +293,220 @@ TEST(FrameTest, HelloFramesRoundTrip) {
   EXPECT_EQ(got_ack.value().payload, "binary");
 }
 
+TEST(FrameTest, StatsFramesRoundTrip) {
+  MemoryStream stream(/*max_chunk=*/1);
+  Frame stats;
+  stats.type = FrameType::kStats;
+  Frame ack;
+  ack.type = FrameType::kStatsAck;
+  ack.payload = "{\"schema_version\":1}";
+  ASSERT_TRUE(WriteFrame(stream, stats).ok());
+  ASSERT_TRUE(WriteFrame(stream, ack).ok());
+
+  Result<Frame> got_stats = ReadFrame(stream);
+  Result<Frame> got_ack = ReadFrame(stream);
+  ASSERT_TRUE(got_stats.ok());
+  ASSERT_TRUE(got_ack.ok());
+  EXPECT_EQ(got_stats.value().type, FrameType::kStats);
+  EXPECT_TRUE(got_stats.value().payload.empty());
+  EXPECT_EQ(got_ack.value().type, FrameType::kStatsAck);
+  EXPECT_EQ(got_ack.value().payload, "{\"schema_version\":1}");
+}
+
+Frame TracedFrame() {
+  Frame frame;
+  frame.type = FrameType::kResponse;
+  frame.service_micros = 777;
+  frame.payload = "block bytes";
+  frame.has_trace = true;
+  frame.trace.trace_id = 0x0123456789abcdefull;
+  frame.trace.span_id = 42;
+  frame.trace.clock_micros = 1722500000000000ull;
+  std::vector<RemoteSpan> spans;
+  RemoteSpan root;
+  root.span_id = 100;
+  root.parent_span_id = 42;
+  root.ts_micros = 1722500000000123;
+  root.dur_micros = 900;
+  root.name = "server.request";
+  spans.push_back(root);
+  RemoteSpan hit;
+  hit.span_id = 101;
+  hit.parent_span_id = 100;
+  hit.ts_micros = 1722500000000200;
+  hit.dur_micros = 0;
+  hit.name = "server.replay_hit";
+  spans.push_back(hit);
+  frame.span_block = EncodeRemoteSpans(spans);
+  return frame;
+}
+
+TEST(FrameTest, TracedFrameRoundTripsOverOneByteTransfers) {
+  // The full extension chain — header | trace ctx | span block | payload
+  // — reassembled from single-byte reads.
+  MemoryStream stream(/*max_chunk=*/1);
+  const Frame sent = TracedFrame();
+  ASSERT_TRUE(WriteFrame(stream, sent).ok());
+
+  Result<Frame> got = ReadFrame(stream);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(got.value().has_trace);
+  EXPECT_EQ(got.value().trace, sent.trace);
+  EXPECT_EQ(got.value().span_block, sent.span_block);
+  EXPECT_EQ(got.value().payload, sent.payload);
+
+  Result<std::vector<RemoteSpan>> spans =
+      DecodeRemoteSpans(got.value().span_block);
+  ASSERT_TRUE(spans.ok()) << spans.status().ToString();
+  ASSERT_EQ(spans.value().size(), 2u);
+  EXPECT_EQ(spans.value()[0].name, "server.request");
+  EXPECT_EQ(spans.value()[1].dur_micros, 0);
+}
+
+TEST(FrameTest, TracedRequestWithoutSpansRoundTrips) {
+  // The request direction: trace context only, no span block.
+  MemoryStream stream;
+  Frame sent;
+  sent.type = FrameType::kRequest;
+  sent.payload = "req";
+  sent.has_trace = true;
+  sent.trace = {7, 8, 9};
+  ASSERT_TRUE(WriteFrame(stream, sent).ok());
+  ASSERT_EQ(stream.data().size(),
+            kFrameHeaderBytes + kTraceContextBytes + sent.payload.size());
+
+  Result<Frame> got = ReadFrame(stream);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got.value().has_trace);
+  EXPECT_EQ(got.value().trace, sent.trace);
+  EXPECT_TRUE(got.value().span_block.empty());
+}
+
+TEST(FrameTest, LegacyFrameBytesAreUntouchedByTheExtension) {
+  // Byte-identity contract: a frame without tracing must serialize to
+  // exactly the pre-extension wire image — header then payload, no
+  // extension bytes, no flag bits. Golden-checked field by field.
+  MemoryStream stream;
+  Frame frame;
+  frame.type = FrameType::kResponse;
+  frame.service_micros = 0x0102030405060708ull;
+  frame.payload = "legacy";
+  ASSERT_TRUE(WriteFrame(stream, frame).ok());
+
+  const std::string& wire = stream.data();
+  ASSERT_EQ(wire.size(), kFrameHeaderBytes + 6);
+  const unsigned char* raw =
+      reinterpret_cast<const unsigned char*>(wire.data());
+  EXPECT_EQ(raw[0], 0x57);  // 'W'
+  EXPECT_EQ(raw[1], 0x53);  // 'S'
+  EXPECT_EQ(raw[2], 0x51);  // 'Q'
+  EXPECT_EQ(raw[3], 0x31);  // '1'
+  EXPECT_EQ(raw[4], 2);     // kResponse
+  EXPECT_EQ(raw[5], 0);     // flags: no extension bits
+  EXPECT_EQ(raw[6], 0);     // reserved
+  EXPECT_EQ(raw[7], 0);
+  EXPECT_EQ(raw[8], 0);  // payload_len == 6, big-endian
+  EXPECT_EQ(raw[9], 0);
+  EXPECT_EQ(raw[10], 0);
+  EXPECT_EQ(raw[11], 6);
+  for (int i = 0; i < 8; ++i) {  // service_micros big-endian
+    EXPECT_EQ(raw[12 + i], i + 1);
+  }
+  EXPECT_EQ(wire.substr(kFrameHeaderBytes), "legacy");
+}
+
+TEST(FrameTest, ExtensionFlagsDeriveFromDataNotCallerFlags) {
+  // A frame whose `flags` claim an extension but whose fields carry none
+  // must not announce it — EncodeFrameHeader masks the bits out.
+  Frame frame;
+  frame.type = FrameType::kResponse;
+  frame.flags = kFrameFlagTraceContext | kFrameFlagServerSpans;
+  char raw[kFrameHeaderBytes];
+  EncodeFrameHeader(frame, raw);
+  Result<FrameHeader> header = DecodeFrameHeader(raw);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header.value().flags & kFrameFlagTraceContext, 0);
+  EXPECT_EQ(header.value().flags & kFrameFlagServerSpans, 0);
+}
+
+TEST(FrameTest, SpanFlagWithoutTraceFlagIsInvalidArgument) {
+  // Build a valid traced frame, then clear the trace bit on the wire so
+  // only the span bit survives — structurally invalid.
+  MemoryStream stream;
+  ASSERT_TRUE(WriteFrame(stream, TracedFrame()).ok());
+  stream.data()[5] = static_cast<char>(kFrameFlagServerSpans);
+
+  Result<Frame> got = ReadFrame(stream);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, OversizedSpanBlockRejectedOnBothSides) {
+  // Write side refuses to emit it...
+  MemoryStream refuse;
+  Frame big = TracedFrame();
+  big.span_block.assign(kMaxRemoteSpanBytes + 1, 's');
+  Status status = WriteFrame(refuse, big);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(refuse.data().empty());
+
+  // ...and the read side rejects a hostile length before allocating.
+  MemoryStream stream;
+  ASSERT_TRUE(WriteFrame(stream, TracedFrame()).ok());
+  const size_t len_at = kFrameHeaderBytes + kTraceContextBytes;
+  const uint32_t huge = static_cast<uint32_t>(kMaxRemoteSpanBytes) + 1;
+  stream.data()[len_at] = static_cast<char>((huge >> 24) & 0xff);
+  stream.data()[len_at + 1] = static_cast<char>((huge >> 16) & 0xff);
+  stream.data()[len_at + 2] = static_cast<char>((huge >> 8) & 0xff);
+  stream.data()[len_at + 3] = static_cast<char>(huge & 0xff);
+  Result<Frame> got = ReadFrame(stream);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, TracedFrameTruncatedAtEveryCutNeverSucceedsWrong) {
+  // Cut the traced wire image after every prefix length. Each cut must
+  // produce a clean failure (kUnavailable mid-message) — never a bogus
+  // decoded frame, never a crash.
+  MemoryStream full;
+  const Frame sent = TracedFrame();
+  ASSERT_TRUE(WriteFrame(full, sent).ok());
+  const std::string wire = full.data();
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    MemoryStream stream;
+    stream.data() = wire.substr(0, cut);
+    Result<Frame> got = ReadFrame(stream);
+    ASSERT_FALSE(got.ok()) << "cut at " << cut << " decoded a frame";
+    EXPECT_EQ(got.status().code(), StatusCode::kUnavailable)
+        << "cut at " << cut;
+  }
+}
+
+TEST(FrameTest, TracedFrameSurvivesEverySingleBitFlip) {
+  // Flip each bit of the traced wire image in turn. The reader may
+  // reject the frame or may decode one with different field values —
+  // but it must never crash, hang, or over-read.
+  MemoryStream full;
+  ASSERT_TRUE(WriteFrame(full, TracedFrame()).ok());
+  const std::string wire = full.data();
+  for (size_t byte = 0; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      MemoryStream stream;
+      stream.data() = wire;
+      stream.data()[byte] =
+          static_cast<char>(stream.data()[byte] ^ (1 << bit));
+      Result<Frame> got = ReadFrame(stream);
+      if (got.ok() && !got.value().span_block.empty()) {
+        // A span block that still parses is fine; one that does not must
+        // fail cleanly too.
+        DecodeRemoteSpans(got.value().span_block).status();
+      }
+    }
+  }
+  SUCCEED();
+}
+
 TEST(FrameTest, HeaderEncodeDecodeAgree) {
   Frame frame;
   frame.type = FrameType::kResponse;

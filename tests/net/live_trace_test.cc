@@ -1,0 +1,314 @@
+// The distributed-tracing extension over the real TCP transport:
+// handshake gating, server-span round trip and clock-aligned
+// correlation, the kStats telemetry plane, and byte-identity for peers
+// that never asked for any of it.
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "live_test_util.h"
+#include "wsq/client/tcp_ws_client.h"
+#include "wsq/codec/codec.h"
+#include "wsq/control/fixed_controller.h"
+#include "wsq/net/frame.h"
+#include "wsq/net/socket.h"
+#include "wsq/obs/json_lite.h"
+#include "wsq/obs/metrics.h"
+#include "wsq/obs/run_observer.h"
+#include "wsq/obs/trace.h"
+
+namespace wsq {
+namespace {
+
+net::WsqServerOptions BinaryServerOptions() {
+  net::WsqServerOptions options = LiveServerHarness::QuickOptions();
+  options.codec = codec::CodecChoice{codec::CodecKind::kBinary, false};
+  return options;
+}
+
+LiveSetup TracedSetup(const LiveServerHarness& harness,
+                      codec::CodecKind kind = codec::CodecKind::kBinary) {
+  LiveSetup setup = harness.MakeSetup();
+  setup.client_options.codec = codec::CodecChoice{kind, false};
+  setup.client_options.enable_tracing = true;
+  return setup;
+}
+
+/// Pulls the value of a hex-string arg ("key":"0123...") out of an
+/// event's pre-rendered args JSON; empty when absent.
+std::string HexArg(const std::string& args_json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const size_t at = args_json.find(needle);
+  if (at == std::string::npos) return {};
+  const size_t start = at + needle.size();
+  const size_t end = args_json.find('"', start);
+  if (end == std::string::npos) return {};
+  return args_json.substr(start, end - start);
+}
+
+TEST(LiveTraceTest, ServerSpansCorrelateWithClientBlocksAfterAlignment) {
+  // The acceptance shape: every client block span must have a
+  // same-trace server.request child landing within it (clock-aligned).
+  LiveServerHarness harness(BinaryServerOptions());
+  ASSERT_TRUE(harness.start_status().ok());
+
+  MetricsRegistry metrics;
+  Tracer tracer;
+  RunObserver observer(&metrics, &tracer);
+  LiveBackend live(TracedSetup(harness));
+  FixedController controller(200);
+  RunSpec spec;
+  spec.observer = &observer;
+  Result<RunTrace> trace = live.RunQuery(&controller, spec);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+
+  EXPECT_GE(harness.server().trace_connections(), 1);
+  EXPECT_GT(metrics.GetCounter("wsq.server.remote_spans_total")->value(), 0);
+
+  const std::vector<TraceEvent> events = tracer.events();
+  std::vector<const TraceEvent*> blocks;
+  std::vector<const TraceEvent*> server_roots;
+  for (const TraceEvent& event : events) {
+    if (event.name == "block_request" &&
+        !HexArg(event.args_json, "trace_id").empty()) {
+      blocks.push_back(&event);
+    }
+    if (event.name == "server.request") {
+      EXPECT_EQ(event.tid, TraceLane::kRemoteServer);
+      server_roots.push_back(&event);
+    }
+  }
+  ASSERT_GT(blocks.size(), 0u);
+  ASSERT_GE(server_roots.size(), blocks.size());  // + session open/close
+
+  // Loopback clocks share a domain, but the estimator still ran; allow
+  // a small slack for scheduling noise on a loaded CI box.
+  const int64_t slack = 5000;  // 5 ms
+  for (const TraceEvent* block : blocks) {
+    const std::string trace_id = HexArg(block->args_json, "trace_id");
+    const std::string span_id = HexArg(block->args_json, "span_id");
+    ASSERT_EQ(trace_id.size(), 16u);
+    const TraceEvent* child = nullptr;
+    for (const TraceEvent* server : server_roots) {
+      if (HexArg(server->args_json, "trace_id") == trace_id &&
+          HexArg(server->args_json, "parent_span_id") == span_id) {
+        child = server;
+        break;
+      }
+    }
+    ASSERT_NE(child, nullptr)
+        << "block span " << span_id << " of trace " << trace_id
+        << " has no correlated server.request";
+    EXPECT_GE(child->ts_micros, block->ts_micros - slack);
+    EXPECT_LE(child->ts_micros + child->dur_micros,
+              block->ts_micros + block->dur_micros + slack);
+  }
+}
+
+TEST(LiveTraceTest, SoapClientNegotiatesTracingViaForcedHandshake) {
+  // Tracing on a SOAP client forces the Hello it would otherwise skip;
+  // the codec stays SOAP, the spans still flow.
+  LiveServerHarness harness;  // codec defaults to soap
+  ASSERT_TRUE(harness.start_status().ok());
+
+  MetricsRegistry metrics;
+  Tracer tracer;
+  RunObserver observer(&metrics, &tracer);
+  LiveBackend live(TracedSetup(harness, codec::CodecKind::kSoap));
+  FixedController controller(200);
+  RunSpec spec;
+  spec.observer = &observer;
+  std::vector<Tuple> rows;
+  Result<RunTrace> trace =
+      live.RunQueryKeepingTuples(&controller, spec, &rows);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_EQ(rows, harness.WireRows());  // the data path is untouched
+  EXPECT_GE(harness.server().trace_connections(), 1);
+  EXPECT_GT(metrics.GetCounter("wsq.server.remote_spans_total")->value(), 0);
+}
+
+TEST(LiveTraceTest, NonTracingSoapClientSendsLegacyBytesOnTheWire) {
+  // Byte-identity, asserted at the socket: a SOAP client without
+  // tracing sends no Hello and a bare 20-byte header + payload — flags
+  // zero, no extension bytes.
+  Result<net::Socket> listener = net::TcpListen(0);
+  ASSERT_TRUE(listener.ok());
+  Result<int> port = net::LocalPort(listener.value());
+  ASSERT_TRUE(port.ok());
+
+  std::thread peer([&] {
+    Result<net::Socket> conn = net::Accept(listener.value(), 5000.0);
+    ASSERT_TRUE(conn.ok());
+    // The very first bytes must be a kRequest frame — no Hello, no
+    // extension flags, the pre-tracing wire exactly.
+    char header[net::kFrameHeaderBytes];
+    ASSERT_TRUE(net::ReadExact(conn.value(), header, sizeof(header)).ok());
+    Result<net::FrameHeader> decoded = net::DecodeFrameHeader(header);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().type, net::FrameType::kRequest);
+    EXPECT_EQ(decoded.value().flags, 0);
+    std::string payload(decoded.value().payload_len, '\0');
+    ASSERT_TRUE(
+        net::ReadExact(conn.value(), payload.data(), payload.size()).ok());
+    EXPECT_EQ(payload, "<doc/>");
+    net::Frame response;
+    response.type = net::FrameType::kResponse;
+    response.payload = "ok";
+    EXPECT_TRUE(WriteFrame(conn.value(), response).ok());
+  });
+
+  TcpWsClientOptions options;
+  options.connect_timeout_ms = 2000.0;
+  TcpWsClient client("127.0.0.1", port.value(), options);
+  Result<CallResult> result = client.Call("<doc/>");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().response, "ok");
+  EXPECT_FALSE(client.TracingNegotiated());
+  peer.join();
+}
+
+TEST(LiveTraceTest, ServerWithoutTraceAckDisablesClientTracing) {
+  // A server that answers the Hello with a bare codec name (no "+trace")
+  // is pre-tracing: the client must keep its request frames clean.
+  Result<net::Socket> listener = net::TcpListen(0);
+  ASSERT_TRUE(listener.ok());
+  Result<int> port = net::LocalPort(listener.value());
+  ASSERT_TRUE(port.ok());
+
+  std::thread peer([&] {
+    Result<net::Socket> conn = net::Accept(listener.value(), 5000.0);
+    ASSERT_TRUE(conn.ok());
+    Result<net::Frame> hello = net::ReadFrame(conn.value());
+    ASSERT_TRUE(hello.ok());
+    EXPECT_EQ(hello.value().type, net::FrameType::kHello);
+    // The client advertised the feature token after its codecs...
+    EXPECT_NE(hello.value().payload.find(",trace"), std::string::npos);
+    net::Frame ack;
+    ack.type = net::FrameType::kHelloAck;
+    ack.payload = "binary";  // ...but this server ignores it
+    ASSERT_TRUE(WriteFrame(conn.value(), ack).ok());
+    Result<net::Frame> request = net::ReadFrame(conn.value());
+    ASSERT_TRUE(request.ok());
+    EXPECT_FALSE(request.value().has_trace);
+    net::Frame response;
+    response.type = net::FrameType::kResponse;
+    response.payload = "ok";
+    EXPECT_TRUE(WriteFrame(conn.value(), response).ok());
+  });
+
+  TcpWsClientOptions options;
+  options.connect_timeout_ms = 2000.0;
+  options.codec = codec::CodecChoice{codec::CodecKind::kBinary, false};
+  options.enable_tracing = true;
+  TcpWsClient client("127.0.0.1", port.value(), options);
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_EQ(client.wire_codec(), codec::CodecKind::kBinary);
+  EXPECT_FALSE(client.TracingNegotiated());
+  client.SetNextCallTrace(1, 2);  // must be ignored without negotiation
+  Result<CallResult> result = client.Call("<doc/>");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  peer.join();
+}
+
+TEST(LiveTraceTest, ProbeAndDowngradeCountersTrackTheHandshake) {
+  // wsq.net.codec_probes counts Hello frames sent; codec_downgrades
+  // counts definitive legacy signals. Global counters — assert deltas.
+  Counter* probes = MetricsRegistry::Global().GetCounter(
+      "wsq.net.codec_probes");
+  Counter* downgrades = MetricsRegistry::Global().GetCounter(
+      "wsq.net.codec_downgrades");
+  const int64_t probes_before = probes->value();
+  const int64_t downgrades_before = downgrades->value();
+
+  Result<net::Socket> listener = net::TcpListen(0);
+  ASSERT_TRUE(listener.ok());
+  Result<int> port = net::LocalPort(listener.value());
+  ASSERT_TRUE(port.ok());
+
+  std::thread peer([&] {
+    // Read the Hello, slam the door — the legacy signal.
+    Result<net::Socket> c1 = net::Accept(listener.value(), 5000.0);
+    ASSERT_TRUE(c1.ok());
+    EXPECT_TRUE(net::ReadFrame(c1.value()).ok());
+    c1.value().Close();
+    // The silent SOAP reconnect: no frame may arrive.
+    Result<net::Socket> c2 = net::Accept(listener.value(), 5000.0);
+    ASSERT_TRUE(c2.ok());
+    EXPECT_FALSE(net::ReadFrame(c2.value()).ok());
+  });
+
+  TcpWsClientOptions options;
+  options.connect_timeout_ms = 2000.0;
+  options.codec = codec::CodecChoice{codec::CodecKind::kBinary, false};
+  TcpWsClient client("127.0.0.1", port.value(), options);
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_EQ(client.wire_codec(), codec::CodecKind::kSoap);
+
+  EXPECT_EQ(probes->value(), probes_before + 1);
+  EXPECT_EQ(downgrades->value(), downgrades_before + 1);
+  client.Disconnect();
+  peer.join();
+}
+
+TEST(LiveTraceTest, FetchServerStatsReturnsSchemaValidJson) {
+  LiveServerHarness harness(BinaryServerOptions());
+  ASSERT_TRUE(harness.start_status().ok());
+
+  // Drain one query so the per-session rollups have something to say.
+  LiveSetup setup = harness.MakeSetup();
+  setup.client_options.codec =
+      codec::CodecChoice{codec::CodecKind::kBinary, false};
+  LiveBackend live(setup);
+  FixedController controller(300);
+  ASSERT_TRUE(live.RunQuery(&controller, RunSpec{}).ok());
+
+  Result<std::string> stats =
+      net::FetchServerStats("127.0.0.1", harness.port(), 2000.0);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(harness.server().stats_requests(), 1);
+
+  const std::string& json = stats.value();
+  Status valid = CheckJson(json);
+  EXPECT_TRUE(valid.ok()) << valid.ToString() << "\n" << json;
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"sessions\""), std::string::npos);
+  EXPECT_NE(json.find("\"blocks\""), std::string::npos);
+  EXPECT_NE(json.find("\"codec_mix\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker_queue_depth\""), std::string::npos);
+  // The labeled per-session mirrors made it into the metrics section.
+  EXPECT_NE(json.find("wsq.server.session.blocks{session="),
+            std::string::npos);
+}
+
+TEST(LiveTraceTest, StatsFrameDoesNotDisturbTheDataPath) {
+  // A stats fetch against a server mid-run must not corrupt concurrent
+  // exchanges (it rides its own connection).
+  LiveServerHarness harness(BinaryServerOptions());
+  ASSERT_TRUE(harness.start_status().ok());
+
+  LiveSetup setup = harness.MakeSetup();
+  setup.client_options.codec =
+      codec::CodecChoice{codec::CodecKind::kBinary, false};
+  LiveBackend live(setup);
+  FixedController controller(100);
+  std::vector<Tuple> rows;
+  Result<RunTrace> trace = Status::Internal("not run");
+  std::thread runner([&] {
+    trace = live.RunQueryKeepingTuples(&controller, RunSpec{}, &rows);
+  });
+  for (int i = 0; i < 5; ++i) {
+    Result<std::string> stats =
+        net::FetchServerStats("127.0.0.1", harness.port(), 2000.0);
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  }
+  runner.join();
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_EQ(rows, harness.customer().rows());
+  EXPECT_EQ(harness.server().stats_requests(), 5);
+}
+
+}  // namespace
+}  // namespace wsq

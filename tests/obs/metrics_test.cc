@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -124,6 +125,51 @@ TEST(MetricsRegistryTest, JsonStaysParseableWithEmptyHistogram) {
   registry.GetHistogram("empty.hist");  // NaN quantiles must become null
   Status valid = CheckJson(registry.ToJson());
   EXPECT_TRUE(valid.ok()) << valid.ToString();
+}
+
+TEST(MetricsRegistryTest, LabeledNamesFollowTheConvention) {
+  EXPECT_EQ(LabeledName("wsq.server.bytes_out", "session", "7"),
+            "wsq.server.bytes_out{session=7}");
+  EXPECT_EQ(LabeledName("b", "k", ""), "b{k=}");
+}
+
+TEST(MetricsRegistryTest, SumCountersRollsUpALabeledFamily) {
+  MetricsRegistry registry;
+  registry.GetCounter("wsq.s.blocks")->Increment(2);  // the exact base name
+  registry.GetCounter(LabeledName("wsq.s.blocks", "session", "1"))
+      ->Increment(10);
+  registry.GetCounter(LabeledName("wsq.s.blocks", "session", "2"))
+      ->Increment(30);
+  // Decoys that must NOT fold in: a different family sharing the
+  // prefix, and the lexicographic neighbors of '{'.
+  registry.GetCounter("wsq.s.blocks_total")->Increment(1000);
+  registry.GetCounter("wsq.s.blocksz")->Increment(1000);
+  registry.GetCounter("wsq.s.block")->Increment(1000);
+
+  EXPECT_EQ(registry.SumCounters("wsq.s.blocks"), 42);
+  EXPECT_EQ(registry.SumCounters("wsq.s.block"), 1000);
+  EXPECT_EQ(registry.SumCounters("absent"), 0);
+}
+
+TEST(MetricsRegistryTest, JsonNeverEmitsNonFiniteLiterals) {
+  // The exporter audit: NaN and +/-Inf gauges and an empty histogram's
+  // NaN quantiles must all surface as null — RFC 8259 has no nan/inf
+  // literals, and one leaked token poisons the whole document for every
+  // standard parser.
+  MetricsRegistry registry;
+  registry.GetGauge("g.not_a_number")->Set(std::nan(""));
+  registry.GetGauge("g.pos")->Set(std::numeric_limits<double>::infinity());
+  registry.GetGauge("g.neg")->Set(-std::numeric_limits<double>::infinity());
+  registry.GetHistogram("h.empty");
+  Histogram* overflow = registry.GetHistogram("h.overflow");
+  overflow->Record(std::numeric_limits<double>::infinity());
+
+  const std::string json = registry.ToJson();
+  Status valid = CheckJson(json);
+  EXPECT_TRUE(valid.ok()) << valid.ToString() << "\n" << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+  EXPECT_NE(json.find("null"), std::string::npos);
 }
 
 TEST(MetricsRegistryTest, WriteFilePicksFormatByExtension) {
