@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Gate a fresh BENCH_*.json perf summary against a committed baseline.
+
+Usage:
+    check_bench_regression.py --fresh NEW.json --baseline BENCH_prN.json \
+        [--bench NAME] [--jobs N] [--max-slowdown X]
+
+Both files carry the schema bench binaries emit via --bench-json
+(schema_version 1): either a flat report
+
+    {"schema_version": 1, "bench": ..., "runs": ..., "runs_per_sec": ...,
+     "run_ms": {"mean": ..., "p50": ..., "p99": ...}}
+
+or a composite baseline {"schema_version": 1, "reports": [<flat>, ...]}.
+
+The gate is a tolerance band, not an equality check: committed baselines
+come from whatever machine cut the PR, CI runners are slower and noisy,
+and sanitized builds pay instrumentation overhead. A fresh run fails
+only when it is more than --max-slowdown times worse than the most
+lenient matching baseline report on BOTH throughput (runs/sec) and tail
+latency (run_ms.p99). Exit status: 0 pass, 1 regression, 2 bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_reports(path):
+    """Returns the list of flat reports in `path` (one for flat files)."""
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: not a JSON object")
+    if doc.get("schema_version") != 1:
+        raise ValueError(f"{path}: unsupported schema_version "
+                         f"{doc.get('schema_version')!r}")
+    reports = doc["reports"] if "reports" in doc else [doc]
+    if not isinstance(reports, list) or not reports:
+        raise ValueError(f"{path}: no reports")
+    return reports
+
+
+def validate(report, path):
+    for key in ("bench", "runs", "runs_per_sec", "run_ms"):
+        if key not in report:
+            raise ValueError(f"{path}: report missing {key!r}: {report}")
+    if report["runs"] <= 0 or report["runs_per_sec"] <= 0:
+        raise ValueError(f"{path}: degenerate report: {report}")
+    for field in ("mean", "min", "max", "p50", "p99"):
+        value = report["run_ms"].get(field)
+        if not isinstance(value, (int, float)) or value <= 0:
+            raise ValueError(f"{path}: run_ms.{field} invalid: {value!r}")
+    ms = report["run_ms"]
+    if not ms["min"] <= ms["p50"] <= ms["p99"] <= ms["max"]:
+        raise ValueError(f"{path}: run_ms percentiles out of order: {ms}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", required=True,
+                        help="bench JSON produced by this CI run")
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_pr*.json to gate against")
+    parser.add_argument("--bench", default=None,
+                        help="bench name to select (default: the fresh "
+                             "report's own name)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="only match baseline reports with this --jobs")
+    parser.add_argument("--max-slowdown", type=float, default=3.0,
+                        help="tolerated worsening factor on runs/sec and "
+                             "p99 (default 3.0; raise for sanitized jobs)")
+    args = parser.parse_args()
+
+    try:
+        fresh_reports = load_reports(args.fresh)
+        baseline_reports = load_reports(args.baseline)
+    except (OSError, ValueError, KeyError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    try:
+        if len(fresh_reports) != 1:
+            raise ValueError(f"{args.fresh}: expected one fresh report, "
+                             f"got {len(fresh_reports)}")
+        fresh = fresh_reports[0]
+        validate(fresh, args.fresh)
+
+        bench = args.bench or fresh["bench"]
+        if fresh["bench"] != bench:
+            raise ValueError(f"{args.fresh}: bench is {fresh['bench']!r}, "
+                             f"expected {bench!r}")
+        matches = [r for r in baseline_reports if r.get("bench") == bench]
+        if args.jobs is not None:
+            matches = [r for r in matches if r.get("jobs") == args.jobs]
+        if not matches:
+            raise ValueError(f"{args.baseline}: no baseline report for "
+                             f"bench {bench!r}"
+                             + (f" with jobs={args.jobs}"
+                                if args.jobs is not None else ""))
+        for r in matches:
+            validate(r, args.baseline)
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    # The most lenient matching baseline: cross-machine comparisons gate
+    # on order-of-magnitude health, not same-host variance.
+    base_rps = min(r["runs_per_sec"] for r in matches)
+    base_p99 = max(r["run_ms"]["p99"] for r in matches)
+    fresh_rps = fresh["runs_per_sec"]
+    fresh_p99 = fresh["run_ms"]["p99"]
+
+    failures = []
+    if fresh_rps * args.max_slowdown < base_rps:
+        failures.append(
+            f"throughput regressed: {fresh_rps:.2f} runs/s vs baseline "
+            f"{base_rps:.2f} (> {args.max_slowdown:g}x slower)")
+    if fresh_p99 > base_p99 * args.max_slowdown:
+        failures.append(
+            f"tail latency regressed: p99 {fresh_p99:.2f} ms vs baseline "
+            f"{base_p99:.2f} ms (> {args.max_slowdown:g}x slower)")
+
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION [{bench}]: {failure}", file=sys.stderr)
+        return 1
+    print(f"ok [{bench}]: {fresh_rps:.2f} runs/s (baseline {base_rps:.2f}), "
+          f"p99 {fresh_p99:.2f} ms (baseline {base_p99:.2f} ms), "
+          f"within {args.max_slowdown:g}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

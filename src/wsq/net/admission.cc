@@ -1,0 +1,60 @@
+#include "wsq/net/admission.h"
+
+#include <algorithm>
+
+namespace wsq::net {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : rate_per_sec_(rate_per_sec),
+      burst_(burst > 0 ? burst : std::max(1.0, rate_per_sec)),
+      tokens_(burst_) {}
+
+bool TokenBucket::TryAcquire(int64_t now_micros) {
+  if (rate_per_sec_ <= 0) return true;  // unlimited
+  if (!primed_) {
+    primed_ = true;
+    last_micros_ = now_micros;
+  }
+  if (now_micros > last_micros_) {
+    const double elapsed_s =
+        static_cast<double>(now_micros - last_micros_) * 1e-6;
+    tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_per_sec_);
+    last_micros_ = now_micros;
+  }
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  return false;
+}
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config) {}
+
+AdmitDecision AdmissionController::AdmitConnection(
+    const std::string& peer_ip, int live_connections, int64_t now_micros) {
+  if (config_.max_connections > 0 &&
+      live_connections >= config_.max_connections) {
+    return AdmitDecision::kRejectCapacity;
+  }
+  if (config_.rate_limit_per_sec > 0) {
+    if (buckets_.size() >= kMaxTrackedPeers &&
+        buckets_.find(peer_ip) == buckets_.end()) {
+      buckets_.clear();
+    }
+    auto [it, inserted] = buckets_.try_emplace(
+        peer_ip, config_.rate_limit_per_sec, config_.rate_limit_burst);
+    if (!it->second.TryAcquire(now_micros)) {
+      return AdmitDecision::kRejectRate;
+    }
+  }
+  return AdmitDecision::kAdmit;
+}
+
+bool AdmissionController::ShouldShed(size_t worker_queue_depth) const {
+  return config_.shed_queue_watermark > 0 &&
+         worker_queue_depth >=
+             static_cast<size_t>(config_.shed_queue_watermark);
+}
+
+}  // namespace wsq::net

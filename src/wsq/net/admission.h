@@ -1,0 +1,100 @@
+#ifndef WSQ_NET_ADMISSION_H_
+#define WSQ_NET_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace wsq::net {
+
+/// Server-side admission policy knobs (wsqd flags). Zero always means
+/// "unlimited / disabled" so a default-constructed config reproduces the
+/// pre-admission server exactly.
+struct AdmissionConfig {
+  /// Connections the loop will hold concurrently; an accept beyond the
+  /// cap is answered with one transient-fault frame and closed
+  /// (`--max-connections`).
+  int max_connections = 0;
+  /// Steady-state new-connection rate allowed per peer IP
+  /// (`--rate-limit`), enforced by a token bucket.
+  double rate_limit_per_sec = 0.0;
+  /// Bucket capacity — the burst of connections a peer may open at
+  /// once before the steady-state rate bites (`--rate-limit-burst`;
+  /// 0 defaults to max(1, rate_limit_per_sec)).
+  double rate_limit_burst = 0.0;
+  /// Worker-pool queue depth beyond which request dispatch is shed with
+  /// a retryable fault instead of enqueued (`--shed-watermark`). The
+  /// paper's client-side adaptation treats kUnavailable as backpressure,
+  /// so shedding here closes the control loop end to end.
+  int shed_queue_watermark = 0;
+};
+
+/// Classic token bucket with an injected clock: `now_micros` comes from
+/// the caller (the server's monotonic clock in production, a scripted
+/// sequence in tests) so refill timing is deterministic under test.
+/// Starts full — a fresh peer gets its whole burst.
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(double rate_per_sec, double burst);
+
+  /// Takes one token if available, refilling first from the elapsed
+  /// time since the previous call. False = rate exceeded. A
+  /// default-constructed (unlimited) bucket always admits.
+  bool TryAcquire(int64_t now_micros);
+
+  /// Tokens currently in the bucket (pre-refill; test introspection).
+  double tokens() const { return tokens_; }
+
+ private:
+  double rate_per_sec_ = 0.0;
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  int64_t last_micros_ = 0;
+  bool primed_ = false;
+};
+
+/// The admission decisions the loop acts on. Both rejections travel as
+/// the same wire frame (transient fault → client-side kUnavailable);
+/// the split exists for the stats plane.
+enum class AdmitDecision : uint8_t {
+  kAdmit,
+  /// Loop is at --max-connections.
+  kRejectCapacity,
+  /// This peer's token bucket is empty.
+  kRejectRate,
+};
+
+/// Admission policy evaluated by the loop thread on every accept and
+/// every request dispatch. Single-threaded by construction (the loop is
+/// the only caller), hence no locking.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config);
+
+  /// Decision for a new connection from `peer_ip` while the loop holds
+  /// `live_connections` (excluding the new one).
+  AdmitDecision AdmitConnection(const std::string& peer_ip,
+                                int live_connections, int64_t now_micros);
+
+  /// True when a request arriving now should be shed instead of
+  /// enqueued: the worker queue (queued + executing dispatches) sits at
+  /// or above the watermark.
+  bool ShouldShed(size_t worker_queue_depth) const;
+
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  AdmissionConfig config_;
+  /// Per-peer-IP buckets. Bounded: past kMaxTrackedPeers the map is
+  /// cleared (every tracked peer re-primes with a full burst) — crude,
+  /// but an attacker rotating source IPs is a different defense's job
+  /// and an unbounded map is a slow memory leak.
+  static constexpr size_t kMaxTrackedPeers = 16384;
+  std::unordered_map<std::string, TokenBucket> buckets_;
+};
+
+}  // namespace wsq::net
+
+#endif  // WSQ_NET_ADMISSION_H_

@@ -1,0 +1,80 @@
+#include "wsq/net/epoll.h"
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace wsq::net {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Epoll::Epoll() { fd_ = ::epoll_create1(EPOLL_CLOEXEC); }
+
+Epoll::~Epoll() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Epoll::Add(int fd, uint32_t events, uint64_t tag) {
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.u64 = tag;
+  if (::epoll_ctl(fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    return Status::Internal(Errno("epoll_ctl(ADD)"));
+  }
+  return Status::Ok();
+}
+
+Status Epoll::Modify(int fd, uint32_t events, uint64_t tag) {
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.u64 = tag;
+  if (::epoll_ctl(fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+    return Status::Internal(Errno("epoll_ctl(MOD)"));
+  }
+  return Status::Ok();
+}
+
+void Epoll::Remove(int fd) {
+  ::epoll_ctl(fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+Result<int> Epoll::Wait(struct epoll_event* out, int max_events,
+                        int timeout_ms) {
+  for (;;) {
+    const int n = ::epoll_wait(fd_, out, max_events, timeout_ms);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    return Status::Internal(Errno("epoll_wait"));
+  }
+}
+
+EventFd::EventFd() { fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC); }
+
+EventFd::~EventFd() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void EventFd::Signal() {
+  const uint64_t one = 1;
+  // EAGAIN (counter saturated) means a wakeup is already pending; any
+  // other failure is unreportable from a worker thread and the loop's
+  // periodic timeout covers it.
+  [[maybe_unused]] ssize_t rc = ::write(fd_, &one, sizeof(one));
+}
+
+void EventFd::Drain() {
+  uint64_t count = 0;
+  [[maybe_unused]] ssize_t rc = ::read(fd_, &count, sizeof(count));
+}
+
+}  // namespace wsq::net

@@ -1,0 +1,79 @@
+#ifndef WSQ_NET_EPOLL_H_
+#define WSQ_NET_EPOLL_H_
+
+#include <sys/epoll.h>
+
+#include <cstdint>
+
+#include "wsq/common/status.h"
+
+namespace wsq::net {
+
+/// Thin RAII wrapper over an epoll instance — the readiness multiplexer
+/// under the event-loop server. Level-triggered throughout: the loop
+/// re-arms interest explicitly (EPOLLOUT only while a write buffer is
+/// pending, EPOLLIN paused under backpressure), which keeps every state
+/// transition visible in one place instead of hidden in edge-trigger
+/// re-arm rules. Not thread-safe; owned and driven by the loop thread.
+class Epoll {
+ public:
+  Epoll();
+  ~Epoll();
+
+  Epoll(const Epoll&) = delete;
+  Epoll& operator=(const Epoll&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Registers `fd` for `events` (EPOLLIN | EPOLLOUT | EPOLLRDHUP...).
+  /// `tag` comes back verbatim in epoll_event::data.u64 — the loop uses
+  /// it as the connection id, so a stale event after a close can be
+  /// detected instead of dereferencing a dangling pointer.
+  Status Add(int fd, uint32_t events, uint64_t tag);
+
+  /// Re-arms `fd` with a new interest set, keeping its tag.
+  Status Modify(int fd, uint32_t events, uint64_t tag);
+
+  /// Deregisters `fd`. A no-op error-wise if the fd was already closed
+  /// (close() removes it from the set implicitly).
+  void Remove(int fd);
+
+  /// Waits up to `timeout_ms` (-1 blocks) for readiness, filling `out`
+  /// with at most `max_events` entries. Returns the count; EINTR
+  /// restarts internally.
+  Result<int> Wait(struct epoll_event* out, int max_events, int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Non-blocking eventfd used as the loop's wakeup channel: worker
+/// threads finishing a dispatch (and Stop()) Signal() it, the loop sees
+/// the fd readable and drains completions. Signal() is async-signal- and
+/// thread-safe; Drain() belongs to the loop thread.
+class EventFd {
+ public:
+  EventFd();
+  ~EventFd();
+
+  EventFd(const EventFd&) = delete;
+  EventFd& operator=(const EventFd&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Adds 1 to the counter, making the fd readable. Safe from any
+  /// thread; a full counter (never in practice) is silently dropped —
+  /// the wakeup is already pending in that case.
+  void Signal();
+
+  /// Resets the counter to 0 (reads it off). Loop thread only.
+  void Drain();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace wsq::net
+
+#endif  // WSQ_NET_EPOLL_H_

@@ -1,5 +1,6 @@
 #include "wsq/net/frame.h"
 
+#include <algorithm>
 #include <cstring>
 #include <string_view>
 
@@ -192,6 +193,156 @@ Result<Frame> ReadFrame(ByteStream& stream) {
   }
   FramesReadCounter().Increment();
   return frame;
+}
+
+Status AppendFrameBytes(const Frame& frame, std::string* out) {
+  if (frame.payload.size() > kMaxFramePayloadBytes) {
+    return Status::InvalidArgument(
+        "refusing to send a " + std::to_string(frame.payload.size()) +
+        "-byte frame payload (limit " +
+        std::to_string(kMaxFramePayloadBytes) + ")");
+  }
+  if (frame.span_block.size() > kMaxRemoteSpanBytes) {
+    return Status::InvalidArgument(
+        "refusing to send a " + std::to_string(frame.span_block.size()) +
+        "-byte span block (limit " + std::to_string(kMaxRemoteSpanBytes) +
+        ")");
+  }
+  char raw[kFrameHeaderBytes];
+  EncodeFrameHeader(frame, raw);
+  out->append(raw, sizeof(raw));
+  if (frame.has_trace) {
+    char ext[kTraceContextBytes];
+    EncodeTraceContext(frame.trace, ext);
+    out->append(ext, sizeof(ext));
+    if (!frame.span_block.empty()) {
+      char len_raw[4];
+      PutU32(len_raw, static_cast<uint32_t>(frame.span_block.size()));
+      out->append(len_raw, sizeof(len_raw));
+      out->append(frame.span_block);
+    }
+  }
+  out->append(frame.payload);
+  FramesWrittenCounter().Increment();
+  return Status::Ok();
+}
+
+void FrameParser::BeginFrame() {
+  phase_ = Phase::kHeader;
+  need_ = kFrameHeaderBytes;
+  frame_ = Frame();
+  flags_ = 0;
+  payload_len_ = 0;
+}
+
+Status FrameParser::Step(const char* bytes, std::vector<Frame>* out) {
+  // `bytes` is exactly need_ bytes of the current phase. Transitions
+  // follow the wire order: header, trace context, span length, span
+  // block, payload — skipping the extensions the flags do not announce.
+  const auto enter_payload = [this, out] {
+    if (payload_len_ > 0) {
+      phase_ = Phase::kPayload;
+      need_ = payload_len_;
+      frame_.payload.reserve(payload_len_);
+      return;
+    }
+    FramesReadCounter().Increment();
+    out->push_back(std::move(frame_));
+    BeginFrame();
+  };
+  switch (phase_) {
+    case Phase::kHeader: {
+      Result<FrameHeader> header = DecodeFrameHeader(bytes);
+      if (!header.ok()) return header.status();
+      frame_.type = header.value().type;
+      frame_.flags = header.value().flags;
+      frame_.service_micros = header.value().service_micros;
+      flags_ = header.value().flags;
+      payload_len_ = header.value().payload_len;
+      if ((flags_ & kFrameFlagTraceContext) != 0) {
+        phase_ = Phase::kTraceContext;
+        need_ = kTraceContextBytes;
+      } else {
+        enter_payload();
+      }
+      return Status::Ok();
+    }
+    case Phase::kTraceContext: {
+      frame_.has_trace = true;
+      frame_.trace = DecodeTraceContext(bytes);
+      if ((flags_ & kFrameFlagServerSpans) != 0) {
+        phase_ = Phase::kSpanLength;
+        need_ = 4;
+      } else {
+        enter_payload();
+      }
+      return Status::Ok();
+    }
+    case Phase::kSpanLength: {
+      const uint32_t span_len = GetU32(bytes);
+      if (span_len > kMaxRemoteSpanBytes) {
+        return Status::InvalidArgument(
+            "span block of " + std::to_string(span_len) +
+            " bytes exceeds the " + std::to_string(kMaxRemoteSpanBytes) +
+            "-byte limit");
+      }
+      if (span_len > 0) {
+        phase_ = Phase::kSpanBlock;
+        need_ = span_len;
+        frame_.span_block.reserve(span_len);
+      } else {
+        enter_payload();
+      }
+      return Status::Ok();
+    }
+    case Phase::kSpanBlock: {
+      frame_.span_block.assign(bytes, need_);
+      enter_payload();
+      return Status::Ok();
+    }
+    case Phase::kPayload: {
+      frame_.payload.assign(bytes, need_);
+      FramesReadCounter().Increment();
+      out->push_back(std::move(frame_));
+      BeginFrame();
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unreachable frame parser phase");
+}
+
+Status FrameParser::Consume(const char* data, size_t len,
+                            std::vector<Frame>* out) {
+  if (!error_.ok()) return error_;
+  size_t cursor = 0;
+  // Fast path: when the buffer is empty, phases are completed straight
+  // out of the caller's batch without copying into buffer_ first — on
+  // the hot path (whole small frames per recv) nothing is ever staged.
+  for (;;) {
+    if (buffer_.empty() && len - cursor >= need_) {
+      const size_t step = need_;
+      Status status = Step(data + cursor, out);
+      if (!status.ok()) {
+        error_ = status;
+        return error_;
+      }
+      cursor += step;
+      continue;
+    }
+    if (cursor >= len) break;
+    const size_t take = std::min(need_ - buffer_.size(), len - cursor);
+    buffer_.append(data + cursor, take);
+    cursor += take;
+    if (buffer_.size() < need_) break;
+    std::string staged = std::move(buffer_);
+    buffer_.clear();
+    Status status = Step(staged.data(), out);
+    if (!status.ok()) {
+      error_ = status;
+      return error_;
+    }
+  }
+  return Status::Ok();
 }
 
 Status WriteFrame(ByteStream& stream, const Frame& frame) {

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "wsq/common/status.h"
 #include "wsq/obs/span_context.h"
@@ -156,6 +157,61 @@ Result<Frame> ReadFrame(ByteStream& stream);
 /// enforced symmetrically so a well-behaved peer can never emit a frame
 /// the other side must reject.
 Status WriteFrame(ByteStream& stream, const Frame& frame);
+
+/// Serializes one complete frame (header, negotiated extensions,
+/// payload) and appends the bytes to `out` — the buffered-write half of
+/// the readiness-based path, where frames are queued into a
+/// per-connection write buffer instead of written to a blocking stream.
+/// Same oversize guards as WriteFrame; on error `out` is untouched.
+Status AppendFrameBytes(const Frame& frame, std::string* out);
+
+/// Incremental frame decoder for readiness-based (non-blocking) I/O:
+/// feed it whatever bytes recv() produced and it advances a
+/// header → trace-context → span-block → payload state machine,
+/// emitting every frame completed so far. The phase the parser is in
+/// *is* the connection's read state, so a single event-loop thread can
+/// interleave thousands of connections each mid-frame.
+///
+/// Validation is identical to ReadFrame (same DecodeFrameHeader, same
+/// span-length cap); any protocol error poisons the parser — framing is
+/// unrecoverable after garbage, so every later Consume returns the same
+/// error and the connection must be dropped.
+class FrameParser {
+ public:
+  /// Consumes `len` bytes, appending each completed frame to `out` (one
+  /// read batch can complete several pipelined frames). Frames are
+  /// counted in wsq.net.frames_read exactly like ReadFrame's.
+  Status Consume(const char* data, size_t len, std::vector<Frame>* out);
+
+  /// Bytes buffered toward the frame in progress (0 between frames).
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+  /// True once a protocol error poisoned the parser.
+  bool failed() const { return !error_.ok(); }
+
+ private:
+  enum class Phase : uint8_t {
+    kHeader,
+    kTraceContext,
+    kSpanLength,
+    kSpanBlock,
+    kPayload,
+  };
+
+  /// Finishes the current phase from buffer_[cursor..], transitioning
+  /// phase_/need_ and emitting the frame when the payload completes.
+  Status Step(const char* bytes, std::vector<Frame>* out);
+
+  void BeginFrame();
+
+  Phase phase_ = Phase::kHeader;
+  size_t need_ = kFrameHeaderBytes;
+  std::string buffer_;
+  Frame frame_;
+  uint8_t flags_ = 0;
+  uint32_t payload_len_ = 0;
+  Status error_ = Status::Ok();
+};
 
 }  // namespace wsq::net
 

@@ -1,5 +1,11 @@
 #include "wsq/net/server.h"
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
 #include <utility>
 
@@ -19,6 +25,27 @@ void SleepMs(double ms) {
   }
 }
 
+/// epoll tags for the two non-connection fds. Connection ids count up
+/// from 0, so the top of the u64 range can never collide.
+constexpr uint64_t kListenerTag = ~0ull;
+constexpr uint64_t kWakeupTag = ~0ull - 1;
+
+/// Events per epoll_wait batch. Level-triggered: anything beyond the
+/// batch stays ready and surfaces next iteration.
+constexpr int kEpollBatch = 256;
+
+/// Loop wakeup cadence when nothing is ready — the Stop() latency floor.
+constexpr int kLoopTickMs = 100;
+
+/// Read chunks per EPOLLIN event before yielding to the rest of the
+/// batch (level-triggered re-fires for the remainder): one slow loop
+/// iteration must not let a single fat connection starve thousands.
+constexpr int kMaxReadsPerEvent = 8;
+
+/// Pipelined frames a connection may queue behind its in-flight
+/// dispatch before it is considered abusive and dropped.
+constexpr size_t kMaxPendingFrames = 1024;
+
 }  // namespace
 
 WsqServer::WsqServer(ServiceContainer* container, WsqServerOptions options)
@@ -29,114 +56,397 @@ WsqServer::~WsqServer() { Stop(); }
 Status WsqServer::Start() {
   if (running_.load()) return Status::Ok();
   Result<Socket> listener =
-      TcpListen(pinned_port_ != 0 ? pinned_port_ : options_.port);
+      TcpListen(pinned_port_ != 0 ? pinned_port_ : options_.port,
+                /*backlog=*/1024);
   if (!listener.ok()) return listener.status();
   listener_ = std::move(listener).value();
   Result<int> port = LocalPort(listener_);
   if (!port.ok()) return port.status();
   pinned_port_ = port.value();
+  SetNonBlocking(listener_.fd(), true);
 
+  epoll_ = std::make_unique<Epoll>();
+  wakeup_ = std::make_unique<EventFd>();
+  if (!epoll_->valid() || !wakeup_->valid()) {
+    listener_.Close();
+    return Status::Internal("failed to create epoll/eventfd");
+  }
+  Status st = epoll_->Add(listener_.fd(), EPOLLIN, kListenerTag);
+  if (st.ok()) st = epoll_->Add(wakeup_->fd(), EPOLLIN, kWakeupTag);
+  if (!st.ok()) {
+    listener_.Close();
+    return st;
+  }
+
+  admission_ = std::make_unique<AdmissionController>(options_.admission);
   pool_ = std::make_unique<exec::ThreadPool>(options_.worker_threads);
   running_.store(true);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  loop_thread_ = std::thread([this] { EventLoop(); });
   return Status::Ok();
 }
 
 void WsqServer::Stop() {
   if (!running_.exchange(false)) return;
-  if (accept_thread_.joinable()) accept_thread_.join();
-  listener_.Close();
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (auto& [id, conn] : live_connections_) {
-      conn->Shutdown();  // wakes any handler blocked in ReadFrame
-    }
-  }
-  // Drains every in-flight and queued connection handler, then joins.
-  // Handlers deregister themselves on the way out.
+  if (wakeup_) wakeup_->Signal();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // The loop's epilogue closed the listener and every connection (the
+  // FIN wakes clients blocked mid-read). Workers may still be finishing
+  // dispatches; joining them here is what makes Stop() a full barrier.
   pool_.reset();
-}
-
-void WsqServer::AcceptLoop() {
-  while (running_.load()) {
-    // Short accept deadline so Stop() is noticed promptly without
-    // needing a cross-thread wakeup on the listener.
-    Result<Socket> conn = Accept(listener_, 100.0);
-    if (!conn.ok()) continue;
-    connections_accepted_.fetch_add(1);
-    auto shared = std::make_shared<Socket>(std::move(conn).value());
-    int64_t id;
-    {
-      std::lock_guard<std::mutex> lock(conn_mu_);
-      id = next_connection_id_++;
-      live_connections_[id] = shared;
-    }
-    pool_->Submit([this, shared, id] { ServeConnection(shared, id); });
-  }
-}
-
-void WsqServer::ServeConnection(std::shared_ptr<Socket> conn, int64_t id) {
-  bool hard = false;
-  // The connection's negotiated response codec. Null until (unless) the
-  // client sends a Hello — un-negotiated peers are answered per-request
-  // by payload sniffing, which means SOAP for every pre-codec client.
-  std::unique_ptr<codec::BlockCodec> negotiated;
-  // Whether this connection negotiated the trace feature. Only a Hello
-  // advertising "trace" flips it, so legacy connections never see a
-  // trace-context byte on the wire.
-  bool trace_negotiated = false;
-  for (;;) {
-    Result<Frame> request = ReadFrame(*conn);
-    // Any read failure ends the connection: clean close between frames,
-    // a shutdown from Stop(), or a peer that is not speaking the
-    // protocol (garbage header — framing is unrecoverable).
-    if (!request.ok()) break;
-    if (request.value().type == FrameType::kHello) {
-      const codec::CodecKind picked = codec::NegotiateCodec(
-          request.value().payload, options_.codec.kind);
-      codec::CodecChoice choice;
-      choice.kind = picked;
-      choice.compress_blocks = picked == codec::CodecKind::kBinary &&
-                               options_.codec.compress_blocks;
-      negotiated = codec::MakeBlockCodec(choice);
-      Frame ack;
-      ack.type = FrameType::kHelloAck;
-      ack.payload = std::string(codec::CodecKindName(picked));
-      if (codec::AdvertisesFeature(request.value().payload,
-                                   codec::kTraceFeatureToken)) {
-        trace_negotiated = true;
-        trace_connections_.fetch_add(1);
-        ack.payload += '+';
-        ack.payload += codec::kTraceFeatureToken;
-      }
-      if (!WriteFrame(*conn, ack).ok()) break;
-      continue;
-    }
-    if (request.value().type == FrameType::kStats) {
-      stats_requests_.fetch_add(1);
-      Frame ack;
-      ack.type = FrameType::kStatsAck;
-      ack.payload = StatsJson();
-      if (!WriteFrame(*conn, ack).ok()) break;
-      continue;
-    }
-    if (request.value().type != FrameType::kRequest) break;
-    const ExchangeOutcome outcome = ServeExchange(
-        *conn, request.value(), negotiated.get(), trace_negotiated);
-    if (outcome == ExchangeOutcome::kContinue) continue;
-    hard = outcome == ExchangeOutcome::kCloseHard;
-    break;
-  }
-  // Deregister before closing: Stop() only touches registered sockets,
-  // so the cross-thread Shutdown can never race our Close.
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    live_connections_.erase(id);
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    completions_.clear();
   }
+  dispatch_inflight_.store(0);
+}
+
+void WsqServer::EventLoop() {
+  std::vector<struct epoll_event> events(kEpollBatch);
+  while (running_.load()) {
+    Result<int> ready = epoll_->Wait(events.data(), kEpollBatch, kLoopTickMs);
+    if (!ready.ok()) break;
+    ready_queue_depth_.store(ready.value());
+    for (int i = 0; i < ready.value(); ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == kWakeupTag) {
+        wakeup_->Drain();
+        continue;
+      }
+      if (tag == kListenerTag) {
+        AcceptReady();
+        continue;
+      }
+      HandleConnEvent(tag, events[i].events);
+    }
+    DrainCompletions();
+  }
+  // Teardown belongs to the loop thread, the connections' only owner.
+  // A graceful close sends FIN, which is exactly what wakes a client
+  // blocked in a read ("connection closed" → retryable kUnavailable).
+  for (auto& [id, conn] : conns_) {
+    conn->alive->store(false);
+    conn->socket.Close();
+  }
+  conns_.clear();
+  live_connections_.store(0);
+  listener_.Close();
+}
+
+void WsqServer::AcceptReady() {
+  for (;;) {
+    const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // EAGAIN: drained. Anything else (EMFILE under fd pressure,
+      // a connection that died in the backlog): give up this round,
+      // the listener stays armed.
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    SetNonBlocking(fd, true);
+    connections_accepted_.fetch_add(1);
+
+    Socket socket(fd);
+    std::string peer_ip;
+    if (Result<std::string> ip = PeerIp(socket); ip.ok()) {
+      peer_ip = std::move(ip).value();
+    }
+    const AdmitDecision decision = admission_->AdmitConnection(
+        peer_ip, static_cast<int>(conns_.size()), WallClock().NowMicros());
+    if (decision == AdmitDecision::kRejectCapacity) {
+      connections_rejected_.fetch_add(1);
+    } else if (decision == AdmitDecision::kRejectRate) {
+      rate_limited_.fetch_add(1);
+    }
+
+    auto conn = std::make_unique<Connection>();
+    conn->rejecting = decision != AdmitDecision::kAdmit;
+    conn->alive = std::make_shared<std::atomic<bool>>(true);
+    conn->interest = EPOLLIN | EPOLLRDHUP;
+    const int64_t id = next_connection_id_++;
+    conn->id = id;
+    if (!epoll_->Add(fd, conn->interest, static_cast<uint64_t>(id)).ok()) {
+      continue;  // socket closes via RAII
+    }
+    conn->socket = std::move(socket);
+    conns_.emplace(id, std::move(conn));
+    live_connections_.store(static_cast<int64_t>(conns_.size()));
+  }
+}
+
+void WsqServer::MarkDead(Connection& conn, bool hard) {
+  conn.dead = true;
+  conn.dead_hard = conn.dead_hard || hard;
+}
+
+void WsqServer::CloseConn(int64_t id, bool hard) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Connection& conn = *it->second;
+  conn.alive->store(false);
   if (hard) {
-    conn->CloseHard();
+    conn.socket.CloseHard();
   } else {
-    conn->Close();
+    conn.socket.Close();
+  }
+  conns_.erase(it);
+  live_connections_.store(static_cast<int64_t>(conns_.size()));
+}
+
+void WsqServer::HandleConnEvent(uint64_t tag, uint32_t events) {
+  const int64_t id = static_cast<int64_t>(tag);
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;  // closed earlier in this batch
+  Connection& conn = *it->second;
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    conn.alive->store(false);
+    CloseConn(id, /*hard=*/false);
+    return;
+  }
+  if ((events & EPOLLIN) != 0) ReadReady(conn);
+  if (!conn.dead && (events & EPOLLOUT) != 0) FlushWrites(conn);
+  if (!conn.dead && (events & EPOLLRDHUP) != 0 &&
+      (conn.interest & EPOLLIN) == 0) {
+    // Reads are paused (backpressure) so ReadReady will not observe the
+    // hangup; without this the connection would linger forever.
+    conn.alive->store(false);
+    MarkDead(conn, /*hard=*/false);
+  }
+  FinishConn(id);
+}
+
+void WsqServer::ReadReady(Connection& conn) {
+  char buf[64 * 1024];
+  for (int round = 0; round < kMaxReadsPerEvent && !conn.dead; ++round) {
+    const ssize_t n = ::recv(conn.socket.fd(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      std::vector<Frame> frames;
+      const Status st =
+          conn.parser.Consume(buf, static_cast<size_t>(n), &frames);
+      for (Frame& frame : frames) {
+        if (conn.dead) break;
+        ProcessFrame(conn, std::move(frame));
+      }
+      if (!st.ok()) {
+        // Garbage speaker: framing is unrecoverable. Frames completed
+        // before the poison were served; the connection is done.
+        MarkDead(conn, /*hard=*/false);
+        return;
+      }
+      if (static_cast<size_t>(n) < sizeof(buf)) return;  // drained
+      // Large responses queued meanwhile? Stop reading under
+      // backpressure; level-triggered EPOLLIN resumes us later.
+      if (conn.write_buf.size() - conn.write_cursor >=
+          options_.write_buffer_limit) {
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      // Peer FIN. Any in-flight dispatch is abandoned (the alive flag
+      // tells a stalled worker); its completion is dropped by id.
+      conn.alive->store(false);
+      MarkDead(conn, /*hard=*/false);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    conn.alive->store(false);
+    MarkDead(conn, /*hard=*/false);
+    return;
+  }
+}
+
+void WsqServer::ProcessFrame(Connection& conn, Frame frame) {
+  if (conn.close_after_flush) return;  // already saying goodbye
+  if (conn.dispatch_inflight || !conn.pending.empty()) {
+    if (conn.pending.size() >= kMaxPendingFrames) {
+      MarkDead(conn, /*hard=*/false);
+      return;
+    }
+    conn.pending.push_back(std::move(frame));
+    return;
+  }
+  HandleFrameNow(conn, std::move(frame));
+}
+
+void WsqServer::HandleFrameNow(Connection& conn, Frame frame) {
+  if (frame.type == FrameType::kHello) {
+    const codec::CodecKind picked =
+        codec::NegotiateCodec(frame.payload, options_.codec.kind);
+    codec::CodecChoice choice;
+    choice.kind = picked;
+    choice.compress_blocks = picked == codec::CodecKind::kBinary &&
+                             options_.codec.compress_blocks;
+    conn.negotiated = codec::MakeBlockCodec(choice);
+    Frame ack;
+    ack.type = FrameType::kHelloAck;
+    ack.payload = std::string(codec::CodecKindName(picked));
+    if (codec::AdvertisesFeature(frame.payload, codec::kTraceFeatureToken)) {
+      conn.trace_negotiated = true;
+      trace_connections_.fetch_add(1);
+      ack.payload += '+';
+      ack.payload += codec::kTraceFeatureToken;
+    }
+    SendFrame(conn, ack);
+    return;
+  }
+  if (frame.type == FrameType::kStats) {
+    stats_requests_.fetch_add(1);
+    Frame ack;
+    ack.type = FrameType::kStatsAck;
+    ack.payload = StatsJson();
+    SendFrame(conn, ack);
+    return;
+  }
+  if (frame.type != FrameType::kRequest) {
+    MarkDead(conn, /*hard=*/false);
+    return;
+  }
+  HandleRequestFrame(conn, std::move(frame));
+}
+
+void WsqServer::HandleRequestFrame(Connection& conn, Frame frame) {
+  if (conn.rejecting) {
+    // Admission said no at accept time; the first exchange carries the
+    // verdict as a retryable fault and the connection closes. (Hello
+    // was still answered normally above — a fault there would read as
+    // a legacy-server signal and wrongly downgrade the client to SOAP.)
+    SendBackpressureFault(conn, "connection rejected (admission control)");
+    conn.close_after_flush = true;
+    return;
+  }
+  if (admission_->ShouldShed(
+          static_cast<size_t>(dispatch_inflight_.load()))) {
+    // Overload: answer now from the loop, never touching the workers.
+    // The connection survives — shedding is backpressure, not eviction.
+    sheds_.fetch_add(1);
+    SendBackpressureFault(conn, "request shed (worker queue over watermark)");
+    return;
+  }
+  conn.dispatch_inflight = true;
+  dispatch_inflight_.fetch_add(1);
+  DispatchJob job;
+  job.conn_id = conn.id;
+  job.request = std::move(frame);
+  job.codec = conn.negotiated;
+  job.trace_negotiated = conn.trace_negotiated;
+  job.alive = conn.alive;
+  pool_->Submit([this, job = std::move(job)]() mutable {
+    Completion done = RunExchange(job);
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      completions_.push_back(std::move(done));
+    }
+    wakeup_->Signal();
+  });
+}
+
+void WsqServer::SendFrame(Connection& conn, const Frame& frame) {
+  if (!AppendFrameBytes(frame, &conn.write_buf).ok()) {
+    MarkDead(conn, /*hard=*/false);
+  }
+}
+
+void WsqServer::SendBackpressureFault(Connection& conn,
+                                      const std::string& detail) {
+  Frame response;
+  response.type = FrameType::kResponse;
+  // Transient: the client maps this to kUnavailable — retry, the
+  // session cursor did not move — exactly like an injected chaos fault.
+  response.flags = kFrameFlagSoapFault | kFrameFlagTransientFault;
+  response.payload = BuildFaultEnvelope({"Server", detail});
+  SendFrame(conn, response);
+}
+
+void WsqServer::FlushWrites(Connection& conn) {
+  while (conn.write_cursor < conn.write_buf.size()) {
+    const ssize_t n = ::send(conn.socket.fd(),
+                             conn.write_buf.data() + conn.write_cursor,
+                             conn.write_buf.size() - conn.write_cursor,
+                             MSG_NOSIGNAL);
+    if (n >= 0) {
+      conn.write_cursor += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    conn.alive->store(false);
+    MarkDead(conn, errno == ECONNRESET);
+    return;
+  }
+  if (conn.write_cursor == conn.write_buf.size()) {
+    conn.write_buf.clear();
+    conn.write_cursor = 0;
+    if (conn.close_after_flush) MarkDead(conn, /*hard=*/false);
+  } else if (conn.write_cursor > 64 * 1024) {
+    // Compact so a long-lived slow reader does not pin every byte it
+    // ever lagged behind on.
+    conn.write_buf.erase(0, conn.write_cursor);
+    conn.write_cursor = 0;
+  }
+}
+
+void WsqServer::UpdateInterest(int64_t id, Connection& conn) {
+  uint32_t want = EPOLLRDHUP;
+  const size_t unsent = conn.write_buf.size() - conn.write_cursor;
+  if (unsent > 0) want |= EPOLLOUT;
+  const bool paused = conn.close_after_flush ||
+                      unsent >= options_.write_buffer_limit ||
+                      conn.pending.size() >= kMaxPendingFrames;
+  if (!paused) want |= EPOLLIN;
+  if (want != conn.interest) {
+    if (epoll_->Modify(conn.socket.fd(), want, static_cast<uint64_t>(id))
+            .ok()) {
+      conn.interest = want;
+    }
+  }
+}
+
+void WsqServer::FinishConn(int64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Connection& conn = *it->second;
+  if (!conn.dead) FlushWrites(conn);
+  if (conn.dead) {
+    CloseConn(id, conn.dead_hard);
+    return;
+  }
+  UpdateInterest(id, conn);
+}
+
+void WsqServer::DrainCompletions() {
+  std::deque<Completion> done;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    done.swap(completions_);
+  }
+  for (Completion& completion : done) {
+    dispatch_inflight_.fetch_sub(1);
+    auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end()) continue;  // connection died mid-dispatch
+    Connection& conn = *it->second;
+    conn.dispatch_inflight = false;
+    switch (completion.outcome) {
+      case ExchangeOutcome::kContinue:
+        if (completion.has_response) SendFrame(conn, completion.response);
+        break;
+      case ExchangeOutcome::kClose:
+        MarkDead(conn, /*hard=*/false);
+        break;
+      case ExchangeOutcome::kCloseHard:
+        MarkDead(conn, /*hard=*/true);
+        break;
+    }
+    // The dispatch slot freed up: pump frames that queued behind it.
+    while (!conn.dead && !conn.dispatch_inflight && !conn.close_after_flush &&
+           !conn.pending.empty()) {
+      Frame next = std::move(conn.pending.front());
+      conn.pending.pop_front();
+      HandleFrameNow(conn, std::move(next));
+    }
+    FinishConn(completion.conn_id);
   }
 }
 
@@ -203,9 +513,11 @@ void WsqServer::RecordExchangeStats(int64_t session_id, size_t request_bytes,
   }
 }
 
-WsqServer::ExchangeOutcome WsqServer::ServeExchange(
-    Socket& conn, const Frame& request,
-    const codec::BlockCodec* response_codec, bool trace_negotiated) {
+WsqServer::Completion WsqServer::RunExchange(const DispatchJob& job) {
+  Completion done;
+  done.conn_id = job.conn_id;
+  const Frame& request = job.request;
+
   // Session attribution: block exchanges carry their session id in the
   // payload (binary or SOAP); session management and garbage do not. A
   // parse failure is fine; the container will answer with a SOAP fault.
@@ -225,7 +537,7 @@ WsqServer::ExchangeOutcome WsqServer::ServeExchange(
   // tracing AND this request carries a context to parent them under.
   // spans[0] is the root "server.request" span; its duration is patched
   // when the response is stamped.
-  const bool tracing = trace_negotiated && request.has_trace;
+  const bool tracing = job.trace_negotiated && request.has_trace;
   std::vector<RemoteSpan> spans;
   uint64_t root_span_id = 0;
   const auto add_span = [&](std::string_view name, int64_t ts_micros,
@@ -282,17 +594,20 @@ WsqServer::ExchangeOutcome WsqServer::ServeExchange(
         RecordExchangeStats(session_id, request.payload.size(),
                             response.payload.size(), /*replayed=*/false,
                             /*fault=*/true);
-        return WriteFrame(conn, response).ok() ? ExchangeOutcome::kContinue
-                                               : ExchangeOutcome::kClose;
+        done.has_response = true;
+        done.response = std::move(response);
+        done.outcome = ExchangeOutcome::kContinue;
+        return done;
       }
       // kUnavailability drops the connection quietly (FIN); the client
       // sees "connection closed" and retries. kConnectionReset slams it
       // (RST) — the same observable as the sim's reset fault. No
       // response frame travels, so these spans are simply lost —
       // telemetry shares the fate of the exchange it describes.
-      return fault.kind == FaultKind::kConnectionReset
-                 ? ExchangeOutcome::kCloseHard
-                 : ExchangeOutcome::kClose;
+      done.outcome = fault.kind == FaultKind::kConnectionReset
+                         ? ExchangeOutcome::kCloseHard
+                         : ExchangeOutcome::kClose;
+      return done;
     }
     const SuccessPerturbation perturb =
         state->injector->OnSuccess(state->blocks_served, now_ms);
@@ -303,9 +618,10 @@ WsqServer::ExchangeOutcome WsqServer::ServeExchange(
 
   // Injected stalls happen BEFORE dispatch, and we re-check the peer
   // afterwards: a client whose deadline fired during the stall has
-  // abandoned the exchange, and dispatching anyway would advance the
-  // session cursor for a block the client never received (it would then
-  // silently skip that block on retry).
+  // abandoned the exchange (the loop flipped `alive` on its hangup),
+  // and dispatching anyway would advance the session cursor for a block
+  // the client never received (it would then silently skip that block
+  // on retry).
   if (injected_sleep_ms > 0.0) {
     const int64_t stall_begin = wall.NowMicros();
     SleepMs(injected_sleep_ms);
@@ -314,13 +630,16 @@ WsqServer::ExchangeOutcome WsqServer::ServeExchange(
                root_span_id);
     }
   }
-  if (conn.PeerClosed()) return ExchangeOutcome::kClose;
+  if (!job.alive->load()) {
+    done.outcome = ExchangeOutcome::kClose;
+    return done;
+  }
 
   DispatchResult result;
   const int64_t dispatch_begin = wall.NowMicros();
   {
     std::lock_guard<std::mutex> lock(dispatch_mu_);
-    result = container_->Dispatch(request.payload, response_codec);
+    result = container_->Dispatch(request.payload, job.codec.get());
   }
   if (tracing) {
     add_span("server.dispatch", dispatch_begin,
@@ -353,7 +672,8 @@ WsqServer::ExchangeOutcome WsqServer::ServeExchange(
   response.payload = std::move(result.response);
   stamp_trace(response, t_end);
   exchanges_served_.fetch_add(1);
-  if (codec::SniffPayloadCodec(response.payload) == codec::CodecKind::kBinary) {
+  if (codec::SniffPayloadCodec(response.payload) ==
+      codec::CodecKind::kBinary) {
     binary_responses_.fetch_add(1);
   } else {
     soap_responses_.fetch_add(1);
@@ -361,8 +681,10 @@ WsqServer::ExchangeOutcome WsqServer::ServeExchange(
   RecordExchangeStats(session_id, request.payload.size(),
                       response.payload.size(), result.replayed,
                       result.is_fault);
-  return WriteFrame(conn, response).ok() ? ExchangeOutcome::kContinue
-                                         : ExchangeOutcome::kClose;
+  done.has_response = true;
+  done.response = std::move(response);
+  done.outcome = ExchangeOutcome::kContinue;
+  return done;
 }
 
 std::string WsqServer::StatsJson() {
@@ -391,6 +713,19 @@ std::string WsqServer::StatsJson() {
   field("bytes_out", bytes_out_.load());
   field("worker_queue_depth",
         pool_ ? static_cast<int64_t>(pool_->queue_depth()) : 0);
+  // Event-loop gauges: what the frontend looks like *right now* —
+  // connection census, last ready-batch size, the dispatch load the
+  // shed watermark compares against, and the admission verdicts.
+  out += ",\"event_loop\":{";
+  out += "\"live_connections\":" + std::to_string(live_connections_.load());
+  out += ",\"ready_queue_depth\":" + std::to_string(ready_queue_depth_.load());
+  out +=
+      ",\"dispatch_inflight\":" + std::to_string(dispatch_inflight_.load());
+  out += ",\"sheds\":" + std::to_string(sheds_.load());
+  out += ",\"rejected_capacity\":" +
+         std::to_string(connections_rejected_.load());
+  out += ",\"rejected_rate\":" + std::to_string(rate_limited_.load());
+  out += '}';
   out += ",\"codec_mix\":{\"soap\":" + std::to_string(soap_responses_.load()) +
          ",\"binary\":" + std::to_string(binary_responses_.load()) + '}';
   out += ",\"sessions\":{";

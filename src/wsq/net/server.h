@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -15,6 +16,8 @@
 #include "wsq/exec/thread_pool.h"
 #include "wsq/fault/fault_injector.h"
 #include "wsq/fault/fault_plan.h"
+#include "wsq/net/admission.h"
+#include "wsq/net/epoll.h"
 #include "wsq/net/socket.h"
 #include "wsq/obs/metrics.h"
 #include "wsq/obs/span_context.h"
@@ -26,8 +29,10 @@ struct WsqServerOptions {
   /// TCP port to listen on; 0 picks an ephemeral port (read it back with
   /// port() after Start).
   int port = 0;
-  /// Connection-handler pool size — the cap on concurrently served
-  /// clients.
+  /// Dispatch worker-pool size. Under the event loop this no longer caps
+  /// concurrent *connections* (the loop holds thousands); it caps
+  /// concurrently *executing* exchanges — stalls and simulated service
+  /// sleeps run on these threads.
   int worker_threads = 8;
   /// Server-side chaos: a non-empty plan is replayed per *session* (not
   /// per connection), so a client that reconnects after an injected
@@ -46,14 +51,34 @@ struct WsqServerOptions {
   /// binary to let advertising clients upgrade. Its compression option
   /// applies to the binary responses this server encodes.
   codec::CodecChoice codec;
+  /// Admission policy: connection cap, per-peer rate limits, and the
+  /// worker-queue watermark past which requests are shed with a
+  /// retryable fault (all default-off).
+  AdmissionConfig admission;
+  /// Per-connection write-buffer backpressure threshold: once this many
+  /// unsent response bytes are queued on a connection, the loop stops
+  /// reading from it (EPOLLIN paused) until the peer drains the buffer —
+  /// a slow reader cannot balloon server memory.
+  size_t write_buffer_limit = 4u * 1024u * 1024u;
 };
 
 /// The network frontend of the data service: accepts framed SOAP
 /// exchanges over TCP and dispatches them to a ServiceContainer —
 /// turning the in-process pull protocol into the wsqd daemon's wire
-/// protocol. Thread-per-connection on an exec::ThreadPool; container
-/// dispatch is serialized by an internal mutex (DataService and
-/// LoadModel are single-threaded by design).
+/// protocol.
+///
+/// Architecture: a single readiness-based epoll event loop owns the
+/// listener and every connection (non-blocking accept/read/write, one
+/// incremental FrameParser per connection), so connection count is
+/// bounded by fds, not threads. Query dispatch — the only blocking work
+/// (container dispatch, injected stalls, simulated service sleeps) —
+/// runs on a small exec::ThreadPool; workers post completed responses
+/// back to the loop through a completion queue plus eventfd wakeup, and
+/// the loop writes them out. Per-connection ordering is preserved by
+/// keeping at most one dispatch in flight per connection and queueing
+/// later pipelined frames. Container dispatch is serialized by an
+/// internal mutex (DataService and LoadModel are single-threaded by
+/// design).
 ///
 /// Start/Stop is a *frontend* lifecycle: Stop tears down the listener
 /// and every live connection but leaves the container — and therefore
@@ -75,8 +100,9 @@ class WsqServer {
   /// already running.
   Status Start();
 
-  /// Stops accepting, wakes and drains every live connection handler,
-  /// and joins the workers. Idempotent. Sessions persist.
+  /// Stops accepting, closes every live connection (waking blocked
+  /// client reads), joins the loop and drains the workers. Idempotent.
+  /// Sessions persist.
   void Stop();
 
   bool running() const { return running_.load(); }
@@ -90,12 +116,25 @@ class WsqServer {
   int64_t replay_hits() const { return replay_hits_.load(); }
   int64_t stats_requests() const { return stats_requests_.load(); }
   int64_t trace_connections() const { return trace_connections_.load(); }
+  /// Connections answered with a rejection fault because the loop was at
+  /// --max-connections.
+  int64_t connections_rejected() const { return connections_rejected_.load(); }
+  /// Connections answered with a rejection fault because the peer's
+  /// token bucket was empty.
+  int64_t rate_limited() const { return rate_limited_.load(); }
+  /// Requests shed with a retryable fault because the worker queue sat
+  /// at or above the shed watermark.
+  int64_t sheds() const { return sheds_.load(); }
+  /// Connections currently registered with the event loop.
+  int64_t live_connections() const { return live_connections_.load(); }
 
   /// The live stats snapshot this server answers kStats frames with (and
   /// wsqd exports via --stats-out / SIGUSR1): schema_version, frontend
-  /// counters, codec mix, worker queue depth, the container's open
-  /// session count, per-session rollups and the server's private metric
-  /// registry — all as one RFC 8259 JSON document.
+  /// counters, codec mix, worker queue depth, event-loop gauges
+  /// (connections, ready-queue depth, sheds, rejections), the
+  /// container's open session count, per-session rollups and the
+  /// server's private metric registry — all as one RFC 8259 JSON
+  /// document. Callable from any thread.
   std::string StatsJson();
 
  private:
@@ -107,8 +146,8 @@ class WsqServer {
     int64_t start_micros = 0;
   };
 
-  /// How one served exchange ends: keep reading, close gracefully (FIN),
-  /// or close abortively (RST — injected connection resets).
+  /// How one served exchange ends: keep the connection, close gracefully
+  /// (FIN), or close abortively (RST — injected connection resets).
   enum class ExchangeOutcome { kContinue, kClose, kCloseHard };
 
   /// Per-session transfer accounting for the stats plane (guarded by
@@ -122,11 +161,95 @@ class WsqServer {
     int64_t faults = 0;
   };
 
-  void AcceptLoop();
-  void ServeConnection(std::shared_ptr<Socket> conn, int64_t id);
-  ExchangeOutcome ServeExchange(Socket& conn, const Frame& request,
-                                const codec::BlockCodec* response_codec,
-                                bool trace_negotiated);
+  /// One live connection, owned exclusively by the loop thread (no
+  /// locking: workers never touch it — they get value copies via
+  /// DispatchJob and talk back through the completion queue).
+  struct Connection {
+    int64_t id = -1;
+    Socket socket;
+    FrameParser parser;
+    /// Outbound bytes not yet accepted by the kernel; [write_cursor,
+    /// end) is pending. EPOLLOUT is armed exactly while non-empty.
+    std::string write_buf;
+    size_t write_cursor = 0;
+    /// epoll interest set currently installed for this fd.
+    uint32_t interest = 0;
+    /// Negotiated response codec (null until a Hello upgrades it).
+    /// shared_ptr because an in-flight worker may still be encoding
+    /// with the previous codec when a re-Hello swaps it.
+    std::shared_ptr<const codec::BlockCodec> negotiated;
+    bool trace_negotiated = false;
+    /// Admission verdict from accept time: a rejecting connection still
+    /// answers Hello (a fault there would read as a legacy-server
+    /// signal and trigger the client's SOAP downgrade) and kStats (the
+    /// telemetry plane must work *especially* under overload), but its
+    /// first kRequest is answered with one transient-fault frame and
+    /// the connection closes after the flush.
+    bool rejecting = false;
+    /// At most one dispatch per connection is in flight; frames parsed
+    /// meanwhile queue here, preserving request→response order.
+    bool dispatch_inflight = false;
+    std::deque<Frame> pending;
+    /// Close requested once write_buf fully drains.
+    bool close_after_flush = false;
+    /// Terminal state, applied by FinishConn (dead_hard ⇒ RST).
+    bool dead = false;
+    bool dead_hard = false;
+    /// Shared with in-flight workers: flipped false on peer hangup so a
+    /// worker waking from an injected stall can see the exchange was
+    /// abandoned and skip the dispatch (otherwise the session cursor
+    /// would advance past a block the client never received).
+    std::shared_ptr<std::atomic<bool>> alive;
+  };
+
+  /// Everything a worker needs to run one exchange, captured by value —
+  /// workers never see a Connection.
+  struct DispatchJob {
+    int64_t conn_id = -1;
+    Frame request;
+    std::shared_ptr<const codec::BlockCodec> codec;
+    bool trace_negotiated = false;
+    std::shared_ptr<std::atomic<bool>> alive;
+  };
+
+  /// A finished exchange travelling worker → loop.
+  struct Completion {
+    int64_t conn_id = -1;
+    bool has_response = false;
+    Frame response;
+    ExchangeOutcome outcome = ExchangeOutcome::kContinue;
+  };
+
+  void EventLoop();
+  void AcceptReady();
+  void HandleConnEvent(uint64_t tag, uint32_t events);
+  void ReadReady(Connection& conn);
+  /// Routes one parsed frame: queue behind an in-flight dispatch, or
+  /// handle now (Hello/Stats inline on the loop; kRequest via admission
+  /// → shed → worker submit).
+  void ProcessFrame(Connection& conn, Frame frame);
+  void HandleFrameNow(Connection& conn, Frame frame);
+  void HandleRequestFrame(Connection& conn, Frame frame);
+  /// Serializes `frame` into the connection's write buffer.
+  void SendFrame(Connection& conn, const Frame& frame);
+  /// Appends the transient-fault frame rejected/shed exchanges are
+  /// answered with (client-side: retryable kUnavailable).
+  void SendBackpressureFault(Connection& conn, const std::string& detail);
+  void FlushWrites(Connection& conn);
+  void UpdateInterest(int64_t id, Connection& conn);
+  /// Flush, re-arm interest, and bury the connection if it died — the
+  /// single exit point every event path funnels through.
+  void FinishConn(int64_t id);
+  void CloseConn(int64_t id, bool hard);
+  void DrainCompletions();
+  static void MarkDead(Connection& conn, bool hard);
+
+  /// The worker-side body of one exchange: chaos injection, stalls,
+  /// container dispatch, simulated service sleep, tracing — everything
+  /// the old blocking handler did between reading the request and
+  /// writing the response.
+  Completion RunExchange(const DispatchJob& job);
+
   SessionFaultState* FaultStateForSession(int64_t session_id);
 
   /// The session id of a block request payload (binary or SOAP), or -1
@@ -144,16 +267,21 @@ class WsqServer {
 
   Socket listener_;
   int pinned_port_ = 0;
-  std::thread accept_thread_;
+  std::thread loop_thread_;
+  std::unique_ptr<Epoll> epoll_;
+  std::unique_ptr<EventFd> wakeup_;
   std::unique_ptr<exec::ThreadPool> pool_;
+  std::unique_ptr<AdmissionController> admission_;
   std::atomic<bool> running_{false};
 
-  /// Live connections, so Stop can wake blocked readers. Handlers
-  /// deregister (under the mutex) before closing their socket, which
-  /// makes the cross-thread Shutdown race-free.
-  std::mutex conn_mu_;
-  std::map<int64_t, std::shared_ptr<Socket>> live_connections_;
+  /// Loop-thread state: the connection table and id allocator. No mutex
+  /// by design — single-owner, which is what keeps the loop TSan-clean.
+  std::map<int64_t, std::unique_ptr<Connection>> conns_;
   int64_t next_connection_id_ = 0;
+
+  /// Worker → loop completion queue; wakeup_ is signalled after a push.
+  std::mutex completions_mu_;
+  std::deque<Completion> completions_;
 
   /// Serializes ServiceContainer::Dispatch.
   std::mutex dispatch_mu_;
@@ -169,6 +297,15 @@ class WsqServer {
   std::atomic<int64_t> replay_hits_{0};
   std::atomic<int64_t> stats_requests_{0};
   std::atomic<int64_t> trace_connections_{0};
+  std::atomic<int64_t> connections_rejected_{0};
+  std::atomic<int64_t> rate_limited_{0};
+  std::atomic<int64_t> sheds_{0};
+  std::atomic<int64_t> live_connections_{0};
+  /// Dispatches submitted but not yet drained (queued + executing) —
+  /// the load signal the shed watermark compares against.
+  std::atomic<int64_t> dispatch_inflight_{0};
+  /// Size of the last epoll batch — the loop's ready-queue depth gauge.
+  std::atomic<int64_t> ready_queue_depth_{0};
   std::atomic<int64_t> bytes_in_{0};
   std::atomic<int64_t> bytes_out_{0};
   std::atomic<int64_t> soap_responses_{0};

@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <utility>
@@ -28,18 +29,38 @@ int PollTimeout(double ms) {
 }
 
 /// Waits for `events` readiness on `fd`. Returns 1 when ready, 0 on
-/// timeout, -1 on poll failure (errno set). EINTR restarts.
+/// timeout, -1 on poll failure (errno set). EINTR restarts with the
+/// *remaining* deadline, not the full one — a signal storm must not
+/// stretch a 100ms read timeout indefinitely, and a caller-observed
+/// timeout has to mean the wall-clock deadline actually passed.
 int WaitReady(int fd, short events, double timeout_ms) {
   struct pollfd pfd;
   pfd.fd = fd;
   pfd.events = events;
   pfd.revents = 0;
+  if (timeout_ms <= 0) {
+    for (;;) {
+      const int rc = ::poll(&pfd, 1, PollTimeout(timeout_ms));
+      if (rc < 0 && errno == EINTR) continue;
+      return rc;
+    }
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double, std::milli>(timeout_ms);
   for (;;) {
-    const int rc = ::poll(&pfd, 1, PollTimeout(timeout_ms));
+    const double remaining_ms =
+        std::chrono::duration<double, std::milli>(
+            deadline - std::chrono::steady_clock::now())
+            .count();
+    if (remaining_ms <= 0) return 0;
+    const int rc = ::poll(&pfd, 1, PollTimeout(remaining_ms));
     if (rc < 0 && errno == EINTR) continue;
     return rc;
   }
 }
+
+}  // namespace
 
 void SetNonBlocking(int fd, bool enable) {
   int flags = ::fcntl(fd, F_GETFL, 0);
@@ -51,8 +72,6 @@ void SetNonBlocking(int fd, bool enable) {
   }
   ::fcntl(fd, F_SETFL, flags);
 }
-
-}  // namespace
 
 Socket::~Socket() { Close(); }
 
@@ -241,6 +260,31 @@ Result<int> LocalPort(const Socket& socket) {
     return Status::Internal(Errno("getsockname"));
   }
   return static_cast<int>(ntohs(addr.sin_port));
+}
+
+Result<std::string> PeerIp(const Socket& socket) {
+  if (!socket.valid()) {
+    return Status::FailedPrecondition("socket is not open");
+  }
+  struct sockaddr_storage addr;
+  socklen_t addr_len = sizeof(addr);
+  if (::getpeername(socket.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    return Status::Internal(Errno("getpeername"));
+  }
+  char buf[INET6_ADDRSTRLEN] = {0};
+  const void* src = nullptr;
+  if (addr.ss_family == AF_INET) {
+    src = &reinterpret_cast<struct sockaddr_in*>(&addr)->sin_addr;
+  } else if (addr.ss_family == AF_INET6) {
+    src = &reinterpret_cast<struct sockaddr_in6*>(&addr)->sin6_addr;
+  } else {
+    return Status::InvalidArgument("unsupported address family");
+  }
+  if (::inet_ntop(addr.ss_family, src, buf, sizeof(buf)) == nullptr) {
+    return Status::Internal(Errno("inet_ntop"));
+  }
+  return std::string(buf);
 }
 
 Result<Socket> Accept(Socket& listener, double timeout_ms) {

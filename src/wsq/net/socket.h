@@ -72,6 +72,15 @@ Result<Socket> TcpListen(int port, int backlog = 64);
 /// The locally bound port of a listening or connected socket.
 Result<int> LocalPort(const Socket& socket);
 
+/// The remote peer's IP address ("127.0.0.1", "::1", ...) of a
+/// connected socket — the admission layer's rate-limit key.
+Result<std::string> PeerIp(const Socket& socket);
+
+/// Toggles O_NONBLOCK on `fd`. The event-loop server runs every
+/// accepted connection (and the listener itself) non-blocking; clients
+/// keep the default blocking mode with poll-based deadlines.
+void SetNonBlocking(int fd, bool enable);
+
 /// Waits up to `timeout_ms` for a connection on `listener` (<= 0 polls
 /// without blocking). kUnavailable when none arrived in time or the
 /// listener was shut down.

@@ -51,6 +51,11 @@ struct WsqdFlags {
   /// stats_interval_s seconds (0 = only on SIGUSR1 and at shutdown).
   std::string stats_out;
   int stats_interval_s = 0;
+  /// Admission control (0 = off for each knob).
+  int max_connections = 0;
+  double rate_limit = 0.0;
+  double rate_limit_burst = 0.0;
+  int shed_watermark = 0;
 };
 
 /// One stats snapshot to `path` (atomic enough for pollers: write to a
@@ -78,6 +83,8 @@ void PrintUsage() {
       "            [--fault-plan=NAME] [--codec=NAME] [--workers=N]\n"
       "            [--no-service-sleep] [--port-file=PATH]\n"
       "            [--stats-out=PATH] [--stats-interval-s=N]\n"
+      "            [--max-connections=N] [--rate-limit=F]\n"
+      "            [--rate-limit-burst=F] [--shed-watermark=N]\n"
       "\n"
       "  --port=N           TCP port to listen on; 0 = ephemeral (default "
       "9090)\n"
@@ -99,9 +106,17 @@ void PrintUsage() {
       "  --codec=NAME       richest block codec offered in negotiation: soap "
       "| binary | binary+lz (default binary; clients that don't ask still "
       "get SOAP)\n"
-      "  --workers=N        connection-handler threads (default 8)\n"
+      "  --workers=N        dispatch worker threads (default 8)\n"
       "  --no-service-sleep serve at raw dispatch speed instead of sleeping "
-      "the modeled service time\n");
+      "the modeled service time\n"
+      "  --max-connections=N  reject connections beyond N with a retryable "
+      "fault (default 0 = unlimited)\n"
+      "  --rate-limit=F     per-client-IP new-connection rate per second "
+      "(token bucket; default 0 = unlimited)\n"
+      "  --rate-limit-burst=F  token-bucket burst capacity (default "
+      "max(1, rate))\n"
+      "  --shed-watermark=N shed requests with a retryable fault while N "
+      "dispatches are queued or running (default 0 = never)\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -161,6 +176,14 @@ int main(int argc, char** argv) {
       flags.stats_out = value;
     } else if (ParseFlag(argv[i], "--stats-interval-s", &value)) {
       flags.stats_interval_s = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--max-connections", &value)) {
+      flags.max_connections = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--rate-limit", &value)) {
+      flags.rate_limit = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--rate-limit-burst", &value)) {
+      flags.rate_limit_burst = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--shed-watermark", &value)) {
+      flags.shed_watermark = std::atoi(value.c_str());
     } else if (std::strcmp(argv[i], "--no-service-sleep") == 0) {
       flags.simulate_service_time = false;
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -219,6 +242,10 @@ int main(int argc, char** argv) {
   server_options.fault_seed = flags.seed;
   server_options.simulate_service_time = flags.simulate_service_time;
   server_options.codec = codec.value();
+  server_options.admission.max_connections = flags.max_connections;
+  server_options.admission.rate_limit_per_sec = flags.rate_limit;
+  server_options.admission.rate_limit_burst = flags.rate_limit_burst;
+  server_options.admission.shed_queue_watermark = flags.shed_watermark;
   wsq::net::WsqServer server(&container, server_options);
 
   wsq::Status started = server.Start();

@@ -524,5 +524,181 @@ TEST(FrameTest, HeaderEncodeDecodeAgree) {
   EXPECT_EQ(header.value().service_micros, frame.service_micros);
 }
 
+// ---------------------------------------------------------------------------
+// FrameParser: the incremental decoder under the event-loop server. Its
+// contract is byte-for-byte agreement with ReadFrame regardless of how
+// recv() slices the stream.
+// ---------------------------------------------------------------------------
+
+/// The wire image of `frame`, as WriteFrame would emit it.
+std::string WireImage(const Frame& frame) {
+  MemoryStream stream;
+  EXPECT_TRUE(WriteFrame(stream, frame).ok());
+  return stream.data();
+}
+
+void ExpectSameFrame(const Frame& got, const Frame& sent) {
+  // The reference is what ReadFrame reports for the same wire image: it
+  // surfaces the raw wire flags, extension bits included, and the parser
+  // must agree with it bit for bit.
+  MemoryStream stream;
+  ASSERT_TRUE(WriteFrame(stream, sent).ok());
+  Result<Frame> read = ReadFrame(stream);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  const Frame& ref = read.value();
+  EXPECT_EQ(got.type, ref.type);
+  EXPECT_EQ(got.flags, ref.flags);
+  EXPECT_EQ(got.service_micros, ref.service_micros);
+  EXPECT_EQ(got.payload, ref.payload);
+  EXPECT_EQ(got.has_trace, ref.has_trace);
+  if (ref.has_trace) {
+    EXPECT_EQ(got.trace.trace_id, ref.trace.trace_id);
+    EXPECT_EQ(got.trace.span_id, ref.trace.span_id);
+    EXPECT_EQ(got.trace.clock_micros, ref.trace.clock_micros);
+  }
+  EXPECT_EQ(got.span_block, ref.span_block);
+}
+
+TEST(FrameParserTest, AppendFrameBytesMatchesWriteFrame) {
+  const Frame plain = SampleFrame();
+  const Frame traced = TracedFrame();
+  for (const Frame& frame : {plain, traced}) {
+    std::string appended;
+    ASSERT_TRUE(AppendFrameBytes(frame, &appended).ok());
+    EXPECT_EQ(appended, WireImage(frame));
+  }
+}
+
+TEST(FrameParserTest, AppendFrameBytesRefusesOversizeAndLeavesOutAlone) {
+  Frame big;
+  big.payload.assign(kMaxFramePayloadBytes + 1, 'x');
+  std::string out = "prefix";
+  Status status = AppendFrameBytes(big, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(out, "prefix");
+}
+
+TEST(FrameParserTest, WholeBufferYieldsTheFrame) {
+  const Frame sent = TracedFrame();
+  const std::string wire = WireImage(sent);
+  FrameParser parser;
+  std::vector<Frame> frames;
+  ASSERT_TRUE(parser.Consume(wire.data(), wire.size(), &frames).ok());
+  ASSERT_EQ(frames.size(), 1u);
+  ExpectSameFrame(frames[0], sent);
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+  EXPECT_FALSE(parser.failed());
+}
+
+TEST(FrameParserTest, ByteAtATimeYieldsIdenticalFrames) {
+  // The cruellest recv schedule: one byte per call, across a plain
+  // frame, a traced frame with spans, and an empty-payload frame
+  // back-to-back on one stream.
+  Frame empty;
+  empty.type = FrameType::kStats;
+  const std::vector<Frame> sent = {SampleFrame(), TracedFrame(), empty};
+  std::string wire;
+  for (const Frame& frame : sent) {
+    ASSERT_TRUE(AppendFrameBytes(frame, &wire).ok());
+  }
+  FrameParser parser;
+  std::vector<Frame> frames;
+  for (char byte : wire) {
+    ASSERT_TRUE(parser.Consume(&byte, 1, &frames).ok());
+  }
+  ASSERT_EQ(frames.size(), sent.size());
+  for (size_t i = 0; i < sent.size(); ++i) {
+    ExpectSameFrame(frames[i], sent[i]);
+  }
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(FrameParserTest, EveryChunkingOfAPipelinedStreamAgrees) {
+  // Split a three-frame stream at a dense sampling of boundary pairs
+  // (coprime strides cover every phase of every wire structure): the
+  // parser must produce the same three frames no matter where the
+  // kernel happened to cut the bytes.
+  const std::vector<Frame> sent = {SampleFrame(), TracedFrame(),
+                                   SampleFrame()};
+  std::string wire;
+  for (const Frame& frame : sent) {
+    ASSERT_TRUE(AppendFrameBytes(frame, &wire).ok());
+  }
+  for (size_t a = 0; a <= wire.size(); a += 3) {
+    for (size_t b = a; b <= wire.size(); b += 5) {
+      FrameParser parser;
+      std::vector<Frame> frames;
+      ASSERT_TRUE(parser.Consume(wire.data(), a, &frames).ok());
+      ASSERT_TRUE(parser.Consume(wire.data() + a, b - a, &frames).ok());
+      ASSERT_TRUE(
+          parser.Consume(wire.data() + b, wire.size() - b, &frames).ok());
+      ASSERT_EQ(frames.size(), sent.size())
+          << "cuts at " << a << "," << b;
+      for (size_t i = 0; i < sent.size(); ++i) {
+        ExpectSameFrame(frames[i], sent[i]);
+      }
+    }
+  }
+}
+
+TEST(FrameParserTest, GarbagePoisonsTheParserPermanently) {
+  FrameParser parser;
+  std::vector<Frame> frames;
+  const std::string junk(kFrameHeaderBytes, 'x');
+  Status status = parser.Consume(junk.data(), junk.size(), &frames);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(parser.failed());
+  EXPECT_TRUE(frames.empty());
+
+  // Even a perfectly valid frame afterwards keeps failing with the same
+  // error: framing is lost, the connection must drop.
+  const std::string wire = WireImage(SampleFrame());
+  Status again = parser.Consume(wire.data(), wire.size(), &frames);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(frames.empty());
+}
+
+TEST(FrameParserTest, FramesBeforeTheGarbageAreStillDelivered) {
+  std::string wire = WireImage(SampleFrame());
+  wire += std::string(kFrameHeaderBytes, 'x');
+  FrameParser parser;
+  std::vector<Frame> frames;
+  Status status = parser.Consume(wire.data(), wire.size(), &frames);
+  ASSERT_FALSE(status.ok());
+  ASSERT_EQ(frames.size(), 1u);
+  ExpectSameFrame(frames[0], SampleFrame());
+}
+
+TEST(FrameParserTest, OversizedSpanLengthIsRejectedBeforeAllocation) {
+  std::string wire = WireImage(TracedFrame());
+  const size_t len_at = kFrameHeaderBytes + kTraceContextBytes;
+  const uint32_t huge = static_cast<uint32_t>(kMaxRemoteSpanBytes) + 1;
+  wire[len_at] = static_cast<char>((huge >> 24) & 0xff);
+  wire[len_at + 1] = static_cast<char>((huge >> 16) & 0xff);
+  wire[len_at + 2] = static_cast<char>((huge >> 8) & 0xff);
+  wire[len_at + 3] = static_cast<char>(huge & 0xff);
+  FrameParser parser;
+  std::vector<Frame> frames;
+  Status status = parser.Consume(wire.data(), wire.size(), &frames);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(parser.failed());
+}
+
+TEST(FrameParserTest, BufferedBytesReportsMidFrameProgress) {
+  const std::string wire = WireImage(SampleFrame());
+  FrameParser parser;
+  std::vector<Frame> frames;
+  ASSERT_TRUE(parser.Consume(wire.data(), 5, &frames).ok());
+  EXPECT_EQ(parser.buffered_bytes(), 5u);  // mid-header
+  ASSERT_TRUE(
+      parser.Consume(wire.data() + 5, wire.size() - 5, &frames).ok());
+  EXPECT_EQ(parser.buffered_bytes(), 0u);  // between frames
+  ASSERT_EQ(frames.size(), 1u);
+}
+
 }  // namespace
 }  // namespace wsq::net
