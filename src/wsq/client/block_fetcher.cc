@@ -175,11 +175,14 @@ Result<FetchOutcome> BlockFetcher::Run(const ScanProjectQuery& query,
     request.session_id = session_id;
     request.block_size = block_size;
 
-    // Encode in the negotiated wire form. Binary requests carry the
-    // block index as their sequence number, which is what arms the
-    // server's idempotent replay cache — a retried fetch re-sends the
-    // same sequence and replays rather than skipping a block. The SOAP
-    // form stays unsequenced (-1): its bytes are the legacy bytes.
+    // Encode in the negotiated wire form. Requests carry the block
+    // index as their sequence number whenever the peer is known to run
+    // the idempotent replay cache — always under binary, and under SOAP
+    // once a handshake acked (the optional blockSeq element is
+    // understood by every handshake-capable server). A retried fetch
+    // then re-sends the same sequence and replays rather than skipping
+    // a block. Against a legacy peer the SOAP form stays unsequenced
+    // (-1): its bytes are exactly the legacy bytes.
     std::string document;
     if (client_->wire_codec() == codec::CodecKind::kBinary) {
       request.sequence = block_index;
@@ -187,6 +190,7 @@ Result<FetchOutcome> BlockFetcher::Run(const ScanProjectQuery& query,
       if (!encoded.ok()) return encoded.status();
       document = std::move(encoded).value();
     } else {
+      if (client_->SequencedRetriesSafe()) request.sequence = block_index;
       document = EncodeRequestBlock(request);
     }
 

@@ -81,6 +81,15 @@ class WsCallTransport {
     return codec::CodecKind::kSoap;
   }
 
+  /// True when retried RequestBlock calls may carry a sequence number —
+  /// i.e. the peer is known to run the idempotent replay cache, so a
+  /// retry replays the cached block instead of skipping one. A socket
+  /// transport learns this from a completed Hello/HelloAck handshake
+  /// (any modern server understands the optional blockSeq element, on
+  /// every codec); the default models a legacy peer, whose bytes must
+  /// stay untouched.
+  virtual bool SequencedRetriesSafe() const { return false; }
+
   /// True when the connection negotiated trace-context propagation —
   /// requests carry a TraceContext extension and responses ship the
   /// server's spans back. Defaults model a transport without the

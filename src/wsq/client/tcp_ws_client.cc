@@ -64,31 +64,54 @@ Status TcpWsClient::Connect() {
   } else {
     negotiated_codec_ = codec::CodecKind::kSoap;
     trace_negotiated_ = false;
+    crc_negotiated_ = false;
+    live_negotiated_ = false;
+    handshake_acked_ = false;
   }
   return Status::Ok();
 }
 
 bool TcpWsClient::HandshakeDue() const {
-  // Tracing rides the same Hello, so wanting it forces a handshake even
-  // when the advertised codec is plain SOAP.
+  // Tracing/crc/liveness ride the same Hello, so wanting any of them
+  // forces a handshake even when the advertised codec is plain SOAP.
   return (options_.codec.kind != codec::CodecKind::kSoap ||
-          options_.enable_tracing) &&
+          options_.enable_tracing || options_.enable_crc ||
+          options_.enable_liveness) &&
          reconnects_ >= suppress_handshake_until_reconnects_;
 }
 
 Status TcpWsClient::NegotiateCodec() {
   negotiated_codec_ = codec::CodecKind::kSoap;
   trace_negotiated_ = false;
-  socket_.set_io_timeout_ms(options_.connect_timeout_ms);
+  crc_negotiated_ = false;
+  live_negotiated_ = false;
+  handshake_acked_ = false;
+  // The resilience deadline bounds the handshake too: a black-holed
+  // connect (SYN accepted, then silence) must cost at most the tighter
+  // of the connect timeout and the installed call deadline — not hang.
+  double handshake_deadline_ms = options_.connect_timeout_ms;
+  if (call_deadline_ms_ > 0.0 && call_deadline_ms_ < handshake_deadline_ms) {
+    handshake_deadline_ms = call_deadline_ms_;
+  }
+  socket_.set_io_timeout_ms(handshake_deadline_ms);
 
   net::Frame hello;
   hello.type = net::FrameType::kHello;
   hello.payload = codec::AdvertisedCodecs(options_.codec.kind);
+  // Feature tokens are appended last: a pre-feature server's
+  // NegotiateCodec stops at the codec names it knows, so the extra
+  // tokens are invisible to it.
   if (options_.enable_tracing) {
-    // Appended last: a pre-feature server's NegotiateCodec stops at the
-    // codec names it knows, so the extra token is invisible to it.
     hello.payload += ',';
     hello.payload += codec::kTraceFeatureToken;
+  }
+  if (options_.enable_crc) {
+    hello.payload += ',';
+    hello.payload += codec::kCrcFeatureToken;
+  }
+  if (options_.enable_liveness) {
+    hello.payload += ',';
+    hello.payload += codec::kLiveFeatureToken;
   }
   CodecProbesCounter().Increment();
   const Status sent = WriteFrame(socket_, hello);
@@ -101,6 +124,9 @@ Status TcpWsClient::NegotiateCodec() {
       negotiated_codec_ = codec::CodecKind::kBinary;
     }
     trace_negotiated_ = parts.trace && options_.enable_tracing;
+    crc_negotiated_ = parts.crc && options_.enable_crc;
+    live_negotiated_ = parts.live && options_.enable_liveness;
+    handshake_acked_ = true;
     return Status::Ok();
   }
 
@@ -141,6 +167,12 @@ void TcpWsClient::AdvanceClockMs(double ms) {
 
 Result<CallResult> TcpWsClient::CallOnce(const std::string& request_document) {
   last_failure_keeps_connection_ = false;
+  if (socket_.valid() && socket_.PeerClosed()) {
+    // The server evicted or drained this connection between calls (idle
+    // timeout, kGoaway we never read, restart). Reconnect up front
+    // instead of burning an attempt writing into a dead socket.
+    Disconnect();
+  }
   WSQ_RETURN_IF_ERROR(Connect());
 
   const int64_t start_micros = clock_.NowMicros();
@@ -154,6 +186,7 @@ Result<CallResult> TcpWsClient::CallOnce(const std::string& request_document) {
   net::Frame request;
   request.type = net::FrameType::kRequest;
   request.payload = request_document;
+  request.has_crc = crc_negotiated_;
   if (trace_negotiated_) {
     request.has_trace = true;
     request.trace.trace_id = next_trace_id_;
@@ -162,16 +195,38 @@ Result<CallResult> TcpWsClient::CallOnce(const std::string& request_document) {
   }
   WSQ_RETURN_IF_ERROR(WriteFrame(socket_, request));
 
-  const double spent_ms =
-      static_cast<double>(clock_.NowMicros() - start_micros) / 1000.0;
-  const double remaining_ms = call_deadline_ms_ - spent_ms;
-  if (remaining_ms <= 0.0) {
-    return Status::Unavailable("call deadline expired before the response");
+  // Control frames (server liveness probes, drain notices) may arrive
+  // ahead of the response; answer/translate them and keep reading, each
+  // time under the remaining budget.
+  Result<net::Frame> response = net::Frame{};
+  for (;;) {
+    const double spent_ms =
+        static_cast<double>(clock_.NowMicros() - start_micros) / 1000.0;
+    const double remaining_ms = call_deadline_ms_ - spent_ms;
+    if (remaining_ms <= 0.0) {
+      return Status::Unavailable("call deadline expired before the response");
+    }
+    socket_.set_io_timeout_ms(remaining_ms);
+    response = net::ReadFrame(socket_);
+    if (!response.ok()) return response.status();
+    if (response.value().type == net::FrameType::kPing) {
+      net::Frame pong;
+      pong.type = net::FrameType::kPong;
+      pong.has_crc = crc_negotiated_;
+      WSQ_RETURN_IF_ERROR(WriteFrame(socket_, pong));
+      continue;
+    }
+    if (response.value().type == net::FrameType::kPong) {
+      continue;  // answer to an earlier probe; not ours to wait on
+    }
+    if (response.value().type == net::FrameType::kGoaway) {
+      // Graceful drain: retryable exactly like a clean close — the
+      // caller drops the connection and the retry reconnects (to the
+      // restarted server).
+      return Status::Unavailable("server draining (goaway)");
+    }
+    break;
   }
-  socket_.set_io_timeout_ms(remaining_ms);
-
-  Result<net::Frame> response = net::ReadFrame(socket_);
-  if (!response.ok()) return response.status();
   if (response.value().type != net::FrameType::kResponse) {
     return Status::InvalidArgument("peer sent a request frame in response");
   }
@@ -251,10 +306,64 @@ Result<CallResult> TcpWsClient::Call(const std::string& request_document) {
   // unusable state: a late response to this exchange could otherwise be
   // mistaken for the next one's. Drop it; the next Call reconnects.
   Disconnect();
-  if (call.status().code() == StatusCode::kInvalidArgument) {
+  if (call.status().code() == StatusCode::kInvalidArgument &&
+      !crc_negotiated_) {
     return call.status();  // not-our-protocol peer: don't mask as transient
   }
+  // With crc negotiated the peer has proven it speaks this protocol, so
+  // framing garbage (bad magic, nonsense lengths) can only be wire
+  // corruption that happened to hit the header instead of the
+  // checksummed body — transient, exactly like a CRC mismatch.
   return Status::Unavailable(call.status().message());
+}
+
+Status TcpWsClient::Ping(double timeout_ms) {
+  if (!socket_.valid()) return Status::FailedPrecondition("not connected");
+  if (!live_negotiated_) {
+    return Status::FailedPrecondition(
+        "liveness was not negotiated on this connection");
+  }
+  const double deadline_ms =
+      timeout_ms > 0.0 ? timeout_ms : options_.connect_timeout_ms;
+  const int64_t start_micros = clock_.NowMicros();
+  socket_.set_io_timeout_ms(deadline_ms);
+
+  net::Frame ping;
+  ping.type = net::FrameType::kPing;
+  ping.has_crc = crc_negotiated_;
+  Status status = WriteFrame(socket_, ping);
+  while (status.ok()) {
+    const double spent_ms =
+        static_cast<double>(clock_.NowMicros() - start_micros) / 1000.0;
+    if (spent_ms >= deadline_ms) {
+      status = Status::Unavailable("ping deadline expired");
+      break;
+    }
+    socket_.set_io_timeout_ms(deadline_ms - spent_ms);
+    Result<net::Frame> frame = net::ReadFrame(socket_);
+    if (!frame.ok()) {
+      status = frame.status();
+      break;
+    }
+    if (frame.value().type == net::FrameType::kPong) return Status::Ok();
+    if (frame.value().type == net::FrameType::kPing) {
+      net::Frame pong;
+      pong.type = net::FrameType::kPong;
+      pong.has_crc = crc_negotiated_;
+      status = WriteFrame(socket_, pong);
+      continue;
+    }
+    if (frame.value().type == net::FrameType::kGoaway) {
+      status = Status::Unavailable("server draining (goaway)");
+      break;
+    }
+    // A data frame out of nowhere mid-ping is protocol confusion; drop
+    // the connection rather than guess.
+    status = Status::Unavailable("unexpected frame while awaiting pong");
+    break;
+  }
+  Disconnect();
+  return status.ok() ? Status::Unavailable("ping failed") : status;
 }
 
 }  // namespace wsq

@@ -29,6 +29,17 @@ struct TcpWsClientOptions {
   /// handshake even on SOAP) and, if the server acks it, every request
   /// frame carries a TraceContext and responses ship server spans back.
   bool enable_tracing = false;
+  /// Advertise the "crc" frame-integrity feature in the handshake. Off
+  /// (the default) keeps the wire byte-identical to a pre-checksum
+  /// client; on, and if the server acks it, every frame both ways
+  /// carries a CRC-32C trailer and a corrupted frame surfaces as a
+  /// retryable kUnavailable instead of parsed garbage.
+  bool enable_crc = false;
+  /// Advertise the "live" heartbeat feature in the handshake. When
+  /// negotiated, the client answers server kPing probes, recognizes
+  /// kGoaway drain notices as retryable closes, and may probe the
+  /// server itself via Ping().
+  bool enable_liveness = false;
 };
 
 /// The live WsCallTransport: one framed SOAP exchange per Call over a
@@ -93,6 +104,24 @@ class TcpWsClient final : public WsCallTransport {
   codec::CodecKind wire_codec() const override { return negotiated_codec_; }
 
   bool TracingNegotiated() const override { return trace_negotiated_; }
+
+  /// A completed Hello/HelloAck proves the server is modern enough to
+  /// run the replay cache on sequenced requests, whatever codec was
+  /// picked; a legacy downgrade (or no handshake) leaves this false and
+  /// the SOAP bytes exactly legacy.
+  bool SequencedRetriesSafe() const override { return handshake_acked_; }
+
+  /// Whether the current connection's handshake negotiated CRC-32C
+  /// frame integrity / liveness heartbeats.
+  bool CrcNegotiated() const { return crc_negotiated_; }
+  bool LivenessNegotiated() const { return live_negotiated_; }
+
+  /// Active liveness probe: one kPing/kPong round trip under
+  /// `timeout_ms` (<= 0 uses the connect timeout). kFailedPrecondition
+  /// unless the connection negotiated "live"; kUnavailable when the
+  /// peer is gone, half-open, or draining — the connection is dropped
+  /// and the next Call reconnects.
+  Status Ping(double timeout_ms = 0.0);
   void SetNextCallTrace(uint64_t trace_id, uint64_t span_id) override {
     next_trace_id_ = trace_id;
     next_span_id_ = span_id;
@@ -141,6 +170,11 @@ class TcpWsClient final : public WsCallTransport {
   /// Reset on every (re)connect; a downgrade to the legacy path
   /// disables tracing along with the codec.
   bool trace_negotiated_ = false;
+  /// Per-connection negotiated features (reset like trace_negotiated_).
+  bool crc_negotiated_ = false;
+  bool live_negotiated_ = false;
+  /// Whether the current connection completed a Hello/HelloAck.
+  bool handshake_acked_ = false;
   /// Trace identity stamped on the next Call's request frame.
   uint64_t next_trace_id_ = 0;
   uint64_t next_span_id_ = 0;

@@ -102,6 +102,8 @@ HelloAckParts ParseHelloAck(std::string_view payload) {
                                       ? std::string_view::npos
                                       : next - start - 1);
     if (token == kTraceFeatureToken) parts.trace = true;
+    if (token == kCrcFeatureToken) parts.crc = true;
+    if (token == kLiveFeatureToken) parts.live = true;
     start = next;
   }
   return parts;

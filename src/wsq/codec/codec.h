@@ -108,14 +108,27 @@ CodecKind NegotiateCodec(std::string_view advertised, CodecKind server_max);
 /// The trace-context propagation feature (frame-header extension).
 inline constexpr std::string_view kTraceFeatureToken = "trace";
 
+/// The CRC-32C frame-integrity feature: once negotiated, every frame on
+/// the connection carries a checksum trailer (net::kFrameFlagCrc) and
+/// both ends verify it.
+inline constexpr std::string_view kCrcFeatureToken = "crc";
+
+/// The liveness feature: both ends may send kPing/kPong heartbeats and
+/// the server may announce graceful drain with kGoaway. Gated behind
+/// negotiation because a legacy peer rejects the unknown frame types.
+inline constexpr std::string_view kLiveFeatureToken = "live";
+
 /// True when the Hello's comma-separated list contains `feature`.
 bool AdvertisesFeature(std::string_view advertised, std::string_view feature);
 
 /// Splits a HelloAck payload into the codec name and its "+"-suffixed
 /// feature tokens: "binary+trace" -> {"binary", has "trace"}.
+/// ("binary+crc+live" -> {"binary", crc, live}.)
 struct HelloAckParts {
   std::string_view codec_name;
   bool trace = false;
+  bool crc = false;
+  bool live = false;
 };
 HelloAckParts ParseHelloAck(std::string_view payload);
 

@@ -1,0 +1,96 @@
+#include "wsq/fault/net_fault_plan.h"
+
+namespace wsq {
+
+bool NetFaultPlan::empty() const {
+  return latency_ms == 0.0 && jitter_ms == 0.0 &&
+         bandwidth_bytes_per_sec == 0.0 && trickle_bytes == 0 &&
+         reset_after_bytes < 0 && blackhole_connections == 0 &&
+         (drop_direction == NetDropDirection::kNone ||
+          drop_connections == 0) &&
+         corrupt_probability == 0.0;
+}
+
+Status NetFaultPlan::Validate() const {
+  if (latency_ms < 0.0 || jitter_ms < 0.0) {
+    return Status::InvalidArgument("net fault plan '" + name +
+                                   "': latency/jitter must be >= 0");
+  }
+  if (bandwidth_bytes_per_sec < 0.0) {
+    return Status::InvalidArgument("net fault plan '" + name +
+                                   "': bandwidth cap must be >= 0");
+  }
+  if (trickle_bytes > 0 && trickle_interval_ms < 0.0) {
+    return Status::InvalidArgument("net fault plan '" + name +
+                                   "': trickle interval must be >= 0");
+  }
+  if (max_resets < 0 || blackhole_connections < 0 || drop_connections < 0 ||
+      corrupt_max < 0) {
+    return Status::InvalidArgument("net fault plan '" + name +
+                                   "': budgets must be >= 0");
+  }
+  if (corrupt_probability < 0.0 || corrupt_probability > 1.0) {
+    return Status::InvalidArgument(
+        "net fault plan '" + name +
+        "': corrupt probability must be in [0, 1]");
+  }
+  if (drop_connections > 0 && drop_direction == NetDropDirection::kNone) {
+    return Status::InvalidArgument(
+        "net fault plan '" + name +
+        "': drop_connections set but drop_direction is none");
+  }
+  return Status::Ok();
+}
+
+Result<NetFaultPlan> NetFaultPlan::FromName(std::string_view name) {
+  NetFaultPlan plan;
+  plan.name = std::string(name);
+  if (name == "none") {
+    return plan;
+  }
+  if (name == "latency") {
+    plan.latency_ms = 15.0;
+    plan.jitter_ms = 10.0;
+    return plan;
+  }
+  if (name == "bandwidth") {
+    plan.bandwidth_bytes_per_sec = 64.0 * 1024.0;
+    return plan;
+  }
+  if (name == "trickle") {
+    plan.trickle_bytes = 512;
+    plan.trickle_interval_ms = 2.0;
+    return plan;
+  }
+  if (name == "reset") {
+    // Lands mid-frame for any multi-KiB block response; the budget
+    // guarantees the retry path eventually relays clean.
+    plan.reset_after_bytes = 6000;
+    plan.max_resets = 4;
+    return plan;
+  }
+  if (name == "blackhole") {
+    plan.blackhole_connections = 2;
+    return plan;
+  }
+  if (name == "halfopen") {
+    plan.drop_direction = NetDropDirection::kToClient;
+    plan.drop_connections = 2;
+    return plan;
+  }
+  if (name == "corrupt") {
+    plan.corrupt_probability = 0.2;
+    plan.corrupt_max = 6;
+    plan.corrupt_skip_bytes = 512;
+    return plan;
+  }
+  return Status::InvalidArgument("unknown net fault plan '" +
+                                 std::string(name) + "'");
+}
+
+std::vector<std::string> NetFaultPlan::KnownNames() {
+  return {"none",      "latency",  "bandwidth", "trickle",
+          "reset",     "blackhole", "halfopen",  "corrupt"};
+}
+
+}  // namespace wsq

@@ -1,0 +1,122 @@
+#ifndef WSQ_FAULT_NET_FAULT_PLAN_H_
+#define WSQ_FAULT_NET_FAULT_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "wsq/common/status.h"
+
+namespace wsq {
+
+/// Which direction of a proxied connection a half-open fault silences.
+enum class NetDropDirection : uint8_t {
+  kNone = 0,
+  /// Client→server bytes vanish: the server never sees the request; the
+  /// client's deadline fires.
+  kToUpstream,
+  /// Server→client bytes vanish: the server answers into the void; the
+  /// client's deadline fires while the server believes all is well — the
+  /// classic half-open connection.
+  kToClient,
+};
+
+/// A deterministic, seedable schedule of *transport* faults, injected by
+/// net::ChaosProxy below the framing layer — the byte-stream sibling of
+/// fault::FaultPlan (which scripts application-level exchange faults).
+/// Where FaultPlan decides "this exchange fails", a NetFaultPlan decides
+/// "these bytes arrive late / garbled / never", and the protocol has to
+/// discover that for itself: that is exactly the class of failure the
+/// CRC, heartbeat, and deadline machinery exists to convert into
+/// retryable faults.
+///
+/// All knobs default off; an empty plan makes the proxy a transparent
+/// byte-identical relay. Failure knobs carry *budgets* (max counts,
+/// first-N-connections scopes) so a conformance query behind the proxy
+/// deterministically completes once the budget is spent — mirroring
+/// FaultSpec::faults_per_block's "a bounded retry budget can always
+/// drain the burst" contract.
+struct NetFaultPlan {
+  /// Display name ("latency", "trickle", ... or "custom").
+  std::string name = "custom";
+
+  /// Plan-level seed for the proxy's RNG stream (jitter draws,
+  /// corruption positions). Same plan + same traffic ⇒ same faults.
+  uint64_t seed = 0;
+
+  /// --- Perturbations (both directions, all connections) -------------
+
+  /// Base added latency per forwarded chunk, plus a uniform jitter in
+  /// [0, jitter_ms). Models WAN propagation + queueing delay.
+  double latency_ms = 0.0;
+  double jitter_ms = 0.0;
+
+  /// Bandwidth cap in bytes/second (0 = unlimited): each pipe meters
+  /// its release times so sustained throughput never exceeds the cap.
+  double bandwidth_bytes_per_sec = 0.0;
+
+  /// Slow-loris trickle: forwarded data is re-chunked into pieces of at
+  /// most `trickle_bytes`, released `trickle_interval_ms` apart
+  /// (trickle_bytes = 0 disables). Exercises every partial-read path in
+  /// the framing layer.
+  size_t trickle_bytes = 0;
+  double trickle_interval_ms = 0.0;
+
+  /// --- Failures (budgeted) ------------------------------------------
+
+  /// After a connection has relayed this many bytes (both directions
+  /// combined), both sides are reset hard (RST, not FIN) — landing
+  /// mid-frame for any realistic frame size. -1 disables.
+  int64_t reset_after_bytes = -1;
+  /// Total RSTs the proxy may inject across its lifetime (0 = no limit
+  /// while reset_after_bytes is set). Once spent, connections relay
+  /// cleanly — the retry path is guaranteed to eventually win.
+  int max_resets = 0;
+
+  /// The first N accepted connections are black holes: accepted, never
+  /// connected upstream, all client bytes silently discarded, nothing
+  /// ever written back. The client's only defense is its deadline.
+  int blackhole_connections = 0;
+
+  /// The first N accepted connections after the blackhole budget have
+  /// `drop_direction` silenced (half-open); later connections relay
+  /// both ways.
+  NetDropDirection drop_direction = NetDropDirection::kNone;
+  int drop_connections = 0;
+
+  /// Per-forwarded-chunk probability of flipping one byte (position and
+  /// value drawn from the seeded stream).
+  double corrupt_probability = 0.0;
+  /// Total corruptions budget across the proxy lifetime (0 = no limit
+  /// while corrupt_probability > 0).
+  int corrupt_max = 0;
+  /// Leave the first N bytes of each direction of each connection
+  /// intact — a handshake window, so corruption exercises the CRC-
+  /// protected data phase rather than the (un-checksummed) Hello
+  /// exchange whose garbling would be indistinguishable from a
+  /// non-wsq peer.
+  size_t corrupt_skip_bytes = 0;
+
+  bool empty() const;
+
+  /// Validates ranges (probabilities in [0,1], non-negative budgets and
+  /// delays). The proxy calls this at Start().
+  Status Validate() const;
+
+  /// Looks up a named preset: "none" (transparent relay), "latency"
+  /// (WAN delay + jitter), "bandwidth" (64 KiB/s cap), "trickle"
+  /// (slow-loris), "reset" (mid-frame RSTs, budget 4), "blackhole"
+  /// (first 2 connections accepted-then-silent), "halfopen" (first 2
+  /// connections lose the server→client direction), "corrupt"
+  /// (probabilistic byte flips, budget 6, handshake window skipped).
+  static Result<NetFaultPlan> FromName(std::string_view name);
+
+  /// The preset names FromName accepts, for --help text.
+  static std::vector<std::string> KnownNames();
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_FAULT_NET_FAULT_PLAN_H_

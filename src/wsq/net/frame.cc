@@ -4,6 +4,7 @@
 #include <cstring>
 #include <string_view>
 
+#include "wsq/net/crc32c.h"
 #include "wsq/obs/metrics.h"
 
 namespace wsq::net {
@@ -38,6 +39,12 @@ Counter& ShortWritesCounter() {
   return *counter;
 }
 
+Counter& CrcFailuresCounter() {
+  static Counter* counter =
+      MetricsRegistry::Global().GetCounter("wsq.net.crc_failures");
+  return *counter;
+}
+
 void PutU32(char* out, uint32_t v) {
   out[0] = static_cast<char>((v >> 24) & 0xff);
   out[1] = static_cast<char>((v >> 16) & 0xff);
@@ -64,6 +71,9 @@ uint64_t GetU64(const char* in) {
 
 constexpr std::string_view kCleanCloseMessage = "connection closed by peer";
 
+constexpr std::string_view kChecksumMismatchMessage =
+    "frame checksum mismatch (corrupted on the wire)";
+
 }  // namespace
 
 Status ReadExact(ByteStream& stream, void* buf, size_t len) {
@@ -88,6 +98,11 @@ bool IsCleanClose(const Status& status) {
          status.message() == kCleanCloseMessage;
 }
 
+bool IsChecksumMismatch(const Status& status) {
+  return status.code() == StatusCode::kUnavailable &&
+         status.message() == kChecksumMismatchMessage;
+}
+
 Status WriteAll(ByteStream& stream, const void* buf, size_t len) {
   const char* in = static_cast<const char*>(buf);
   size_t put = 0;
@@ -104,14 +119,16 @@ Status WriteAll(ByteStream& stream, const void* buf, size_t len) {
 }
 
 void EncodeFrameHeader(const Frame& frame, char out[kFrameHeaderBytes]) {
-  uint8_t flags = frame.flags &
-                  static_cast<uint8_t>(
-                      ~(kFrameFlagTraceContext | kFrameFlagServerSpans));
+  uint8_t flags =
+      frame.flags &
+      static_cast<uint8_t>(~(kFrameFlagTraceContext | kFrameFlagServerSpans |
+                             kFrameFlagCrc));
   if (frame.has_trace) {
     flags |= kFrameFlagTraceContext;
     // Spans never travel without the context that parents them.
     if (!frame.span_block.empty()) flags |= kFrameFlagServerSpans;
   }
+  if (frame.has_crc) flags |= kFrameFlagCrc;
   PutU32(out, kFrameMagic);
   out[4] = static_cast<char>(frame.type);
   out[5] = static_cast<char>(flags);
@@ -131,7 +148,10 @@ Result<FrameHeader> DecodeFrameHeader(const char in[kFrameHeaderBytes]) {
       type != static_cast<uint8_t>(FrameType::kHello) &&
       type != static_cast<uint8_t>(FrameType::kHelloAck) &&
       type != static_cast<uint8_t>(FrameType::kStats) &&
-      type != static_cast<uint8_t>(FrameType::kStatsAck)) {
+      type != static_cast<uint8_t>(FrameType::kStatsAck) &&
+      type != static_cast<uint8_t>(FrameType::kPing) &&
+      type != static_cast<uint8_t>(FrameType::kPong) &&
+      type != static_cast<uint8_t>(FrameType::kGoaway)) {
     return Status::InvalidArgument("unknown frame type " +
                                    std::to_string(type));
   }
@@ -160,6 +180,11 @@ Result<Frame> ReadFrame(ByteStream& stream) {
   Result<FrameHeader> header = DecodeFrameHeader(raw);
   if (!header.ok()) return header.status();
 
+  // CRC accumulates over the raw bytes exactly as transmitted, so the
+  // trailer is comparable regardless of which extensions travelled.
+  const bool checked = (header.value().flags & kFrameFlagCrc) != 0;
+  uint32_t crc = checked ? Crc32cExtend(0, raw, sizeof(raw)) : 0;
+
   Frame frame;
   frame.type = header.value().type;
   frame.flags = header.value().flags;
@@ -167,12 +192,14 @@ Result<Frame> ReadFrame(ByteStream& stream) {
   if ((header.value().flags & kFrameFlagTraceContext) != 0) {
     char ext[kTraceContextBytes];
     WSQ_RETURN_IF_ERROR(ReadExact(stream, ext, sizeof(ext)));
+    if (checked) crc = Crc32cExtend(crc, ext, sizeof(ext));
     frame.has_trace = true;
     frame.trace = DecodeTraceContext(ext);
   }
   if ((header.value().flags & kFrameFlagServerSpans) != 0) {
     char len_raw[4];
     WSQ_RETURN_IF_ERROR(ReadExact(stream, len_raw, sizeof(len_raw)));
+    if (checked) crc = Crc32cExtend(crc, len_raw, sizeof(len_raw));
     const uint32_t span_len = GetU32(len_raw);
     if (span_len > kMaxRemoteSpanBytes) {
       return Status::InvalidArgument(
@@ -184,12 +211,28 @@ Result<Frame> ReadFrame(ByteStream& stream) {
     if (span_len > 0) {
       WSQ_RETURN_IF_ERROR(
           ReadExact(stream, frame.span_block.data(), frame.span_block.size()));
+      if (checked) {
+        crc = Crc32cExtend(crc, frame.span_block.data(),
+                           frame.span_block.size());
+      }
     }
   }
   frame.payload.resize(header.value().payload_len);
   if (header.value().payload_len > 0) {
     WSQ_RETURN_IF_ERROR(
         ReadExact(stream, frame.payload.data(), frame.payload.size()));
+    if (checked) {
+      crc = Crc32cExtend(crc, frame.payload.data(), frame.payload.size());
+    }
+  }
+  if (checked) {
+    char trailer[kFrameCrcBytes];
+    WSQ_RETURN_IF_ERROR(ReadExact(stream, trailer, sizeof(trailer)));
+    if (GetU32(trailer) != crc) {
+      CrcFailuresCounter().Increment();
+      return Status::Unavailable(std::string(kChecksumMismatchMessage));
+    }
+    frame.has_crc = true;
   }
   FramesReadCounter().Increment();
   return frame;
@@ -208,6 +251,7 @@ Status AppendFrameBytes(const Frame& frame, std::string* out) {
         "-byte span block (limit " + std::to_string(kMaxRemoteSpanBytes) +
         ")");
   }
+  const size_t start = out->size();
   char raw[kFrameHeaderBytes];
   EncodeFrameHeader(frame, raw);
   out->append(raw, sizeof(raw));
@@ -223,6 +267,11 @@ Status AppendFrameBytes(const Frame& frame, std::string* out) {
     }
   }
   out->append(frame.payload);
+  if (frame.has_crc) {
+    char trailer[kFrameCrcBytes];
+    PutU32(trailer, Crc32c(out->data() + start, out->size() - start));
+    out->append(trailer, sizeof(trailer));
+  }
   FramesWrittenCounter().Increment();
   return Status::Ok();
 }
@@ -233,23 +282,45 @@ void FrameParser::BeginFrame() {
   frame_ = Frame();
   flags_ = 0;
   payload_len_ = 0;
+  crc_ = 0;
 }
 
 Status FrameParser::Step(const char* bytes, std::vector<Frame>* out) {
   // `bytes` is exactly need_ bytes of the current phase. Transitions
   // follow the wire order: header, trace context, span length, span
-  // block, payload — skipping the extensions the flags do not announce.
-  const auto enter_payload = [this, out] {
+  // block, payload, crc trailer — skipping the extensions the flags do
+  // not announce.
+  const auto emit = [this, out] {
+    FramesReadCounter().Increment();
+    out->push_back(std::move(frame_));
+    BeginFrame();
+  };
+  const auto finish_body = [this, &emit] {
+    if ((flags_ & kFrameFlagCrc) != 0) {
+      phase_ = Phase::kCrcTrailer;
+      need_ = kFrameCrcBytes;
+      return;
+    }
+    emit();
+  };
+  const auto enter_payload = [this, &finish_body] {
     if (payload_len_ > 0) {
       phase_ = Phase::kPayload;
       need_ = payload_len_;
       frame_.payload.reserve(payload_len_);
       return;
     }
-    FramesReadCounter().Increment();
-    out->push_back(std::move(frame_));
-    BeginFrame();
+    finish_body();
   };
+  // Every body phase of a checksummed frame feeds the running CRC
+  // before being interpreted (the header feeds it below, once the flag
+  // is known; the trailer itself is never part of the sum). Unflagged
+  // frames skip the accumulation entirely — the crc-off hot path does
+  // no extra work.
+  if ((flags_ & kFrameFlagCrc) != 0 && phase_ != Phase::kHeader &&
+      phase_ != Phase::kCrcTrailer) {
+    crc_ = Crc32cExtend(crc_, bytes, need_);
+  }
   switch (phase_) {
     case Phase::kHeader: {
       Result<FrameHeader> header = DecodeFrameHeader(bytes);
@@ -259,6 +330,9 @@ Status FrameParser::Step(const char* bytes, std::vector<Frame>* out) {
       frame_.service_micros = header.value().service_micros;
       flags_ = header.value().flags;
       payload_len_ = header.value().payload_len;
+      if ((flags_ & kFrameFlagCrc) != 0) {
+        crc_ = Crc32cExtend(0, bytes, kFrameHeaderBytes);
+      }
       if ((flags_ & kFrameFlagTraceContext) != 0) {
         phase_ = Phase::kTraceContext;
         need_ = kTraceContextBytes;
@@ -302,9 +376,16 @@ Status FrameParser::Step(const char* bytes, std::vector<Frame>* out) {
     }
     case Phase::kPayload: {
       frame_.payload.assign(bytes, need_);
-      FramesReadCounter().Increment();
-      out->push_back(std::move(frame_));
-      BeginFrame();
+      finish_body();
+      return Status::Ok();
+    }
+    case Phase::kCrcTrailer: {
+      if (GetU32(bytes) != crc_) {
+        CrcFailuresCounter().Increment();
+        return Status::Unavailable(std::string(kChecksumMismatchMessage));
+      }
+      frame_.has_crc = true;
+      emit();
       return Status::Ok();
     }
   }
@@ -358,24 +439,42 @@ Status WriteFrame(ByteStream& stream, const Frame& frame) {
         "-byte span block (limit " + std::to_string(kMaxRemoteSpanBytes) +
         ")");
   }
+  // The CRC accumulates piece by piece as the scattered writes go out —
+  // no staging copy of the payload just to checksum it.
+  uint32_t crc = 0;
   char raw[kFrameHeaderBytes];
   EncodeFrameHeader(frame, raw);
   WSQ_RETURN_IF_ERROR(WriteAll(stream, raw, sizeof(raw)));
+  if (frame.has_crc) crc = Crc32cExtend(crc, raw, sizeof(raw));
   if (frame.has_trace) {
     char ext[kTraceContextBytes];
     EncodeTraceContext(frame.trace, ext);
     WSQ_RETURN_IF_ERROR(WriteAll(stream, ext, sizeof(ext)));
+    if (frame.has_crc) crc = Crc32cExtend(crc, ext, sizeof(ext));
     if (!frame.span_block.empty()) {
       char len_raw[4];
       PutU32(len_raw, static_cast<uint32_t>(frame.span_block.size()));
       WSQ_RETURN_IF_ERROR(WriteAll(stream, len_raw, sizeof(len_raw)));
       WSQ_RETURN_IF_ERROR(WriteAll(stream, frame.span_block.data(),
                                    frame.span_block.size()));
+      if (frame.has_crc) {
+        crc = Crc32cExtend(crc, len_raw, sizeof(len_raw));
+        crc = Crc32cExtend(crc, frame.span_block.data(),
+                           frame.span_block.size());
+      }
     }
   }
   if (!frame.payload.empty()) {
     WSQ_RETURN_IF_ERROR(
         WriteAll(stream, frame.payload.data(), frame.payload.size()));
+    if (frame.has_crc) {
+      crc = Crc32cExtend(crc, frame.payload.data(), frame.payload.size());
+    }
+  }
+  if (frame.has_crc) {
+    char trailer[kFrameCrcBytes];
+    PutU32(trailer, crc);
+    WSQ_RETURN_IF_ERROR(WriteAll(stream, trailer, sizeof(trailer)));
   }
   FramesWrittenCounter().Increment();
   return Status::Ok();

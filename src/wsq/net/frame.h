@@ -67,6 +67,17 @@ enum class FrameType : uint8_t {
   /// did not exist), so accepting it costs them nothing.
   kStats = 5,
   kStatsAck = 6,
+  /// Liveness probe (empty payload): either side may send one; the peer
+  /// answers with kPong. Only sent on connections whose handshake
+  /// negotiated the "live" feature — a legacy peer would reject the
+  /// unknown type as a protocol error and poison the connection.
+  kPing = 7,
+  kPong = 8,
+  /// Graceful-shutdown notice (empty payload): a draining server tells
+  /// an idle client the connection is going away; the client treats it
+  /// as a retryable close and reconnects elsewhere/later. "live"-gated
+  /// like kPing.
+  kGoaway = 9,
 };
 
 /// Response flag: the payload is a SOAP fault envelope (the service
@@ -90,6 +101,13 @@ inline constexpr uint8_t kFrameFlagTraceContext = 0x04;
 /// kFrameFlagTraceContext; a frame with spans but no context is
 /// structurally invalid.
 inline constexpr uint8_t kFrameFlagServerSpans = 0x08;
+/// The frame is followed by a 4-byte CRC-32C trailer covering every
+/// preceding byte of the frame as transmitted (header, extensions,
+/// payload). Only set on connections whose handshake negotiated the
+/// "crc" feature — the crc-off wire stays byte-identical to the
+/// pre-checksum protocol. The flag is self-describing: a receiver
+/// verifies any frame that carries it, negotiated or not.
+inline constexpr uint8_t kFrameFlagCrc = 0x10;
 
 /// "WSQ1" — the protocol magic leading every frame. A peer that opens
 /// with anything else is not speaking this protocol; reject, don't
@@ -99,6 +117,9 @@ inline constexpr uint32_t kFrameMagic = 0x57535131;
 /// Fixed header size: magic(4) type(1) flags(2:1 reserved) payload
 /// length(4) service time(8).
 inline constexpr size_t kFrameHeaderBytes = 20;
+
+/// Size of the CRC-32C trailer announced by kFrameFlagCrc.
+inline constexpr size_t kFrameCrcBytes = 4;
 
 /// Oversized-frame guard: a header announcing a payload beyond this is
 /// rejected before any allocation — one malformed (or hostile) length
@@ -123,7 +144,19 @@ struct Frame {
   /// Span-block extension (kFrameFlagServerSpans): raw EncodeRemoteSpans
   /// bytes, empty = no extension. Responses only by convention.
   std::string span_block;
+  /// CRC trailer (kFrameFlagCrc). WriteFrame/AppendFrameBytes emit the
+  /// trailer when `has_crc` is set; readers set `has_crc` from the
+  /// received flags after verifying the checksum.
+  bool has_crc = false;
 };
+
+/// True when `status` is the checksum-mismatch signal the framing layer
+/// emits for a frame whose CRC trailer did not match its bytes. Carried
+/// as kUnavailable: corruption on the wire is an ambient transient —
+/// the retry path treats it exactly like a dropped connection, never
+/// like a protocol bug. Centralized next to the producer so callers and
+/// tests never string-match.
+bool IsChecksumMismatch(const Status& status);
 
 /// Serializes the fixed header for `frame` into `out` (network byte
 /// order throughout). Flags for the trace/span extensions are derived
@@ -196,6 +229,7 @@ class FrameParser {
     kSpanLength,
     kSpanBlock,
     kPayload,
+    kCrcTrailer,
   };
 
   /// Finishes the current phase from buffer_[cursor..], transitioning
@@ -210,6 +244,9 @@ class FrameParser {
   Frame frame_;
   uint8_t flags_ = 0;
   uint32_t payload_len_ = 0;
+  /// Running CRC-32C over every wire byte of the frame in progress
+  /// (accumulated per phase; compared against the trailer at the end).
+  uint32_t crc_ = 0;
   Status error_ = Status::Ok();
 };
 

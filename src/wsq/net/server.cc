@@ -46,6 +46,10 @@ constexpr int kMaxReadsPerEvent = 8;
 /// dispatch before it is considered abusive and dropped.
 constexpr size_t kMaxPendingFrames = 1024;
 
+/// Housekeeping cadence floor: under load the loop iterates far faster
+/// than the idle tick, and the idle/drain/TTL sweeps are O(conns).
+constexpr int64_t kHousekeepingIntervalMicros = 50 * 1000;
+
 }  // namespace
 
 WsqServer::WsqServer(ServiceContainer* container, WsqServerOptions options)
@@ -80,6 +84,8 @@ Status WsqServer::Start() {
 
   admission_ = std::make_unique<AdmissionController>(options_.admission);
   pool_ = std::make_unique<exec::ThreadPool>(options_.worker_threads);
+  draining_.store(false);
+  last_housekeeping_micros_ = 0;
   running_.store(true);
   loop_thread_ = std::thread([this] { EventLoop(); });
   return Status::Ok();
@@ -98,6 +104,31 @@ void WsqServer::Stop() {
     completions_.clear();
   }
   dispatch_inflight_.store(0);
+  draining_.store(false);
+}
+
+void WsqServer::BeginDrain() {
+  if (!running_.load()) return;
+  draining_.store(true);
+  if (wakeup_) wakeup_->Signal();
+}
+
+bool WsqServer::Drain(double timeout_s) {
+  if (!running_.load()) return true;
+  BeginDrain();
+  const int64_t deadline =
+      WallClock().NowMicros() + static_cast<int64_t>(timeout_s * 1'000'000.0);
+  bool clean = false;
+  for (;;) {
+    if (live_connections_.load() == 0 && dispatch_inflight_.load() == 0) {
+      clean = true;
+      break;
+    }
+    if (WallClock().NowMicros() >= deadline) break;
+    SleepMs(5.0);
+  }
+  Stop();
+  return clean;
 }
 
 void WsqServer::EventLoop() {
@@ -119,6 +150,7 @@ void WsqServer::EventLoop() {
       HandleConnEvent(tag, events[i].events);
     }
     DrainCompletions();
+    Housekeeping();
   }
   // Teardown belongs to the loop thread, the connections' only owner.
   // A graceful close sends FIN, which is exactly what wakes a client
@@ -164,6 +196,7 @@ void WsqServer::AcceptReady() {
     conn->rejecting = decision != AdmitDecision::kAdmit;
     conn->alive = std::make_shared<std::atomic<bool>>(true);
     conn->interest = EPOLLIN | EPOLLRDHUP;
+    conn->last_activity_micros = WallClock().NowMicros();
     const int64_t id = next_connection_id_++;
     conn->id = id;
     if (!epoll_->Add(fd, conn->interest, static_cast<uint64_t>(id)).ok()) {
@@ -221,6 +254,8 @@ void WsqServer::ReadReady(Connection& conn) {
   for (int round = 0; round < kMaxReadsPerEvent && !conn.dead; ++round) {
     const ssize_t n = ::recv(conn.socket.fd(), buf, sizeof(buf), 0);
     if (n > 0) {
+      conn.last_activity_micros = WallClock().NowMicros();
+      conn.ping_pending = false;
       std::vector<Frame> frames;
       const Status st =
           conn.parser.Consume(buf, static_cast<size_t>(n), &frames);
@@ -260,6 +295,21 @@ void WsqServer::ReadReady(Connection& conn) {
 
 void WsqServer::ProcessFrame(Connection& conn, Frame frame) {
   if (conn.close_after_flush) return;  // already saying goodbye
+  // Liveness control frames bypass the dispatch queue entirely: a
+  // heartbeat must answer even while a long dispatch is in flight, or
+  // the probe would measure queue depth instead of liveness.
+  if (frame.type == FrameType::kPing) {
+    Frame pong;
+    pong.type = FrameType::kPong;
+    SendFrame(conn, std::move(pong));
+    return;
+  }
+  if (frame.type == FrameType::kPong) return;  // ReadReady cleared the flag
+  if (frame.type == FrameType::kGoaway) {
+    // The peer is going away; finish the goodbye with a plain FIN.
+    MarkDead(conn, /*hard=*/false);
+    return;
+  }
   if (conn.dispatch_inflight || !conn.pending.empty()) {
     if (conn.pending.size() >= kMaxPendingFrames) {
       MarkDead(conn, /*hard=*/false);
@@ -289,7 +339,20 @@ void WsqServer::HandleFrameNow(Connection& conn, Frame frame) {
       ack.payload += '+';
       ack.payload += codec::kTraceFeatureToken;
     }
-    SendFrame(conn, ack);
+    // crc/live flip on *before* the ack goes out, so the ack itself is
+    // integrity-protected — safe, because only a peer that advertised
+    // the token (and so parses flagged frames) ever sees it.
+    if (codec::AdvertisesFeature(frame.payload, codec::kCrcFeatureToken)) {
+      conn.crc_negotiated = true;
+      ack.payload += '+';
+      ack.payload += codec::kCrcFeatureToken;
+    }
+    if (codec::AdvertisesFeature(frame.payload, codec::kLiveFeatureToken)) {
+      conn.live_negotiated = true;
+      ack.payload += '+';
+      ack.payload += codec::kLiveFeatureToken;
+    }
+    SendFrame(conn, std::move(ack));
     return;
   }
   if (frame.type == FrameType::kStats) {
@@ -297,7 +360,7 @@ void WsqServer::HandleFrameNow(Connection& conn, Frame frame) {
     Frame ack;
     ack.type = FrameType::kStatsAck;
     ack.payload = StatsJson();
-    SendFrame(conn, ack);
+    SendFrame(conn, std::move(ack));
     return;
   }
   if (frame.type != FrameType::kRequest) {
@@ -314,6 +377,14 @@ void WsqServer::HandleRequestFrame(Connection& conn, Frame frame) {
     // was still answered normally above — a fault there would read as
     // a legacy-server signal and wrongly downgrade the client to SOAP.)
     SendBackpressureFault(conn, "connection rejected (admission control)");
+    conn.close_after_flush = true;
+    return;
+  }
+  if (draining_.load()) {
+    // Draining: in-flight work finishes, new work does not start. The
+    // retryable fault sends the client back to reconnect — which the
+    // closed listener refuses until the restarted server takes over.
+    SendBackpressureFault(conn, "server draining (restart in progress)");
     conn.close_after_flush = true;
     return;
   }
@@ -343,7 +414,8 @@ void WsqServer::HandleRequestFrame(Connection& conn, Frame frame) {
   });
 }
 
-void WsqServer::SendFrame(Connection& conn, const Frame& frame) {
+void WsqServer::SendFrame(Connection& conn, Frame frame) {
+  frame.has_crc = conn.crc_negotiated;
   if (!AppendFrameBytes(frame, &conn.write_buf).ok()) {
     MarkDead(conn, /*hard=*/false);
   }
@@ -357,7 +429,7 @@ void WsqServer::SendBackpressureFault(Connection& conn,
   // session cursor did not move — exactly like an injected chaos fault.
   response.flags = kFrameFlagSoapFault | kFrameFlagTransientFault;
   response.payload = BuildFaultEnvelope({"Server", detail});
-  SendFrame(conn, response);
+  SendFrame(conn, std::move(response));
 }
 
 void WsqServer::FlushWrites(Connection& conn) {
@@ -430,7 +502,9 @@ void WsqServer::DrainCompletions() {
     conn.dispatch_inflight = false;
     switch (completion.outcome) {
       case ExchangeOutcome::kContinue:
-        if (completion.has_response) SendFrame(conn, completion.response);
+        if (completion.has_response) {
+          SendFrame(conn, std::move(completion.response));
+        }
         break;
       case ExchangeOutcome::kClose:
         MarkDead(conn, /*hard=*/false);
@@ -450,19 +524,121 @@ void WsqServer::DrainCompletions() {
   }
 }
 
-WsqServer::SessionFaultState* WsqServer::FaultStateForSession(
+void WsqServer::Housekeeping() {
+  const int64_t now = WallClock().NowMicros();
+  if (now - last_housekeeping_micros_ < kHousekeepingIntervalMicros) return;
+  last_housekeeping_micros_ = now;
+
+  const bool draining = draining_.load();
+  if (draining && listener_.valid()) {
+    // Stop accepting first: a drain must be a shrinking set.
+    epoll_->Remove(listener_.fd());
+    listener_.Close();
+  }
+
+  const int64_t idle_timeout_micros =
+      static_cast<int64_t>(options_.idle_timeout_ms * 1000.0);
+  if (draining || idle_timeout_micros > 0) {
+    std::vector<int64_t> touched;
+    for (auto& [id, conn_ptr] : conns_) {
+      Connection& conn = *conn_ptr;
+      if (conn.dead || conn.close_after_flush) continue;
+      const bool busy = conn.dispatch_inflight || !conn.pending.empty() ||
+                        conn.write_buf.size() - conn.write_cursor > 0;
+      if (draining) {
+        // In-flight work finishes; the moment a connection goes quiet
+        // it gets its goodbye — explicit kGoaway for a "live" peer
+        // (mapped to retryable kUnavailable), plain FIN otherwise
+        // (same client-side observable).
+        if (busy) continue;
+        if (conn.live_negotiated) {
+          Frame goaway;
+          goaway.type = FrameType::kGoaway;
+          SendFrame(conn, std::move(goaway));
+          goaways_sent_.fetch_add(1);
+          conn.close_after_flush = true;
+        } else {
+          conn.alive->store(false);
+          MarkDead(conn, /*hard=*/false);
+        }
+        touched.push_back(id);
+        continue;
+      }
+      if (busy) {
+        // An in-flight dispatch (possibly a long simulated service
+        // sleep) is proof of life; don't let the probe clock run.
+        conn.last_activity_micros = now;
+        continue;
+      }
+      const int64_t idle = now - conn.last_activity_micros;
+      if (idle >= idle_timeout_micros) {
+        // Half-open (or just dead quiet past the budget): evict. For a
+        // "live" peer this fires only after an unanswered ping.
+        idle_evicted_.fetch_add(1);
+        conn.alive->store(false);
+        MarkDead(conn, /*hard=*/false);
+        touched.push_back(id);
+      } else if (conn.live_negotiated && !conn.ping_pending &&
+                 idle >= idle_timeout_micros / 2) {
+        Frame ping;
+        ping.type = FrameType::kPing;
+        SendFrame(conn, std::move(ping));
+        pings_sent_.fetch_add(1);
+        conn.ping_pending = true;
+        touched.push_back(id);
+      }
+    }
+    for (int64_t id : touched) FinishConn(id);
+  }
+
+  const int64_t ttl_micros =
+      static_cast<int64_t>(options_.session_ttl_ms * 1000.0);
+  if (ttl_micros > 0) {
+    int64_t evicted = 0;
+    {
+      // Same serialization rule as Dispatch — the container is
+      // single-threaded by design.
+      std::lock_guard<std::mutex> lock(dispatch_mu_);
+      evicted = container_->EvictIdleSessions(now, ttl_micros);
+    }
+    if (evicted > 0) evicted_sessions_.fetch_add(evicted);
+    {
+      std::lock_guard<std::mutex> lock(fault_mu_);
+      for (auto it = session_faults_.begin(); it != session_faults_.end();) {
+        if (now - it->second->last_touch_micros >= ttl_micros) {
+          it = session_faults_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      for (auto it = session_stats_.begin(); it != session_stats_.end();) {
+        if (now - it->second.last_touch_micros >= ttl_micros) {
+          it = session_stats_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+}
+
+std::shared_ptr<WsqServer::SessionFaultState> WsqServer::FaultStateForSession(
     int64_t session_id) {
   std::lock_guard<std::mutex> lock(fault_mu_);
   auto it = session_faults_.find(session_id);
   if (it == session_faults_.end()) {
-    SessionFaultState state;
-    state.injector = std::make_unique<FaultInjector>(
+    auto state = std::make_shared<SessionFaultState>();
+    state->injector = std::make_unique<FaultInjector>(
         options_.fault_plan,
         options_.fault_seed + static_cast<uint64_t>(session_id));
-    state.start_micros = WallClock().NowMicros();
+    state->start_micros = WallClock().NowMicros();
     it = session_faults_.emplace(session_id, std::move(state)).first;
   }
-  return &it->second;  // std::map nodes are pointer-stable
+  it->second->last_touch_micros = WallClock().NowMicros();
+  return it->second;
 }
 
 int64_t WsqServer::BlockRequestSessionId(const std::string& payload) {
@@ -489,6 +665,7 @@ void WsqServer::RecordExchangeStats(int64_t session_id, size_t request_bytes,
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     SessionStats& stats = session_stats_[session_id];
+    stats.last_touch_micros = WallClock().NowMicros();
     ++stats.blocks;
     stats.bytes_in += static_cast<int64_t>(request_bytes);
     stats.bytes_out += static_cast<int64_t>(response_bytes);
@@ -524,8 +701,10 @@ WsqServer::Completion WsqServer::RunExchange(const DispatchJob& job) {
   const int64_t session_id = BlockRequestSessionId(request.payload);
 
   // Chaos targeting: only data-block exchanges are scripted (session
-  // management is never faulted — plans address data transfer).
-  SessionFaultState* state = nullptr;
+  // management is never faulted — plans address data transfer). A
+  // shared_ptr: the TTL sweep may forget the map entry mid-exchange,
+  // and this reference keeps the state alive until we're done.
+  std::shared_ptr<SessionFaultState> state;
   if (!options_.fault_plan.empty() && session_id >= 0) {
     state = FaultStateForSession(session_id);
   }
@@ -725,6 +904,12 @@ std::string WsqServer::StatsJson() {
   out += ",\"rejected_capacity\":" +
          std::to_string(connections_rejected_.load());
   out += ",\"rejected_rate\":" + std::to_string(rate_limited_.load());
+  out += ",\"draining\":";
+  out += draining_.load() ? "true" : "false";
+  out += ",\"idle_evicted\":" + std::to_string(idle_evicted_.load());
+  out += ",\"pings_sent\":" + std::to_string(pings_sent_.load());
+  out += ",\"goaways_sent\":" + std::to_string(goaways_sent_.load());
+  out += ",\"evicted_sessions\":" + std::to_string(evicted_sessions_.load());
   out += '}';
   out += ",\"codec_mix\":{\"soap\":" + std::to_string(soap_responses_.load()) +
          ",\"binary\":" + std::to_string(binary_responses_.load()) + '}';

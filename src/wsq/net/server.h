@@ -60,6 +60,17 @@ struct WsqServerOptions {
   /// reading from it (EPOLLIN paused) until the peer drains the buffer —
   /// a slow reader cannot balloon server memory.
   size_t write_buffer_limit = 4u * 1024u * 1024u;
+  /// Half-open detection (wsqd --idle-timeout-s): a connection with no
+  /// inbound bytes and no in-flight work for this long is evicted. A
+  /// "live"-negotiated connection gets a kPing at half the timeout
+  /// first, so a healthy-but-quiet peer answers and stays. 0 disables.
+  double idle_timeout_ms = 0.0;
+  /// Session TTL (wsqd --session-ttl-s): DataService sessions (cursor +
+  /// replay cache), fault-replay state, and per-session stats rollups
+  /// untouched for this long are evicted by loop housekeeping — an
+  /// abandoned client cannot strand per-session state forever. 0
+  /// disables.
+  double session_ttl_ms = 0.0;
 };
 
 /// The network frontend of the data service: accepts framed SOAP
@@ -105,6 +116,24 @@ class WsqServer {
   /// Sessions persist.
   void Stop();
 
+  /// Flips the server into draining: the listener closes (no new
+  /// connections), idle "live"-negotiated connections get a kGoaway,
+  /// legacy idle connections a plain FIN, and new requests are shed
+  /// with a retryable fault — all of which the client maps to
+  /// kUnavailable and retries through. In-flight dispatches finish and
+  /// their responses flush before the connection closes. Async;
+  /// housekeeping on the loop thread does the work.
+  void BeginDrain();
+
+  /// wsqd's SIGTERM path: BeginDrain, wait up to `timeout_s` for every
+  /// connection and dispatch to finish, then Stop. Returns true when
+  /// the drain completed cleanly within the budget (false means Stop
+  /// cut off stragglers). Sessions persist either way, so a restarted
+  /// server resumes half-finished queries exactly-once.
+  bool Drain(double timeout_s);
+
+  bool draining() const { return draining_.load(); }
+
   bool running() const { return running_.load(); }
 
   /// The bound port; 0 before the first successful Start.
@@ -127,6 +156,15 @@ class WsqServer {
   int64_t sheds() const { return sheds_.load(); }
   /// Connections currently registered with the event loop.
   int64_t live_connections() const { return live_connections_.load(); }
+  /// Connections evicted by half-open detection (idle past
+  /// --idle-timeout with no pong).
+  int64_t idle_evicted() const { return idle_evicted_.load(); }
+  /// Liveness probes sent to quiet "live"-negotiated connections.
+  int64_t pings_sent() const { return pings_sent_.load(); }
+  /// kGoaway frames sent while draining.
+  int64_t goaways_sent() const { return goaways_sent_.load(); }
+  /// DataService sessions evicted by the --session-ttl sweep.
+  int64_t evicted_sessions() const { return evicted_sessions_.load(); }
 
   /// The live stats snapshot this server answers kStats frames with (and
   /// wsqd exports via --stats-out / SIGUSR1): schema_version, frontend
@@ -144,6 +182,9 @@ class WsqServer {
     std::unique_ptr<FaultInjector> injector;
     int64_t blocks_served = 0;
     int64_t start_micros = 0;
+    /// Stamp of the last exchange that looked this state up; what the
+    /// --session-ttl sweep compares against.
+    int64_t last_touch_micros = 0;
   };
 
   /// How one served exchange ends: keep the connection, close gracefully
@@ -159,6 +200,9 @@ class WsqServer {
     int64_t bytes_out = 0;
     int64_t replay_hits = 0;
     int64_t faults = 0;
+    /// Stamp of the last exchange folded in, for the --session-ttl
+    /// sweep.
+    int64_t last_touch_micros = 0;
   };
 
   /// One live connection, owned exclusively by the loop thread (no
@@ -179,6 +223,19 @@ class WsqServer {
     /// with the previous codec when a re-Hello swaps it.
     std::shared_ptr<const codec::BlockCodec> negotiated;
     bool trace_negotiated = false;
+    /// Hello advertised "crc": every frame this server sends on the
+    /// connection carries a CRC-32C trailer, and the client's do too.
+    bool crc_negotiated = false;
+    /// Hello advertised "live": the peer understands kPing/kPong/
+    /// kGoaway, so half-open detection probes before evicting and
+    /// drain says goodbye explicitly.
+    bool live_negotiated = false;
+    /// Wall-clock stamp of the last inbound bytes (or accept); drives
+    /// the idle scan.
+    int64_t last_activity_micros = 0;
+    /// A kPing went out and no bytes have arrived since. The next
+    /// idle-timeout expiry evicts instead of probing again.
+    bool ping_pending = false;
     /// Admission verdict from accept time: a rejecting connection still
     /// answers Hello (a fault there would read as a legacy-server
     /// signal and trigger the client's SOAP downgrade) and kStats (the
@@ -230,8 +287,10 @@ class WsqServer {
   void ProcessFrame(Connection& conn, Frame frame);
   void HandleFrameNow(Connection& conn, Frame frame);
   void HandleRequestFrame(Connection& conn, Frame frame);
-  /// Serializes `frame` into the connection's write buffer.
-  void SendFrame(Connection& conn, const Frame& frame);
+  /// Serializes `frame` into the connection's write buffer, stamping
+  /// the CRC trailer when the connection negotiated "crc" (by value:
+  /// the stamp mutates the frame).
+  void SendFrame(Connection& conn, Frame frame);
   /// Appends the transient-fault frame rejected/shed exchanges are
   /// answered with (client-side: retryable kUnavailable).
   void SendBackpressureFault(Connection& conn, const std::string& detail);
@@ -242,6 +301,12 @@ class WsqServer {
   void FinishConn(int64_t id);
   void CloseConn(int64_t id, bool hard);
   void DrainCompletions();
+  /// Timer-driven upkeep, run from the loop at the tick cadence: the
+  /// drain sweep (close the listener, say goodbye to idle
+  /// connections), half-open detection (ping then evict), and the
+  /// session-TTL sweep over the container, fault-replay and stats
+  /// maps.
+  void Housekeeping();
   static void MarkDead(Connection& conn, bool hard);
 
   /// The worker-side body of one exchange: chaos injection, stalls,
@@ -250,7 +315,7 @@ class WsqServer {
   /// writing the response.
   Completion RunExchange(const DispatchJob& job);
 
-  SessionFaultState* FaultStateForSession(int64_t session_id);
+  std::shared_ptr<SessionFaultState> FaultStateForSession(int64_t session_id);
 
   /// The session id of a block request payload (binary or SOAP), or -1
   /// when the payload is anything else. Shared by chaos targeting and
@@ -273,6 +338,12 @@ class WsqServer {
   std::unique_ptr<exec::ThreadPool> pool_;
   std::unique_ptr<AdmissionController> admission_;
   std::atomic<bool> running_{false};
+  /// Drain mode (see BeginDrain). Cleared by Start and Stop, so a
+  /// drained-then-restarted server accepts again.
+  std::atomic<bool> draining_{false};
+  /// Loop-thread throttle for Housekeeping (the loop can spin far
+  /// faster than the tick under load).
+  int64_t last_housekeeping_micros_ = 0;
 
   /// Loop-thread state: the connection table and id allocator. No mutex
   /// by design — single-owner, which is what keeps the loop TSan-clean.
@@ -288,8 +359,11 @@ class WsqServer {
 
   /// Session-keyed fault replay state (guarded by fault_mu_). Entries
   /// outlive connections deliberately — see WsqServerOptions::fault_plan.
+  /// shared_ptr values so the TTL sweep can evict an entry while a
+  /// worker still holds its state across an exchange (the worker's
+  /// reference keeps the node alive; the map just forgets it).
   std::mutex fault_mu_;
-  std::map<int64_t, SessionFaultState> session_faults_;
+  std::map<int64_t, std::shared_ptr<SessionFaultState>> session_faults_;
 
   std::atomic<int64_t> connections_accepted_{0};
   std::atomic<int64_t> exchanges_served_{0};
@@ -301,6 +375,10 @@ class WsqServer {
   std::atomic<int64_t> rate_limited_{0};
   std::atomic<int64_t> sheds_{0};
   std::atomic<int64_t> live_connections_{0};
+  std::atomic<int64_t> idle_evicted_{0};
+  std::atomic<int64_t> pings_sent_{0};
+  std::atomic<int64_t> goaways_sent_{0};
+  std::atomic<int64_t> evicted_sessions_{0};
   /// Dispatches submitted but not yet drained (queued + executing) —
   /// the load signal the shed watermark compares against.
   std::atomic<int64_t> dispatch_inflight_{0};

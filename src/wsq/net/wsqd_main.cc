@@ -8,7 +8,10 @@
 //   wsqd --port=9090 --scale=0.1 --profile=loaded --fault-plan=burst
 //
 // The daemon prints "wsqd listening on port N" once ready (scripts
-// scrape the ephemeral port from it) and serves until SIGINT/SIGTERM.
+// scrape the ephemeral port from it) and serves until SIGINT (immediate
+// stop) or SIGTERM (graceful drain: stop accepting, kGoaway idle
+// connections, finish in-flight work, then stop — bounded by
+// --drain-timeout-s).
 
 #include <csignal>
 #include <cstdint>
@@ -30,9 +33,11 @@
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_drain = 0;
 volatile std::sig_atomic_t g_dump_stats = 0;
 
 void HandleSignal(int) { g_stop = 1; }
+void HandleDrainSignal(int) { g_drain = 1; }
 void HandleStatsSignal(int) { g_dump_stats = 1; }
 
 struct WsqdFlags {
@@ -56,6 +61,15 @@ struct WsqdFlags {
   double rate_limit = 0.0;
   double rate_limit_burst = 0.0;
   int shed_watermark = 0;
+  /// SIGTERM drain budget: in-flight work gets this long to finish
+  /// before the server stops hard.
+  double drain_timeout_s = 10.0;
+  /// Half-open detection: evict connections idle this long (live peers
+  /// get a ping at half of it first). 0 = off.
+  double idle_timeout_s = 0.0;
+  /// Evict DataService sessions (and their fault/stats state) untouched
+  /// this long. 0 = off.
+  double session_ttl_s = 0.0;
 };
 
 /// One stats snapshot to `path` (atomic enough for pollers: write to a
@@ -85,6 +99,8 @@ void PrintUsage() {
       "            [--stats-out=PATH] [--stats-interval-s=N]\n"
       "            [--max-connections=N] [--rate-limit=F]\n"
       "            [--rate-limit-burst=F] [--shed-watermark=N]\n"
+      "            [--drain-timeout-s=F] [--idle-timeout-s=F]\n"
+      "            [--session-ttl-s=F]\n"
       "\n"
       "  --port=N           TCP port to listen on; 0 = ephemeral (default "
       "9090)\n"
@@ -116,7 +132,13 @@ void PrintUsage() {
       "  --rate-limit-burst=F  token-bucket burst capacity (default "
       "max(1, rate))\n"
       "  --shed-watermark=N shed requests with a retryable fault while N "
-      "dispatches are queued or running (default 0 = never)\n");
+      "dispatches are queued or running (default 0 = never)\n"
+      "  --drain-timeout-s=F  SIGTERM grace: finish in-flight work within F "
+      "seconds before stopping hard (default 10)\n"
+      "  --idle-timeout-s=F evict connections idle for F seconds; live peers "
+      "are pinged at F/2 first (default 0 = never)\n"
+      "  --session-ttl-s=F  evict sessions (cursor, replay cache, stats) "
+      "untouched for F seconds (default 0 = never)\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -184,6 +206,12 @@ int main(int argc, char** argv) {
       flags.rate_limit_burst = std::atof(value.c_str());
     } else if (ParseFlag(argv[i], "--shed-watermark", &value)) {
       flags.shed_watermark = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--drain-timeout-s", &value)) {
+      flags.drain_timeout_s = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--idle-timeout-s", &value)) {
+      flags.idle_timeout_s = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--session-ttl-s", &value)) {
+      flags.session_ttl_s = std::atof(value.c_str());
     } else if (std::strcmp(argv[i], "--no-service-sleep") == 0) {
       flags.simulate_service_time = false;
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -246,6 +274,8 @@ int main(int argc, char** argv) {
   server_options.admission.rate_limit_per_sec = flags.rate_limit;
   server_options.admission.rate_limit_burst = flags.rate_limit_burst;
   server_options.admission.shed_queue_watermark = flags.shed_watermark;
+  server_options.idle_timeout_ms = flags.idle_timeout_s * 1000.0;
+  server_options.session_ttl_ms = flags.session_ttl_s * 1000.0;
   wsq::net::WsqServer server(&container, server_options);
 
   wsq::Status started = server.Start();
@@ -275,10 +305,10 @@ int main(int argc, char** argv) {
   }
 
   std::signal(SIGINT, HandleSignal);
-  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGTERM, HandleDrainSignal);
   std::signal(SIGUSR1, HandleStatsSignal);
   int64_t ticks = 0;  // 100 ms each
-  while (g_stop == 0) {
+  while (g_stop == 0 && g_drain == 0) {
     struct timespec ts {0, 100 * 1000 * 1000};
     nanosleep(&ts, nullptr);
     ++ticks;
@@ -300,7 +330,24 @@ int main(int argc, char** argv) {
   // Final snapshot before teardown, so a consumer always sees the
   // complete run even when it never signaled.
   if (!flags.stats_out.empty()) WriteStatsSnapshot(server, flags.stats_out);
-  server.Stop();
+  if (g_drain != 0) {
+    // SIGTERM: graceful drain. Clients mid-query see a retryable
+    // goodbye (kGoaway / shed fault / FIN) and resume against the
+    // replacement daemon; sessions would persist across a Start in the
+    // same process.
+    std::fprintf(stderr, "wsqd: draining (timeout %gs)\n",
+                 flags.drain_timeout_s);
+    const bool clean = server.Drain(flags.drain_timeout_s);
+    std::fprintf(stderr, "wsqd: drain %s\n",
+                 clean ? "complete" : "timed out; stopped hard");
+  } else {
+    server.Stop();
+  }
+  if (!flags.port_file.empty()) {
+    // A stale port file must not point a launcher at a dead (or worse,
+    // someone else's) port.
+    std::remove(flags.port_file.c_str());
+  }
   std::fprintf(stderr, "wsqd: served %lld exchanges on %lld connections "
                        "(%lld injected faults)\n",
                static_cast<long long>(server.exchanges_served()),

@@ -53,6 +53,13 @@ class ServiceContainer {
   /// service is sessionless).
   int64_t active_sessions() const { return service_->ActiveSessions(); }
 
+  /// Forwards idle-session eviction to the hosted service (see
+  /// Service::EvictIdleSessions). Caller must serialize with Dispatch,
+  /// exactly as for Dispatch itself.
+  int64_t EvictIdleSessions(int64_t now_micros, int64_t idle_micros) {
+    return service_->EvictIdleSessions(now_micros, idle_micros);
+  }
+
  private:
   Service* service_;
   LoadModel load_model_;

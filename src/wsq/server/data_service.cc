@@ -2,6 +2,7 @@
 
 #include "wsq/codec/binary_codec.h"
 #include "wsq/codec/soap_codec.h"
+#include "wsq/common/clock.h"
 #include "wsq/soap/envelope.h"
 
 namespace wsq {
@@ -110,6 +111,7 @@ ServiceResult DataService::HandleOpenSession(const XmlNode& payload) {
   session.serializer = std::make_unique<TupleSerializer>(
       cursor.value()->output_schema());
   session.cursor = std::move(cursor).value();
+  session.last_touch_micros = WallClock().NowMicros();
 
   const int64_t id = next_session_id_++;
   sessions_.emplace(id, std::move(session));
@@ -136,6 +138,7 @@ ServiceResult DataService::HandleRequestBlock(
   }
 
   Session& session = it->second;
+  session.last_touch_micros = WallClock().NowMicros();
   if (request.sequence >= 0 && request.sequence == session.last_sequence &&
       !session.last_response.empty()) {
     // Idempotent retry: the client never saw our last response, so
@@ -200,6 +203,20 @@ ServiceResult DataService::HandleCloseSession(const XmlNode& payload) {
   ServiceResult result;
   result.response = EncodeCloseSessionResponse(response);
   return result;
+}
+
+int64_t DataService::EvictIdleSessions(int64_t now_micros,
+                                       int64_t idle_micros) {
+  int64_t evicted = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now_micros - it->second.last_touch_micros >= idle_micros) {
+      it = sessions_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
 }
 
 }  // namespace wsq

@@ -44,6 +44,8 @@ class DataService final : public Service {
     return static_cast<int64_t>(sessions_.size());
   }
 
+  int64_t EvictIdleSessions(int64_t now_micros, int64_t idle_micros) override;
+
  private:
   struct Session {
     std::unique_ptr<QueryCursor> cursor;
@@ -60,6 +62,9 @@ class DataService final : public Service {
     /// advanced, so a retry must see the same deterministic fault, not
     /// re-fetch and silently skip the lost block.
     bool last_is_fault = false;
+    /// Wall-clock stamp of the last Handle that touched this session
+    /// (open or block fetch); what EvictIdleSessions compares against.
+    int64_t last_touch_micros = 0;
   };
 
   ServiceResult HandleOpenSession(const XmlNode& payload);

@@ -51,6 +51,17 @@ class Service {
   /// Number of currently open sessions, for the live stats snapshot.
   /// -1 when the service has no session concept.
   virtual int64_t ActiveSessions() const { return -1; }
+
+  /// Evicts every session idle (untouched by any Handle) for longer
+  /// than `idle_micros` as of `now_micros`; returns the count evicted.
+  /// Bounds the per-session state (cursors, replay caches) an abandoned
+  /// client can strand forever. Default: no session concept, nothing to
+  /// evict.
+  virtual int64_t EvictIdleSessions(int64_t now_micros, int64_t idle_micros) {
+    (void)now_micros;
+    (void)idle_micros;
+    return 0;
+  }
 };
 
 }  // namespace wsq

@@ -157,7 +157,7 @@ TEST(FrameTest, GarbageHeaderIsInvalidArgument) {
 TEST(FrameTest, UnknownFrameTypeIsInvalidArgument) {
   MemoryStream stream;
   ASSERT_TRUE(WriteFrame(stream, SampleFrame()).ok());
-  stream.data()[4] = 9;  // corrupt the type byte
+  stream.data()[4] = 99;  // corrupt the type byte (9 is kGoaway now)
 
   Result<Frame> got = ReadFrame(stream);
   ASSERT_FALSE(got.ok());

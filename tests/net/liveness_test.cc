@@ -1,0 +1,399 @@
+// Liveness heartbeats, half-open eviction, session TTL, and graceful
+// drain — the server-side endgame states PR "transport chaos" hardens:
+// a connection must never be half-open forever, a session must never
+// leak forever, and a SIGTERM must never cost a client its query.
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "live_test_util.h"
+#include "wsq/client/tcp_ws_client.h"
+#include "wsq/codec/codec.h"
+#include "wsq/control/fixed_controller.h"
+#include "wsq/fault/resilience_policy.h"
+#include "wsq/net/frame.h"
+#include "wsq/net/socket.h"
+#include "wsq/soap/envelope.h"
+#include "wsq/soap/message.h"
+
+namespace wsq {
+namespace {
+
+bool WaitFor(const std::function<bool()>& pred, int timeout_ms = 3000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+Result<net::Frame> Exchange(net::Socket& conn, const std::string& payload) {
+  net::Frame frame;
+  frame.type = net::FrameType::kRequest;
+  frame.payload = payload;
+  Status written = net::WriteFrame(conn, frame);
+  if (!written.ok()) return written;
+  return net::ReadFrame(conn);
+}
+
+std::string OpenCustomerSession() {
+  OpenSessionRequest open;
+  open.table = "customer";
+  return EncodeOpenSession(open);
+}
+
+/// Runs a raw Hello advertising `tokens` and swallows the ack.
+Status Handshake(net::Socket& conn, const std::string& tokens) {
+  net::Frame hello;
+  hello.type = net::FrameType::kHello;
+  hello.payload = tokens;
+  WSQ_RETURN_IF_ERROR(net::WriteFrame(conn, hello));
+  Result<net::Frame> ack = net::ReadFrame(conn);
+  if (!ack.ok()) return ack.status();
+  if (ack.value().type != net::FrameType::kHelloAck) {
+    return Status::Internal("expected a HelloAck");
+  }
+  return Status::Ok();
+}
+
+net::WsqServerOptions IdleTimeoutOptions(double idle_timeout_ms) {
+  net::WsqServerOptions options = LiveServerHarness::QuickOptions();
+  options.idle_timeout_ms = idle_timeout_ms;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeats.
+// ---------------------------------------------------------------------------
+
+TEST(LivenessTest, ClientPingRoundTripsAndRequiresNegotiation) {
+  LiveServerHarness harness;
+  ASSERT_TRUE(harness.start_status().ok());
+
+  TcpWsClientOptions with_live;
+  with_live.enable_liveness = true;
+  TcpWsClient live_client("127.0.0.1", harness.port(), with_live);
+  ASSERT_TRUE(live_client.Connect().ok());
+  EXPECT_TRUE(live_client.LivenessNegotiated());
+  EXPECT_TRUE(live_client.Ping(1000.0).ok());
+
+  // Without the "live" token the probe is a contract violation, not a
+  // wire exchange — the connection stays usable.
+  TcpWsClient plain_client("127.0.0.1", harness.port());
+  ASSERT_TRUE(plain_client.Connect().ok());
+  EXPECT_FALSE(plain_client.LivenessNegotiated());
+  const Status refused = plain_client.Ping(1000.0);
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(plain_client.connected());
+}
+
+TEST(LivenessTest, AnsweredHeartbeatsKeepAnIdleLiveConnectionAlive) {
+  // Idle budget 400ms. A raw "live" peer that answers every kPing stays
+  // admitted across several multiples of the budget — liveness, not
+  // traffic, is what the server meters.
+  LiveServerHarness harness(IdleTimeoutOptions(400.0));
+  ASSERT_TRUE(harness.start_status().ok());
+
+  Result<net::Socket> conn =
+      net::TcpConnect("127.0.0.1", harness.port(), 2000.0);
+  ASSERT_TRUE(conn.ok());
+  conn.value().set_io_timeout_ms(2000.0);
+  ASSERT_TRUE(Handshake(conn.value(), "soap,live").ok());
+
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(1300);
+  while (std::chrono::steady_clock::now() < until) {
+    conn.value().set_io_timeout_ms(60.0);
+    Result<net::Frame> frame = net::ReadFrame(conn.value());
+    if (frame.ok() && frame.value().type == net::FrameType::kPing) {
+      net::Frame pong;
+      pong.type = net::FrameType::kPong;
+      ASSERT_TRUE(net::WriteFrame(conn.value(), pong).ok());
+    }
+  }
+
+  EXPECT_GE(harness.server().pings_sent(), 2);
+  EXPECT_EQ(harness.server().idle_evicted(), 0);
+  // Still a first-class connection: a real exchange works.
+  conn.value().set_io_timeout_ms(3000.0);
+  Result<net::Frame> served = Exchange(conn.value(), OpenCustomerSession());
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_EQ(served.value().type, net::FrameType::kResponse);
+}
+
+TEST(LivenessTest, UnansweredPingEvictsAHalfOpenLivePeer) {
+  // A "live" peer that goes mute is probed at half the budget and
+  // evicted at the full budget — the half-open connection cannot pin a
+  // slot forever.
+  LiveServerHarness harness(IdleTimeoutOptions(300.0));
+  ASSERT_TRUE(harness.start_status().ok());
+
+  Result<net::Socket> conn =
+      net::TcpConnect("127.0.0.1", harness.port(), 2000.0);
+  ASSERT_TRUE(conn.ok());
+  conn.value().set_io_timeout_ms(2000.0);
+  ASSERT_TRUE(Handshake(conn.value(), "soap,live").ok());
+
+  ASSERT_TRUE(WaitFor([&] { return harness.server().idle_evicted() >= 1; }));
+  EXPECT_GE(harness.server().pings_sent(), 1);
+  ASSERT_TRUE(WaitFor([&] { return harness.server().live_connections() == 0; }));
+}
+
+TEST(LivenessTest, LegacyIdleConnectionIsEvictedWithoutAPing) {
+  // A pre-liveness peer cannot be probed (a kPing would be protocol
+  // garbage to it), so the idle budget alone evicts it.
+  LiveServerHarness harness(IdleTimeoutOptions(300.0));
+  ASSERT_TRUE(harness.start_status().ok());
+
+  Result<net::Socket> conn =
+      net::TcpConnect("127.0.0.1", harness.port(), 2000.0);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(WaitFor([&] { return harness.server().live_connections() == 1; }));
+
+  ASSERT_TRUE(WaitFor([&] { return harness.server().idle_evicted() >= 1; }));
+  EXPECT_EQ(harness.server().pings_sent(), 0);
+}
+
+TEST(LivenessTest, EvictionSurfacesRetryablyAndTheClientReconnects) {
+  // The client side of eviction: a TcpWsClient idle between calls gets
+  // evicted (it does not read its socket while idle, so it cannot
+  // pong). The eviction surfaces as at most one retryable kUnavailable
+  // — exactly what the resilience policy absorbs — and the following
+  // Call runs on a fresh connection.
+  LiveServerHarness harness(IdleTimeoutOptions(250.0));
+  ASSERT_TRUE(harness.start_status().ok());
+
+  TcpWsClientOptions options;
+  options.enable_liveness = true;
+  TcpWsClient client("127.0.0.1", harness.port(), options);
+  Result<CallResult> first = client.Call(OpenCustomerSession());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  ASSERT_TRUE(WaitFor([&] { return harness.server().idle_evicted() >= 1; }));
+
+  Result<CallResult> second = client.Call(OpenCustomerSession());
+  if (!second.ok()) {
+    // The dead socket was only discoverable mid-exchange (the buffered
+    // ping masks the FIN from the pre-call peek): retryable, never
+    // terminal.
+    EXPECT_EQ(second.status().code(), StatusCode::kUnavailable);
+    second = client.Call(OpenCustomerSession());
+  }
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_GE(client.reconnects(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Session TTL.
+// ---------------------------------------------------------------------------
+
+TEST(LivenessTest, SessionTtlEvictsAbandonedSessions) {
+  net::WsqServerOptions options = LiveServerHarness::QuickOptions();
+  options.session_ttl_ms = 200.0;
+  LiveServerHarness harness(options);
+  ASSERT_TRUE(harness.start_status().ok());
+
+  // Open a session and abandon it (keep the connection alive so the
+  // eviction is unambiguously the TTL, not connection teardown).
+  Result<net::Socket> conn =
+      net::TcpConnect("127.0.0.1", harness.port(), 2000.0);
+  ASSERT_TRUE(conn.ok());
+  conn.value().set_io_timeout_ms(3000.0);
+  Result<net::Frame> opened = Exchange(conn.value(), OpenCustomerSession());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  Result<XmlNode> envelope = ParseEnvelope(opened.value().payload);
+  ASSERT_TRUE(envelope.ok());
+  Result<OpenSessionResponse> session =
+      DecodeOpenSessionResponse(envelope.value());
+  ASSERT_TRUE(session.ok());
+
+  ASSERT_TRUE(
+      WaitFor([&] { return harness.server().evicted_sessions() >= 1; }));
+
+  // The evicted session is really gone: fetching against it is a
+  // terminal SOAP fault (unknown session), not a hang or a crash.
+  RequestBlockRequest block;
+  block.session_id = session.value().session_id;
+  block.block_size = 10;
+  Result<net::Frame> after = Exchange(conn.value(), EncodeRequestBlock(block));
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_NE(after.value().flags & net::kFrameFlagSoapFault, 0);
+  EXPECT_EQ(after.value().flags & net::kFrameFlagTransientFault, 0);
+}
+
+TEST(LivenessTest, ActiveSessionsSurviveTheTtl) {
+  // A session that keeps fetching keeps its lease: the TTL meters idle
+  // time, not age. With the service-time simulation pacing the run past
+  // several TTLs, every fetch still lands inside its lease and the
+  // whole table arrives.
+  net::WsqServerOptions options;  // service-time sim ON
+  options.session_ttl_ms = 500.0;
+  LiveServerHarness harness(options);
+  ASSERT_TRUE(harness.start_status().ok());
+
+  LiveBackend live(harness.MakeSetup());
+  FixedController controller(100);
+  std::vector<Tuple> rows;
+  RunSpec spec;
+  Result<RunTrace> trace =
+      live.RunQueryKeepingTuples(&controller, spec, &rows);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_EQ(rows.size(), harness.WireRows().size());
+  EXPECT_EQ(harness.server().evicted_sessions(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain.
+// ---------------------------------------------------------------------------
+
+TEST(DrainTest, DrainOfAQuietServerIsImmediateAndClean) {
+  LiveServerHarness harness;
+  ASSERT_TRUE(harness.start_status().ok());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(harness.server().Drain(5.0));
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed_ms, 2000.0);
+  EXPECT_FALSE(harness.server().draining());
+
+  // Drain ends in Stop; the server restarts cleanly afterwards.
+  ASSERT_TRUE(harness.server().Start().ok());
+  Result<net::Socket> conn =
+      net::TcpConnect("127.0.0.1", harness.server().port(), 2000.0);
+  EXPECT_TRUE(conn.ok());
+}
+
+TEST(DrainTest, BeginDrainGoawaysIdleLivePeersAndClosesTheDoor) {
+  LiveServerHarness harness;
+  ASSERT_TRUE(harness.start_status().ok());
+  const int port = harness.port();
+
+  Result<net::Socket> conn = net::TcpConnect("127.0.0.1", port, 2000.0);
+  ASSERT_TRUE(conn.ok());
+  conn.value().set_io_timeout_ms(3000.0);
+  ASSERT_TRUE(Handshake(conn.value(), "soap,live").ok());
+  ASSERT_TRUE(WaitFor([&] { return harness.server().live_connections() == 1; }));
+
+  harness.server().BeginDrain();
+  EXPECT_TRUE(harness.server().draining());
+
+  // The idle live peer gets an explicit kGoaway, then a clean close.
+  Result<net::Frame> notice = net::ReadFrame(conn.value());
+  ASSERT_TRUE(notice.ok()) << notice.status().ToString();
+  EXPECT_EQ(notice.value().type, net::FrameType::kGoaway);
+  EXPECT_GE(harness.server().goaways_sent(), 1);
+  Result<net::Frame> after = net::ReadFrame(conn.value());
+  EXPECT_FALSE(after.ok());
+
+  // And the listener is gone: a draining server takes no new traffic.
+  ASSERT_TRUE(WaitFor([&] {
+    Result<net::Socket> probe = net::TcpConnect("127.0.0.1", port, 200.0);
+    return !probe.ok();
+  }));
+}
+
+TEST(DrainTest, DrainedRestartPreservesExactlyOnceDelivery) {
+  // The acceptance scenario: SIGTERM's code path (Drain) fires in the
+  // middle of a binary query, the server finishes the in-flight
+  // exchange, sheds the rest as retryable backpressure, stops, and
+  // restarts. The chaos-policy client rides the goaway/refused window
+  // out and the replay cache keeps delivery exactly-once — a graceful
+  // restart costs time, never tuples.
+  net::WsqServerOptions options;  // service-time sim ON: paces the run
+  options.codec = codec::CodecChoice{codec::CodecKind::kBinary, false};
+  LiveServerHarness harness(options);
+  ASSERT_TRUE(harness.start_status().ok());
+
+  LiveSetup setup = harness.MakeSetup();
+  setup.client_options.codec = codec::CodecChoice{codec::CodecKind::kBinary,
+                                                  false};
+  setup.client_options.enable_crc = true;
+  setup.client_options.enable_liveness = true;
+  LiveBackend live(setup);
+  FixedController controller(50);
+  ResilienceConfig chaos = ResilienceConfig::Chaos();
+  RunSpec spec;
+  spec.resilience = &chaos;
+
+  std::vector<Tuple> rows;
+  Result<RunTrace> trace = Status::Internal("not run");
+  std::thread runner(
+      [&] { trace = live.RunQueryKeepingTuples(&controller, spec, &rows); });
+
+  const auto gate_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (harness.server().exchanges_served() < 5 &&
+         std::chrono::steady_clock::now() < gate_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(harness.server().exchanges_served(), 5);
+
+  EXPECT_TRUE(harness.server().Drain(5.0)) << "drain did not finish cleanly";
+  ASSERT_TRUE(harness.server().Start().ok());
+  runner.join();
+
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_TRUE(trace.value().CheckConsistent().ok())
+      << trace.value().CheckConsistent().ToString();
+  EXPECT_GE(trace.value().total_retries, 1);
+  EXPECT_EQ(trace.value().total_tuples,
+            static_cast<int64_t>(harness.customer().num_rows()));
+  EXPECT_EQ(rows, harness.customer().rows());
+}
+
+TEST(DrainTest, SequencedSoapSurvivesADrainedRestartExactlyOnce) {
+  // The SOAP twin: with a completed handshake the SOAP form now carries
+  // blockSeq, so the replay cache protects legacy-codec clients through
+  // the drained restart too — the residual "one lost block" of the
+  // unsequenced form is gone.
+  net::WsqServerOptions options;  // service-time sim ON
+  LiveServerHarness harness(options);
+  ASSERT_TRUE(harness.start_status().ok());
+
+  LiveSetup setup = harness.MakeSetup();
+  setup.client_options.enable_crc = true;  // forces the handshake on SOAP
+  setup.client_options.enable_liveness = true;
+  LiveBackend live(setup);
+  FixedController controller(50);
+  ResilienceConfig chaos = ResilienceConfig::Chaos();
+  RunSpec spec;
+  spec.resilience = &chaos;
+
+  std::vector<Tuple> rows;
+  Result<RunTrace> trace = Status::Internal("not run");
+  std::thread runner(
+      [&] { trace = live.RunQueryKeepingTuples(&controller, spec, &rows); });
+
+  const auto gate_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (harness.server().exchanges_served() < 5 &&
+         std::chrono::steady_clock::now() < gate_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(harness.server().exchanges_served(), 5);
+
+  EXPECT_TRUE(harness.server().Drain(5.0)) << "drain did not finish cleanly";
+  ASSERT_TRUE(harness.server().Start().ok());
+  runner.join();
+
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_GE(trace.value().total_retries, 1);
+  const std::vector<Tuple> expected = harness.WireRows();
+  ASSERT_EQ(rows.size(), expected.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ASSERT_TRUE(rows[i] == expected[i]) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace wsq
