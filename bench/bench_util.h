@@ -7,6 +7,8 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "wsq/api.h"
 
@@ -116,17 +118,53 @@ class BenchSession {
       }
     }
     if (timings_ != nullptr) {
+      ClosePhase();
       exec::SetGlobalRunTimings(nullptr);
-      const std::chrono::duration<double> wall =
-          std::chrono::steady_clock::now() - start_;
-      exec::BenchReport report;
-      report.bench = bench_name_;
-      report.jobs = jobs_;
-      report.hardware_concurrency = exec::ThreadPool::HardwareConcurrency();
-      report.wall_time_s = wall.count();
-      Report(exec::WriteBenchReport(bench_json_path_, report, *timings_),
-             "bench summary", bench_json_path_);
+      if (!phases_.empty()) {
+        // Multi-phase bench: one composite {"reports":[...]} document,
+        // one entry per phase, named "<bench>/<phase>".
+        std::vector<std::pair<exec::BenchReport, const exec::RunTimings*>>
+            entries;
+        entries.reserve(phases_.size());
+        for (const std::unique_ptr<Phase>& phase : phases_) {
+          exec::BenchReport report;
+          report.bench = bench_name_ + "/" + phase->name;
+          report.jobs = jobs_;
+          report.hardware_concurrency = exec::ThreadPool::HardwareConcurrency();
+          report.wall_time_s = phase->wall_s;
+          entries.emplace_back(std::move(report), phase->timings.get());
+        }
+        Report(exec::WriteCompositeBenchReport(bench_json_path_, entries),
+               "bench summary", bench_json_path_);
+      } else {
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - start_;
+        exec::BenchReport report;
+        report.bench = bench_name_;
+        report.jobs = jobs_;
+        report.hardware_concurrency = exec::ThreadPool::HardwareConcurrency();
+        report.wall_time_s = wall.count();
+        Report(exec::WriteBenchReport(bench_json_path_, report, *timings_),
+               "bench summary", bench_json_path_);
+      }
     }
+  }
+
+  /// Begins a named bench phase. With --bench-json, each phase collects
+  /// its own RunTimings and wall-clock window, and the exit summary
+  /// becomes the composite {"schema_version":1,"reports":[...]} form
+  /// with one entry "<bench>/<phase>" per phase (the flat single-report
+  /// form when no phase was ever begun). The previous phase, if any,
+  /// ends here; without --bench-json this is a no-op.
+  void BeginPhase(const std::string& name) {
+    if (timings_ == nullptr) return;
+    ClosePhase();
+    auto phase = std::make_unique<Phase>();
+    phase->name = name;
+    phase->start = std::chrono::steady_clock::now();
+    phase->timings = std::make_unique<exec::RunTimings>();
+    exec::SetGlobalRunTimings(phase->timings.get());
+    phases_.push_back(std::move(phase));
   }
 
   BenchSession(const BenchSession&) = delete;
@@ -159,6 +197,24 @@ class BenchSession {
   }
 
  private:
+  struct Phase {
+    std::string name;
+    std::chrono::steady_clock::time_point start;
+    double wall_s = 0.0;
+    std::unique_ptr<exec::RunTimings> timings;
+  };
+
+  /// Stamps the open phase's wall window and restores the session-level
+  /// timing sink (so out-of-phase runs still land somewhere).
+  void ClosePhase() {
+    if (phases_.empty() || phases_.back()->wall_s > 0.0) return;
+    Phase& phase = *phases_.back();
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - phase.start;
+    phase.wall_s = wall.count();
+    exec::SetGlobalRunTimings(timings_.get());
+  }
+
   static std::string Basename(const std::string& path) {
     const size_t slash = path.find_last_of('/');
     return slash == std::string::npos ? path : path.substr(slash + 1);
@@ -203,6 +259,7 @@ class BenchSession {
   int max_retries_ = -1;
   int breaker_threshold_ = -1;
   std::unique_ptr<exec::RunTimings> timings_;
+  std::vector<std::unique_ptr<Phase>> phases_;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<RunObserver> observer_;
 };

@@ -11,7 +11,9 @@ Both files carry the schema bench binaries emit via --bench-json
     {"schema_version": 1, "bench": ..., "runs": ..., "runs_per_sec": ...,
      "run_ms": {"mean": ..., "p50": ..., "p99": ...}}
 
-or a composite baseline {"schema_version": 1, "reports": [<flat>, ...]}.
+or a composite document {"schema_version": 1, "reports": [<flat>, ...]}
+(multi-phase benches emit the composite form on BOTH sides; every fresh
+report is gated against the baseline reports sharing its bench name).
 
 The gate is a tolerance band, not an equality check: committed baselines
 come from whatever machine cut the PR, CI runners are slower and noisy,
@@ -80,54 +82,63 @@ def main():
         return 2
 
     try:
-        if len(fresh_reports) != 1:
-            raise ValueError(f"{args.fresh}: expected one fresh report, "
-                             f"got {len(fresh_reports)}")
-        fresh = fresh_reports[0]
-        validate(fresh, args.fresh)
-
-        bench = args.bench or fresh["bench"]
-        if fresh["bench"] != bench:
-            raise ValueError(f"{args.fresh}: bench is {fresh['bench']!r}, "
-                             f"expected {bench!r}")
-        matches = [r for r in baseline_reports if r.get("bench") == bench]
-        if args.jobs is not None:
-            matches = [r for r in matches if r.get("jobs") == args.jobs]
-        if not matches:
-            raise ValueError(f"{args.baseline}: no baseline report for "
-                             f"bench {bench!r}"
-                             + (f" with jobs={args.jobs}"
-                                if args.jobs is not None else ""))
-        for r in matches:
-            validate(r, args.baseline)
+        if args.bench is not None:
+            fresh_reports = [r for r in fresh_reports
+                             if r.get("bench") == args.bench]
+            if not fresh_reports:
+                raise ValueError(f"{args.fresh}: no fresh report for bench "
+                                 f"{args.bench!r}")
+        matched = []  # (fresh report, its matching baseline reports)
+        for fresh in fresh_reports:
+            validate(fresh, args.fresh)
+            bench = fresh["bench"]
+            matches = [r for r in baseline_reports if r.get("bench") == bench]
+            if args.jobs is not None:
+                matches = [r for r in matches if r.get("jobs") == args.jobs]
+            if not matches:
+                raise ValueError(f"{args.baseline}: no baseline report for "
+                                 f"bench {bench!r}"
+                                 + (f" with jobs={args.jobs}"
+                                    if args.jobs is not None else ""))
+            for r in matches:
+                validate(r, args.baseline)
+            matched.append((fresh, matches))
     except ValueError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
 
-    # The most lenient matching baseline: cross-machine comparisons gate
-    # on order-of-magnitude health, not same-host variance.
-    base_rps = min(r["runs_per_sec"] for r in matches)
-    base_p99 = max(r["run_ms"]["p99"] for r in matches)
-    fresh_rps = fresh["runs_per_sec"]
-    fresh_p99 = fresh["run_ms"]["p99"]
-
     failures = []
-    if fresh_rps * args.max_slowdown < base_rps:
-        failures.append(
-            f"throughput regressed: {fresh_rps:.2f} runs/s vs baseline "
-            f"{base_rps:.2f} (> {args.max_slowdown:g}x slower)")
-    if fresh_p99 > base_p99 * args.max_slowdown:
-        failures.append(
-            f"tail latency regressed: p99 {fresh_p99:.2f} ms vs baseline "
-            f"{base_p99:.2f} ms (> {args.max_slowdown:g}x slower)")
+    for fresh, matches in matched:
+        bench = fresh["bench"]
+        # The most lenient matching baseline: cross-machine comparisons
+        # gate on order-of-magnitude health, not same-host variance.
+        base_rps = min(r["runs_per_sec"] for r in matches)
+        base_p99 = max(r["run_ms"]["p99"] for r in matches)
+        fresh_rps = fresh["runs_per_sec"]
+        fresh_p99 = fresh["run_ms"]["p99"]
+
+        bench_failures = []
+        if fresh_rps * args.max_slowdown < base_rps:
+            bench_failures.append(
+                f"throughput regressed: {fresh_rps:.2f} runs/s vs baseline "
+                f"{base_rps:.2f} (> {args.max_slowdown:g}x slower)")
+        if fresh_p99 > base_p99 * args.max_slowdown:
+            bench_failures.append(
+                f"tail latency regressed: p99 {fresh_p99:.2f} ms vs baseline "
+                f"{base_p99:.2f} ms (> {args.max_slowdown:g}x slower)")
+        if bench_failures:
+            failures.extend(f"REGRESSION [{bench}]: {f}"
+                            for f in bench_failures)
+        else:
+            print(f"ok [{bench}]: {fresh_rps:.2f} runs/s "
+                  f"(baseline {base_rps:.2f}), p99 {fresh_p99:.2f} ms "
+                  f"(baseline {base_p99:.2f} ms), "
+                  f"within {args.max_slowdown:g}x")
 
     if failures:
         for failure in failures:
-            print(f"REGRESSION [{bench}]: {failure}", file=sys.stderr)
+            print(failure, file=sys.stderr)
         return 1
-    print(f"ok [{bench}]: {fresh_rps:.2f} runs/s (baseline {base_rps:.2f}), "
-          f"p99 {fresh_p99:.2f} ms (baseline {base_p99:.2f} ms), "
-          f"within {args.max_slowdown:g}x")
     return 0
 
 

@@ -28,7 +28,12 @@
 ///  * the negotiated block codecs (wsq/codec): the historical SOAP/XML
 ///    round-trip behind a BlockCodec interface next to a columnar
 ///    binary codec with zero-copy decode and optional LZ compression,
-///    selected per connection via the Hello/HelloAck handshake.
+///    selected per connection via the Hello/HelloAck handshake;
+///  * the fleet co-scheduling engine (wsq/fleet): N tenant sessions
+///    sharing one simulated world (one clock, one LoadModel priced at
+///    the live in-flight count) or one live wsqd server, with
+///    fairness / convergence / oscillation analytics exported as
+///    wsq.fleet.* metrics.
 ///
 /// See examples/quickstart.cc for the 30-line tour.
 
@@ -77,6 +82,10 @@
 #include "wsq/fault/fault_injector.h"
 #include "wsq/fault/fault_plan.h"
 #include "wsq/fault/resilience_policy.h"
+#include "wsq/fleet/analytics.h"
+#include "wsq/fleet/fleet_spec.h"
+#include "wsq/fleet/fleet_world.h"
+#include "wsq/fleet/live_fleet.h"
 #include "wsq/linalg/least_squares.h"
 #include "wsq/linalg/matrix.h"
 #include "wsq/linalg/rls.h"

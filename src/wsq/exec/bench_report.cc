@@ -117,4 +117,33 @@ Status WriteBenchReport(const std::string& path, const BenchReport& report,
   return Status::Ok();
 }
 
+std::string CompositeBenchReportJson(
+    const std::vector<std::pair<BenchReport, const RunTimings*>>& phases) {
+  std::string out = "{\"schema_version\":1,\"reports\":[";
+  bool first = true;
+  for (const auto& [report, timings] : phases) {
+    if (timings == nullptr) continue;
+    if (!first) out += ',';
+    first = false;
+    out += BenchReportJson(report, *timings);
+  }
+  out += "]}";
+  return out;
+}
+
+Status WriteCompositeBenchReport(
+    const std::string& path,
+    const std::vector<std::pair<BenchReport, const RunTimings*>>& phases) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Unavailable("cannot open bench report file: " + path);
+  }
+  out << CompositeBenchReportJson(phases) << "\n";
+  out.close();
+  if (!out) {
+    return Status::Unavailable("bench report write failed: " + path);
+  }
+  return Status::Ok();
+}
+
 }  // namespace wsq::exec

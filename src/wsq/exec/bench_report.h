@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "wsq/common/status.h"
@@ -67,6 +68,19 @@ std::string BenchReportJson(const BenchReport& report,
 
 Status WriteBenchReport(const std::string& path, const BenchReport& report,
                         const RunTimings& timings);
+
+/// Composite form for multi-phase benches: one top-level
+/// `{"schema_version":1,"reports":[...]}` document whose entries are
+/// flat BenchReportJson rows (phases conventionally named
+/// "<bench>/<phase>"). The regression gate matches entries to baseline
+/// rows by their "bench" name, so each phase gets its own trajectory.
+/// Null timings entries are skipped.
+std::string CompositeBenchReportJson(
+    const std::vector<std::pair<BenchReport, const RunTimings*>>& phases);
+
+Status WriteCompositeBenchReport(
+    const std::string& path,
+    const std::vector<std::pair<BenchReport, const RunTimings*>>& phases);
 
 }  // namespace wsq::exec
 

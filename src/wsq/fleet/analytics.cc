@@ -1,0 +1,229 @@
+#include "wsq/fleet/analytics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wsq::fleet {
+namespace {
+
+double NearestRank(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = std::ceil(q * static_cast<double>(values.size()));
+  const size_t index =
+      static_cast<size_t>(std::max(rank, 1.0)) - 1;
+  return values[std::min(index, values.size() - 1)];
+}
+
+double MeanOf(const std::vector<int64_t>& values, size_t from) {
+  if (from >= values.size()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = from; i < values.size(); ++i) {
+    sum += static_cast<double>(values[i]);
+  }
+  return sum / static_cast<double>(values.size() - from);
+}
+
+/// Coefficient of variation of values[from..]; 0 with < 2 samples or a
+/// non-positive mean.
+double CvOf(const std::vector<int64_t>& values, size_t from) {
+  if (values.size() < from + 2) return 0.0;
+  const double mean = MeanOf(values, from);
+  if (mean <= 0.0) return 0.0;
+  double ss = 0.0;
+  for (size_t i = from; i < values.size(); ++i) {
+    const double d = static_cast<double>(values[i]) - mean;
+    ss += d * d;
+  }
+  const double variance = ss / static_cast<double>(values.size() - from);
+  return std::sqrt(variance) / mean;
+}
+
+}  // namespace
+
+double JainIndex(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 1.0;  // all zero: nobody is favored
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+int64_t ConvergenceStep(const std::vector<int64_t>& sizes, double band) {
+  const size_t n = sizes.size();
+  if (n < 3) return -1;
+  const size_t tail = std::max<size_t>(3, n / 4);
+  const double settled = MeanOf(sizes, n - tail);
+  if (settled <= 0.0) return -1;
+  const double lo = settled * (1.0 - band);
+  const double hi = settled * (1.0 + band);
+  // Walk backwards to the earliest suffix that stays inside the band.
+  int64_t first_outside = -1;
+  for (size_t i = n; i-- > 0;) {
+    const double v = static_cast<double>(sizes[i]);
+    if (v < lo || v > hi) {
+      first_outside = static_cast<int64_t>(i);
+      break;
+    }
+  }
+  const int64_t step = first_outside + 1;
+  // The settled window must be a real suffix, not just the last sample.
+  if (static_cast<size_t>(step) + 3 > n) return -1;
+  return step;
+}
+
+double PearsonCorrelation(const std::vector<int64_t>& a,
+                          const std::vector<int64_t>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  if (n < 4) return 0.0;
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_a += static_cast<double>(a[i]);
+    mean_b += static_cast<double>(b[i]);
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = static_cast<double>(a[i]) - mean_a;
+    const double db = static_cast<double>(b[i]) - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+FleetAnalytics AnalyzeFleet(const FleetTrace& fleet) {
+  FleetAnalytics out;
+  out.makespan_ms = fleet.makespan_ms;
+  out.tenants.reserve(fleet.tenants.size());
+
+  std::vector<double> throughputs;
+  std::vector<double> p99s;
+  std::vector<std::vector<int64_t>> size_series;
+  double convergence_sum = 0.0;
+  int64_t converged = 0;
+  double oscillation_sum = 0.0;
+
+  for (const TenantTrace& lane : fleet.tenants) {
+    TenantAnalytics t;
+    t.tenant = lane.tenant;
+    t.controller = lane.trace.controller_name;
+    t.blocks = lane.trace.total_blocks;
+    t.tuples = lane.trace.total_tuples;
+    t.response_time_ms = lane.trace.total_time_ms;
+    t.throughput_tps = t.response_time_ms > 0.0
+                           ? static_cast<double>(t.tuples) /
+                                 (t.response_time_ms / 1000.0)
+                           : 0.0;
+
+    const std::vector<int64_t> sizes = lane.trace.RequestedSizes();
+    std::vector<double> block_times;
+    block_times.reserve(lane.trace.steps.size());
+    double per_tuple_sum = 0.0;
+    for (const RunStep& step : lane.trace.steps) {
+      block_times.push_back(step.block_time_ms);
+      per_tuple_sum += step.per_tuple_ms;
+    }
+    t.p99_block_ms = NearestRank(block_times, 0.99);
+    t.mean_per_tuple_ms =
+        block_times.empty()
+            ? 0.0
+            : per_tuple_sum / static_cast<double>(block_times.size());
+
+    t.convergence_step = ConvergenceStep(sizes);
+    if (t.convergence_step >= 0) {
+      const size_t k = static_cast<size_t>(t.convergence_step);
+      double elapsed = 0.0;
+      for (size_t i = 0; i <= k && i < block_times.size(); ++i) {
+        elapsed += block_times[i];
+      }
+      t.convergence_time_ms = elapsed;
+      t.settled_size = MeanOf(sizes, k);
+      t.oscillation = CvOf(sizes, k);
+      convergence_sum += t.convergence_time_ms;
+      converged += 1;
+    } else {
+      // Never settled: score the thrash over the tail of the series.
+      t.oscillation = CvOf(sizes, sizes.size() / 2);
+    }
+    oscillation_sum += t.oscillation;
+
+    throughputs.push_back(t.throughput_tps);
+    p99s.push_back(t.p99_block_ms);
+    size_series.push_back(sizes);
+    out.tenants.push_back(std::move(t));
+  }
+
+  const size_t n = out.tenants.size();
+  if (n == 0) return out;
+  out.jain_index = JainIndex(throughputs);
+  out.p99_max_ms = *std::max_element(p99s.begin(), p99s.end());
+  out.p99_min_ms = *std::min_element(p99s.begin(), p99s.end());
+  out.p99_spread_ms = out.p99_max_ms - out.p99_min_ms;
+  out.converged_fraction =
+      static_cast<double>(converged) / static_cast<double>(n);
+  out.mean_convergence_time_ms =
+      converged > 0 ? convergence_sum / static_cast<double>(converged) : -1.0;
+  out.mean_oscillation = oscillation_sum / static_cast<double>(n);
+
+  const size_t sampled = std::min(n, kCorrelationTenantCap);
+  double corr_sum = 0.0;
+  int64_t pairs = 0;
+  for (size_t i = 0; i < sampled; ++i) {
+    for (size_t j = i + 1; j < sampled; ++j) {
+      if (std::min(size_series[i].size(), size_series[j].size()) < 4) continue;
+      corr_sum += PearsonCorrelation(size_series[i], size_series[j]);
+      pairs += 1;
+    }
+  }
+  out.correlation_pairs = pairs;
+  out.cross_correlation = pairs > 0 ? corr_sum / static_cast<double>(pairs)
+                                    : 0.0;
+  return out;
+}
+
+void PublishFleetMetrics(const FleetAnalytics& analytics,
+                         MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  for (const TenantAnalytics& t : analytics.tenants) {
+    const auto gauge = [&](const char* field, double value) {
+      registry
+          ->GetGauge(LabeledName(std::string("wsq.fleet.tenant.") + field,
+                                 "tenant", t.tenant))
+          ->Set(value);
+    };
+    gauge("throughput_tps", t.throughput_tps);
+    gauge("response_time_ms", t.response_time_ms);
+    gauge("convergence_ms", t.convergence_time_ms);
+    gauge("oscillation", t.oscillation);
+    gauge("p99_block_ms", t.p99_block_ms);
+    registry
+        ->GetCounter(LabeledName("wsq.fleet.tenant.blocks", "tenant", t.tenant))
+        ->Increment(t.blocks);
+  }
+  registry->GetGauge("wsq.fleet.jain_index")->Set(analytics.jain_index);
+  registry->GetGauge("wsq.fleet.p99_spread_ms")->Set(analytics.p99_spread_ms);
+  registry->GetGauge("wsq.fleet.converged_fraction")
+      ->Set(analytics.converged_fraction);
+  registry->GetGauge("wsq.fleet.mean_convergence_ms")
+      ->Set(analytics.mean_convergence_time_ms);
+  registry->GetGauge("wsq.fleet.mean_oscillation")
+      ->Set(analytics.mean_oscillation);
+  registry->GetGauge("wsq.fleet.cross_correlation")
+      ->Set(analytics.cross_correlation);
+  registry->GetGauge("wsq.fleet.makespan_ms")->Set(analytics.makespan_ms);
+  registry->GetCounter("wsq.fleet.tenants_total")
+      ->Increment(static_cast<int64_t>(analytics.tenants.size()));
+}
+
+}  // namespace wsq::fleet

@@ -1,0 +1,103 @@
+#ifndef WSQ_FLEET_ANALYTICS_H_
+#define WSQ_FLEET_ANALYTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wsq/fleet/fleet_world.h"
+#include "wsq/obs/metrics.h"
+
+namespace wsq::fleet {
+
+/// Headline per-tenant numbers distilled from one fleet lane.
+struct TenantAnalytics {
+  std::string tenant;
+  std::string controller;
+  int64_t blocks = 0;
+  int64_t tuples = 0;
+  double response_time_ms = 0.0;
+  /// Tuples per second of tenant-perceived response time.
+  double throughput_tps = 0.0;
+  /// First step index after which every remaining commanded size stays
+  /// within the convergence band of the settled mean; -1 = never
+  /// converged (see ConvergenceStep).
+  int64_t convergence_step = -1;
+  /// Tenant-relative time (ms) at which the convergence step's block
+  /// completed; -1 when never converged.
+  double convergence_time_ms = -1.0;
+  /// Mean commanded size over the settled window (0 when never
+  /// converged).
+  double settled_size = 0.0;
+  /// Oscillation score: coefficient of variation of commanded sizes
+  /// over the post-convergence window — or over the last half of the
+  /// series when the tenant never settles, so thrash still scores.
+  double oscillation = 0.0;
+  /// Nearest-rank p99 over the lane's per-block wall times (ms).
+  double p99_block_ms = 0.0;
+  double mean_per_tuple_ms = 0.0;
+};
+
+/// Fleet-level fairness / convergence / interference summary.
+struct FleetAnalytics {
+  std::vector<TenantAnalytics> tenants;
+  double makespan_ms = 0.0;
+  /// Jain's fairness index over tenant throughputs: (Σx)² / (n·Σx²) —
+  /// 1.0 = perfectly fair, 1/n = one tenant got everything.
+  double jain_index = 0.0;
+  /// Spread of per-tenant p99 block latencies (max - min, ms): the
+  /// fairness number a tail-latency SLO reads.
+  double p99_spread_ms = 0.0;
+  double p99_max_ms = 0.0;
+  double p99_min_ms = 0.0;
+  /// Fraction of tenants whose block-size series converged.
+  double converged_fraction = 0.0;
+  /// Mean convergence time over converged tenants; -1 when none did.
+  double mean_convergence_time_ms = -1.0;
+  double mean_oscillation = 0.0;
+  /// Interference: mean pairwise Pearson correlation of commanded
+  /// block-size series (truncated to the common length). Positive =
+  /// tenants move together (shared congestion), near 0 = independent.
+  /// Pair sampling caps at the first `kCorrelationTenantCap` tenants.
+  double cross_correlation = 0.0;
+  /// Pairs that actually entered the correlation mean.
+  int64_t correlation_pairs = 0;
+};
+
+/// Tenants considered for cross-correlation (pair count grows
+/// quadratically; 64 tenants is already 2016 pairs).
+inline constexpr size_t kCorrelationTenantCap = 64;
+
+/// Relative band around the settled mean a series must stay inside to
+/// count as converged.
+inline constexpr double kConvergenceBand = 0.20;
+
+/// Jain's fairness index; 0 when `xs` is empty, 1 when all values are
+/// equal (including all-zero).
+double JainIndex(const std::vector<double>& xs);
+
+/// First index k such that every element of sizes[k..] lies within
+/// `band` (relative) of the settled mean — the mean of the last
+/// max(3, n/4) elements — with at least 3 elements in the settled
+/// window. -1 when the series never settles.
+int64_t ConvergenceStep(const std::vector<int64_t>& sizes,
+                        double band = kConvergenceBand);
+
+/// Pearson correlation of two series truncated to their common length;
+/// 0 when either side is constant or shorter than 4 samples.
+double PearsonCorrelation(const std::vector<int64_t>& a,
+                          const std::vector<int64_t>& b);
+
+/// Distills one fleet trace into the headline analytics.
+FleetAnalytics AnalyzeFleet(const FleetTrace& fleet);
+
+/// Exports the analytics through the obs layer: per-tenant series as
+/// "wsq.fleet.tenant.<field>{tenant=<name>}" (label values escaped by
+/// LabeledName) plus fleet-level "wsq.fleet.<field>" gauges and the
+/// "wsq.fleet.tenants_total" counter.
+void PublishFleetMetrics(const FleetAnalytics& analytics,
+                         MetricsRegistry* registry);
+
+}  // namespace wsq::fleet
+
+#endif  // WSQ_FLEET_ANALYTICS_H_

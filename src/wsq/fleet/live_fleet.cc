@@ -1,0 +1,90 @@
+#include "wsq/fleet/live_fleet.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "wsq/backend/live_backend.h"
+
+namespace wsq::fleet {
+namespace {
+
+struct TenantResult {
+  Status status = Status::Ok();
+  TenantTrace lane;
+};
+
+}  // namespace
+
+Result<FleetTrace> RunLiveFleet(const LiveFleetOptions& options) {
+  if (options.port <= 0) {
+    return Status::InvalidArgument("live fleet: port must be set");
+  }
+  Result<std::vector<TenantSpec>> built = options.spec.BuildTenants(options.seed);
+  if (!built.ok()) return built.status();
+  const std::vector<TenantSpec> tenants = std::move(built).value();
+
+  std::vector<TenantResult> results(tenants.size());
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> threads;
+  threads.reserve(tenants.size());
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    threads.emplace_back([&, i] {
+      const TenantSpec& tenant = tenants[i];
+      TenantResult& result = results[i];
+      result.lane.tenant = tenant.name;
+      if (tenant.start_time_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(tenant.start_time_ms));
+      }
+      std::unique_ptr<Controller> controller = tenant.factory();
+      if (controller == nullptr) {
+        result.status =
+            Status::InvalidArgument("live fleet: null controller: " + tenant.name);
+        return;
+      }
+      LiveSetup setup;
+      setup.host = options.host;
+      setup.port = options.port;
+      setup.query.table_name = options.table_name;
+      setup.client_options = options.client_options;
+      setup.seed = FleetMix64(options.seed ^ FleetMix64(i)) | 1;
+      LiveBackend backend(std::move(setup));
+
+      RunSpec spec;
+      spec.seed = FleetMix64(options.seed ^ FleetMix64(i)) | 1;
+      if (tenant.resilience.has_value()) {
+        spec.resilience = &*tenant.resilience;
+      }
+      const std::chrono::duration<double, std::milli> start_offset =
+          std::chrono::steady_clock::now() - t0;
+      Result<RunTrace> trace = backend.RunQuery(controller.get(), spec);
+      if (!trace.ok()) {
+        result.status = trace.status();
+        return;
+      }
+      result.lane.trace = std::move(trace).value();
+      result.lane.start_time_ms = start_offset.count();
+      result.lane.completion_time_ms =
+          start_offset.count() + result.lane.trace.total_time_ms;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  FleetTrace fleet;
+  fleet.seed = options.seed;
+  fleet.tenants.reserve(results.size());
+  for (TenantResult& result : results) {
+    if (!result.status.ok()) return result.status;
+    fleet.makespan_ms =
+        std::max(fleet.makespan_ms, result.lane.completion_time_ms);
+    fleet.tenants.push_back(std::move(result.lane));
+  }
+  return fleet;
+}
+
+}  // namespace wsq::fleet

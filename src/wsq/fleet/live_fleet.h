@@ -1,0 +1,43 @@
+#ifndef WSQ_FLEET_LIVE_FLEET_H_
+#define WSQ_FLEET_LIVE_FLEET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "wsq/client/tcp_ws_client.h"
+#include "wsq/common/status.h"
+#include "wsq/fleet/fleet_spec.h"
+#include "wsq/fleet/fleet_world.h"
+
+namespace wsq::fleet {
+
+/// A fleet pointed at a real wsqd server instead of the simulated
+/// world: same FleetSpec (controller mix, arrival offsets, resilience),
+/// but every tenant is a live TcpWsClient session on its own thread and
+/// all times are wall-clock milliseconds. This is where client-side
+/// adaptation meets wsqd's admission control: a server started with a
+/// low --shed-watermark sheds bursts from the fleet, shed calls surface
+/// as retryable failures, and a chaos ResilienceConfig on the spec
+/// absorbs them — the interaction bench_fleet_tenancy measures.
+struct LiveFleetOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Table each tenant's scan drains (tuples_per_tenant in the spec is
+  /// ignored on the live path — the query runs to the end of the table).
+  std::string table_name = "customer";
+  FleetSpec spec;
+  /// Transport options shared by every tenant (codec handshake, ...).
+  TcpWsClientOptions client_options;
+  /// Seeds arrival jitter and per-tenant resilience streams.
+  uint64_t seed = 1;
+};
+
+/// Runs the whole fleet against the server and stitches the lanes into
+/// a FleetTrace (start/completion in wall ms relative to fleet launch).
+/// Not reproducible across runs — wall time is not seeded. Returns the
+/// first tenant failure after all tenants have finished.
+Result<FleetTrace> RunLiveFleet(const LiveFleetOptions& options);
+
+}  // namespace wsq::fleet
+
+#endif  // WSQ_FLEET_LIVE_FLEET_H_

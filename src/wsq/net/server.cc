@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <utility>
@@ -12,6 +13,7 @@
 #include "wsq/codec/binary_codec.h"
 #include "wsq/common/clock.h"
 #include "wsq/net/frame.h"
+#include "wsq/obs/json_lite.h"
 #include "wsq/soap/envelope.h"
 #include "wsq/soap/message.h"
 
@@ -657,7 +659,7 @@ int64_t WsqServer::BlockRequestSessionId(const std::string& payload) {
 
 void WsqServer::RecordExchangeStats(int64_t session_id, size_t request_bytes,
                                     size_t response_bytes, bool replayed,
-                                    bool fault) {
+                                    bool fault, double latency_ms) {
   bytes_in_.fetch_add(static_cast<int64_t>(request_bytes));
   bytes_out_.fetch_add(static_cast<int64_t>(response_bytes));
   if (replayed) replay_hits_.fetch_add(1);
@@ -671,6 +673,11 @@ void WsqServer::RecordExchangeStats(int64_t session_id, size_t request_bytes,
     stats.bytes_out += static_cast<int64_t>(response_bytes);
     if (replayed) ++stats.replay_hits;
     if (fault) ++stats.faults;
+    if (stats.latency_ms == nullptr) {
+      stats.latency_ms =
+          std::make_unique<Histogram>(Histogram::LatencyBucketsMs());
+    }
+    stats.latency_ms->Record(latency_ms);
   }
   // Labeled mirrors: the same rollups as per-session counter families,
   // so the registry's SumCounters aggregation and every exporter see
@@ -688,6 +695,10 @@ void WsqServer::RecordExchangeStats(int64_t session_id, size_t request_bytes,
             LabeledName("wsq.server.session.replay_hits", "session", id))
         ->Increment();
   }
+  stats_registry_
+      .GetHistogram(LabeledName("wsq.server.session.block_ms", "session", id),
+                    Histogram::LatencyBucketsMs())
+      ->Record(latency_ms);
 }
 
 WsqServer::Completion WsqServer::RunExchange(const DispatchJob& job) {
@@ -772,7 +783,8 @@ WsqServer::Completion WsqServer::RunExchange(const DispatchJob& job) {
         stamp_trace(response, t_fault);
         RecordExchangeStats(session_id, request.payload.size(),
                             response.payload.size(), /*replayed=*/false,
-                            /*fault=*/true);
+                            /*fault=*/true,
+                            static_cast<double>(t_fault - t0) / 1000.0);
         done.has_response = true;
         done.response = std::move(response);
         done.outcome = ExchangeOutcome::kContinue;
@@ -859,7 +871,8 @@ WsqServer::Completion WsqServer::RunExchange(const DispatchJob& job) {
   }
   RecordExchangeStats(session_id, request.payload.size(),
                       response.payload.size(), result.replayed,
-                      result.is_fault);
+                      result.is_fault,
+                      static_cast<double>(t_end - t0) / 1000.0);
   done.has_response = true;
   done.response = std::move(response);
   done.outcome = ExchangeOutcome::kContinue;
@@ -914,6 +927,8 @@ std::string WsqServer::StatsJson() {
   out += ",\"codec_mix\":{\"soap\":" + std::to_string(soap_responses_.load()) +
          ",\"binary\":" + std::to_string(binary_responses_.load()) + '}';
   out += ",\"sessions\":{";
+  std::vector<double> session_p99s;
+  std::vector<double> session_blocks;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     bool first = true;
@@ -926,8 +941,45 @@ std::string WsqServer::StatsJson() {
       out += ",\"bytes_out\":" + std::to_string(stats.bytes_out);
       out += ",\"replay_hits\":" + std::to_string(stats.replay_hits);
       out += ",\"faults\":" + std::to_string(stats.faults);
+      if (stats.latency_ms != nullptr && stats.latency_ms->count() > 0) {
+        out += ",\"latency_ms\":{";
+        out += "\"count\":" + std::to_string(stats.latency_ms->count());
+        out += ",\"mean\":" + JsonNumber(stats.latency_ms->mean());
+        out += ",\"p50\":" + JsonNumber(stats.latency_ms->p50());
+        out += ",\"p99\":" + JsonNumber(stats.latency_ms->p99());
+        out += '}';
+        session_p99s.push_back(stats.latency_ms->p99());
+        session_blocks.push_back(static_cast<double>(stats.blocks));
+      }
       out += '}';
     }
+  }
+  out += '}';
+  // Fairness across the sessions with recorded latency: the tail-latency
+  // spread an operator compares against an SLO, and Jain's index over
+  // per-session served blocks (1.0 = every session got an equal share of
+  // the server). A live fleet reads this instead of merging client-side.
+  out += ",\"fairness\":{";
+  out += "\"sessions\":" + std::to_string(session_p99s.size());
+  if (!session_p99s.empty()) {
+    const double p99_max =
+        *std::max_element(session_p99s.begin(), session_p99s.end());
+    const double p99_min =
+        *std::min_element(session_p99s.begin(), session_p99s.end());
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (double b : session_blocks) {
+      sum += b;
+      sum_sq += b * b;
+    }
+    const double jain =
+        sum_sq > 0.0 ? (sum * sum) / (static_cast<double>(session_blocks.size()) *
+                                      sum_sq)
+                     : 1.0;
+    out += ",\"p99_max_ms\":" + JsonNumber(p99_max);
+    out += ",\"p99_min_ms\":" + JsonNumber(p99_min);
+    out += ",\"p99_spread_ms\":" + JsonNumber(p99_max - p99_min);
+    out += ",\"jain_index\":" + JsonNumber(jain);
   }
   out += '}';
   out += ",\"metrics\":" + stats_registry_.ToJson();

@@ -203,6 +203,11 @@ class WsqServer {
     /// Stamp of the last exchange folded in, for the --session-ttl
     /// sweep.
     int64_t last_touch_micros = 0;
+    /// Block residence latency (request fully read -> response stamped,
+    /// ms); allocated on first exchange. Feeds the per-session p99 and
+    /// the stats plane's fairness section, so a live fleet can read
+    /// cross-tenant latency spread without client-side merging.
+    std::unique_ptr<Histogram> latency_ms;
   };
 
   /// One live connection, owned exclusively by the loop thread (no
@@ -323,9 +328,11 @@ class WsqServer {
   static int64_t BlockRequestSessionId(const std::string& payload);
 
   /// Folds one served exchange into the per-session rollups and their
-  /// labeled mirrors in stats_registry_.
+  /// labeled mirrors in stats_registry_. `latency_ms` is the exchange's
+  /// server residence (request fully read -> response stamped).
   void RecordExchangeStats(int64_t session_id, size_t request_bytes,
-                           size_t response_bytes, bool replayed, bool fault);
+                           size_t response_bytes, bool replayed, bool fault,
+                           double latency_ms);
 
   ServiceContainer* container_;
   WsqServerOptions options_;

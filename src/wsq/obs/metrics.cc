@@ -130,15 +130,47 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
   return it->second.get();
 }
 
+namespace {
+
+/// Percent-escapes the label convention's structural characters (and
+/// '%' itself, keeping the encoding injective) inside a key or value.
+void AppendEscapedLabelPart(std::string_view text, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '%': out->append("%25"); break;
+      case '{': out->append("%7B"); break;
+      case '}': out->append("%7D"); break;
+      case '=': out->append("%3D"); break;
+      case ',': out->append("%2C"); break;
+      default: out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
 std::string LabeledName(std::string_view base, std::string_view label_key,
                         std::string_view label_value) {
+  return LabeledName(base, {{label_key, label_value}});
+}
+
+std::string LabeledName(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels) {
   std::string out;
-  out.reserve(base.size() + label_key.size() + label_value.size() + 3);
+  out.reserve(base.size() + 16 * labels.size() + 2);
   out.append(base);
+  if (labels.size() == 0) return out;
   out.push_back('{');
-  out.append(label_key);
-  out.push_back('=');
-  out.append(label_value);
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendEscapedLabelPart(key, &out);
+    out.push_back('=');
+    AppendEscapedLabelPart(value, &out);
+  }
   out.push_back('}');
   return out;
 }
@@ -146,13 +178,25 @@ std::string LabeledName(std::string_view base, std::string_view label_key,
 int64_t MetricsRegistry::SumCounters(std::string_view base) const {
   std::lock_guard<std::mutex> lock(mu_);
   int64_t total = 0;
-  // Labeled members sort right after "base{" in the map; walk the
-  // contiguous range instead of scanning every counter.
-  const std::string prefix = std::string(base) + "{";
-  auto it = counters_.find(std::string(base));
-  if (it != counters_.end()) total += it->second.value();
-  for (it = counters_.lower_bound(prefix);
-       it != counters_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+  auto exact = counters_.find(std::string(base));
+  if (exact != counters_.end()) total += exact->second.value();
+  // Family members extend the base: "base{...}" for a bare base, or
+  // "base{k=v,...}" for a labeled base "base{k=v}". A labeled base must
+  // continue at a label boundary (','), never by extending the last
+  // value's text — a plain prefix walk over "base{tenant=1" would also
+  // absorb "base{tenant=10,...}". Members sort contiguously after the
+  // prefix in the map, so the walk stays a range scan either way.
+  std::string prefix(base);
+  if (!prefix.empty() && prefix.back() == '}') {
+    prefix.back() = ',';
+  } else if (prefix.find('{') == std::string::npos) {
+    prefix += '{';
+  } else {
+    return total;  // malformed labeled base: exact match only
+  }
+  for (auto it = counters_.lower_bound(prefix);
+       it != counters_.end() &&
+       it->first.compare(0, prefix.size(), prefix) == 0;
        ++it) {
     total += it->second.value();
   }

@@ -4,11 +4,13 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "wsq/common/status.h"
@@ -132,8 +134,22 @@ class Histogram {
 /// convention, not a type — but the convention gives rollups something
 /// to aggregate over (see MetricsRegistry::SumCounters) and keeps
 /// per-session series distinguishable in every exporter.
+///
+/// The structural characters of the convention — '{', '}', '=', ',' —
+/// and '%' are percent-escaped inside keys and values, so a hostile
+/// label value (a tenant named "1}" or "a=b,c") can never forge another
+/// family's name or collide two distinct label sets: the encoding is
+/// injective. Plain alphanumeric labels render unchanged.
 std::string LabeledName(std::string_view base, std::string_view label_key,
                         std::string_view label_value);
+
+/// Multi-label form, keys in the order given:
+/// `LabeledName("m", {{"tenant", "3"}, {"phase", "live"}})` ->
+/// "m{tenant=3,phase=live}". Same escaping as the single-label form.
+std::string LabeledName(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
 
 /// Name -> metric registry with text/CSV/JSON snapshot exporters. One
 /// process-wide instance (`Global()`) serves production wiring; tests
@@ -165,6 +181,11 @@ class MetricsRegistry {
   /// exactly `base` (if any) and every counter named "base{...}" — the
   /// LabeledName convention. The primitive behind "total = sum over
   /// sessions" style aggregations.
+  ///
+  /// A labeled base rolls up its sub-family: `SumCounters("b{tenant=1}")`
+  /// sums "b{tenant=1}" and every "b{tenant=1,...}" extension — and
+  /// nothing else. Membership is label-boundary-aware, so "b{tenant=1}"
+  /// never absorbs "b{tenant=10,...}"-style neighbors.
   int64_t SumCounters(std::string_view base) const;
 
   /// Human-readable snapshot, one metric per line, sorted by name.

@@ -87,6 +87,52 @@ TEST(BenchReportTest, JsonIsValidAndCarriesEveryField) {
   }
 }
 
+TEST(BenchReportTest, CompositeJoinsPhaseReports) {
+  // Multi-phase benches emit one {"reports":[...]} document whose
+  // entries are ordinary flat rows named "<bench>/<phase>" — the shape
+  // the regression gate matches to baselines by bench name.
+  RunTimings sim;
+  sim.RecordRunMs(5.0);
+  sim.RecordRunMs(7.0);
+  RunTimings live;
+  live.RecordRunMs(42.0);
+
+  BenchReport sim_report;
+  sim_report.bench = "bench_fleet_tenancy/sim";
+  sim_report.jobs = 4;
+  sim_report.wall_time_s = 0.1;
+  BenchReport live_report;
+  live_report.bench = "bench_fleet_tenancy/live";
+  live_report.jobs = 1;
+  live_report.wall_time_s = 0.2;
+
+  const std::string json = CompositeBenchReportJson(
+      {{sim_report, &sim}, {live_report, &live}});
+  EXPECT_TRUE(CheckJson(json).ok()) << json;
+  EXPECT_NE(json.find("\"schema_version\":1,\"reports\":["),
+            std::string::npos);
+  EXPECT_NE(json.find("\"bench\":\"bench_fleet_tenancy/sim\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"bench\":\"bench_fleet_tenancy/live\""),
+            std::string::npos);
+  // Both phase rows carry their own run counts.
+  EXPECT_NE(json.find("\"runs\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"runs\":1"), std::string::npos);
+}
+
+TEST(BenchReportTest, CompositeSkipsNullTimingsAndStaysValidWhenEmpty) {
+  BenchReport report;
+  report.bench = "phase_without_timings";
+  const std::string skipped =
+      CompositeBenchReportJson({{report, nullptr}});
+  EXPECT_TRUE(CheckJson(skipped).ok()) << skipped;
+  EXPECT_EQ(skipped.find("phase_without_timings"), std::string::npos);
+
+  const std::string empty = CompositeBenchReportJson({});
+  EXPECT_TRUE(CheckJson(empty).ok()) << empty;
+  EXPECT_NE(empty.find("\"reports\":[]"), std::string::npos);
+}
+
 TEST(BenchReportTest, EmptyTimingsStillValidJson) {
   // No runs recorded (a bench that never hit the harness): percentiles
   // are NaN, which must serialize as null, not as bare NaN (RFC 8259).

@@ -140,6 +140,33 @@ TEST(WsqServerTest, ConcurrentClientsGetDisjointSessionsAndFullResults) {
   EXPECT_GE(harness.server().connections_accepted(), 4);
 }
 
+TEST(WsqServerTest, StatsJsonCarriesSessionLatencyAndFairness) {
+  LiveServerHarness harness;
+  ASSERT_TRUE(harness.start_status().ok());
+
+  // Two sequential clients: two sessions with served blocks, so the
+  // fairness rollup has a real population.
+  for (int64_t size : {200, 600}) {
+    TcpWsClient client("127.0.0.1", harness.port());
+    FixedController controller(size);
+    BlockFetcher fetcher(&client, &controller);
+    ScanProjectQuery query;
+    query.table_name = "customer";
+    Result<FetchOutcome> outcome = fetcher.Run(query);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  }
+
+  const std::string json = harness.server().StatsJson();
+  // Per-session block-latency rollup...
+  EXPECT_NE(json.find("\"latency_ms\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  // ...and the fleet-facing fairness section over active sessions.
+  EXPECT_NE(json.find("\"fairness\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sessions\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99_spread_ms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"jain_index\":"), std::string::npos);
+}
+
 TEST(WsqServerTest, SocketDeadlineExpiresAsUnavailable) {
   // A listener that accepts but never answers: the client's read must
   // time out within the io deadline instead of hanging.

@@ -151,6 +151,84 @@ TEST(MetricsRegistryTest, SumCountersRollsUpALabeledFamily) {
   EXPECT_EQ(registry.SumCounters("absent"), 0);
 }
 
+TEST(MetricsRegistryTest, LabeledNameEscapesHostileLabelValues) {
+  // Label values carrying the structural characters of the convention
+  // ({, }, =, ,) are percent-escaped, so the mapping (base, k, v) ->
+  // name stays injective: no two distinct labels can render to the
+  // same string.
+  EXPECT_EQ(LabeledName("b", "k", "a,b"), "b{k=a%2Cb}");
+  EXPECT_EQ(LabeledName("b", "k", "a=b"), "b{k=a%3Db}");
+  EXPECT_EQ(LabeledName("b", "k", "a{b}"), "b{k=a%7Bb%7D}");
+  EXPECT_EQ(LabeledName("b", "k", "100%"), "b{k=100%25}");
+  // The escape character itself round-trips unambiguously.
+  EXPECT_NE(LabeledName("b", "k", "%2C"), LabeledName("b", "k", ","));
+  // A hostile value cannot forge another family's labeled name.
+  EXPECT_NE(LabeledName("b", "tenant", "1,evil=x"),
+            LabeledName(LabeledName("b", "tenant", "1"), "evil", "x"));
+}
+
+TEST(MetricsRegistryTest, MultiLabelNamesJoinInOrder) {
+  EXPECT_EQ(LabeledName("b", {{"tenant", "3"}, {"phase", "live"}}),
+            "b{tenant=3,phase=live}");
+  EXPECT_EQ(LabeledName("b", {}), "b");
+  // Single-label overload agrees with the list form.
+  EXPECT_EQ(LabeledName("b", "k", "v"), LabeledName("b", {{"k", "v"}}));
+}
+
+TEST(MetricsRegistryTest, SumCountersRespectsLabelBoundaries) {
+  // The adversarial neighbor family: tenant=1 must not absorb
+  // tenant=10..19, which are its lexicographic extensions when the sum
+  // walks raw string prefixes instead of label boundaries.
+  MetricsRegistry registry;
+  registry.GetCounter(LabeledName("wsq.f.blocks", "tenant", "1"))
+      ->Increment(7);
+  registry.GetCounter(LabeledName("wsq.f.blocks", "tenant", "10"))
+      ->Increment(100);
+  registry.GetCounter(LabeledName("wsq.f.blocks", "tenant", "19"))
+      ->Increment(100);
+
+  // The whole family rolls up from the unlabeled base...
+  EXPECT_EQ(registry.SumCounters("wsq.f.blocks"), 207);
+  // ...but a labeled base sums only itself plus *label extensions* of
+  // itself (extra labels after a comma), never sibling values.
+  EXPECT_EQ(registry.SumCounters(LabeledName("wsq.f.blocks", "tenant", "1")),
+            7);
+  EXPECT_EQ(registry.SumCounters(LabeledName("wsq.f.blocks", "tenant", "10")),
+            100);
+
+  // Sub-family rollup: base{tenant=1} plus its multi-label extensions.
+  registry
+      .GetCounter(LabeledName("wsq.f.rows", {{"tenant", "1"}, {"op", "a"}}))
+      ->Increment(3);
+  registry
+      .GetCounter(LabeledName("wsq.f.rows", {{"tenant", "1"}, {"op", "b"}}))
+      ->Increment(4);
+  registry
+      .GetCounter(LabeledName("wsq.f.rows", {{"tenant", "10"}, {"op", "a"}}))
+      ->Increment(50);
+  EXPECT_EQ(registry.SumCounters(LabeledName("wsq.f.rows", "tenant", "1")),
+            7);
+  EXPECT_EQ(registry.SumCounters("wsq.f.rows"), 57);
+}
+
+TEST(MetricsRegistryTest, SumCountersWithEscapedLabelValues) {
+  // Escaped hostile values keep families disjoint under rollup: a value
+  // ending in ',' or containing '=' cannot smuggle itself into another
+  // family's sum.
+  MetricsRegistry registry;
+  registry.GetCounter(LabeledName("wsq.h.c", "tenant", "t"))->Increment(1);
+  registry.GetCounter(LabeledName("wsq.h.c", "tenant", "t,x=1"))
+      ->Increment(20);
+  registry.GetCounter(LabeledName("wsq.h.c", "tenant", "t}"))->Increment(300);
+
+  EXPECT_EQ(registry.SumCounters("wsq.h.c"), 321);
+  EXPECT_EQ(registry.SumCounters(LabeledName("wsq.h.c", "tenant", "t")), 1);
+  EXPECT_EQ(registry.SumCounters(LabeledName("wsq.h.c", "tenant", "t,x=1")),
+            20);
+  EXPECT_EQ(registry.SumCounters(LabeledName("wsq.h.c", "tenant", "t}")),
+            300);
+}
+
 TEST(MetricsRegistryTest, JsonNeverEmitsNonFiniteLiterals) {
   // The exporter audit: NaN and +/-Inf gauges and an empty histogram's
   // NaN quantiles must all surface as null — RFC 8259 has no nan/inf
